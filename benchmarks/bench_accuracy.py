@@ -1,0 +1,50 @@
+"""Accuracy of the SOI FFT vs the exact DFT (implicit requirement).
+
+The paper uses SOI as a drop-in FFT; its SC'12 companion establishes the
+accuracy/oversampling trade-off.  This bench regenerates the error table
+across (mu, B) and checks the design-bound tracking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import accuracy_rows
+from repro.bench.tables import render_table
+from repro.core.params import SoiParams
+from repro.core.soi_single import SoiFFT
+from repro.util.validate import relative_l2_error
+
+
+def test_accuracy_table(benchmark, publish):
+    rows = benchmark(accuracy_rows)
+    text = render_table(
+        ["N", "segments", "mu", "B", "rel l2 error", "design bound"],
+        rows, title="SOI accuracy vs numpy.fft (random complex input)")
+    publish("accuracy", text)
+    for row in rows:
+        assert row[4] < 10 * row[5] + 1e-12
+
+
+def test_accuracy_error_vs_b_sweep(benchmark, publish):
+    """Error as a function of convolution width B (the accuracy knob)."""
+
+    def sweep():
+        rng = np.random.default_rng(5)
+        n, s = 8 * 448, 8
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ref = np.fft.fft(x)
+        rows = []
+        for b in (16, 24, 32, 48, 64, 72):
+            f = SoiFFT(SoiParams(n=n, n_procs=1, segments_per_process=s,
+                                 n_mu=8, d_mu=7, b=b))
+            rows.append([b, relative_l2_error(f(x), ref),
+                         f.expected_stopband])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(["B", "rel l2 error", "design bound"], rows,
+                        title="SOI error vs convolution width B "
+                              "(mu = 8/7, S = 8)")
+    publish("accuracy_vs_b", text)
+    errs = [r[1] for r in rows]
+    assert errs == sorted(errs, reverse=True)

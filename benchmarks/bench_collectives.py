@@ -1,0 +1,80 @@
+"""All-to-all algorithm study: pairwise vs Bruck across message sizes.
+
+Grounds the paper's §6.1 packet-length discussion one level deeper: the
+MPI library's own algorithm choice flips from bandwidth-optimal pairwise
+exchange to latency-optimal Bruck as weak scaling (and segmentation)
+shrinks per-pair messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.cluster.collectives import (
+    alltoall_bruck,
+    alltoall_pairwise,
+    bruck_time,
+    pairwise_time,
+    recommend_algorithm,
+)
+from repro.cluster.network import STAMPEDE_EFFECTIVE as NET
+
+
+def test_algorithm_crossover(benchmark, publish):
+    def sweep():
+        nodes = 512
+        rows = []
+        for per_pair in (64, 1024, 16 * 1024, 256 * 1024, 4 * 1024 * 1024):
+            tp = pairwise_time(NET, nodes, per_pair)
+            tb = bruck_time(NET, nodes, per_pair)
+            rows.append([per_pair, round(tp * 1e3, 3), round(tb * 1e3, 3),
+                         recommend_algorithm(NET, nodes, per_pair)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["bytes/pair", "pairwise (ms)", "Bruck (ms)", "recommended"],
+        rows, title="All-to-all algorithm crossover at 512 nodes")
+    publish("collectives_crossover", text)
+    assert rows[0][3] == "bruck"
+    assert rows[-1][3] == "pairwise"
+
+
+def test_soi_alltoall_regime_vs_nodes(benchmark, publish):
+    """Where the SOI exchange sits: per-pair size vs nodes in weak scaling
+    (2 segments/process, paper's 512-node setting)."""
+
+    def sweep():
+        n_per_node = 7 * 2 ** 24
+        rows = []
+        for nodes in (32, 128, 512, 2048, 8192):
+            per_pair = int(16 * (8 / 7) * n_per_node / nodes / 2)
+            rows.append([nodes, per_pair,
+                         recommend_algorithm(NET, nodes, per_pair)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["nodes", "SOI bytes/pair", "recommended algorithm"],
+        rows, title="SOI all-to-all regime in weak scaling (2 seg/proc)")
+    publish("collectives_soi_regime", text)
+    # at the paper's scales messages stay long enough for pairwise
+    assert all(r[2] == "pairwise" for r in rows if r[0] <= 512)
+
+
+def test_executed_algorithms_agree(benchmark):
+    """Wall-clock the two data-moving schedules; results must agree."""
+    rng = np.random.default_rng(20)
+    p = 16
+    blocks = [[rng.standard_normal(64) + 0j for _ in range(p)]
+              for _ in range(p)]
+
+    def run():
+        ra, _ = alltoall_pairwise(blocks)
+        rb, _ = alltoall_bruck(blocks)
+        return ra, rb
+
+    ra, rb = benchmark(run)
+    for d in range(p):
+        for s in range(p):
+            assert np.array_equal(ra[d][s], rb[d][s])

@@ -1,0 +1,61 @@
+"""Why in-order 1-D is the hard case (paper §1), executed.
+
+Same total N, same cluster: the 2-D transform ships 16N bytes once; the
+in-order 1-D Cooley-Tukey ships 3x that; SOI ships mu*16N once.  Wire
+bytes are counted exactly from executed runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.baseline.fft2d_dist import Distributed2dFFT
+from repro.bench.tables import render_table
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+
+
+def test_dimensionality_contrast(benchmark, publish):
+    def run():
+        p = 4
+        n = 16 * 448  # = 7168 = 64 x 112
+        rng = np.random.default_rng(16)
+        x = rng.standard_normal(n) + 0j
+
+        cl2d = SimCluster(p)
+        f2 = Distributed2dFFT(cl2d, 64, n // 64)
+        f2(f2.scatter(x.reshape(64, n // 64)))
+
+        cl_ct = SimCluster(p)
+        ct = DistributedCooleyTukeyFFT(cl_ct, n)
+        ct(ct.scatter(x))
+
+        cl_soi = SimCluster(p)
+        soi = DistributedSoiFFT(cl_soi, SoiParams(
+            n=n, n_procs=p, segments_per_process=4, n_mu=8, d_mu=7, b=48))
+        soi(soi.scatter(x))
+
+        unit = 16 * n * (p - 1) / p  # one plain exchange
+        rows = [
+            ["2-D FFT (64 x 112)", cl2d.comm.bytes_moved,
+             round(cl2d.comm.bytes_moved / unit, 2)],
+            ["1-D SOI (mu = 8/7)", cl_soi.comm.bytes_moved,
+             round(cl_soi.comm.bytes_moved / unit, 2)],
+            ["1-D Cooley-Tukey", cl_ct.comm.bytes_moved,
+             round(cl_ct.comm.bytes_moved / unit, 2)],
+        ]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["transform", "wire bytes (executed)", "x one exchange"],
+        rows, title="Dimensionality contrast at equal N (4 ranks): the "
+                    "in-order 1-D problem is communication-hard")
+    publish("dimensionality", text)
+    vols = [r[1] for r in rows]
+    assert vols[0] < vols[1] < vols[2]  # 2D < SOI < CT
+    assert rows[2][2] == pytest.approx(3.0, abs=0.01)
+    # SOI = mu x one exchange + ghost halos; at this miniature N the fixed
+    # B*S*P ghost volume is a visible fraction (it vanishes at paper scale)
+    assert 8 / 7 <= rows[1][2] < 2.0

@@ -1,0 +1,44 @@
+"""Energy study: SOI vs Cooley-Tukey in joules (paper §1's framing).
+
+"Power consumption and memory bandwidth have now become the leading
+constraints ... moving data instead of computing with them dominates
+running time" — this bench prices both algorithms with exascale-study
+unit energies and shows the joules story matches the seconds story.
+"""
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.machine.energy import EnergyModel
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE as MODEL
+
+
+def test_energy_comparison(benchmark, publish):
+    def run():
+        em = EnergyModel()
+        rows = []
+        for machine, tag in ((XEON_E5_2680, "Xeon"), (XEON_PHI_SE10, "Phi")):
+            for algo, rep in (("SOI", em.soi_report(MODEL, machine)),
+                              ("CT", em.ct_report(MODEL, machine))):
+                rows.append([f"{algo} / {tag}", round(rep.compute_j, 1),
+                             round(rep.memory_j, 1), round(rep.network_j, 1),
+                             round(rep.static_j, 1), round(rep.total_j, 1),
+                             round(rep.movement_fraction, 2)])
+        return rows
+
+    rows = benchmark(run)
+    text = render_table(
+        ["config", "compute J", "DRAM J", "network J", "static J",
+         "total J", "movement frac"],
+        rows, title="Energy per transform (32 nodes, §4 example; exascale-"
+                    "study unit costs)")
+    em = EnergyModel()
+    ratio = em.soi_vs_ct_energy_ratio(MODEL, XEON_PHI_SE10)
+    publish("energy", text + f"\n\nSOI saves {ratio:.2f}x total energy vs "
+                             f"CT on Phi (time + wire bytes both shrink)")
+    totals = {r[0]: r[5] for r in rows}
+    assert totals["SOI / Phi"] < totals["CT / Phi"]
+    assert totals["SOI / Phi"] < totals["SOI / Xeon"]
+    # data movement dominates active energy everywhere (the §1 thesis)
+    assert all(r[6] > 0.4 for r in rows)

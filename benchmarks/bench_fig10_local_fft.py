@@ -1,0 +1,69 @@
+"""Fig 10: Impact of §5.2 optimizations on 16M-point local FFT (one Phi).
+
+Two parts:
+
+1. the modeled GFLOPS ladder (6-step-naive -> 6-step-opt -> latency-hiding
+   -> fine-grain), checked against the paper's 120 GFLOPS / 12% endpoint;
+2. real wall-clock pytest benchmarks of the *executed* naive vs optimized
+   6-step kernels at a feasible size, plus their exact memory-sweep
+   ledgers (13 vs ~4 sweeps) — the quantity the paper's bars are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import fig10_rows
+from repro.bench.tables import render_bars, render_table
+from repro.fft.sixstep import sixstep_fft
+from repro.machine.spec import XEON_PHI_SE10
+
+N_EXEC = 2 ** 14  # executed-kernel size
+
+
+def test_fig10_modeled_ladder(benchmark, publish):
+    rows = benchmark(fig10_rows)
+    bars = render_bars(rows, title="Fig 10: 16M-point local FFT on one Xeon "
+                                   "Phi (modeled GFLOPS)", unit=" GFLOPS")
+    eff = rows[-1][1] / XEON_PHI_SE10.peak_gflops
+    publish("fig10_local_fft",
+            bars + f"\n\nfinal efficiency: {eff:.1%} (paper: 12%, i.e. "
+                   f"~50% of the 23% roofline bound)")
+    vals = [v for _, v in rows]
+    assert vals == sorted(vals)
+    assert vals[-1] == pytest.approx(120.0, rel=0.1)
+
+
+@pytest.fixture(scope="module")
+def signal():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal(N_EXEC) + 1j * rng.standard_normal(N_EXEC)
+
+
+def test_sixstep_naive_executed(benchmark, signal):
+    res = benchmark(sixstep_fft, signal, variant="naive")
+    assert res.ledger.sweep_count(N_EXEC) == pytest.approx(13.0)
+
+
+def test_sixstep_optimized_executed(benchmark, signal):
+    res = benchmark(sixstep_fft, signal, variant="optimized")
+    assert res.ledger.sweep_count(N_EXEC) < 4.1
+
+
+def test_fig10_sweep_ledgers(benchmark, publish, signal):
+    def run():
+        naive = sixstep_fft(signal, variant="naive")
+        opt = sixstep_fft(signal, variant="optimized")
+        return naive, opt
+
+    naive, opt = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["6-step-naive", round(naive.ledger.sweep_count(N_EXEC), 2),
+         naive.ledger.total_bytes],
+        ["6-step-opt", round(opt.ledger.sweep_count(N_EXEC), 2),
+         opt.ledger.total_bytes],
+    ]
+    text = render_table(["variant", "memory sweeps", "bus bytes"], rows,
+                        title=f"Fig 10 substrate: executed sweep ledgers "
+                              f"({N_EXEC}-point local FFT)")
+    publish("fig10_sweep_ledgers", text)
+    assert np.allclose(naive.output, opt.output)

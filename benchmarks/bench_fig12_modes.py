@@ -1,0 +1,69 @@
+"""Fig 12 / §7: symmetric vs offload coprocessor modes.
+
+Regenerates the two timing diagrams (per-resource lanes) and the §7
+quantitative claims: offload ~25% slower at 6 GB/s PCIe; hybrid mode worth
+<10%; PCIe hidden under InfiniBand in symmetric mode.
+"""
+
+import pytest
+
+from repro.bench.runner import fig12_rows
+from repro.bench.tables import render_table
+from repro.cluster.pcie import PcieSpec
+from repro.perfmodel.model import FftModel
+from repro.perfmodel.modes import ModeModel
+
+
+def test_fig12_timing_diagrams(benchmark, publish):
+    d = benchmark(fig12_rows)
+    lines = ["Fig 12: SOI FFT timing lanes (32 nodes, paper-scale N)"]
+    for mode in ("symmetric", "offload"):
+        lines.append(f"\n  ({mode})")
+        for label, t in d[mode]:
+            lines.append(f"    {label:32s} {t:8.3f} s")
+        total = d[f"{mode}_total"]
+        lines.append(f"    {'TOTAL (with overlap)':32s} {total:8.3f} s")
+    lines += [
+        "",
+        f"offload slowdown: {d['offload_slowdown']:.2f}x (paper: ~1.25x)",
+        f"hybrid speedup:   {d['hybrid_speedup']:.3f}x (paper: < 1.10x)",
+    ]
+    # render the segmented symmetric-mode schedule as a Gantt (Fig 12a)
+    from dataclasses import replace
+
+    from repro.bench.runner import paper_scale_model
+    from repro.cluster.gantt import gantt_from_schedule
+    from repro.machine.spec import XEON_PHI_SE10
+    from repro.perfmodel.overlap import soi_segment_schedule
+
+    sched = soi_segment_schedule(
+        replace(paper_scale_model(32, packet_model=False),
+                segments_per_process=4), XEON_PHI_SE10)
+    lines += ["", gantt_from_schedule(
+        sched, title="symmetric-mode lanes, 4 segments (#=compute, =:MPI)")]
+    publish("fig12_modes", "\n".join(lines))
+    assert d["offload_slowdown"] == pytest.approx(1.25, abs=0.08)
+    assert d["hybrid_speedup"] < 1.10
+
+
+def test_fig12_pcie_sensitivity(benchmark, publish):
+    """§7 extension: how the mode gap moves with PCIe bandwidth —
+    the 'performance model can guide' use case the paper describes."""
+
+    def sweep():
+        base = FftModel(n_total=(2 ** 27) * 32, nodes=32, n_mu=5, d_mu=4)
+        rows = []
+        for bw in (3.0, 6.0, 12.0, 24.0):
+            mm = ModeModel(base, pcie=PcieSpec(bandwidth_gbps=bw))
+            rows.append([bw, round(mm.breakdown('symmetric').total, 3),
+                         round(mm.breakdown('offload').total, 3),
+                         round(mm.offload_slowdown(), 3)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["PCIe GB/s", "symmetric (s)", "offload (s)", "offload/symmetric"],
+        rows, title="Fig 12 ablation: offload penalty vs PCIe bandwidth")
+    publish("fig12_pcie_sensitivity", text)
+    ratios = [r[3] for r in rows]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))

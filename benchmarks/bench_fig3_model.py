@@ -1,0 +1,35 @@
+"""Fig 3: Estimated performance improvements from the performance model.
+
+Normalized execution time of {Cooley-Tukey, SOI} x {Xeon, Xeon Phi} at the
+§4 example parameters (32 nodes, N = 2^27 * 32, mu = 5/4), normalized to
+Cooley-Tukey on Xeon.  Paper claims: ~70% Phi speedup for SOI, ~14% for CT.
+"""
+
+import pytest
+
+from repro.bench.runner import fig3_rows
+from repro.bench.tables import render_table
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE as MODEL
+
+
+def test_fig3_normalized_times(benchmark, publish):
+    rows = benchmark(fig3_rows)
+    text = render_table(
+        ["configuration", "Local FFT", "Convolution", "MPI", "total"],
+        rows, title="Fig 3: normalized execution time (CT/Xeon = 1)")
+    extra = [
+        text,
+        "",
+        f"SOI Phi-over-Xeon speedup: {MODEL.speedup('soi'):.2f} (paper: ~1.7)",
+        f"CT  Phi-over-Xeon speedup: {MODEL.speedup('ct'):.2f} (paper: ~1.14)",
+        f"T_fft  Xeon {MODEL.t_fft(XEON_E5_2680):.2f}s / Phi "
+        f"{MODEL.t_fft(XEON_PHI_SE10):.2f}s (paper: 0.50 / 0.16)",
+        f"T_conv Xeon {MODEL.t_conv(XEON_E5_2680):.2f}s / Phi "
+        f"{MODEL.t_conv(XEON_PHI_SE10):.2f}s (paper: 0.64 / 0.21)",
+        f"T_mpi {MODEL.t_mpi():.2f}s (paper: 0.67)",
+    ]
+    publish("fig3_model", "\n".join(extra))
+    totals = {r[0]: r[-1] for r in rows}
+    assert totals["SOI / Xeon Phi"] == pytest.approx(0.5, abs=0.06)
+    assert MODEL.speedup("soi") == pytest.approx(1.7, abs=0.1)

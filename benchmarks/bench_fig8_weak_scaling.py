@@ -1,0 +1,78 @@
+"""Fig 8: Weak-scaling FFT performance, 4-512 nodes.
+
+TFLOPS (bars in the paper) for CT/Xeon, CT/Phi (projected), SOI/Xeon,
+SOI/Phi, plus the Phi-over-Xeon speedup lines.  ~2^27 double-complex per
+node; 8 segments/process up to 128 nodes, 2 at 512 (Table 3 / §6.1).
+
+Headline checks: tera-flop mark near 64 nodes, 6.7 TFLOPS at 512, ~5x
+per-node advantage over the K computer's 2012 G-FFT record.
+"""
+
+import pytest
+
+from repro.bench.runner import fig8_series, headline_numbers
+from repro.bench.tables import render_series
+
+
+def test_fig8_weak_scaling(benchmark, publish):
+    series = benchmark(fig8_series)
+    nodes = series["nodes"]
+    disp = {k: [round(v, 3) for v in series[k]] for k in series if k != "nodes"}
+    text = render_series("nodes", nodes, disp,
+                         title="Fig 8: weak scaling (TFLOPS; speedups are "
+                               "Phi/Xeon time ratios)")
+    h = headline_numbers()
+    lines = [
+        text,
+        "",
+        f"SOI Xeon Phi @512 nodes: {h['tflops_512_phi']:.2f} TFLOPS (paper: 6.7)",
+        f"SOI Xeon Phi @64 nodes:  {h['tflops_64_phi']:.2f} TFLOPS (paper: "
+        "breaks the tera-flop mark)",
+        f"per-node advantage vs K computer: {h['per_node_vs_k_computer']:.1f}x "
+        "(paper: ~5x)",
+        f"SOI speedup @512: {h['soi_phi_over_xeon_512']:.2f} (paper: 1.5-2.0)",
+        f"CT speedup @512:  {h['ct_phi_over_xeon_512']:.2f} (paper: ~1.1)",
+    ]
+    publish("fig8_weak_scaling", "\n".join(lines))
+    assert h["tflops_512_phi"] == pytest.approx(6.7, rel=0.15)
+    assert h["tflops_64_phi"] == pytest.approx(1.0, rel=0.25)
+
+
+def test_fig8_executed_miniature(benchmark, publish, capsys):
+    """Executed-numerics miniature of Fig 8: real data through the
+    simulated cluster at reduced size, same weak-scaling shape."""
+    import numpy as np
+
+    from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+
+    per_rank = 4 * 448
+
+    def run():
+        rows = []
+        for p in (2, 4, 8):
+            n = per_rank * p
+            x = np.random.default_rng(1).standard_normal(n) + 0j
+            cl_soi = SimCluster(p)
+            soi = DistributedSoiFFT(cl_soi, SoiParams(
+                n=n, n_procs=p, segments_per_process=2, n_mu=8, d_mu=7, b=48))
+            soi(soi.scatter(x))
+            cl_ct = SimCluster(p)
+            ct = DistributedCooleyTukeyFFT(cl_ct, n)
+            ct(ct.scatter(x))
+            rows.append([p, round(cl_soi.elapsed * 1e3, 4),
+                         round(cl_ct.elapsed * 1e3, 4),
+                         cl_soi.comm.bytes_moved, cl_ct.comm.bytes_moved])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.bench.tables import render_table
+
+    text = render_table(
+        ["ranks", "SOI sim ms", "CT sim ms", "SOI wire bytes", "CT wire bytes"],
+        rows, title="Fig 8 (miniature, executed numerics on SimCluster)")
+    publish("fig8_executed_miniature", text)
+    for row in rows:
+        assert row[3] < row[4]  # SOI always moves fewer bytes

@@ -1,0 +1,61 @@
+"""Fig 9: Execution-time breakdowns of the SOI algorithm.
+
+Local FFT / convolution / exposed MPI / etc per node count, on Xeon and
+Xeon Phi, through the segment-pipelined overlap model.  Paper facts
+checked: MPI time slowly increases with nodes; Phi's exposed MPI exceeds
+Xeon's (faster compute hides less); Xeon carries an 'etc' component from
+the unfused MKL demodulation; convolution time is flat in nodes.
+"""
+
+from repro.bench.runner import fig9_rows
+from repro.bench.tables import render_table
+
+HEADERS = ["machine", "nodes", "local FFT (s)", "convolution (s)",
+           "exposed MPI (s)", "etc (s)", "total (s)"]
+
+
+def test_fig9_breakdown(benchmark, publish):
+    rows = benchmark(fig9_rows)
+    text = render_table(HEADERS, rows, title="Fig 9: SOI execution time "
+                                             "breakdown (weak scaling)")
+    publish("fig9_breakdown", text)
+
+    phi = [r for r in rows if r[0] == "Xeon Phi"]
+    xeon = [r for r in rows if r[0] == "Xeon"]
+    # exposed MPI grows slowly with node count
+    assert phi[-1][4] > phi[0][4]
+    # Phi exposes more MPI than Xeon at the same node count (§6.1)
+    for px, xx in zip(phi, xeon):
+        assert px[4] >= xx[4] * 0.9
+    # Xeon pays the unfused demodulation in 'etc'
+    assert all(x[5] > p[5] for x, p in zip(xeon, phi))
+    # total time on Phi is below Xeon everywhere (the Fig 8 speedup)
+    assert all(p[6] < x[6] for p, x in zip(phi, xeon))
+
+
+def test_fig9_executed_breakdown(benchmark, publish):
+    """Executed-numerics breakdown at reduced scale: same component set."""
+    import numpy as np
+
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+
+    def run():
+        p = 4
+        n = 8 * 448
+        params = SoiParams(n=n, n_procs=p, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(p)
+        soi = DistributedSoiFFT(cl, params)
+        x = np.random.default_rng(2).standard_normal(n) + 0j
+        soi(soi.scatter(x))
+        return cl.breakdown()
+
+    b = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[k, f"{v * 1e6:.2f} us"] for k, v in sorted(b.items())]
+    text = render_table(["component", "simulated time"], rows,
+                        title="Fig 9 (miniature, executed): per-component "
+                              "simulated time, slowest rank")
+    publish("fig9_executed_breakdown", text)
+    assert {"convolution", "local FFT", "all-to-all"} <= set(b)

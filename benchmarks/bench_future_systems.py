@@ -1,0 +1,46 @@
+"""Future-systems projection: SOI's advantage as interconnects lag compute.
+
+The paper's framing claim (abstract/intro/conclusion): "interconnect speed
+will only deteriorate compared to compute speed moving forward", so low-
+communication algorithms "can serve as a reference ... for emerging hpc
+systems that are increasingly communication limited".  This bench
+quantifies it with the §4 model: sweep the compute:network ratio and show
+the SOI-over-CT advantage growing monotonically.
+"""
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.machine.spec import XEON_PHI_SE10, scaled_machine
+from repro.perfmodel.model import FftModel
+
+
+def test_soi_advantage_grows_with_compute_network_gap(benchmark, publish):
+    def sweep():
+        rows = []
+        for flops_scale in (1, 2, 4, 8, 16):
+            machine = scaled_machine(
+                XEON_PHI_SE10, f"{flops_scale}x-flops Phi",
+                flops_scale=flops_scale, bw_scale=max(1.0, flops_scale / 2))
+            m = FftModel(n_total=(7 * 2 ** 24) * 64, nodes=64,
+                         n_mu=8, d_mu=7)
+            t_soi = m.soi_breakdown(machine).total
+            t_ct = m.ct_breakdown(machine).total
+            rows.append([flops_scale, round(t_soi, 3), round(t_ct, 3),
+                         round(t_ct / t_soi, 2),
+                         round(m.soi_breakdown(machine).mpi / t_soi, 2)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["compute scale", "SOI (s)", "CT (s)", "CT/SOI advantage",
+         "SOI comm fraction"],
+        rows, title="Future systems: SOI advantage vs compute:network gap "
+                    "(network fixed, memory BW scales at half compute rate)")
+    publish("future_systems", text)
+    adv = [r[3] for r in rows]
+    assert all(a <= b for a, b in zip(adv, adv[1:]))
+    # asymptote: pure communication ratio 3/mu = 2.625
+    assert adv[-1] == pytest.approx(3 / (8 / 7), rel=0.05)
+    frac = [r[4] for r in rows]
+    assert all(a <= b for a, b in zip(frac, frac[1:]))

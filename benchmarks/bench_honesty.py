@@ -1,0 +1,52 @@
+"""Honesty benchmarks: our from-scratch kernels vs numpy.fft wall-clock.
+
+Not a paper exhibit.  The library deliberately implements its own FFTs
+(the paper's node-local kernels are the object of study); this bench
+records what that costs against numpy's pocketfft so the trade-off is on
+the record, and pins the *accuracy* parity that justifies it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.fft.plan import get_plan
+
+
+@pytest.fixture(scope="module")
+def signals():
+    rng = np.random.default_rng(21)
+    return {n: rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            for n in (2 ** 12, 2 ** 16, 3 * 5 * 7 * 64)}
+
+
+def test_kernel_vs_numpy_report(benchmark, publish, signals):
+    import time
+
+    def measure():
+        rows = []
+        for n, x in signals.items():
+            plan = get_plan(n, -1)
+            plan(x)  # warm
+            t0 = time.perf_counter()
+            reps = 5
+            for _ in range(reps):
+                y_ours = plan(x)
+            t_ours = (time.perf_counter() - t0) / reps
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                y_np = np.fft.fft(x)
+            t_np = (time.perf_counter() - t0) / reps
+            err = float(np.linalg.norm(y_ours - y_np) / np.linalg.norm(y_np))
+            rows.append([n, round(t_ours * 1e3, 3), round(t_np * 1e3, 3),
+                         round(t_ours / t_np, 1), f"{err:.1e}"])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = render_table(
+        ["n", "repro (ms)", "numpy (ms)", "slowdown", "rel error vs numpy"],
+        rows, title="From-scratch kernels vs numpy.fft (accuracy parity, "
+                    "expected constant-factor slowdown)")
+    publish("honesty_vs_numpy", text)
+    for row in rows:
+        assert float(row[4]) < 1e-12  # accuracy parity is non-negotiable

@@ -1,0 +1,119 @@
+"""Wall-clock micro-benchmarks of the real kernels (pytest-benchmark).
+
+Not a paper exhibit: these keep the *executed* substrate honest — the
+Stockham engine, Bluestein, the SOI pipeline, and the distributed runs all
+get timed so performance regressions in the library itself are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.core.soi_single import SoiFFT
+from repro.fft.bluestein import BluesteinPlan
+from repro.fft.stockham import StockhamPlan
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(6)
+
+
+class TestFftKernels:
+    def test_stockham_pow2_64k(self, benchmark, rng):
+        plan = StockhamPlan(2 ** 16)
+        x = rng.standard_normal(2 ** 16) + 1j * rng.standard_normal(2 ** 16)
+        y = benchmark(plan, x)
+        assert y.shape == x.shape
+
+    def test_stockham_batched_outer_loop_vectorization(self, benchmark, rng):
+        # the paper's "8 simultaneous FFTs" pattern
+        plan = StockhamPlan(4096)
+        x = rng.standard_normal((8, 4096)) + 0j
+        benchmark(plan, x)
+
+    def test_stockham_mixed_radix(self, benchmark, rng):
+        n = 2 ** 6 * 3 ** 4 * 5 * 7  # 181440
+        plan = StockhamPlan(n)
+        x = rng.standard_normal(n) + 0j
+        benchmark(plan, x)
+
+    def test_bluestein_prime(self, benchmark, rng):
+        plan = BluesteinPlan(10007)
+        x = rng.standard_normal(10007) + 0j
+        benchmark(plan, x)
+
+    def test_rader_prime(self, benchmark, rng):
+        from repro.fft.rader import RaderPlan
+
+        plan = RaderPlan(10007)
+        x = rng.standard_normal(10007) + 0j
+        benchmark(plan, x)
+
+    def test_pfa_coprime(self, benchmark, rng):
+        from repro.fft.prime_factor import PrimeFactorPlan
+
+        plan = PrimeFactorPlan(128, 81)  # 10368 points, twiddle-free
+        x = rng.standard_normal(128 * 81) + 0j
+        benchmark(plan, x)
+
+    def test_wisdom_tuned_plan(self, benchmark, rng):
+        from repro.fft.wisdom import Wisdom
+
+        w = Wisdom()
+        plan = w.plan(2 ** 14)
+        x = rng.standard_normal(2 ** 14) + 0j
+        benchmark(plan, x)
+
+    def test_codelet_leaf(self, benchmark, rng):
+        import numpy as np
+
+        from repro.fft.codelet import get_codelet
+
+        c = get_codelet(16)
+        x = rng.standard_normal(16) + 0j
+        out = np.empty(16, dtype=np.complex128)
+        benchmark(c, x, out)
+
+
+class TestSoiPipeline:
+    def test_soi_single_process(self, benchmark, rng):
+        params = SoiParams(n=16 * 448, n_procs=1, segments_per_process=16,
+                           n_mu=8, d_mu=7, b=48)
+        f = SoiFFT(params)
+        x = rng.standard_normal(params.n) + 0j
+        benchmark(f, x)
+
+    def test_soi_plan_construction(self, benchmark):
+        params = SoiParams(n=8 * 448, n_procs=1, segments_per_process=8,
+                           n_mu=8, d_mu=7, b=48)
+        benchmark(SoiFFT, params)
+
+
+class TestDistributedRuns:
+    def test_distributed_soi_4_ranks(self, benchmark, rng):
+        n, p = 8 * 448, 4
+        params = SoiParams(n=n, n_procs=p, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        x = rng.standard_normal(n) + 0j
+
+        def run():
+            cl = SimCluster(p)
+            soi = DistributedSoiFFT(cl, params)
+            return soi(soi.scatter(x))
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_distributed_ct_4_ranks(self, benchmark, rng):
+        n, p = 8 * 448, 4
+        x = rng.standard_normal(n) + 0j
+
+        def run():
+            cl = SimCluster(p)
+            ct = DistributedCooleyTukeyFFT(cl, n)
+            return ct(ct.scatter(x))
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,72 @@
+"""Multi-card nodes: how many Phis per host are worth it (§3 extension).
+
+The paper runs one card per node.  This bench prices 1-8 cards sharing a
+node's NIC (and, in offload mode, its PCIe complex): compute scales, the
+communication floor does not — the adoption question the §4 model answers.
+"""
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.perfmodel.model import FftModel
+from repro.perfmodel.multicard import MultiCardModel
+
+
+def test_cards_per_node_sweep(benchmark, publish):
+    def sweep():
+        base = FftModel(n_total=(7 * 2 ** 24) * 64, nodes=64, n_mu=8, d_mu=7)
+        rows = []
+        for cards in (1, 2, 4, 8):
+            m = MultiCardModel(base, cards=cards)
+            rows.append([cards, round(m.symmetric_total(), 3),
+                         round(m.offload_total(), 3),
+                         round(m.speedup_vs_single_card(), 2),
+                         round(m.parallel_efficiency(), 2)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["cards/node", "symmetric (s)", "offload (s)", "speedup vs 1",
+         "card efficiency"],
+        rows, title="Cards per node (64 hosts, shared NIC and PCIe)")
+    publish("multicard", text)
+    effs = [r[4] for r in rows]
+    assert effs[0] == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(effs, effs[1:]))
+    # the communication wall: 8 cards deliver well under 4x
+    assert rows[-1][3] < 4.0
+
+
+def test_overlap_replay_of_executed_run(benchmark, publish):
+    """Post-process an executed distributed run into Fig 9 quantities."""
+    import numpy as np
+
+    from repro.cluster.replay import replay_with_overlap
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+
+    def run():
+        params = SoiParams(n=16 * 448, n_procs=4, segments_per_process=4,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(4)
+        soi = DistributedSoiFFT(cl, params)
+        x = np.random.default_rng(14).standard_normal(params.n) + 0j
+        soi(soi.scatter(x))
+        rows = []
+        for segments in (1, 2, 4, 8):
+            r = replay_with_overlap(cl.trace, rank=0, segments=segments)
+            rows.append([segments, round(r.sequential_elapsed * 1e6, 2),
+                         round(r.overlapped_elapsed * 1e6, 2),
+                         round(r.exposed_mpi * 1e6, 2),
+                         round(r.hidden_mpi_fraction, 3)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["segments", "sequential (us)", "overlapped (us)",
+         "exposed MPI (us)", "hidden fraction"],
+        rows, title="Overlap replay of an executed 4-rank SOI run")
+    publish("overlap_replay", text)
+    exposed = [r[3] for r in rows]
+    assert all(a >= b for a, b in zip(exposed, exposed[1:]))

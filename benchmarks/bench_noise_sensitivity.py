@@ -1,0 +1,75 @@
+"""System-noise and model-sensitivity studies.
+
+* noise: bulk-synchronous amplification of per-node jitter/stragglers on
+  executed SOI vs Cooley-Tukey runs (context for the paper's
+  acknowledgements about early-cluster instability);
+* sensitivity: tornado analysis of the §4 model — which inputs move the
+  headline number (network bandwidth first, as the paper's whole design
+  premise asserts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.bench.tables import render_table
+from repro.cluster.noise import NoiseModel, expected_bsp_slowdown, noisy_cluster
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.machine.spec import XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE
+from repro.perfmodel.sensitivity import tornado
+
+
+def test_straggler_impact_executed(benchmark, publish):
+    def run():
+        n, p = 8 * 448, 4
+        params = SoiParams(n=n, n_procs=p, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        x = np.random.default_rng(15).standard_normal(n) + 0j
+        rows = []
+        for label, noise in (
+            ("clean", None),
+            ("5% jitter", NoiseModel(jitter=0.05, seed=1)),
+            ("one 2x straggler", NoiseModel(jitter=0.0, stragglers={1: 1.0})),
+        ):
+            cl_soi = SimCluster(p)
+            if noise is not None:
+                noisy_cluster(cl_soi, noise)
+            soi = DistributedSoiFFT(cl_soi, params)
+            soi(soi.scatter(x))
+            cl_ct = SimCluster(p)
+            if noise is not None:
+                noisy_cluster(cl_ct, NoiseModel(jitter=noise.jitter,
+                                                stragglers=noise.stragglers,
+                                                seed=1))
+            ct = DistributedCooleyTukeyFFT(cl_ct, n)
+            ct(ct.scatter(x))
+            rows.append([label, round(cl_soi.elapsed * 1e6, 2),
+                         round(cl_ct.elapsed * 1e6, 2)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(["condition", "SOI elapsed (us)", "CT elapsed (us)"],
+                        rows, title="Noise on executed 4-rank runs "
+                                    "(simulated time)")
+    bsp = expected_bsp_slowdown(512, 0.05, 1)
+    publish("noise_stragglers",
+            text + f"\n\nBSP max-of-512-ranks inflation at 5% jitter: "
+                   f"{bsp:.3f}x per superstep")
+    clean, jitter, straggler = rows
+    assert jitter[1] > clean[1]
+    assert straggler[1] > clean[1]
+
+
+def test_model_tornado(benchmark, publish):
+    rows_raw = benchmark(tornado, PAPER_SECTION4_EXAMPLE, XEON_PHI_SE10)
+    rows = [[r.parameter, round(r.low_total, 3), round(r.high_total, 3),
+             round(r.relative_swing, 3)] for r in rows_raw]
+    text = render_table(
+        ["parameter (+-50%)", "scaled down (s)", "scaled up (s)",
+         "relative swing"],
+        rows, title="Tornado sensitivity of SOI total time (Phi, §4 example)")
+    publish("sensitivity_tornado", text)
+    assert rows[0][0] == "network bandwidth"

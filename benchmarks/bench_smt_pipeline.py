@@ -1,0 +1,33 @@
+"""Fig 5 / §5.2.3: SMT pipelining of the load/FFT/store panel loop.
+
+Reproduces the latency-hiding mechanism as a schedule: memory-pipe
+utilization vs SMT width, with the §6.2-derived stage ratio (36% of time
+in non-memory steps when fully pipelined).
+"""
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.machine.pipeline import smt_sweep
+
+
+def test_fig5_smt_pipeline(benchmark, publish):
+    # stage times with the §6.2 measured ratio: compute ~36% of pipelined
+    # total => t_fft ~ 1.1x the (ld+st) pair
+    def run():
+        return smt_sweep(n_panels=128, t_load=1.0, t_fft=2.2, t_store=1.0,
+                         thread_counts=(1, 2, 4, 8))
+
+    stats = benchmark(run)
+    rows = [[s.n_threads, round(s.makespan, 1),
+             round(s.mem_utilization, 3),
+             round(s.speedup_vs_serial, 2)] for s in stats]
+    text = render_table(
+        ["SMT threads", "makespan", "memory-pipe utilization", "speedup"],
+        rows, title="Fig 5: load/FFT/store pipeline vs SMT width "
+                    "(128 panels, stage ratio from §6.2)")
+    publish("fig5_smt_pipeline", text)
+    assert stats[0].mem_utilization < 0.6
+    assert stats[2].mem_utilization > 0.9  # 4 threads: Phi's SMT width
+    spans = [s.makespan for s in stats]
+    assert all(a >= b for a, b in zip(spans, spans[1:]))

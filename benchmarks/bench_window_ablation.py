@@ -1,0 +1,69 @@
+"""Window-design ablation: Kaiser-sinc vs Gaussian-sinc (SC'12 companion).
+
+The SOI framework leaves the window as a design choice; the paper's
+accuracy depends on it entirely.  This bench compares the two families at
+equal support (B), plus the AoS/SoA packet-length effect of §5.2.4.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_table
+from repro.cluster.network import STAMPEDE_EFFECTIVE
+from repro.core.params import SoiParams
+from repro.core.soi_single import SoiFFT
+from repro.core.window import GaussianSincWindow, KaiserSincWindow
+from repro.fft.layout import packet_lengths
+from repro.util.validate import relative_l2_error
+
+
+def test_window_families(benchmark, publish):
+    def sweep():
+        rng = np.random.default_rng(10)
+        n, s = 8 * 448, 8
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        ref = np.fft.fft(x)
+        rows = []
+        for b in (32, 48, 72):
+            params = SoiParams(n=n, n_procs=1, segments_per_process=s,
+                               n_mu=8, d_mu=7, b=b)
+            k_err = relative_l2_error(SoiFFT(params)(x), ref)
+            g = GaussianSincWindow(params)
+            g_err = relative_l2_error(SoiFFT(params, window=g)(x), ref)
+            rows.append([b, k_err, g_err, round(g_err / k_err, 1)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["B", "Kaiser-sinc error", "Gaussian-sinc error", "Gaussian/Kaiser"],
+        rows, title="Window family ablation (mu = 8/7, S = 8)")
+    publish("window_ablation", text)
+    for row in rows:
+        assert row[1] <= row[2]  # Kaiser never loses at equal support
+    k_errs = [r[1] for r in rows]
+    assert k_errs == sorted(k_errs, reverse=True)
+
+
+def test_aos_vs_soa_packets(benchmark, publish):
+    """§5.2.4: AoS interface 'to increase mpi packet lengths'."""
+
+    def sweep():
+        rows = []
+        for elems in (256, 1024, 4096, 65536):
+            t_aos = sum(STAMPEDE_EFFECTIVE.message_time(p)
+                        for p in packet_lengths(elems, "aos"))
+            t_soa = sum(STAMPEDE_EFFECTIVE.message_time(p)
+                        for p in packet_lengths(elems, "soa"))
+            rows.append([elems, round(t_aos * 1e6, 2), round(t_soa * 1e6, 2),
+                         round(t_soa / t_aos, 2)])
+        return rows
+
+    rows = benchmark(sweep)
+    text = render_table(
+        ["elements/message", "AoS time (us)", "SoA time (us)", "SoA/AoS"],
+        rows, title="AoS vs SoA wire format (per-pair message cost)")
+    publish("aos_vs_soa", text)
+    for row in rows:
+        assert row[3] > 1.0  # SoA's short packets always cost more
+    # the penalty shrinks as messages grow past the bandwidth ramp
+    assert rows[0][3] > rows[-1][3]

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table bench renders its exhibit as text and saves it under
+``benchmarks/results/`` (in addition to printing it), so the regenerated
+paper exhibits survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Save (and echo) a rendered exhibit: publish(name, text)."""
+
+    def _publish(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _publish

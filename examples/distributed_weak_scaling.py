@@ -1,0 +1,76 @@
+"""Distributed SOI vs Cooley-Tukey on a simulated cluster (mini Fig 8/9).
+
+Run:  python examples/distributed_weak_scaling.py
+
+Executes both distributed algorithms with real numerics on the simulated
+cluster at increasing rank counts (weak scaling), then prints simulated
+times, wire traffic, and the per-component breakdown — a laptop-sized
+version of the paper's headline experiment.
+"""
+
+import numpy as np
+
+from repro import DistributedCooleyTukeyFFT, DistributedSoiFFT, SimCluster, SoiParams
+from repro.bench.tables import render_table
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.util.validate import relative_l2_error
+
+PER_RANK = 8 * 448  # elements per rank (weak scaling)
+
+
+def run_soi(n: int, ranks: int, machine):
+    params = SoiParams(n=n, n_procs=ranks, segments_per_process=2,
+                       n_mu=8, d_mu=7, b=48)
+    cluster = SimCluster(ranks, machine=machine)
+    soi = DistributedSoiFFT(cluster, params)
+    x = np.random.default_rng(0).standard_normal(n) + 0j
+    y = soi.assemble(soi(soi.scatter(x)))
+    err = relative_l2_error(y, np.fft.fft(x))
+    return cluster, err
+
+
+def run_ct(n: int, ranks: int, machine):
+    cluster = SimCluster(ranks, machine=machine)
+    ct = DistributedCooleyTukeyFFT(cluster, n)
+    x = np.random.default_rng(0).standard_normal(n) + 0j
+    y = ct.assemble(ct(ct.scatter(x)))
+    err = relative_l2_error(y, np.fft.fft(x))
+    return cluster, err
+
+
+def main() -> None:
+    rows = []
+    for ranks in (2, 4, 8):
+        n = PER_RANK * ranks
+        cl_soi, err_soi = run_soi(n, ranks, XEON_PHI_SE10)
+        cl_ct, err_ct = run_ct(n, ranks, XEON_PHI_SE10)
+        rows.append([
+            ranks, n,
+            f"{cl_soi.elapsed * 1e3:.3f}", f"{cl_ct.elapsed * 1e3:.3f}",
+            cl_soi.comm.bytes_moved, cl_ct.comm.bytes_moved,
+            f"{err_soi:.1e}", f"{err_ct:.1e}",
+        ])
+    print(render_table(
+        ["ranks", "N", "SOI ms (sim)", "CT ms (sim)", "SOI wire B",
+         "CT wire B", "SOI err", "CT err"],
+        rows, title="Weak scaling on simulated Xeon Phi nodes"))
+
+    # --- breakdown at the largest size (mini Fig 9) -------------------------
+    ranks = 8
+    n = PER_RANK * ranks
+    print("\nSOI per-component simulated time (slowest rank):")
+    for machine in (XEON_E5_2680, XEON_PHI_SE10):
+        cl, _ = run_soi(n, ranks, machine)
+        comps = ", ".join(f"{k}: {v * 1e6:.1f}us"
+                          for k, v in sorted(cl.breakdown().items()))
+        print(f"  {machine.name:28s} {comps}")
+
+    print("\nTakeaways (matching the paper):")
+    print("  * SOI moves ~mu/3 of Cooley-Tukey's wire bytes (one all-to-all")
+    print("    of oversampled data instead of three exchanges)")
+    print("  * Xeon Phi nodes finish the compute phases ~3x faster, so the")
+    print("    remaining time is communication -- which SOI minimizes.")
+
+
+if __name__ == "__main__":
+    main()

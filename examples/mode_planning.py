@@ -1,0 +1,75 @@
+"""Capacity planning with the performance model (paper §4 and §7).
+
+Run:  python examples/mode_planning.py
+
+The paper's stated use for its model: "when an application that will
+invoke large 1D FFTs frequently is being designed, our performance model
+can guide to select the right coprocessor usage mode."  This example plans
+a hypothetical deployment: how many nodes for a target problem, symmetric
+vs offload mode, how many segments per process, and what happens on a
+futuristic machine where compute outpaces the interconnect further.
+"""
+
+from dataclasses import replace
+
+from repro import FftModel, ModeModel
+from repro.bench.tables import render_series, render_table
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, scaled_machine
+from repro.perfmodel.overlap import segmented_breakdown
+
+
+def main() -> None:
+    n_total = (7 * 2 ** 24) * 64  # ~7.5e9 points across 64 nodes
+
+    # --- algorithm choice: SOI vs Cooley-Tukey on each machine --------------
+    model = FftModel(n_total=n_total, nodes=64, n_mu=8, d_mu=7)
+    rows = []
+    for machine in (XEON_E5_2680, XEON_PHI_SE10):
+        soi = model.soi_breakdown(machine)
+        ct = model.ct_breakdown(machine)
+        rows.append([machine.name, round(soi.total, 3), round(ct.total, 3),
+                     round(ct.total / soi.total, 2)])
+    print(render_table(
+        ["machine", "SOI (s)", "Cooley-Tukey (s)", "SOI advantage"],
+        rows, title="Algorithm choice at 64 nodes, N = 7*2^24 per node"))
+
+    # --- mode choice: symmetric vs offload ----------------------------------
+    mm = ModeModel(model)
+    print(f"\nsymmetric mode: {mm.breakdown('symmetric').total:.3f} s")
+    print(f"offload mode:   {mm.breakdown('offload').total:.3f} s "
+          f"({(mm.offload_slowdown() - 1) * 100:.0f}% slower -> prefer "
+          f"symmetric unless the app dictates offload)")
+    print(f"hybrid mode:    {mm.breakdown('hybrid').total:.3f} s "
+          f"(only {(mm.hybrid_speedup() - 1) * 100:.0f}% gain from adding "
+          f"host Xeons -- bandwidth bound, as §7 predicts)")
+
+    # --- segments per process: overlap vs packet length ---------------------
+    spps = [1, 2, 4, 8, 16]
+    totals, exposed = [], []
+    for spp in spps:
+        m = replace(model, segments_per_process=spp, use_packet_model=True)
+        run = segmented_breakdown(m, XEON_PHI_SE10)
+        totals.append(round(run.total, 3))
+        exposed.append(round(run.exposed_mpi, 3))
+    print("\n" + render_series(
+        "segments/process", spps,
+        {"total (s)": totals, "exposed MPI (s)": exposed},
+        title="Segment count trade-off (64 nodes): overlap vs packet length"))
+    best = spps[totals.index(min(totals))]
+    print(f"-> pick {best} segments/process at this scale "
+          f"(the paper used 8 at <=128 nodes, 2 at 512)")
+
+    # --- future machine: compute grows 4x, network stays ---------------------
+    future_phi = scaled_machine(XEON_PHI_SE10, "future 4x-flops Phi",
+                                flops_scale=4.0, bw_scale=2.0)
+    fut = model.soi_breakdown(future_phi)
+    cur = model.soi_breakdown(XEON_PHI_SE10)
+    print(f"\nfuture machine (4x flops, 2x memory BW, same network): "
+          f"{cur.total:.3f} s -> {fut.total:.3f} s "
+          f"({cur.total / fut.total:.2f}x)")
+    print("   communication now dominates even more: exactly the trend that "
+          "motivates low-communication algorithms.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Spectral analysis with a distributed SOI FFT: find tones in noise.
+
+Run:  python examples/spectral_analysis.py
+
+A realistic signal-processing scenario: a long record containing a few
+weak complex exponentials buried in noise is distributed across compute
+nodes in contiguous time chunks (as an acquisition system would write it);
+the distributed SOI FFT produces the in-order spectrum, block-distributed,
+and each node scans its own band for peaks — no gather of the full
+spectrum needed, which is exactly why in-order output matters.
+"""
+
+import numpy as np
+
+from repro import DistributedSoiFFT, SimCluster, SoiParams
+from repro.bench.workloads import multi_tone
+
+
+def main() -> None:
+    ranks = 4
+    n = 32 * 448 * ranks  # 57344 samples
+    rng = np.random.default_rng(7)
+
+    # ground truth: three tones, amplitudes well below the noise floor sigma
+    true_bins = [1234, 20000, 51111]
+    amps = [0.08, 0.05, 0.06]
+    signal = multi_tone(n, true_bins, amps=amps)
+    noise = (rng.standard_normal(n) + 1j * rng.standard_normal(n)) / np.sqrt(2)
+    x = signal + 0.5 * noise
+
+    params = SoiParams(n=n, n_procs=ranks, segments_per_process=8,
+                       n_mu=8, d_mu=7, b=72)
+    cluster = SimCluster(ranks)
+    soi = DistributedSoiFFT(cluster, params)
+
+    print(f"record: {n} samples, {ranks} nodes, {params.describe()}")
+    print(f"tones (bin, amplitude): {list(zip(true_bins, amps))}, "
+          f"noise sigma = 0.5")
+
+    y_parts = soi(soi.scatter(x))
+
+    # --- each node scans only its own spectral band -------------------------
+    chunk = n // ranks
+    detections = []
+    for rank, part in enumerate(y_parts):
+        mag = np.abs(part) / n
+        noise_floor = np.median(mag)
+        threshold = 12 * noise_floor
+        local_peaks = np.nonzero(mag > threshold)[0]
+        for k in local_peaks:
+            detections.append((rank, rank * chunk + int(k), float(mag[k])))
+
+    print(f"\nsimulated cluster time: {cluster.elapsed * 1e3:.3f} ms, "
+          f"wire traffic: {cluster.comm.bytes_moved / 1e6:.2f} MB")
+    print("detections (node, bin, estimated amplitude):")
+    for rank, k, a in detections:
+        print(f"  node {rank}: bin {k:6d}  amp ~ {a:.3f}")
+
+    found = {k for _, k, _ in detections}
+    missed = set(true_bins) - found
+    false_alarms = found - set(true_bins)
+    print(f"\nrecovered {len(found & set(true_bins))}/{len(true_bins)} tones; "
+          f"missed: {sorted(missed) or 'none'}; "
+          f"false alarms: {sorted(false_alarms) or 'none'}")
+    assert not missed, "all injected tones should be recovered"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""ASCII spectrogram of a frequency-hopping signal via the SOI STFT.
+
+Run:  python examples/spectrogram.py
+
+Streams a long record through the SOI-backed short-time Fourier
+transform (one planned SOI FFT reused for every frame) and renders a
+coarse ASCII spectrogram — tracking a tone that hops between carriers in
+noise, the classic surveillance/receiver workload behind large 1-D FFTs.
+"""
+
+import numpy as np
+
+from repro.core.params import SoiParams
+from repro.core.streaming import SoiStft
+
+FRAME = 4 * 448  # 1792 samples per frame
+HOPS = [150, 700, 150, 1200, 400, 400, 900, 1200]  # carrier bin per frame
+
+
+def build_signal(rng: np.random.Generator) -> np.ndarray:
+    hop = FRAME // 2
+    total = FRAME + hop * (2 * len(HOPS) - 1)
+    x = 0.15 * (rng.standard_normal(total) + 1j * rng.standard_normal(total))
+    t = np.arange(total)
+    for i, carrier in enumerate(HOPS):
+        lo = i * 2 * hop
+        hi = min(total, lo + 2 * hop)
+        x[lo:hi] += np.exp(2j * np.pi * carrier * t[lo:hi] / FRAME)
+    return x
+
+
+def render(spec: np.ndarray, height: int = 16) -> str:
+    frames, bins = spec.shape
+    shades = " .:-=+*#%@"
+    cols = []
+    for f in range(frames):
+        row = spec[f].reshape(height, -1).sum(axis=1)
+        row = row / row.max()
+        cols.append([shades[min(len(shades) - 1, int(v * (len(shades) - 1)))]
+                     for v in row])
+    lines = []
+    for b in range(height - 1, -1, -1):
+        lo, hi = b * bins // height, (b + 1) * bins // height
+        lines.append(f"bins {lo:4d}-{hi - 1:4d} |" +
+                     "".join(col[b] * 3 for col in cols) + "|")
+    lines.append(" " * 15 + "+" + "-" * (3 * frames) + "+")
+    lines.append(" " * 15 + " frames (time ->)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    params = SoiParams(n=FRAME, n_procs=1, segments_per_process=4,
+                       n_mu=8, d_mu=7, b=48)
+    stft = SoiStft(params)
+    x = build_signal(rng)
+    print(f"signal: {x.size} samples, frame {FRAME}, hop {stft.hop}, "
+          f"{stft.frame_count(x.size)} frames, SOI per frame: "
+          f"{params.describe()}")
+    spec = stft.spectrogram(x)
+    print(render(spec))
+    bins = stft.dominant_bins(x)
+    print(f"\ndominant bin per frame: {bins.tolist()}")
+    print(f"carrier schedule        : {HOPS} (each held for 2 frames)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work with old setuptools
+that cannot build PEP 517 editable wheels.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

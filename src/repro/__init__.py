@@ -1,0 +1,64 @@
+"""repro — reproduction of the SC'13 paper "Tera-Scale 1D FFT with
+Low-Communication Algorithm and Intel Xeon Phi Coprocessors".
+
+Layering (bottom up):
+
+``repro.fft``        from-scratch FFT kernels (Stockham, Bluestein, 6-step)
+``repro.machine``    machine models: specs, roofline, sweeps, cache sim
+``repro.cluster``    simulated cluster: transports, communicator, schedules
+``repro.core``       the SOI FFT (single-process and distributed)
+``repro.baseline``   distributed Cooley-Tukey (3 all-to-alls)
+``repro.perfmodel``  the paper's §4/§7 analytic model and ablation models
+``repro.bench``      workloads + experiment drivers for every table/figure
+
+Quick start::
+
+    import numpy as np
+    from repro import soi_fft
+
+    x = np.random.default_rng(0).standard_normal(8 * 448) + 0j
+    y = soi_fft(x, n_segments=8)          # == np.fft.fft(x) to ~1e-8
+"""
+
+from repro.baseline import DistributedCooleyTukeyFFT
+from repro.cluster import SimCluster
+from repro.core import (
+    DistributedSoiFFT,
+    HeterogeneousSoiFFT,
+    OffloadSoiFFT,
+    SoiFFT,
+    SoiParams,
+    segments_for_machines,
+    soi_fft,
+    soi_ifft,
+    spmd_soi_fft,
+)
+from repro.fft import fft, ifft, irfft, rfft
+from repro.machine import XEON_E5_2680, XEON_PHI_SE10, MachineSpec
+from repro.perfmodel import FftModel, ModeModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributedCooleyTukeyFFT",
+    "DistributedSoiFFT",
+    "FftModel",
+    "HeterogeneousSoiFFT",
+    "MachineSpec",
+    "ModeModel",
+    "OffloadSoiFFT",
+    "SimCluster",
+    "SoiFFT",
+    "SoiParams",
+    "XEON_E5_2680",
+    "XEON_PHI_SE10",
+    "fft",
+    "ifft",
+    "irfft",
+    "rfft",
+    "segments_for_machines",
+    "soi_fft",
+    "soi_ifft",
+    "spmd_soi_fft",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Baselines and contrast cases: distributed Cooley-Tukey 1-D, 2-D FFT."""
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.baseline.fft2d_dist import Distributed2dFFT
+
+__all__ = ["Distributed2dFFT", "DistributedCooleyTukeyFFT"]

@@ -1,0 +1,146 @@
+"""Distributed Cooley-Tukey 1D FFT — the three-all-to-all baseline (Fig 1).
+
+The conventional decomposition of N = P*M across P nodes (the algorithm
+behind MKL's cluster FFT, the paper's "CT" bars):
+
+1. **all-to-all #1** — transpose from row distribution (rank r owns
+   x[r*M:(r+1)*M], i.e. row r of the P-by-M view) to column distribution;
+2. local length-P FFTs down the columns plus twiddle w_N^{j2*k1}
+   (Fig 1's "F_P and twiddle");
+3. **all-to-all #2** — transpose back so rank k1 owns row k1;
+4. local length-M FFT per row (Fig 1's "F_M");
+5. **all-to-all #3** — re-order the bit-mixed output y[k1 + k2*P] into
+   natural order, block-distributed like the input.
+
+Identical in-order-output contract to
+:class:`~repro.core.soi_dist.DistributedSoiFFT`, so the two are directly
+comparable in communication volume (3x vs ~mu x one exchange) and in
+simulated time — exactly the comparison of Fig 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simcluster import SimCluster
+from repro.fft.plan import get_plan
+from repro.fft.stockham import fft_flops
+from repro.fft.twiddle import SplitTwiddle
+
+__all__ = ["DistributedCooleyTukeyFFT"]
+
+
+class DistributedCooleyTukeyFFT:
+    """Three-all-to-all distributed FFT of length N = P * M."""
+
+    def __init__(self, cluster: SimCluster, n: int, *,
+                 fft_efficiency: float = 0.12):
+        p = cluster.n_ranks
+        if n % p:
+            raise ValueError("P must divide N")
+        m = n // p
+        if m % p:
+            raise ValueError("P must divide M = N/P (block transposes need "
+                             "P^2 | N)")
+        self.cluster = cluster
+        self.n = n
+        self.m = m
+        self.fft_efficiency = fft_efficiency
+        self._plan_p = get_plan(p, -1) if p > 1 else None
+        self._plan_m = get_plan(m, -1)
+        self._split = SplitTwiddle(n, -1)
+
+    # -- data layout helpers ------------------------------------------------
+
+    def scatter(self, x: np.ndarray) -> list[np.ndarray]:
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},)")
+        m = self.m
+        return [x[r * m:(r + 1) * m].copy() for r in range(self.cluster.n_ranks)]
+
+    @staticmethod
+    def assemble(parts: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate(parts)
+
+    # -- the algorithm --------------------------------------------------------
+
+    def __call__(self, x_parts: list[np.ndarray]) -> list[np.ndarray]:
+        cl = self.cluster
+        p, m, n = cl.n_ranks, self.m, self.n
+        if len(x_parts) != p:
+            raise ValueError(f"expected {p} parts")
+        x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
+        for a in x_parts:
+            if a.shape != (m,):
+                raise ValueError("each part must hold N/P elements")
+        if p == 1:
+            y = self._plan_m(x_parts[0])
+            cl.charge_seconds(0, "local FFT",
+                              cl.machine.flop_time(fft_flops(n),
+                                                   self.fft_efficiency))
+            return [y]
+        mp = m // p  # columns per rank after transpose
+
+        # ---- all-to-all #1: row -> column distribution ----
+        send1 = [[np.ascontiguousarray(x_parts[src][dst * mp:(dst + 1) * mp])
+                  for dst in range(p)] for src in range(p)]
+        recv1 = cl.comm.alltoall(send1, label="all-to-all #1")
+        # rank r now holds block[j1, j2_local] for all j1, its mp columns
+        blocks = [np.stack(recv1[r], axis=0) for r in range(p)]  # (P, mp)
+
+        # ---- local F_P down columns + twiddle (Fig 1 "F_P and twiddle") ----
+        t_fp = cl.machine.flop_time(mp * fft_flops(p) + 6.0 * p * mp,
+                                    self.fft_efficiency)
+        work = []
+        for r in range(p):
+            f = self._plan_p(blocks[r].T).T  # (P, mp): FFT over j1 axis
+            j2 = np.arange(r * mp, (r + 1) * mp)
+            k1 = np.arange(p)
+            f *= self._split.block_matrix(k1, j2)  # w_N^{j2*k1}
+            work.append(f)
+            cl.charge_seconds(r, "local FFT", t_fp)
+
+        # ---- all-to-all #2: column -> row distribution over k1 ----
+        send2 = [[np.ascontiguousarray(work[src][dst]) for dst in range(p)]
+                 for src in range(p)]
+        recv2 = cl.comm.alltoall(send2, label="all-to-all #2")
+        rows = [np.concatenate(recv2[r]) for r in range(p)]  # row k1 = r, len M
+
+        # ---- local F_M per row ----
+        t_fm = cl.machine.flop_time(fft_flops(m), self.fft_efficiency)
+        rows = [self._plan_m(rows[r]) for r in range(p)]
+        for r in range(p):
+            cl.charge_seconds(r, "local FFT", t_fm)
+        # rank k1 holds y[k1 + k2*P] for k2 in [0, M)
+
+        # ---- all-to-all #3: natural-order block distribution ----
+        # destination rank for bin k is k // M; from row k1, the bins in
+        # [dst*M, (dst+1)*M) correspond to a contiguous k2 range of M/P.
+        send3 = [[None] * p for _ in range(p)]
+        for k1 in range(p):
+            for dst in range(p):
+                k2_lo = (dst * m - k1 + p - 1) // p  # ceil((dst*M - k1)/P)
+                send3[k1][dst] = np.ascontiguousarray(rows[k1][k2_lo:k2_lo + mp])
+        recv3 = cl.comm.alltoall(send3, label="all-to-all #3")
+        y_parts = []
+        for dst in range(p):
+            y = np.empty(m, dtype=np.complex128)
+            for k1 in range(p):
+                k2_lo = (dst * m - k1 + p - 1) // p
+                k = k1 + (k2_lo + np.arange(mp)) * p - dst * m
+                y[k] = recv3[dst][k1]
+            y_parts.append(y)
+        return y_parts
+
+    # -- model-facing counts ---------------------------------------------------
+
+    @property
+    def total_fft_flops(self) -> float:
+        """5 N log2 N across the whole machine (twiddles excluded)."""
+        return fft_flops(self.n)
+
+    @property
+    def alltoall_bytes_per_pair(self) -> int:
+        """Wire bytes per (src, dst) pair in each of the three exchanges."""
+        return (self.m // self.cluster.n_ranks) * 16

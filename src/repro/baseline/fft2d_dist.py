@@ -1,0 +1,104 @@
+"""Distributed 2-D FFT — the paper's "easier" contrast case (§1).
+
+"Among ffts, in-order 1D fft is distinctly more challenging than the 2D
+or 3D cases as these usually start with each compute node possessing one
+or two complete dimensions of data."
+
+This baseline makes the contrast executable: a 2-D transform of an
+R-by-C array row-distributed across P ranks needs
+
+1. local length-C FFTs of the owned rows (a full dimension is local),
+2. **one** all-to-all transpose,
+3. local length-R FFTs of the owned columns,
+
+i.e. one exchange of 16·N bytes with *no* oversampling — versus the 1-D
+problem's three exchanges (Cooley-Tukey) or mu-scaled single exchange
+(SOI).  Output is left column-distributed (transposed layout), the usual
+convention for distributed 2-D FFTs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simcluster import SimCluster
+from repro.fft.plan import get_plan
+from repro.fft.stockham import fft_flops
+
+__all__ = ["Distributed2dFFT"]
+
+
+class Distributed2dFFT:
+    """2-D FFT of an (rows x cols) array, rows block-distributed."""
+
+    def __init__(self, cluster: SimCluster, rows: int, cols: int, *,
+                 fft_efficiency: float = 0.12):
+        p = cluster.n_ranks
+        if rows % p or cols % p:
+            raise ValueError("P must divide both dimensions")
+        self.cluster = cluster
+        self.rows = rows
+        self.cols = cols
+        self.fft_efficiency = fft_efficiency
+        self._row_plan = get_plan(cols, -1)
+        self._col_plan = get_plan(rows, -1)
+
+    # -- layout ------------------------------------------------------------
+
+    def scatter(self, a: np.ndarray) -> list[np.ndarray]:
+        a = np.asarray(a, dtype=np.complex128)
+        if a.shape != (self.rows, self.cols):
+            raise ValueError(f"expected shape ({self.rows}, {self.cols})")
+        rp = self.rows // self.cluster.n_ranks
+        return [a[r * rp:(r + 1) * rp].copy()
+                for r in range(self.cluster.n_ranks)]
+
+    def assemble(self, parts: list[np.ndarray]) -> np.ndarray:
+        """Reassemble the column-distributed (transposed) output into the
+        natural (rows x cols) spectrum."""
+        return np.concatenate(parts, axis=0).T
+
+    # -- the algorithm --------------------------------------------------------
+
+    def __call__(self, parts: list[np.ndarray]) -> list[np.ndarray]:
+        """Returns column-distributed output: rank r holds the transposed
+        block ``F2[a][:, r*cols/P:(r+1)*cols/P].T`` (shape cols/P x rows)."""
+        cl = self.cluster
+        p = cl.n_ranks
+        if len(parts) != p:
+            raise ValueError(f"expected {p} parts")
+        rp, cp = self.rows // p, self.cols // p
+        parts = [np.asarray(a, dtype=np.complex128) for a in parts]
+        for a in parts:
+            if a.shape != (rp, self.cols):
+                raise ValueError("each part must hold rows/P full rows")
+
+        # 1. local row FFTs (a complete dimension is resident)
+        t_rows = cl.machine.flop_time(rp * fft_flops(self.cols),
+                                      self.fft_efficiency)
+        work = []
+        for r in range(p):
+            work.append(self._row_plan(parts[r]))
+            cl.charge_seconds(r, "row FFTs", t_rows)
+
+        # 2. the one all-to-all transpose
+        send = [[np.ascontiguousarray(work[src][:, dst * cp:(dst + 1) * cp].T)
+                 for dst in range(p)] for src in range(p)]
+        recv = cl.comm.alltoall(send, label="transpose all-to-all")
+        # rank r now holds its cp columns as rows: (cp, rows)
+        cols_local = [np.concatenate(recv[r], axis=1) for r in range(p)]
+
+        # 3. local column FFTs
+        t_cols = cl.machine.flop_time(cp * fft_flops(self.rows),
+                                      self.fft_efficiency)
+        out = []
+        for r in range(p):
+            out.append(self._col_plan(cols_local[r]))
+            cl.charge_seconds(r, "column FFTs", t_cols)
+        return out
+
+    @property
+    def alltoall_bytes_total(self) -> int:
+        """Wire bytes of the single transpose (excluding self-blocks)."""
+        p = self.cluster.n_ranks
+        return 16 * self.rows * self.cols * (p - 1) // p

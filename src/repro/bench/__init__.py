@@ -1,0 +1,48 @@
+"""Benchmark harness utilities: workloads, tables, experiment drivers."""
+
+from repro.bench.runner import (
+    PAPER_NODES,
+    accuracy_rows,
+    fig3_rows,
+    fig8_series,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    headline_numbers,
+    paper_scale_model,
+    segments_for_nodes,
+    table2_rows,
+)
+from repro.bench.apidoc import build_apidoc, write_apidoc
+from repro.bench.report import build_report, write_report
+from repro.bench.tables import fmt, render_bars, render_series, render_table
+from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_complex
+
+__all__ = [
+    "PAPER_NODES",
+    "accuracy_rows",
+    "build_apidoc",
+    "build_report",
+    "write_apidoc",
+    "chirp",
+    "write_report",
+    "constant",
+    "fig3_rows",
+    "fig8_series",
+    "fig9_rows",
+    "fig10_rows",
+    "fig11_rows",
+    "fig12_rows",
+    "fmt",
+    "headline_numbers",
+    "impulse",
+    "multi_tone",
+    "paper_scale_model",
+    "random_complex",
+    "render_bars",
+    "render_series",
+    "render_table",
+    "segments_for_nodes",
+    "table2_rows",
+]

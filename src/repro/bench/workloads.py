@@ -1,0 +1,62 @@
+"""Input generators for tests, examples, and benchmarks.
+
+All generators return complex128 arrays and are deterministic given a
+seed, so benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_complex", "multi_tone", "impulse", "chirp", "constant"]
+
+
+def random_complex(n: int, seed: int = 0, scale: float = 1.0) -> np.ndarray:
+    """IID complex Gaussian noise — the HPCC G-FFT style workload."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+
+def multi_tone(n: int, freqs: list[int], amps: list[float] | None = None,
+               phases: list[float] | None = None) -> np.ndarray:
+    """Sum of pure complex exponentials at integer bin frequencies.
+
+    The DFT of this signal is exactly ``n * amp`` at each listed bin —
+    the sharpest possible accuracy probe for the SOI demodulation.
+    """
+    if amps is None:
+        amps = [1.0] * len(freqs)
+    if phases is None:
+        phases = [0.0] * len(freqs)
+    if not (len(freqs) == len(amps) == len(phases)):
+        raise ValueError("freqs, amps, phases must have equal length")
+    t = np.arange(n)
+    x = np.zeros(n, dtype=np.complex128)
+    for f, a, ph in zip(freqs, amps, phases):
+        x += a * np.exp(2j * np.pi * (f * t / n) + 1j * ph)
+    return x
+
+
+def impulse(n: int, position: int = 0, amplitude: float = 1.0) -> np.ndarray:
+    """Unit impulse — its DFT is a pure complex exponential."""
+    if not 0 <= position < n:
+        raise ValueError("position out of range")
+    x = np.zeros(n, dtype=np.complex128)
+    x[position] = amplitude
+    return x
+
+
+def chirp(n: int, f0: float = 0.0, f1: float | None = None) -> np.ndarray:
+    """Linear chirp sweeping bins f0 -> f1 (default: half band)."""
+    if f1 is None:
+        f1 = n / 2.0
+    t = np.arange(n) / max(n, 1)
+    inst_phase = f0 * t + 0.5 * (f1 - f0) * t * t  # accumulated cycles
+    return np.exp(2j * np.pi * inst_phase).astype(np.complex128)
+
+
+def constant(n: int, value: complex = 1.0 + 0.0j) -> np.ndarray:
+    """Constant signal — DFT concentrates everything in bin 0."""
+    return np.full(n, value, dtype=np.complex128)

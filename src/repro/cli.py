@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``selftest``   quick numerical self-check (SOI vs the library's own FFT
+               and the naive DFT oracle at several parameter points)
+``transform``  SOI-transform a synthetic signal and report accuracy/timing
+``figures``    regenerate the paper's model-driven exhibits as text
+``info``       print machine presets, version, and parameter rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.core.params import SoiParams
+    from repro.core.soi_single import SoiFFT
+    from repro.fft.dft import dft
+    from repro.util.validate import relative_l2_error
+
+    rng = np.random.default_rng(0)
+    cases = [
+        (8 * 448, 8, 8, 7, 48),
+        (8 * 448, 8, 8, 7, 72),
+        (2 ** 12, 8, 5, 4, 64),
+    ]
+    failures = 0
+    for n, s, n_mu, d_mu, b in cases:
+        params = SoiParams(n=n, n_procs=1, segments_per_process=s,
+                           n_mu=n_mu, d_mu=d_mu, b=b)
+        f = SoiFFT(params)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        err = relative_l2_error(f(x), np.fft.fft(x))
+        ok = err < 10 * f.expected_stopband + 1e-12
+        failures += not ok
+        print(f"  {params.describe():55s} err={err:.2e} "
+              f"bound={f.expected_stopband:.1e} {'OK' if ok else 'FAIL'}")
+    # oracle cross-check on the kernel library itself
+    x = rng.standard_normal(240) + 1j * rng.standard_normal(240)
+    from repro.fft.plan import fft as lib_fft
+
+    kerr = relative_l2_error(lib_fft(x), dft(x))
+    print(f"  kernel library vs naive DFT (n=240): err={kerr:.2e} "
+          f"{'OK' if kerr < 1e-10 else 'FAIL'}")
+    failures += kerr >= 1e-10
+    print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 1 if failures else 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.core.params import SoiParams
+    from repro.core.soi_single import SoiFFT
+    from repro.util.validate import relative_l2_error
+
+    n = args.n
+    params = SoiParams(n=n, n_procs=1, segments_per_process=args.segments,
+                       n_mu=args.n_mu, d_mu=args.d_mu, b=args.b)
+    print(f"planning {params.describe()} ...")
+    t0 = time.perf_counter()
+    f = SoiFFT(params)
+    t_plan = time.perf_counter() - t0
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    t0 = time.perf_counter()
+    y = f(x)
+    t_run = time.perf_counter() - t0
+    err = relative_l2_error(y, np.fft.fft(x))
+    print(f"plan: {t_plan * 1e3:.1f} ms   transform: {t_run * 1e3:.1f} ms   "
+          f"rel l2 error vs numpy: {err:.2e} (design bound "
+          f"{f.expected_stopband:.1e})")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench.runner import (
+        fig3_rows,
+        fig8_series,
+        fig9_rows,
+        fig10_rows,
+        fig11_rows,
+        fig12_rows,
+        table2_rows,
+    )
+    from repro.bench.tables import render_bars, render_series, render_table
+
+    which = args.which
+    if which in ("all", "table2"):
+        print(render_table(
+            ["machine", "cfg", "GHz", "L1/L2/L3", "GF/s", "GB/s", "bops"],
+            table2_rows(), title="Table 2"), end="\n\n")
+    if which in ("all", "fig3"):
+        print(render_table(["config", "local FFT", "conv", "MPI", "total"],
+                           fig3_rows(), title="Fig 3 (normalized)"), end="\n\n")
+    if which in ("all", "fig8"):
+        s = fig8_series()
+        print(render_series(
+            "nodes", s["nodes"],
+            {k: [round(v, 3) for v in s[k]] for k in s if k != "nodes"},
+            title="Fig 8 (TFLOPS + speedups)"), end="\n\n")
+    if which in ("all", "fig9"):
+        print(render_table(
+            ["machine", "nodes", "local FFT", "conv", "exposed MPI", "etc",
+             "total"], fig9_rows(), title="Fig 9 (seconds)"), end="\n\n")
+    if which in ("all", "fig10"):
+        print(render_bars(fig10_rows(), title="Fig 10 (GFLOPS)",
+                          unit=" GF"), end="\n\n")
+    if which in ("all", "fig11"):
+        print(render_table(
+            ["nodes", "baseline", "interchange", "buffering"],
+            fig11_rows(), title="Fig 11 (conv seconds)"), end="\n\n")
+    if which in ("all", "fig12"):
+        d = fig12_rows()
+        print(f"Fig 12: offload slowdown {d['offload_slowdown']:.2f}x, "
+              f"hybrid speedup {d['hybrid_speedup']:.3f}x\n")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import write_report
+
+    path = write_report(args.output)
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_apidoc(args: argparse.Namespace) -> int:
+    from repro.bench.apidoc import write_apidoc
+
+    path = write_apidoc(args.output)
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+
+    print(f"repro {repro.__version__} — SC'13 SOI FFT reproduction")
+    for m in (XEON_E5_2680, XEON_PHI_SE10):
+        print(f"  {m.name}: {m.peak_gflops} GF/s, {m.stream_gbps} GB/s, "
+              f"bops {m.bops:.2f}")
+    print("parameter rules: S | N;  d_mu | N/S;  P | M';  n_mu | M'/P;"
+          "  B even, B*S < N")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SC'13 SOI FFT reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("selftest", help="quick numerical self-check")
+
+    t = sub.add_parser("transform", help="run one SOI transform")
+    t.add_argument("--n", type=int, default=8 * 7 * 1024)
+    t.add_argument("--segments", type=int, default=8)
+    t.add_argument("--n-mu", dest="n_mu", type=int, default=8)
+    t.add_argument("--d-mu", dest="d_mu", type=int, default=7)
+    t.add_argument("--b", type=int, default=72)
+    t.add_argument("--seed", type=int, default=0)
+
+    f = sub.add_parser("figures", help="regenerate paper exhibits as text")
+    f.add_argument("which", nargs="?", default="all",
+                   choices=["all", "table2", "fig3", "fig8", "fig9",
+                            "fig10", "fig11", "fig12"])
+
+    sub.add_parser("info", help="print presets and parameter rules")
+
+    r = sub.add_parser("report", help="write the consolidated REPORT.md")
+    r.add_argument("--output", default="REPORT.md")
+
+    a = sub.add_parser("apidoc", help="regenerate docs/API.md")
+    a.add_argument("--output", default="docs/API.md")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "selftest": _cmd_selftest,
+        "transform": _cmd_transform,
+        "figures": _cmd_figures,
+        "info": _cmd_info,
+        "report": _cmd_report,
+        "apidoc": _cmd_apidoc,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Simulated-cluster substrate: transports, communicator, clocks, schedules."""
+
+from repro.cluster.collectives import (
+    alltoall_bruck,
+    alltoall_pairwise,
+    bruck_time,
+    pairwise_time,
+    recommend_algorithm,
+)
+from repro.cluster.communicator import Communicator
+from repro.cluster.gantt import gantt_from_schedule, gantt_from_trace
+from repro.cluster.integrity import (
+    CorruptionDetected,
+    FaultInjector,
+    checksum,
+    checksummed_cluster,
+)
+from repro.cluster.mpi_compat import LoopbackComm, MpiCommunicator
+from repro.cluster.noise import NoiseModel, expected_bsp_slowdown, noisy_cluster
+from repro.cluster.replay import OverlapReplay, replay_with_overlap
+from repro.cluster.network import FDR_INFINIBAND, STAMPEDE_EFFECTIVE, NetworkSpec
+from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec, pipeline_makespan
+from repro.cluster.proxy import ReverseProxy
+from repro.cluster.schedule import Schedule, ScheduledTask, Task
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.spmd import (
+    AllToAll,
+    Barrier,
+    Bcast,
+    Compute,
+    RankContext,
+    SendRecvRing,
+    run_spmd,
+)
+from repro.cluster.topology import FatTree, Torus, alltoall_contention
+from repro.cluster.trace import CATEGORIES, Event, Trace
+
+__all__ = [
+    "AllToAll",
+    "Barrier",
+    "Bcast",
+    "CATEGORIES",
+    "Communicator",
+    "Compute",
+    "CorruptionDetected",
+    "FaultInjector",
+    "checksum",
+    "checksummed_cluster",
+    "RankContext",
+    "SendRecvRing",
+    "alltoall_bruck",
+    "alltoall_pairwise",
+    "bruck_time",
+    "pairwise_time",
+    "recommend_algorithm",
+    "run_spmd",
+    "Event",
+    "FDR_INFINIBAND",
+    "FatTree",
+    "LoopbackComm",
+    "MpiCommunicator",
+    "NetworkSpec",
+    "NoiseModel",
+    "OverlapReplay",
+    "expected_bsp_slowdown",
+    "gantt_from_schedule",
+    "gantt_from_trace",
+    "noisy_cluster",
+    "replay_with_overlap",
+    "PCIE_GEN2_X16",
+    "PcieSpec",
+    "ReverseProxy",
+    "STAMPEDE_EFFECTIVE",
+    "Schedule",
+    "ScheduledTask",
+    "SimCluster",
+    "Task",
+    "Torus",
+    "Trace",
+    "alltoall_contention",
+    "pipeline_makespan",
+]

@@ -1,0 +1,136 @@
+"""The only doorway between ranks of a simulated cluster.
+
+Distributed algorithms in this library are written phase-structured: each
+rank's data lives in its own NumPy buffers, and *every* inter-rank byte
+must pass through a :class:`Communicator` collective.  The communicator
+really moves the bytes (copies between per-rank arrays) and charges
+simulated time from the transport model, so communication volume, message
+counts, and packet sizes are exact — which is what the paper's
+communication-cost arguments are about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Communicator"]
+
+
+def _nbytes(a: np.ndarray) -> int:
+    return int(np.asarray(a).nbytes)
+
+
+class Communicator:
+    """Collective operations over the ranks of a SimCluster."""
+
+    def __init__(self, cluster) -> None:
+        self._cluster = cluster
+        self.message_count = 0
+        self.bytes_moved = 0
+
+    @property
+    def size(self) -> int:
+        return self._cluster.n_ranks
+
+    # -- internals --------------------------------------------------------
+
+    def _collective(self, label: str, duration: float, nbytes_per_rank: list[int],
+                    category: str = "mpi") -> None:
+        """Synchronize all clocks, advance them by *duration*, trace it."""
+        cl = self._cluster
+        start = max(cl.clocks)
+        for r in range(self.size):
+            cl.clocks[r] = start + duration
+            cl.trace.record(r, label, category, start, start + duration,
+                            nbytes_per_rank[r])
+
+    # -- collectives --------------------------------------------------------
+
+    def alltoall(self, sendbufs: list[list[np.ndarray]], label: str = "alltoall"
+                 ) -> list[list[np.ndarray]]:
+        """Personalized all-to-all: ``recv[dst][src] = send[src][dst]``.
+
+        *sendbufs* is a P-by-P nested list of arrays (row = source rank).
+        Returns the P-by-P received layout.  Self-messages are local copies
+        and do not count toward wire traffic.
+        """
+        p = self.size
+        if len(sendbufs) != p or any(len(row) != p for row in sendbufs):
+            raise ValueError(f"sendbufs must be {p}x{p}")
+        recv = [[np.array(sendbufs[src][dst], copy=True) for src in range(p)]
+                for dst in range(p)]
+        wire_bytes = [sum(_nbytes(sendbufs[src][dst]) for dst in range(p) if dst != src)
+                      for src in range(p)]
+        pair_sizes = [_nbytes(sendbufs[src][dst])
+                      for src in range(p) for dst in range(p) if src != dst]
+        bytes_per_pair = float(np.mean(pair_sizes)) if pair_sizes else 0.0
+        duration = self._cluster.transport.alltoall_time(p, bytes_per_pair)
+        self.message_count += p * (p - 1)
+        self.bytes_moved += sum(wire_bytes)
+        self._collective(label, duration, wire_bytes)
+        return recv
+
+    def ring_exchange(self, to_left: list[np.ndarray], to_right: list[np.ndarray],
+                      label: str = "ghost exchange"
+                      ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Bidirectional nearest-neighbor exchange on a ring.
+
+        Rank r sends ``to_left[r]`` to rank r-1 and ``to_right[r]`` to rank
+        r+1 (periodic).  Returns ``(from_left, from_right)`` where
+        ``from_left[r]`` is what rank r-1 sent right, and ``from_right[r]``
+        is what rank r+1 sent left — i.e. the ghost halos of rank r.
+        """
+        p = self.size
+        if len(to_left) != p or len(to_right) != p:
+            raise ValueError("need one send buffer per rank in each direction")
+        from_left = [np.array(to_right[(r - 1) % p], copy=True) for r in range(p)]
+        from_right = [np.array(to_left[(r + 1) % p], copy=True) for r in range(p)]
+        per_rank = [_nbytes(to_left[r]) + _nbytes(to_right[r]) for r in range(p)]
+        if p == 1:
+            duration = 0.0
+        else:
+            msg = max(max(_nbytes(a) for a in to_left),
+                      max(_nbytes(a) for a in to_right))
+            duration = self._cluster.transport.ring_exchange_time(msg, p)
+        self.message_count += 2 * p if p > 1 else 0
+        self.bytes_moved += sum(per_rank) if p > 1 else 0
+        self._collective(label, duration, per_rank)
+        return from_left, from_right
+
+    def allgather(self, sendbufs: list[np.ndarray], label: str = "allgather"
+                  ) -> list[list[np.ndarray]]:
+        """Every rank receives every rank's buffer (returned per dest rank)."""
+        p = self.size
+        if len(sendbufs) != p:
+            raise ValueError("need one send buffer per rank")
+        gathered = [np.array(b, copy=True) for b in sendbufs]
+        out = [[np.array(g, copy=True) for g in gathered] for _ in range(p)]
+        per_rank = [(p - 1) * _nbytes(sendbufs[r]) for r in range(p)]
+        msg = max((_nbytes(b) for b in sendbufs), default=0)
+        duration = self._cluster.transport.message_time(msg, p) * max(0, p - 1) \
+            if p > 1 else 0.0
+        self.message_count += p * (p - 1)
+        self.bytes_moved += sum(per_rank) if p > 1 else 0
+        self._collective(label, duration, per_rank)
+        return out
+
+    def bcast(self, buf: np.ndarray, root: int = 0, label: str = "bcast"
+              ) -> list[np.ndarray]:
+        """Broadcast *buf* from *root*; returns one copy per rank."""
+        p = self.size
+        if not 0 <= root < p:
+            raise ValueError("root out of range")
+        out = [np.array(buf, copy=True) for _ in range(p)]
+        nb = _nbytes(buf)
+        # binomial tree: ceil(log2 P) rounds
+        rounds = int(np.ceil(np.log2(p))) if p > 1 else 0
+        duration = rounds * self._cluster.transport.message_time(nb, p)
+        per_rank = [nb if r != root else nb * (p - 1) for r in range(p)]
+        self.message_count += max(0, p - 1)
+        self.bytes_moved += nb * max(0, p - 1)
+        self._collective(label, duration, per_rank)
+        return out
+
+    def barrier(self, label: str = "barrier") -> None:
+        """Synchronize clocks (no data movement)."""
+        self._collective(label, 0.0, [0] * self.size, category="other")

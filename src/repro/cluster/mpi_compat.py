@@ -1,0 +1,121 @@
+"""Adapter: run the distributed algorithms on a real MPI communicator.
+
+The library's algorithms talk to the narrow ``Communicator`` surface
+(`alltoall`, `ring_exchange`, `allgather`, `bcast`, `barrier`).
+:class:`MpiCommunicator` implements the same surface on top of an
+mpi4py-style communicator object, so a real cluster run is:
+
+    from mpi4py import MPI
+    comm = MpiCommunicator(MPI.COMM_WORLD)
+    ... SPMD port of the rank program, using comm.* ...
+
+Since this environment has no MPI, the adapter is exercised against
+:class:`LoopbackComm`, a single-process stand-in implementing the small
+mpi4py subset used (``Get_rank``/``Get_size``/``alltoall``/``sendrecv``/
+``allgather``/``bcast``/``Barrier``), which also documents exactly which
+MPI calls a real deployment needs.
+
+Semantics note: unlike the SimCluster communicator (which sees all ranks
+at once), this adapter is *per-rank*: each method takes and returns only
+the local rank's buffers, mpi4py style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LoopbackComm", "MpiCommunicator"]
+
+
+class LoopbackComm:
+    """mpi4py-lookalike for a single process (rank 0 of 1).
+
+    Every collective degenerates to identity/self-exchange; useful for
+    tests and for running SPMD-ported code without MPI installed.
+    """
+
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py naming
+        return 0
+
+    def Get_size(self) -> int:  # noqa: N802
+        return 1
+
+    def alltoall(self, sendobj):
+        if len(sendobj) != 1:
+            raise ValueError("loopback alltoall expects 1 buffer")
+        return [sendobj[0]]
+
+    def sendrecv(self, sendobj, dest, source):
+        if dest != 0 or source != 0:
+            raise ValueError("loopback has only rank 0")
+        return sendobj
+
+    def allgather(self, sendobj):
+        return [sendobj]
+
+    def bcast(self, obj, root=0):
+        if root != 0:
+            raise ValueError("loopback has only rank 0")
+        return obj
+
+    def Barrier(self) -> None:  # noqa: N802
+        return None
+
+
+class MpiCommunicator:
+    """The library's collective surface over an mpi4py-style comm."""
+
+    def __init__(self, comm) -> None:
+        for attr in ("Get_rank", "Get_size", "alltoall", "sendrecv",
+                     "allgather", "bcast", "Barrier"):
+            if not hasattr(comm, attr):
+                raise TypeError(f"comm lacks required method {attr!r}")
+        self._comm = comm
+        self.rank = comm.Get_rank()
+        self.size = comm.Get_size()
+        self.bytes_moved = 0
+        self.message_count = 0
+
+    # -- collectives (per-rank view) ---------------------------------------
+
+    def alltoall(self, send_per_dest: list[np.ndarray]) -> list[np.ndarray]:
+        """This rank's buffers per destination -> buffers per source."""
+        if len(send_per_dest) != self.size:
+            raise ValueError(f"need {self.size} send buffers")
+        send = [np.ascontiguousarray(b) for b in send_per_dest]
+        self.bytes_moved += sum(b.nbytes for i, b in enumerate(send)
+                                if i != self.rank)
+        self.message_count += self.size - 1
+        return [np.asarray(b) for b in self._comm.alltoall(send)]
+
+    def ring_exchange(self, to_left: np.ndarray, to_right: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Send halos to ring neighbors; receive ours."""
+        left = (self.rank - 1) % self.size
+        right = (self.rank + 1) % self.size
+        from_right = self._comm.sendrecv(np.ascontiguousarray(to_left),
+                                         dest=left, source=right)
+        from_left = self._comm.sendrecv(np.ascontiguousarray(to_right),
+                                        dest=right, source=left)
+        if self.size > 1:
+            self.bytes_moved += int(np.asarray(to_left).nbytes
+                                    + np.asarray(to_right).nbytes)
+            self.message_count += 2
+        return np.asarray(from_left), np.asarray(from_right)
+
+    def allgather(self, buf: np.ndarray) -> list[np.ndarray]:
+        out = self._comm.allgather(np.ascontiguousarray(buf))
+        self.bytes_moved += (self.size - 1) * int(np.asarray(buf).nbytes)
+        self.message_count += self.size - 1
+        return [np.asarray(b) for b in out]
+
+    def bcast(self, buf: np.ndarray | None, root: int = 0) -> np.ndarray:
+        out = self._comm.bcast(
+            None if buf is None else np.ascontiguousarray(buf), root=root)
+        if self.rank != root and out is not None:
+            self.bytes_moved += int(np.asarray(out).nbytes)
+            self.message_count += 1
+        return np.asarray(out)
+
+    def barrier(self) -> None:
+        self._comm.Barrier()

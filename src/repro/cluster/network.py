@@ -1,0 +1,108 @@
+"""Interconnect cost model: latency + message-length-dependent bandwidth.
+
+The paper's scaling story rests on two network effects:
+
+* an all-to-all moves ``16*N/P`` bytes in and out of every node, so its
+  time is ``16*N / bw_mpi`` with ``bw_mpi = P * per-node bandwidth`` (§4);
+* in weak scaling, per-pair message length shrinks like ``1/P``, and
+  "shorter packets in large clusters ... is a challenge for sustaining a
+  high mpi bandwidth" (§6.1) — which is why they drop from 8 to 2 segments
+  per process at 512 nodes.
+
+We model the effective per-node bandwidth with the classic ramp
+``bw_eff(m) = bw_peak * m / (m + m_half)`` (equivalent to a fixed per-
+message overhead), plus an explicit per-message latency term, and an
+optional topology contention factor (see :mod:`repro.cluster.topology`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["NetworkSpec", "FDR_INFINIBAND", "STAMPEDE_EFFECTIVE"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Per-node interconnect characteristics."""
+
+    name: str
+    bandwidth_gbps: float  # peak achievable per-node bandwidth, GB/s
+    latency_us: float = 2.0  # per-message latency
+    half_bandwidth_msg_bytes: float = 64 * 1024  # msg size reaching bw/2
+    contention: Callable[[int], float] | None = None  # P -> factor in (0, 1]
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0 or self.half_bandwidth_msg_bytes < 0:
+            raise ValueError("latency and half-bandwidth size must be >= 0")
+
+    # -- point-to-point ---------------------------------------------------
+
+    def effective_bandwidth(self, msg_bytes: float, nodes: int = 2) -> float:
+        """Realized per-node bandwidth (GB/s) for messages of *msg_bytes*."""
+        if msg_bytes <= 0:
+            return self.bandwidth_gbps
+        ramp = msg_bytes / (msg_bytes + self.half_bandwidth_msg_bytes)
+        cont = self.contention(nodes) if self.contention is not None else 1.0
+        if not 0.0 < cont <= 1.0:
+            raise ValueError("contention factor must be in (0, 1]")
+        return self.bandwidth_gbps * ramp * cont
+
+    def message_time(self, nbytes: float, nodes: int = 2) -> float:
+        """Seconds for one point-to-point message of *nbytes*."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return self.latency_us * 1e-6
+        bw = self.effective_bandwidth(nbytes, nodes)
+        return self.latency_us * 1e-6 + nbytes / (bw * 1e9)
+
+    # -- collectives ------------------------------------------------------
+
+    def alltoall_time(self, nodes: int, bytes_per_pair: float) -> float:
+        """Seconds for an all-to-all with *bytes_per_pair* per (src, dst).
+
+        Each node injects (nodes-1) messages; with full-duplex links and a
+        balanced schedule the bottleneck is per-node injection bandwidth at
+        the realized (packet-length dependent) rate, plus one latency per
+        peer.
+        """
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if nodes == 1 or bytes_per_pair == 0:
+            return 0.0
+        bw = self.effective_bandwidth(bytes_per_pair, nodes)
+        vol = (nodes - 1) * bytes_per_pair
+        return (nodes - 1) * self.latency_us * 1e-6 + vol / (bw * 1e9)
+
+    def ring_exchange_time(self, nbytes: float, nodes: int = 2) -> float:
+        """Nearest-neighbor (ghost) exchange: both directions in parallel."""
+        return self.message_time(nbytes, nodes)
+
+    def aggregate_alltoall_bandwidth(self, nodes: int, bytes_per_pair: float) -> float:
+        """bw_mpi of the paper's §4 model: aggregate GB/s during all-to-all."""
+        t = self.alltoall_time(nodes, bytes_per_pair)
+        if t == 0.0:
+            return float("inf")
+        return nodes * (nodes - 1) * bytes_per_pair / t / 1e9
+
+
+#: Paper §4 planning number: ~3 GB/s effective per-node MPI bandwidth on
+#: Stampede's FDR InfiniBand fat tree.
+STAMPEDE_EFFECTIVE = NetworkSpec(
+    name="Stampede FDR IB (effective)",
+    bandwidth_gbps=3.0,
+    latency_us=2.0,
+    half_bandwidth_msg_bytes=64 * 1024,
+)
+
+#: Nominal FDR InfiniBand 4x link (56 Gb/s signalling, ~6 GB/s realizable).
+FDR_INFINIBAND = NetworkSpec(
+    name="FDR InfiniBand 4x",
+    bandwidth_gbps=6.0,
+    latency_us=1.5,
+    half_bandwidth_msg_bytes=64 * 1024,
+)

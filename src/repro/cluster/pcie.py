@@ -1,0 +1,67 @@
+"""PCIe link model with chunked pipelining (paper §5.1, §7).
+
+Each compute node couples the host Xeon and the Xeon Phi card over PCIe
+(~6 GB/s sustained).  The paper hides PCIe transfer time behind InfiniBand
+transfers by splitting application data into chunks and pipelining; chunk
+size "is appropriately chosen to balance the latency and throughput".
+:func:`pipeline_makespan` computes the makespan of such a multi-stage
+chunked pipeline exactly, which both the reverse proxy (symmetric mode)
+and the offload-mode model build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieSpec", "pipeline_makespan", "PCIE_GEN2_X16"]
+
+
+@dataclass(frozen=True)
+class PcieSpec:
+    """Host <-> coprocessor link."""
+
+    bandwidth_gbps: float = 6.0
+    latency_us: float = 10.0  # DMA setup + doorbell per chunk
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds for one DMA of *nbytes* (0 bytes costs nothing)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+def pipeline_makespan(stage_chunk_times: list[list[float]]) -> float:
+    """Makespan of a linear pipeline given per-stage, per-chunk times.
+
+    ``stage_chunk_times[s][c]`` is the service time of chunk *c* on stage
+    *s*.  Stages process chunks in order; a chunk enters stage s+1 only
+    after it finishes stage s, and each stage serves one chunk at a time.
+    This is the standard flow-shop recurrence:
+
+    ``done[s][c] = max(done[s-1][c], done[s][c-1]) + t[s][c]``
+    """
+    if not stage_chunk_times:
+        return 0.0
+    n_stages = len(stage_chunk_times)
+    n_chunks = len(stage_chunk_times[0])
+    if any(len(st) != n_chunks for st in stage_chunk_times):
+        raise ValueError("all stages must have the same number of chunks")
+    prev = [0.0] * (n_chunks + 1)
+    for s in range(n_stages):
+        cur = [0.0] * (n_chunks + 1)
+        for c in range(1, n_chunks + 1):
+            cur[c] = max(prev[c], cur[c - 1]) + stage_chunk_times[s][c - 1]
+        prev = cur
+    return prev[n_chunks]
+
+
+#: Default link matching the paper's Table 3 ("Pcie bw 6 gb/s").
+PCIE_GEN2_X16 = PcieSpec(bandwidth_gbps=6.0, latency_us=10.0)

@@ -1,0 +1,109 @@
+"""Reverse-communication MPI proxy (paper §5.1).
+
+In symmetric mode, Xeon Phi's native MPI handles latency-bound short
+messages well but is inefficient for the long all-to-all messages.  The
+paper routes those through a host-side proxy: a dedicated host core DMAs
+data out of Phi memory, forwards it over InfiniBand, and the destination
+host DMAs it into the remote Phi.  The three stages are chunked and
+pipelined, so the realized bandwidth approaches ``min(pcie, ib)`` — which
+is how the paper's model can assume Phi-to-Phi MPI bandwidth equal to
+Xeon-to-Xeon.
+
+:class:`ReverseProxy` composes a :class:`~repro.cluster.pcie.PcieSpec`
+with a :class:`~repro.cluster.network.NetworkSpec` and exposes the same
+timing interface as a plain network, so a simulated Phi cluster can be
+constructed simply by swapping the transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import NetworkSpec
+from repro.cluster.pcie import PcieSpec, pipeline_makespan
+
+__all__ = ["ReverseProxy"]
+
+#: Messages at or below this size go through Phi's native MPI (latency
+#: optimized), larger ones through the proxy pipeline (§5.1: nearest
+#: neighbor ghost messages are "tens of KBs ... latency bound").
+NATIVE_MPI_CUTOFF_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class ReverseProxy:
+    """Host-proxied transport between coprocessors."""
+
+    pcie: PcieSpec
+    network: NetworkSpec
+    chunk_bytes: int = 512 * 1024
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"proxy({self.network.name} via {self.pcie.bandwidth_gbps} GB/s PCIe)"
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Asymptotic proxied bandwidth: the slowest pipeline stage."""
+        return min(self.pcie.bandwidth_gbps, self.network.bandwidth_gbps)
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end first-byte latency through the three stages."""
+        return 2 * self.pcie.latency_us + self.network.latency_us
+
+    def _chunks(self, nbytes: float) -> list[float]:
+        n_full, rem = divmod(int(nbytes), self.chunk_bytes)
+        sizes = [float(self.chunk_bytes)] * n_full
+        if rem:
+            sizes.append(float(rem))
+        return sizes or [0.0]
+
+    def message_time(self, nbytes: float, nodes: int = 2) -> float:
+        """One proxied point-to-point message: 3-stage chunked pipeline."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes <= NATIVE_MPI_CUTOFF_BYTES:
+            # short/latency-bound path: Phi native MPI, no proxy detour
+            return self.network.message_time(nbytes, nodes)
+        sizes = self._chunks(nbytes)
+        src_dma = [self.pcie.transfer_time(s) for s in sizes]
+        wire = [self.network.message_time(s, nodes) for s in sizes]
+        dst_dma = [self.pcie.transfer_time(s) for s in sizes]
+        return pipeline_makespan([src_dma, wire, dst_dma])
+
+    def alltoall_time(self, nodes: int, bytes_per_pair: float) -> float:
+        """All-to-all through the proxy.
+
+        The per-node volume ((nodes-1) * bytes_per_pair) flows through the
+        node's PCIe link and its NIC as a two-resource chunked pipeline;
+        with chunking, the makespan is governed by the slower of the two
+        plus one pipeline fill.
+        """
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        if nodes == 1 or bytes_per_pair == 0:
+            return 0.0
+        ib = self.network.alltoall_time(nodes, bytes_per_pair)
+        vol = (nodes - 1) * bytes_per_pair
+        pci = vol / (self.pcie.bandwidth_gbps * 1e9)
+        fill = self.pcie.transfer_time(min(self.chunk_bytes, bytes_per_pair))
+        # PCIe out and in are full duplex; the pipeline bottleneck is the
+        # slower of the wire and the PCIe stream, plus fill/drain.
+        return max(ib, pci) + 2 * fill
+
+    def ring_exchange_time(self, nbytes: float, nodes: int = 2) -> float:
+        """Ghost exchange uses the native-MPI short-message path."""
+        return self.network.ring_exchange_time(min(nbytes, NATIVE_MPI_CUTOFF_BYTES), nodes) \
+            if nbytes <= NATIVE_MPI_CUTOFF_BYTES else self.message_time(nbytes, nodes)
+
+    def effective_bandwidth(self, msg_bytes: float, nodes: int = 2) -> float:
+        """Realized GB/s for one message of *msg_bytes* through the proxy."""
+        t = self.message_time(msg_bytes, nodes)
+        if t == 0.0:
+            return float("inf")
+        return msg_bytes / t / 1e9

@@ -1,0 +1,115 @@
+"""SimCluster: a deterministic stand-in for the paper's Stampede nodes.
+
+A cluster is P ranks, each with a machine model and a simulated clock,
+joined by a transport (plain :class:`~repro.cluster.network.NetworkSpec`
+for Xeon nodes, :class:`~repro.cluster.proxy.ReverseProxy` for Xeon Phi
+nodes in symmetric mode).  Compute kernels charge roofline time against a
+rank's clock; collectives go through :class:`Communicator`.  The resulting
+:class:`~repro.cluster.trace.Trace` feeds the Fig 8/9 benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.communicator import Communicator
+from repro.cluster.network import STAMPEDE_EFFECTIVE, NetworkSpec
+from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec
+from repro.cluster.trace import Trace
+from repro.machine.roofline import KernelCost, kernel_time
+from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+
+__all__ = ["SimCluster"]
+
+
+class SimCluster:
+    """P simulated compute nodes with per-rank clocks and one transport.
+
+    ``machines`` optionally overrides the node type per rank (heterogeneous
+    clusters, §6.1/§7 hybrid mode); ``machine`` remains the default type
+    and the value reported for homogeneous clusters.
+    """
+
+    def __init__(self, n_ranks: int, machine: MachineSpec = XEON_PHI_SE10,
+                 transport=STAMPEDE_EFFECTIVE,
+                 machines: list[MachineSpec] | None = None,
+                 pcie: PcieSpec = PCIE_GEN2_X16):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if machines is not None and len(machines) != n_ranks:
+            raise ValueError("machines must list one spec per rank")
+        self.n_ranks = n_ranks
+        self.machine = machine
+        self.machines = list(machines) if machines is not None \
+            else [machine] * n_ranks
+        self.transport = transport
+        self.pcie = pcie
+        self.clocks = [0.0] * n_ranks
+        self.trace = Trace()
+        self.comm = Communicator(self)
+
+    def machine_of(self, rank: int) -> MachineSpec:
+        """The node type of one rank."""
+        return self.machines[rank]
+
+    # -- time accounting ---------------------------------------------------
+
+    def charge_seconds(self, rank: int, label: str, seconds: float,
+                       category: str = "compute") -> None:
+        """Advance one rank's clock by a precomputed duration."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        t0 = self.clocks[rank]
+        self.clocks[rank] = t0 + seconds
+        self.trace.record(rank, label, category, t0, t0 + seconds)
+
+    def charge_kernel(self, rank: int, label: str, cost: KernelCost, *,
+                      compute_efficiency: float = 1.0,
+                      bw_efficiency: float = 1.0) -> float:
+        """Charge a roofline-timed kernel on one rank; returns the seconds."""
+        t = kernel_time(cost, self.machine_of(rank),
+                        compute_efficiency=compute_efficiency,
+                        bw_efficiency=bw_efficiency)
+        self.charge_seconds(rank, label, t)
+        return t
+
+    def charge_pcie(self, rank: int, label: str, nbytes: float) -> float:
+        """Charge a host<->coprocessor DMA on one rank (offload mode)."""
+        t = self.pcie.transfer_time(nbytes)
+        t0 = self.clocks[rank]
+        self.clocks[rank] = t0 + t
+        self.trace.record(rank, label, "pcie", t0, t0 + t, int(nbytes))
+        return t
+
+    def charge_all(self, label: str, seconds: float, category: str = "compute"
+                   ) -> None:
+        """Charge the same duration on every rank (SPMD step)."""
+        for r in range(self.n_ranks):
+            self.charge_seconds(r, label, seconds, category)
+
+    def charge_kernel_all(self, label: str, cost: KernelCost, *,
+                          compute_efficiency: float = 1.0,
+                          bw_efficiency: float = 1.0) -> float:
+        """Charge the same roofline kernel on every rank."""
+        t = kernel_time(cost, self.machine,
+                        compute_efficiency=compute_efficiency,
+                        bw_efficiency=bw_efficiency)
+        self.charge_all(label, t)
+        return t
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated wall time so far (slowest rank)."""
+        return max(self.clocks)
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-label time of the slowest-clock rank (Fig 9 style)."""
+        slowest = int(np.argmax(self.clocks))
+        return self.trace.breakdown_by_label(rank=slowest)
+
+    def reset(self) -> None:
+        """Zero clocks and trace (keeps machine/transport/comm counters)."""
+        self.clocks = [0.0] * self.n_ranks
+        self.trace = Trace()

@@ -1,0 +1,177 @@
+"""Generator-based SPMD runtime: write rank-local programs, MPI style.
+
+The phase-structured API (:mod:`repro.core.soi_dist`) drives the
+algorithm from a global viewpoint.  This runtime offers the converse,
+closer to how the paper's symmetric-mode code is written: each rank is a
+Python generator that *yields* communication requests and receives the
+result of the collective at the resume point:
+
+    def program(ctx):
+        halo = yield SendRecvRing(left=my_left, right=my_right)
+        ...
+        blocks = yield AllToAll(per_dest_list)
+        ...
+        return my_result
+
+The engine steps all ranks to their next request, verifies they agree on
+the collective (SPMD discipline — mismatched collectives deadlock real
+MPI and raise here), performs the exchange through the cluster's
+:class:`~repro.cluster.communicator.Communicator` (so byte accounting and
+clock charging are identical to the phase-structured path), and resumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.simcluster import SimCluster
+
+__all__ = ["AllToAll", "Barrier", "Bcast", "Compute", "RankContext",
+           "SendRecvRing", "run_spmd"]
+
+
+@dataclass(frozen=True)
+class AllToAll:
+    """Yield with one ndarray per destination rank; resumes with a list
+    of arrays, one per source rank."""
+
+    per_dest: list
+    label: str = "all-to-all"
+
+
+@dataclass(frozen=True)
+class SendRecvRing:
+    """Yield with halos for the left/right neighbors; resumes with
+    ``(from_left, from_right)``."""
+
+    to_left: np.ndarray
+    to_right: np.ndarray
+    label: str = "ghost exchange"
+
+
+@dataclass(frozen=True)
+class Bcast:
+    """Yield with (buffer if root else None); resumes with the buffer."""
+
+    buf: np.ndarray | None
+    root: int = 0
+    label: str = "bcast"
+
+
+@dataclass(frozen=True)
+class Barrier:
+    label: str = "barrier"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Charge simulated compute seconds on this rank (resumes with None)."""
+
+    seconds: float
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class RankContext:
+    """What a rank program knows about itself."""
+
+    rank: int
+    size: int
+    cluster: SimCluster = field(repr=False)
+
+
+class SpmdError(RuntimeError):
+    """SPMD discipline violation (mismatched collectives across ranks)."""
+
+
+def _check_uniform(requests: list) -> type:
+    kinds = {type(r) for r in requests}
+    if len(kinds) != 1:
+        raise SpmdError(f"ranks disagree on the collective: "
+                        f"{sorted(k.__name__ for k in kinds)}")
+    labels = {r.label for r in requests}
+    if len(labels) != 1:
+        raise SpmdError(f"ranks disagree on the collective label: {labels}")
+    return kinds.pop()
+
+
+def run_spmd(cluster: SimCluster, program: Callable, *args) -> list:
+    """Run *program(ctx, \\*args)* as a generator on every rank.
+
+    Returns the list of per-rank return values.  Compute requests are
+    charged per rank; collectives are matched across all live ranks.
+    Ranks must finish after the same number of collectives (a rank
+    returning early while others still communicate raises).
+    """
+    p = cluster.n_ranks
+    gens = []
+    for r in range(p):
+        g = program(RankContext(r, p, cluster), *args)
+        if not hasattr(g, "send"):
+            raise TypeError("program must be a generator function "
+                            "(use 'yield' for collectives)")
+        gens.append(g)
+    results: list = [None] * p
+    payload: list = [None] * p
+    done = [False] * p
+    while not all(done):
+        requests: list = [None] * p
+        for r, g in enumerate(gens):
+            if done[r]:
+                continue
+            try:
+                while True:
+                    req = g.send(payload[r])
+                    payload[r] = None
+                    if isinstance(req, Compute):
+                        cluster.charge_seconds(r, req.label, req.seconds)
+                        continue  # local: keep stepping this rank
+                    requests[r] = req
+                    break
+            except StopIteration as stop:
+                done[r] = True
+                results[r] = stop.value
+        live = [r for r in range(p) if not done[r]]
+        if not live:
+            break
+        if any(done[r] for r in range(p)):
+            raise SpmdError("some ranks finished while others still "
+                            "communicate (unbalanced collective counts)")
+        kind = _check_uniform([requests[r] for r in live])
+        if kind is AllToAll:
+            send = [requests[r].per_dest for r in range(p)]
+            for row in send:
+                if len(row) != p:
+                    raise SpmdError("AllToAll needs one buffer per rank")
+            recv = cluster.comm.alltoall(
+                [[np.asarray(b) for b in row] for row in send],
+                label=requests[0].label)
+            for r in range(p):
+                payload[r] = recv[r]
+        elif kind is SendRecvRing:
+            fl, fr = cluster.comm.ring_exchange(
+                [np.asarray(requests[r].to_left) for r in range(p)],
+                [np.asarray(requests[r].to_right) for r in range(p)],
+                label=requests[0].label)
+            for r in range(p):
+                payload[r] = (fl[r], fr[r])
+        elif kind is Bcast:
+            root = requests[0].root
+            if any(requests[r].root != root for r in range(p)):
+                raise SpmdError("ranks disagree on bcast root")
+            if requests[root].buf is None:
+                raise SpmdError("bcast root provided no buffer")
+            out = cluster.comm.bcast(np.asarray(requests[root].buf),
+                                     root=root, label=requests[0].label)
+            for r in range(p):
+                payload[r] = out[r]
+        elif kind is Barrier:
+            cluster.comm.barrier(label=requests[0].label)
+            for r in range(p):
+                payload[r] = None
+        else:  # pragma: no cover - _check_uniform limits the kinds
+            raise SpmdError(f"unknown request type {kind.__name__}")
+    return results

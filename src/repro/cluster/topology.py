@@ -1,0 +1,97 @@
+"""Interconnect topologies: fat trees and tori, built on networkx.
+
+Provides the contention factors consumed by
+:class:`~repro.cluster.network.NetworkSpec`: for an all-to-all, the
+binding constraint beyond node injection bandwidth is the bisection — half
+the traffic of every node crosses it.  A two-level fat tree (Stampede) has
+a configurable oversubscription ratio; a k-ary torus (the K computer
+comparison in §6.1/§8.2) has a bisection that grows only as P^{(d-1)/d}.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["FatTree", "Torus", "alltoall_contention"]
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """Two-level fat tree with *radix*-port leaf switches.
+
+    ``oversubscription`` is the leaf downlink:uplink capacity ratio;
+    1.0 means full bisection (no contention for uniform traffic).
+    """
+
+    radix: int = 36
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radix < 2:
+            raise ValueError("radix must be >= 2")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+
+    def contention(self, nodes: int) -> float:
+        """Fraction of injection bandwidth sustainable in an all-to-all."""
+        if nodes <= self.radix // 2:
+            return 1.0  # fits under one leaf switch: full crossbar
+        return 1.0 / self.oversubscription
+
+    def graph(self, nodes: int) -> nx.Graph:
+        """Explicit switch/node graph (for diameter/path diagnostics)."""
+        g = nx.Graph()
+        down = max(1, self.radix // 2)
+        n_leaves = math.ceil(nodes / down)
+        up = max(1, int(round(down / self.oversubscription)))
+        n_spines = max(1, up)
+        for leaf in range(n_leaves):
+            for spine in range(n_spines):
+                g.add_edge(f"leaf{leaf}", f"spine{spine}")
+        for node in range(nodes):
+            g.add_edge(node, f"leaf{node // down}")
+        return g
+
+
+@dataclass(frozen=True)
+class Torus:
+    """d-dimensional torus (e.g. K computer's 6-D Tofu, modeled as 3-D)."""
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError("dims must be positive")
+
+    @property
+    def nodes(self) -> int:
+        return math.prod(self.dims)
+
+    def graph(self) -> nx.Graph:
+        g = nx.grid_graph(dim=list(self.dims), periodic=True)
+        return g
+
+    def bisection_links(self) -> int:
+        """Links crossing the balanced bisection (cut along longest dim)."""
+        longest = max(self.dims)
+        others = self.nodes // longest
+        wrap = 2 if longest > 2 else 1
+        return others * wrap
+
+    def contention(self, nodes: int | None = None) -> float:
+        """All-to-all injection efficiency: bisection-limited.
+
+        In a uniform all-to-all, half of each node's traffic crosses the
+        bisection, so sustainable injection per node is
+        ``2 * bisection_links / nodes`` of a link rate (capped at 1).
+        """
+        n = self.nodes if nodes is None else nodes
+        return min(1.0, 2.0 * self.bisection_links() / n)
+
+
+def alltoall_contention(topology, nodes: int) -> float:
+    """Uniform-traffic contention factor for any topology object."""
+    return topology.contention(nodes)

@@ -1,0 +1,119 @@
+"""Timeline events for simulated distributed runs.
+
+Every compute kernel and communication operation performed on a
+:class:`~repro.cluster.simcluster.SimCluster` appends an :class:`Event`.
+The benches aggregate these into the execution-time breakdowns of the
+paper's Fig 9 (local FFT / convolution / exposed MPI / etc.) and the
+timing diagrams of Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "Trace", "CATEGORIES"]
+
+#: Canonical event categories used by the breakdown benches.
+CATEGORIES = ("compute", "mpi", "pcie", "other")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timed activity on one rank."""
+
+    rank: int
+    label: str
+    category: str
+    t_start: float
+    t_end: float
+    nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"category must be one of {CATEGORIES}")
+        if self.t_end < self.t_start:
+            raise ValueError("event ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Trace:
+    """Ordered collection of events with aggregation helpers."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def add(self, event: Event) -> None:
+        self.events.append(event)
+
+    def record(self, rank: int, label: str, category: str, t_start: float,
+               t_end: float, nbytes: int = 0) -> Event:
+        ev = Event(rank, label, category, t_start, t_end, nbytes)
+        self.add(ev)
+        return ev
+
+    @property
+    def span(self) -> float:
+        """Wall-clock extent of the trace (max end - min start)."""
+        if not self.events:
+            return 0.0
+        return max(e.t_end for e in self.events) - min(e.t_start for e in self.events)
+
+    def total(self, category: str | None = None, rank: int | None = None,
+              label: str | None = None) -> float:
+        """Summed duration of matching events (may double-count overlap)."""
+        t = 0.0
+        for e in self.events:
+            if category is not None and e.category != category:
+                continue
+            if rank is not None and e.rank != rank:
+                continue
+            if label is not None and e.label != label:
+                continue
+            t += e.duration
+        return t
+
+    def breakdown_by_label(self, rank: int | None = None) -> dict[str, float]:
+        """label -> summed duration (optionally for a single rank)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            if rank is not None and e.rank != rank:
+                continue
+            out[e.label] = out.get(e.label, 0.0) + e.duration
+        return out
+
+    def bytes_by_category(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + e.nbytes
+        return out
+
+    def rank_events(self, rank: int) -> list[Event]:
+        return [e for e in self.events if e.rank == rank]
+
+    def exposed_time(self, rank: int, category: str = "mpi",
+                     against: str = "compute") -> float:
+        """Duration of *category* intervals not overlapped by *against*.
+
+        This is the paper's "exposed MPI": communication time that could
+        not be hidden behind computation on the same rank.
+        """
+        comm = sorted(
+            (e.t_start, e.t_end) for e in self.events
+            if e.rank == rank and e.category == category
+        )
+        comp = sorted(
+            (e.t_start, e.t_end) for e in self.events
+            if e.rank == rank and e.category == against
+        )
+        exposed = 0.0
+        for c0, c1 in comm:
+            covered = 0.0
+            for p0, p1 in comp:
+                lo, hi = max(c0, p0), min(c1, p1)
+                if hi > lo:
+                    covered += hi - lo
+            exposed += max(0.0, (c1 - c0) - covered)
+        return exposed

@@ -1,0 +1,278 @@
+"""Convolution-and-oversampling: applying W to the input (paper §5.3).
+
+Row ``j`` of the oversampled output (global row index; each process owns a
+contiguous row range) is the vector of S lane inner products
+
+``u[j, p] = sum_b  w[j mod n_mu, b, p] * x[(m0(j) + b) * S + p]``
+
+with block offset ``m0(j) = (j // n_mu) * d_mu + q_r[j mod n_mu] - B/2 + 1``
+— the chunked, d_mu-shifted structure of Fig 6(a), stored compactly as the
+n_mu*B*S distinct coefficients.
+
+The numeric kernel is one vectorized implementation (verified against a
+literal triple loop).  The paper's three *execution strategies* — row-major
+baseline, loop-interchanged decomposed form, and circular-buffer staging —
+differ in traversal order, which NumPy's vectorization erases; they are
+modeled as first-class :class:`ConvStrategy` objects that expose working
+sets, memory-sweep ledgers, cache address traces (for the cache simulator)
+and modeled execution times, reproducing the Fig 11 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.params import SoiParams
+from repro.core.window import SoiTables
+from repro.machine.memory import SweepLedger
+from repro.machine.spec import MachineSpec
+
+__all__ = [
+    "ConvStrategy",
+    "block_range_for_rows",
+    "conv_time_model",
+    "convolve",
+    "convolve_reference",
+    "input_block_offsets",
+]
+
+#: Rows per gather block in the vectorized kernel (bounds temp memory).
+_ROW_BLOCK = 4096
+
+
+def input_block_offsets(params: SoiParams, j_start: int, n_rows: int) -> np.ndarray:
+    """Global input block index m0(j) for rows [j_start, j_start + n_rows)."""
+    if j_start % params.n_mu:
+        raise ValueError("j_start must be a multiple of n_mu")
+    if n_rows % params.n_mu:
+        raise ValueError("n_rows must be a multiple of n_mu")
+    j = np.arange(j_start, j_start + n_rows, dtype=np.int64)
+    r = j % params.n_mu
+    q_r = (np.arange(params.n_mu, dtype=np.int64) * params.d_mu) // params.n_mu
+    return (j // params.n_mu) * params.d_mu + q_r[r] - params.b // 2 + 1
+
+
+def block_range_for_rows(params: SoiParams, j_start: int, n_rows: int
+                         ) -> tuple[int, int]:
+    """Half-open global block range [lo, hi) the rows' windows touch.
+
+    Block indices may be negative or exceed N/S: callers wrap them
+    periodically (the ghost halo / circular boundary).
+    """
+    m0 = input_block_offsets(params, j_start, n_rows)
+    return int(m0.min()), int(m0.max()) + params.b
+
+
+def convolve(x_ext: np.ndarray, tables: SoiTables, j_start: int, n_rows: int,
+             block_lo: int, out: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized W*x for rows [j_start, j_start+n_rows).
+
+    ``x_ext`` holds the (ghost-extended, periodically wrapped) input blocks
+    ``[block_lo, block_lo + len(x_ext)//S)`` as a flat complex array.
+    Returns ``u`` of shape (n_rows, S).
+    """
+    p = tables.params
+    s, b_width, n_mu = p.n_segments, p.b, p.n_mu
+    arr = np.asarray(x_ext)
+    dtype = np.complex64 if arr.dtype == np.complex64 else np.complex128
+    x_ext = np.asarray(arr, dtype=dtype)
+    if x_ext.size % s:
+        raise ValueError("x_ext length must be a multiple of S")
+    m0 = input_block_offsets(p, j_start, n_rows) - block_lo
+    nblocks = x_ext.size // s
+    if m0.min() < 0 or m0.max() + b_width > nblocks:
+        raise ValueError("x_ext does not cover the required block range")
+    xb = x_ext.reshape(nblocks, s)
+    win = sliding_window_view(xb, (b_width, s))[:, 0]  # (nblocks-B+1, B, S)
+    if out is None:
+        out = np.empty((n_rows, s), dtype=dtype)
+    elif out.shape != (n_rows, s):
+        raise ValueError("out has wrong shape")
+    w = tables.coeffs.astype(dtype, copy=False)
+    for r in range(n_mu):
+        rows_r = np.arange(r, n_rows, n_mu)
+        offs = m0[rows_r]
+        for c0 in range(0, rows_r.size, _ROW_BLOCK):
+            c1 = min(c0 + _ROW_BLOCK, rows_r.size)
+            sel = win[offs[c0:c1]]  # gather (chunk, B, S)
+            out[rows_r[c0:c1]] = np.einsum("cbs,bs->cs", sel, w[r], optimize=True)
+    return out
+
+
+def convolve_reference(x_ext: np.ndarray, tables: SoiTables, j_start: int,
+                       n_rows: int, block_lo: int) -> np.ndarray:
+    """Literal triple-loop W*x (test oracle; tiny sizes only)."""
+    p = tables.params
+    s, b_width, n_mu = p.n_segments, p.b, p.n_mu
+    m0 = input_block_offsets(p, j_start, n_rows) - block_lo
+    out = np.zeros((n_rows, s), dtype=np.complex128)
+    for jl in range(n_rows):
+        r = (j_start + jl) % n_mu
+        for b in range(b_width):
+            base = (m0[jl] + b) * s
+            for lane in range(s):
+                out[jl, lane] += tables.coeffs[r, b, lane] * x_ext[base + lane]
+    return out
+
+
+class ConvStrategy(Enum):
+    """The paper's Fig 11 execution strategies for the convolution."""
+
+    #: Fig 6(a) row-major traversal: whole coefficient table (n_mu*B*S)
+    #: is live per chunk; overflows private LLCs as S grows.
+    BASELINE = "baseline"
+    #: Fig 6(b) decomposed form with loop interchange: per-lane slice
+    #: (n_mu*B) is live; costs one extra memory sweep (the F_S fusion of
+    #: the baseline is impossible), mitigated by non-temporal stores.
+    INTERCHANGE = "interchange"
+    #: Interchange + circular-buffer staging of the stride-S lane inputs
+    #: into contiguous storage, eliminating cache conflict misses.
+    BUFFERED = "buffering"
+
+    # -- locality characteristics ------------------------------------------
+
+    def working_set_bytes(self, params: SoiParams) -> int:
+        """Coefficient bytes live in cache during the inner loops."""
+        if self is ConvStrategy.BASELINE:
+            return params.n_mu * params.b * params.n_segments * 16
+        return params.n_mu * params.b * 16
+
+    def input_stride_bytes(self, params: SoiParams) -> int:
+        """Stride of consecutive input touches in the inner loop."""
+        if self is ConvStrategy.BASELINE:
+            return params.n_segments * 16  # row walks lanes via b*S+p jumps
+        if self is ConvStrategy.INTERCHANGE:
+            return params.n_segments * 16  # lane access: stride S elements
+        return 16  # buffered: contiguous staging buffer
+
+    def extra_sweeps(self) -> float:
+        """Extra full memory sweeps relative to the fused baseline (§5.3)."""
+        return 0.0 if self is ConvStrategy.BASELINE else 1.0
+
+    # -- ledger & trace -------------------------------------------------------
+
+    def ledger(self, params: SoiParams, n_rows: int) -> SweepLedger:
+        """Memory sweeps for computing *n_rows* output rows on one process."""
+        led = SweepLedger()
+        s = params.n_segments
+        in_elems = n_rows * s * params.d_mu // params.n_mu  # input consumed
+        out_elems = n_rows * s
+        led.load("conv input", in_elems,
+                 stride_bytes=self.input_stride_bytes(params))
+        led.store("conv output", out_elems, non_temporal=True)
+        if self is ConvStrategy.BUFFERED:
+            # circular buffer: d_mu staged loads/stores per chunk of B reuse
+            staged = int(in_elems)
+            led.load("buffer staging", staged, stride_bytes=s * 16)
+            led.store("buffer staging", staged)
+        if self is not ConvStrategy.BASELINE:
+            # decomposed form: F_S cannot be fused -> one extra sweep pair
+            led.load("refetch for F_S", out_elems)
+        table = params.n_mu * params.b * (s if self is ConvStrategy.BASELINE else 1)
+        led.load("coeff table", table)
+        return led
+
+    def address_trace(self, params: SoiParams, n_chunks: int = 4,
+                      base: int = 0) -> np.ndarray:
+        """Byte-address trace (inputs + coefficient table) for the cache sim.
+
+        Emits the access pattern of *n_chunks* convolution chunks in this
+        strategy's traversal order.  The coefficient table lives in its own
+        address region: row-major (n_mu, B, S) for the baseline (all
+        n_mu*B*S live per chunk — the §5.3 spill), per-lane compact
+        (n_mu*B) slices for the decomposed forms.
+        """
+        p = params
+        s, b_width, n_mu, d_mu = p.n_segments, p.b, p.n_mu, p.d_mu
+        item = 16
+        table_base = base + 2 ** 28  # coefficient region
+        buf_base = base + 2 ** 30  # contiguous staging region (buffered)
+        addrs: list[int] = []
+        if self is ConvStrategy.BASELINE:
+            for c in range(n_chunks):
+                shift = c * d_mu * s
+                for r in range(n_mu):
+                    for b in range(b_width):
+                        for lane in range(s):
+                            addrs.append(table_base
+                                         + ((r * b_width + b) * s + lane) * item)
+                            addrs.append(base + (shift + b * s + lane) * item)
+        elif self is ConvStrategy.INTERCHANGE:
+            for lane in range(s):
+                lane_table = table_base + lane * n_mu * b_width * item
+                for c in range(n_chunks):
+                    shift = c * d_mu * s
+                    for r in range(n_mu):
+                        for b in range(b_width):
+                            addrs.append(lane_table + (r * b_width + b) * item)
+                            addrs.append(base + (shift + b * s + lane) * item)
+        else:  # BUFFERED: stage d_mu new blocks per chunk, then hit buffer
+            for lane in range(s):
+                lane_table = table_base + lane * n_mu * b_width * item
+                for b in range(b_width):  # initial fill
+                    addrs.append(base + (b * s + lane) * item)
+                    addrs.append(buf_base + b * item)
+                for c in range(n_chunks):
+                    shift = c * d_mu * s
+                    for b in range(d_mu):  # incremental refill
+                        addrs.append(base + (shift + (b_width + b) * s + lane) * item)
+                        addrs.append(buf_base + ((b_width + b) % b_width) * item)
+                    for r in range(n_mu):
+                        for b in range(b_width):
+                            addrs.append(lane_table + (r * b_width + b) * item)
+                            addrs.append(buf_base + ((c * d_mu + b) % b_width) * item)
+        return np.asarray(addrs, dtype=np.int64)
+
+
+def conv_time_model(params: SoiParams, machine: MachineSpec,
+                    strategy: ConvStrategy = ConvStrategy.BUFFERED,
+                    compute_efficiency: float = 0.40) -> float:
+    """Modeled per-process convolution time (seconds) — the Fig 11 curves.
+
+    The streaming part (inputs, outputs, extra sweep of the decomposed
+    form) overlaps compute under the roofline; *miss* traffic does not —
+    cache misses stall the inner product loops — so it is additive:
+
+    * table-spill traffic: once the live coefficient set exceeds the LLC
+      slice (baseline: n_mu*B*S, proportional to the cluster size), the
+      cyclic chunk reuse thrashes and the table is re-streamed per chunk;
+    * conflict traffic: stride-S input walks (interchange without the
+      circular buffer) fetch a full 64-byte line per 16-byte element and,
+      as the B-deep window's footprint approaches the LLC, power-of-two
+      strides alias into few sets and the n_mu-fold reuse refetches.
+
+    Constant choices are validated in direction (not magnitude) against
+    the cache simulator in tests/test_convolution.py.
+    """
+    p = params
+    flops = p.conv_flops / p.n_procs
+    rows = p.rows_per_process
+    s = p.n_segments
+    in_bytes = rows * s * 16 * p.d_mu / p.n_mu
+    out_bytes = rows * s * 16
+    streaming = in_bytes + out_bytes + strategy.extra_sweeps() * out_bytes
+    if strategy is ConvStrategy.BUFFERED:
+        streaming += 2 * in_bytes * (p.d_mu / p.b)  # staging copies
+
+    llc = machine.llc_bytes_per_core if machine.llc_private \
+        else machine.llc_bytes_total
+    miss_traffic = 0.0
+    ws = strategy.working_set_bytes(p)
+    if ws > llc:
+        chunks = rows / p.n_mu
+        miss_traffic += chunks * min(ws, 2.0 * (ws - llc))
+    if strategy is not ConvStrategy.BUFFERED:
+        stride = strategy.input_stride_bytes(p)
+        if stride > 512:
+            line_factor = 4.0  # 64-byte line per 16-byte element
+            reuse_refetch = 1.0 + (p.n_mu - 1) * min(1.0, p.b * stride / llc)
+            miss_traffic += in_bytes * (line_factor * reuse_refetch - 1.0)
+
+    t_comp = machine.flop_time(flops, compute_efficiency)
+    t_stream = machine.mem_time(streaming)
+    t_miss = machine.mem_time(miss_traffic)
+    return max(t_comp, t_stream) + t_miss

@@ -1,0 +1,67 @@
+"""Projection and demodulation: the W^{-1} P_roj tail of Equation 1.
+
+After the per-segment length-M' FFT, the top M bins are kept (projection
+P^{M',M}_roj) and divided by the window's exact tone response (the
+diagonal W^{-1}): ``y[s*M + k] = beta_s[k] / demod[k]``.
+
+Two forms are provided: the standalone pass (3 memory sweeps — what the
+paper pays on Xeon where MKL's FFT cannot be modified) and a fused
+diagonal for :func:`repro.fft.sixstep.sixstep_fft`, which folds the
+multiply into the FFT's last pass (§5.2.4, saving two sweeps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.window import SoiTables
+from repro.machine.memory import SweepLedger
+
+__all__ = ["demodulate", "fused_demod_diagonal", "demod_ledger"]
+
+
+def demodulate(beta: np.ndarray, tables: SoiTables) -> np.ndarray:
+    """Project a length-M' spectrum (or batch) to its M segment bins.
+
+    *beta* has shape (..., M'); the result has shape (..., M) with
+    ``out[..., k] = beta[..., k] / demod[k]``.
+    """
+    p = tables.params
+    arr = np.asarray(beta)
+    dtype = np.complex64 if arr.dtype == np.complex64 else np.complex128
+    beta = np.asarray(arr, dtype=dtype)
+    if beta.shape[-1] != p.m_oversampled:
+        raise ValueError(
+            f"expected last axis M' = {p.m_oversampled}, got {beta.shape[-1]}")
+    return beta[..., : p.m] / tables.demod.astype(dtype, copy=False)
+
+
+def fused_demod_diagonal(tables: SoiTables) -> np.ndarray:
+    """Length-M' diagonal for the fused 6-step path.
+
+    Entries [0, M) hold 1/demod; the discarded oversampling excess
+    [M, M') is zeroed — those bins are projected away regardless, and
+    zeroing keeps the fused output directly sliceable.
+    """
+    p = tables.params
+    diag = np.zeros(p.m_oversampled, dtype=np.complex128)
+    diag[: p.m] = 1.0 / tables.demod
+    return diag
+
+
+def demod_ledger(tables: SoiTables, fused: bool) -> SweepLedger:
+    """Memory sweeps of demodulation (per segment).
+
+    Standalone: read spectrum + read constants + write result (the etc.
+    cost visible on Xeon in Fig 9).  Fused: only the constants load — the
+    data passes ride inside the FFT's final sweep.
+    """
+    p = tables.params
+    led = SweepLedger()
+    if fused:
+        led.load("demod constants (fused)", p.m)
+    else:
+        led.load("demod input", p.m_oversampled)
+        led.load("demod constants", p.m)
+        led.store("demod output", p.m, non_temporal=True)
+    return led

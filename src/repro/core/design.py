@@ -1,0 +1,104 @@
+"""Parameter design assistant: choose (mu, B) for a target accuracy.
+
+The paper fixes B = 72 and mu = 8/7 (Table 3) without showing the search;
+the SC'12 companion derives the accuracy/cost trade.  This module closes
+the loop using pieces this library already has:
+
+* accuracy: invert the Kaiser design formula — the B needed for a target
+  stopband at a given mu is ``B >= (A_dB - 8) / (2.285 * 2 pi * (mu-1))``;
+* cost: the §4 model — convolution flops grow with B*mu, communication
+  and local-FFT volume with mu.
+
+``design_parameters`` scans the candidate mu ladder, computes the minimal
+feasible even B for each, prices the resulting configuration with the §4
+model, and returns the cheapest.  The chosen design can be handed
+directly to :class:`~repro.core.params.SoiParams`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.window import kaiser_attenuation_db
+from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+from repro.perfmodel.model import FftModel
+
+__all__ = ["SoiDesign", "design_parameters", "required_b"]
+
+#: Candidate oversampling factors (lowest-terms), smallest overhead first.
+CANDIDATE_MUS: tuple[tuple[int, int], ...] = (
+    (9, 8), (8, 7), (7, 6), (6, 5), (5, 4), (4, 3), (3, 2), (2, 1),
+)
+
+
+def required_b(target_error: float, mu: float, b_max: int = 1024) -> int | None:
+    """Smallest even B whose Kaiser design meets *target_error* at *mu*.
+
+    Returns None if no B <= b_max reaches the target (mu too small).
+    The cap mirrors :func:`kaiser_attenuation_db`'s 300 dB double-precision
+    ceiling: targets below ~1e-15 are unreachable regardless of B.
+    """
+    if not 0 < target_error < 1:
+        raise ValueError("target_error must be in (0, 1)")
+    if mu <= 1:
+        raise ValueError("mu must exceed 1")
+    a_needed = -20.0 * math.log10(target_error)
+    if a_needed > 300.0:
+        return None
+    b = (a_needed - 8.0) / (2.285 * 2.0 * math.pi * (mu - 1.0))
+    b_even = max(4, 2 * math.ceil(b / 2.0))
+    return b_even if b_even <= b_max else None
+
+
+@dataclass(frozen=True)
+class SoiDesign:
+    """One feasible (mu, B) choice with its modeled cost."""
+
+    n_mu: int
+    d_mu: int
+    b: int
+    predicted_stopband: float
+    modeled_seconds: float
+
+    @property
+    def mu(self) -> float:
+        return self.n_mu / self.d_mu
+
+    def describe(self) -> str:
+        return (f"mu = {self.n_mu}/{self.d_mu}, B = {self.b} "
+                f"(stopband {self.predicted_stopband:.1e}, "
+                f"modeled {self.modeled_seconds:.3f} s)")
+
+
+def design_parameters(n_total: int, nodes: int, target_error: float,
+                      machine: MachineSpec = XEON_PHI_SE10,
+                      candidates: tuple[tuple[int, int], ...] = CANDIDATE_MUS,
+                      ) -> SoiDesign:
+    """Cheapest (mu, B) meeting *target_error*, priced by the §4 model.
+
+    Small mu minimizes communication and oversampled FFT volume but needs
+    wide (expensive) convolutions; large mu is the reverse.  The optimum
+    depends on the machine's compute/network balance — which is why the
+    model, not a constant, picks it.
+    """
+    best: SoiDesign | None = None
+    for n_mu, d_mu in candidates:
+        mu = n_mu / d_mu
+        b = required_b(target_error, mu)
+        if b is None:
+            continue
+        model = FftModel(n_total=n_total, nodes=nodes, b=b,
+                         n_mu=n_mu, d_mu=d_mu)
+        seconds = model.soi_breakdown(machine).total
+        stop = 10.0 ** (-kaiser_attenuation_db(b, mu) / 20.0)
+        cand = SoiDesign(n_mu, d_mu, b, stop, seconds)
+        if best is None or cand.modeled_seconds < best.modeled_seconds:
+            best = cand
+    if best is None:
+        raise ValueError(f"no candidate mu reaches target_error = "
+                         f"{target_error:g} (double precision limits the "
+                         f"stopband to ~1e-15)")
+    return best

@@ -1,0 +1,57 @@
+"""Segment load balancing for heterogeneous clusters (paper §6.1).
+
+"Multiple segments will be useful for load balancing heterogeneous
+processes.  For example, we can assign 1 segment per a socket of Xeon
+E5-2680 and 6 segments per Xeon Phi (recall that a Xeon Phi has ~6x
+compute capability)."
+
+:func:`balance_segments` turns per-rank compute weights (typically peak
+flops) into an integer segment assignment via the largest-remainder
+method, guaranteeing at least one segment per rank.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["balance_segments", "segments_for_machines"]
+
+
+def balance_segments(weights: list[float], total_segments: int) -> list[int]:
+    """Split *total_segments* across ranks proportionally to *weights*.
+
+    Largest-remainder apportionment with a floor of 1 segment per rank.
+    Raises if there are fewer segments than ranks or non-positive weights.
+    """
+    p = len(weights)
+    if p == 0:
+        raise ValueError("need at least one rank")
+    if total_segments < p:
+        raise ValueError(f"need at least one segment per rank "
+                         f"({total_segments} < {p})")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    total_w = sum(weights)
+    ideal = [total_segments * w / total_w for w in weights]
+    counts = [max(1, int(i)) for i in ideal]
+    # largest-remainder fix-up to hit the exact total
+    while sum(counts) < total_segments:
+        remainders = [(ideal[r] - counts[r], r) for r in range(p)]
+        counts[max(remainders)[1]] += 1
+    while sum(counts) > total_segments:
+        candidates = [(ideal[r] - counts[r], r) for r in range(p)
+                      if counts[r] > 1]
+        if not candidates:
+            raise ValueError("cannot satisfy the one-segment-per-rank floor")
+        counts[min(candidates)[1]] -= 1
+    return counts
+
+
+def segments_for_machines(machines: list[MachineSpec],
+                          total_segments: int) -> list[int]:
+    """Assign segments proportionally to each rank's peak flops.
+
+    With one dual-socket Xeon (346 GF/s) and one Xeon Phi (1074 GF/s) and
+    7 segments, this yields the paper's ~1:6 split.
+    """
+    return balance_segments([m.peak_gflops for m in machines], total_segments)

@@ -1,0 +1,180 @@
+"""Single-process SOI FFT: the reference end-to-end pipeline.
+
+Computes ``y = F_N x`` via Equation 1 of the paper:
+
+1. convolution-and-oversampling ``W x`` (with periodic boundary),
+2. lane FFTs ``I_{M'} (x) F_S`` (length-S transform across lanes),
+3. the stride permutation (a local reshape when there is one process),
+4. per-segment length-M' FFTs,
+5. projection + demodulation ``W^{-1} P_roj``.
+
+The distributed implementation (:mod:`repro.core.soi_dist`) runs exactly
+these kernels with the permutation realized as an all-to-all; this module
+is both the numerical reference for it and the convenient entry point for
+node-local use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convolution import block_range_for_rows, convolve
+from repro.core.demodulate import demodulate, fused_demod_diagonal
+from repro.core.params import SoiParams
+from repro.core.window import SoiTables, build_tables
+from repro.fft.plan import get_plan
+from repro.fft.sixstep import sixstep_fft
+
+__all__ = ["SoiFFT", "soi_fft", "LOCAL_FFT_CHOICES"]
+
+LOCAL_FFT_CHOICES = ("direct", "sixstep", "sixstep-naive")
+
+
+class SoiFFT:
+    """Planned single-process SOI transform for one parameter set.
+
+    Parameters
+    ----------
+    params:
+        Problem geometry (``n_procs``/``segments_per_process`` only affect
+        how many segments the decomposition uses; execution is local).
+    window:
+        Optional window object (default: Kaiser-sinc sized from params).
+    local_fft:
+        How the per-segment M'-point FFT runs: ``"direct"`` (batched
+        Stockham over all segments at once), ``"sixstep"`` (optimized
+        Bailey 6-step with *fused* demodulation, the paper's Phi path), or
+        ``"sixstep-naive"`` (Fig 4a baseline).
+    dtype:
+        Working precision: ``complex128`` (default) or ``complex64``.
+        Single precision is worthwhile when the window stopband exceeds
+        float32 epsilon anyway (e.g. mu = 8/7 at B <= 48); it requires
+        ``local_fft="direct"`` and (2,3,5,7)-smooth S and M'.  The design
+        tables themselves are always built in double precision.
+    """
+
+    def __init__(self, params: SoiParams, window=None,
+                 local_fft: str = "direct", dtype=np.complex128):
+        if local_fft not in LOCAL_FFT_CHOICES:
+            raise ValueError(f"local_fft must be one of {LOCAL_FFT_CHOICES}")
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+            raise ValueError("dtype must be complex64 or complex128")
+        if self.dtype == np.complex64 and local_fft != "direct":
+            raise ValueError("complex64 requires local_fft='direct'")
+        self.params = params
+        self.local_fft = local_fft
+        self.tables: SoiTables = build_tables(params, window)
+        dt = self.dtype.type
+        self._lane_plan = get_plan(params.n_segments, -1, dtype=dt) \
+            if params.n_segments > 1 else None
+        self._seg_plan = get_plan(params.m_oversampled, -1, dtype=dt)
+        self._fused_diag = fused_demod_diagonal(self.tables)
+        lo, hi = block_range_for_rows(params, 0, params.m_oversampled)
+        self._block_lo, self._block_hi = lo, hi
+
+    @property
+    def expected_stopband(self) -> float:
+        """Window-design estimate of the relative output error."""
+        return self.tables.expected_stopband
+
+    # -- pipeline stages (also reused by tests) ---------------------------
+
+    def extended_input(self, x: np.ndarray) -> np.ndarray:
+        """Input blocks [block_lo, block_hi) with periodic wrap."""
+        p = self.params
+        s = p.n_segments
+        idx = np.arange(self._block_lo * s, self._block_hi * s) % p.n
+        return np.asarray(x, dtype=self.dtype)[idx]
+
+    def oversample(self, x: np.ndarray) -> np.ndarray:
+        """Stages 1-2: u = W x, then z = (I (x) F_S) u. Shape (M'*S/S rows, S)."""
+        p = self.params
+        rows = p.m_oversampled  # all rows (single process)
+        x_ext = self.extended_input(x)
+        u = convolve(x_ext, self.tables, 0, rows, self._block_lo)
+        if self._lane_plan is None:
+            return u
+        return self._lane_plan(u)
+
+    def segment_spectra(self, z: np.ndarray) -> np.ndarray:
+        """Stages 3-4: permutation (transpose) + per-segment F_{M'}.
+
+        Returns beta of shape (S, M').
+        """
+        p = self.params
+        alpha = np.ascontiguousarray(z.T)  # (S, M'): segment s's subband
+        if self.local_fft == "direct":
+            return self._seg_plan(alpha)
+        variant = "optimized" if self.local_fft == "sixstep" else "naive"
+        out = np.empty_like(alpha)
+        for s in range(p.n_segments):
+            res = sixstep_fft(alpha[s], variant=variant)
+            out[s] = res.output
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Full in-order DFT of *x* (length N)."""
+        p = self.params
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape != (p.n,):
+            raise ValueError(f"expected input of shape ({p.n},), got {x.shape}")
+        z = self.oversample(x)
+        if self.local_fft == "sixstep":
+            # fused demodulation inside the 6-step final pass (§5.2.4)
+            alpha = np.ascontiguousarray(z.T)
+            y = np.empty(p.n, dtype=np.complex128)
+            for s in range(p.n_segments):
+                res = sixstep_fft(alpha[s], variant="optimized",
+                                  diagonal=self._fused_diag)
+                y[s * p.m:(s + 1) * p.m] = res.output[: p.m]
+            return y
+        beta = self.segment_spectra(z)
+        return demodulate(beta, self.tables).reshape(p.n)
+
+    def batch(self, xs: np.ndarray) -> np.ndarray:
+        """Transform each row of a (batch, N) matrix, reusing this plan.
+
+        The expensive design work (window sampling, demodulation inverse,
+        FFT plan construction) amortizes across the batch — the usage
+        pattern of every frame-oriented application (see
+        :mod:`repro.core.streaming`).
+        """
+        xs = np.asarray(xs, dtype=self.dtype)
+        if xs.ndim != 2 or xs.shape[1] != self.params.n:
+            raise ValueError(f"expected shape (batch, {self.params.n})")
+        out = np.empty_like(xs)
+        for i in range(xs.shape[0]):
+            out[i] = self(xs[i])
+        return out
+
+    def inverse(self, y: np.ndarray) -> np.ndarray:
+        """Inverse DFT via the conjugation identity.
+
+        ``ifft(y) = conj(fft(conj(y))) / N`` — the standard way FFT
+        libraries reuse a forward-only pipeline; accuracy is identical to
+        the forward transform.
+        """
+        p = self.params
+        y = np.asarray(y, dtype=np.complex128)
+        if y.shape != (p.n,):
+            raise ValueError(f"expected input of shape ({p.n},), got {y.shape}")
+        return np.conj(self(np.conj(y))) / p.n
+
+
+def soi_fft(x: np.ndarray, n_segments: int = 8, n_mu: int = 8, d_mu: int = 7,
+            b: int = 72, window=None, local_fft: str = "direct") -> np.ndarray:
+    """One-shot SOI FFT of a 1-D array (see :class:`SoiFFT` for knobs)."""
+    x = np.asarray(x, dtype=np.complex128)
+    params = SoiParams(n=x.size, n_procs=1, segments_per_process=n_segments,
+                       n_mu=n_mu, d_mu=d_mu, b=b)
+    return SoiFFT(params, window=window, local_fft=local_fft)(x)
+
+
+def soi_ifft(y: np.ndarray, n_segments: int = 8, n_mu: int = 8, d_mu: int = 7,
+             b: int = 72, window=None) -> np.ndarray:
+    """One-shot inverse SOI FFT (scaled by 1/N, numpy convention)."""
+    y = np.asarray(y, dtype=np.complex128)
+    params = SoiParams(n=y.size, n_procs=1, segments_per_process=n_segments,
+                       n_mu=n_mu, d_mu=d_mu, b=b)
+    return SoiFFT(params, window=window).inverse(y)

@@ -1,0 +1,90 @@
+"""SOI FFT written as a rank-local SPMD program (symmetric-mode style).
+
+The same algorithm as :class:`~repro.core.soi_dist.DistributedSoiFFT`,
+but expressed the way the paper's symmetric-mode MPI code is: each rank
+runs its own program and yields collectives to the
+:mod:`repro.cluster.spmd` runtime.  Numerically identical to the
+phase-structured implementation (asserted in tests) — it exists both as a
+realism check on the runtime and as the template users would port to
+mpi4py on a real cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.spmd import AllToAll, Compute, RankContext, SendRecvRing, run_spmd
+from repro.core.convolution import conv_time_model, convolve
+from repro.core.demodulate import demodulate
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DEFAULT_CONV_EFFICIENCY, DEFAULT_FFT_EFFICIENCY
+from repro.core.window import SoiTables, build_tables
+from repro.fft.plan import get_plan
+
+__all__ = ["soi_rank_program", "spmd_soi_fft"]
+
+
+def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
+                     tables: SoiTables):
+    """Generator run by every rank: local chunk in, local spectrum out."""
+    p = tables.params
+    rank, size = ctx.rank, ctx.size
+    machine = ctx.cluster.machine
+    s = p.n_segments
+    spp = p.segments_per_process
+    rows = p.rows_per_process
+    blocks_per_rank = p.n // (s * size)
+    left_g, right_g = p.ghost_blocks
+
+    # --- ghost exchange: send my edge blocks to the neighbors ---
+    halo = yield SendRecvRing(to_left=x_local[: right_g * s],
+                              to_right=x_local[x_local.size - left_g * s:])
+    from_left, from_right = halo
+    x_ext = np.concatenate([from_left, x_local, from_right])
+
+    # --- local convolution-and-oversampling + lane FFTs ---
+    j_start = rank * rows
+    u = convolve(x_ext, tables, j_start, rows,
+                 rank * blocks_per_rank - left_g)
+    z = get_plan(s, -1)(u) if s > 1 else u
+    conv_secs = conv_time_model(p, machine,
+                                compute_efficiency=DEFAULT_CONV_EFFICIENCY)
+    lane_secs = machine.flop_time(p.lane_fft_flops / size,
+                                  DEFAULT_FFT_EFFICIENCY)
+    yield Compute(conv_secs + lane_secs, label="convolution")
+
+    # --- the one all-to-all: my rows of every segment to its owner ---
+    per_dest = [np.ascontiguousarray(z[:, d * spp:(d + 1) * spp])
+                for d in range(size)]
+    pieces = yield AllToAll(per_dest)
+
+    # --- per owned segment: M'-point FFT + demodulation ---
+    alpha = np.concatenate(pieces, axis=0)  # (M', spp), source-rank order
+    beta = get_plan(p.m_oversampled, -1)(alpha.T)
+    yield Compute(machine.flop_time(p.local_fft_flops / size,
+                                    DEFAULT_FFT_EFFICIENCY),
+                  label="local FFT")
+    seg = demodulate(beta, tables)
+    yield Compute(machine.mem_time(p.m * spp * 16), label="demodulation")
+    return seg.reshape(-1)
+
+
+def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
+                 window=None) -> np.ndarray:
+    """Scatter, run the SPMD program on every rank, gather the spectrum."""
+    x = np.asarray(x, dtype=np.complex128)
+    if x.shape != (params.n,):
+        raise ValueError(f"expected input of shape ({params.n},)")
+    if params.n_procs != cluster.n_ranks:
+        raise ValueError("params/cluster rank mismatch")
+    tables = build_tables(params, window)
+    chunk = params.elements_per_process
+    parts = [x[r * chunk:(r + 1) * chunk].copy()
+             for r in range(params.n_procs)]
+
+    def program(ctx: RankContext):
+        return (yield from soi_rank_program(ctx, parts[ctx.rank], tables))
+
+    results = run_spmd(cluster, program)
+    return np.concatenate(results)

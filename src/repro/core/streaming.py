@@ -1,0 +1,110 @@
+"""Streaming spectral analysis (STFT) on top of the SOI transform.
+
+The paper motivates tera-scale 1-D FFTs with signal-processing workloads
+(its own authors' SAR paper is cited in §5).  This layer provides the
+standard consumer of huge 1-D FFTs — the short-time Fourier transform —
+with the SOI plan as the frame transform, so one planned SoiFFT is reused
+across all frames (where plan reuse actually pays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import SoiParams
+from repro.core.soi_single import SoiFFT
+
+__all__ = ["SoiStft", "hann_window"]
+
+
+def hann_window(n: int) -> np.ndarray:
+    """Periodic Hann analysis window (COLA-compliant at 50% overlap)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * np.arange(n) / n)
+
+
+@dataclass(frozen=True)
+class _Frames:
+    """Frame geometry of one STFT configuration."""
+
+    frame: int
+    hop: int
+
+    def count(self, n_samples: int) -> int:
+        if n_samples < self.frame:
+            return 0
+        return 1 + (n_samples - self.frame) // self.hop
+
+
+class SoiStft:
+    """Short-time Fourier transform with an SOI frame transform.
+
+    Parameters
+    ----------
+    frame_params:
+        The per-frame SOI geometry; ``frame_params.n`` is the frame length.
+    hop:
+        Samples between frames (default: half a frame, 50% overlap).
+    analysis_window:
+        Per-frame taper (default Hann).  ``None`` disables tapering.
+    """
+
+    def __init__(self, frame_params: SoiParams, hop: int | None = None,
+                 analysis_window: np.ndarray | str | None = "hann",
+                 dtype=np.complex128):
+        self.plan = SoiFFT(frame_params, dtype=dtype)
+        n = frame_params.n
+        hop = n // 2 if hop is None else hop
+        if not 0 < hop <= n:
+            raise ValueError("hop must be in (0, frame length]")
+        self.frames = _Frames(frame=n, hop=hop)
+        if isinstance(analysis_window, str):
+            if analysis_window != "hann":
+                raise ValueError("only the 'hann' named window is built in")
+            analysis_window = hann_window(n)
+        if analysis_window is not None:
+            analysis_window = np.asarray(analysis_window, dtype=np.float64)
+            if analysis_window.shape != (n,):
+                raise ValueError("analysis window must match frame length")
+        self.analysis_window = analysis_window
+
+    @property
+    def frame_length(self) -> int:
+        return self.frames.frame
+
+    @property
+    def hop(self) -> int:
+        return self.frames.hop
+
+    def frame_count(self, n_samples: int) -> int:
+        """Number of full frames an input of *n_samples* yields."""
+        return self.frames.count(n_samples)
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """STFT matrix of shape (frames, frame_length); trailing samples
+        that do not fill a frame are ignored."""
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim != 1:
+            raise ValueError("expected a 1-D signal")
+        n_frames = self.frame_count(x.size)
+        if n_frames == 0:
+            raise ValueError("signal shorter than one frame")
+        out = np.empty((n_frames, self.frames.frame), dtype=self.plan.dtype)
+        for i in range(n_frames):
+            seg = x[i * self.frames.hop: i * self.frames.hop + self.frames.frame]
+            if self.analysis_window is not None:
+                seg = seg * self.analysis_window
+            out[i] = self.plan(seg)
+        return out
+
+    def spectrogram(self, x: np.ndarray) -> np.ndarray:
+        """Power spectrogram |STFT|^2, shape (frames, frame_length)."""
+        s = self.transform(x)
+        return (s.real ** 2 + s.imag ** 2).astype(np.float64)
+
+    def dominant_bins(self, x: np.ndarray) -> np.ndarray:
+        """Per-frame argmax bin — a tracker for swept/moving tones."""
+        return np.argmax(self.spectrogram(x), axis=1)

@@ -1,0 +1,66 @@
+"""From-scratch FFT substrate: Stockham engine, Bluestein, Bailey 6-step.
+
+This subpackage plays the role MKL's DFTI plays in the paper: node-local
+FFT kernels.  Everything is implemented from first principles and verified
+against the naive DFT; ``numpy.fft`` is used only as an independent test
+oracle, never inside the library.
+"""
+
+from repro.fft.bluestein import BluesteinPlan, bluestein_fft
+from repro.fft.codelet import CODELET_SIZES, generate_codelet_source, get_codelet
+from repro.fft.convolve import fft_convolve, fft_correlate
+from repro.fft.dft import dft, dft_matrix, idft
+from repro.fft.layout import SoAView, from_aos, packet_lengths, to_aos
+from repro.fft.multistep import multistep_fft, multistep_sweeps
+from repro.fft.plan import fft, get_plan, ifft
+from repro.fft.prime_factor import PrimeFactorPlan, crt_maps, pfa_fft
+from repro.fft.rader import RaderPlan, primitive_root, rader_fft
+from repro.fft.real import irfft, rfft, rfft_pair
+from repro.fft.sixstep import SixStepResult, sixstep_fft
+from repro.fft.stockham import StockhamPlan, fft_flops, fft_stockham
+from repro.fft.transpose import blocked_transpose, stride_permutation_indices
+from repro.fft.twiddle import SplitTwiddle, twiddle_table
+from repro.fft.wisdom import Wisdom, candidate_radix_plans, tune
+
+__all__ = [
+    "BluesteinPlan",
+    "CODELET_SIZES",
+    "PrimeFactorPlan",
+    "RaderPlan",
+    "crt_maps",
+    "pfa_fft",
+    "primitive_root",
+    "rader_fft",
+    "generate_codelet_source",
+    "get_codelet",
+    "SixStepResult",
+    "SoAView",
+    "SplitTwiddle",
+    "StockhamPlan",
+    "blocked_transpose",
+    "bluestein_fft",
+    "Wisdom",
+    "candidate_radix_plans",
+    "dft",
+    "dft_matrix",
+    "fft",
+    "fft_convolve",
+    "fft_correlate",
+    "fft_flops",
+    "fft_stockham",
+    "from_aos",
+    "get_plan",
+    "idft",
+    "ifft",
+    "irfft",
+    "multistep_fft",
+    "multistep_sweeps",
+    "packet_lengths",
+    "rfft",
+    "rfft_pair",
+    "sixstep_fft",
+    "stride_permutation_indices",
+    "to_aos",
+    "tune",
+    "twiddle_table",
+]

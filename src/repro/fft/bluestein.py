@@ -1,0 +1,68 @@
+"""Arbitrary-length FFT via Bluestein's chirp-z algorithm.
+
+Re-expresses a length-n DFT as a circular convolution of chirp-modulated
+sequences, evaluated with power-of-two Stockham FFTs of length >= 2n-1.
+Completes the substrate so that any transform length (e.g. prime segment
+counts in SOI parameter sweeps) is supported.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fft.stockham import StockhamPlan
+
+__all__ = ["BluesteinPlan", "bluestein_fft"]
+
+
+class BluesteinPlan:
+    """Precomputed chirp tables + padded convolution plans for one length."""
+
+    def __init__(self, n: int, sign: int = -1):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if sign not in (-1, +1):
+            raise ValueError("sign must be -1 or +1")
+        self.n = n
+        self.sign = sign
+        m = 1
+        while m < 2 * n - 1:
+            m *= 2
+        self.m = m
+        k = np.arange(n)
+        # chirp[k] = exp(sign * 1j*pi*k^2/n); use mod 2n to keep the argument
+        # small and the table numerically exact for large n.
+        self.chirp = np.exp(sign * 1j * np.pi * ((k * k) % (2 * n)) / n)
+        b = np.zeros(m, dtype=np.complex128)
+        b[:n] = np.conj(self.chirp)
+        b[m - n + 1 :] = np.conj(self.chirp[1:][::-1])
+        self._fwd = StockhamPlan(m, -1)
+        self._inv = StockhamPlan(m, +1)
+        self._bhat = self._fwd(b)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape[-1] != self.n:
+            raise ValueError(f"last axis has length {x.shape[-1]}, plan is for {self.n}")
+        lead = x.shape[:-1]
+        flat = x.reshape(-1, self.n)
+        a = np.zeros((flat.shape[0], self.m), dtype=np.complex128)
+        a[:, : self.n] = flat * self.chirp
+        conv = self._inv(self._fwd(a) * self._bhat)
+        out = conv[:, : self.n] * self.chirp
+        if self.sign == +1:
+            out = out / self.n
+        return out.reshape(lead + (self.n,))
+
+
+@lru_cache(maxsize=64)
+def _cached_plan(n: int, sign: int) -> BluesteinPlan:
+    return BluesteinPlan(n, sign)
+
+
+def bluestein_fft(x: np.ndarray, sign: int = -1) -> np.ndarray:
+    """Batched arbitrary-length FFT along the last axis."""
+    x = np.asarray(x, dtype=np.complex128)
+    return _cached_plan(x.shape[-1], sign)(x)

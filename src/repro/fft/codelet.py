@@ -1,0 +1,73 @@
+"""Miniature codelet generator: unrolled straight-line DFT leaves.
+
+The paper's §5.2.4: "We unroll the leaf of the fft recursion to exploit
+the instruction-level parallelism."  FFTW does this at scale with genfft;
+this module is the same idea in miniature: for a small leaf size it emits
+straight-line Python source — every butterfly an explicit statement, all
+twiddle constants folded in at generation time — compiles it with
+``compile``/``exec``, and returns the resulting function.  Generated
+codelets are validated against the naive DFT in the tests, and the
+generator doubles as documentation of what "unrolling the leaf" means.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["generate_codelet_source", "get_codelet", "CODELET_SIZES"]
+
+#: Leaf sizes the generator supports (kept small: straight-line code for
+#: size n has O(n^2) statements in this naive-DFT form).
+CODELET_SIZES = (2, 3, 4, 5, 7, 8, 16)
+
+
+def generate_codelet_source(n: int, sign: int = -1) -> str:
+    """Python source of an unrolled size-*n* DFT ``codelet_n(x, out)``.
+
+    The generated function computes ``out[k] = sum_j w^{jk} x[j]`` with
+    every product an explicit statement; multiplications by exact 1, -1,
+    i, -i are strength-reduced at generation time (the ILP/register-level
+    optimization of §5.2.4, in spirit).
+    """
+    if n not in CODELET_SIZES:
+        raise ValueError(f"codelet size must be one of {CODELET_SIZES}")
+    if sign not in (-1, +1):
+        raise ValueError("sign must be -1 or +1")
+    lines = [
+        f"def codelet_{n}(x, out):",
+        f'    """Unrolled {n}-point DFT (generated; sign={sign})."""',
+    ]
+    # load phase: give every input a register name
+    for j in range(n):
+        lines.append(f"    x{j} = x[{j}]")
+    w = np.exp(sign * 2j * np.pi / n)
+    for k in range(n):
+        terms = []
+        for j in range(n):
+            c = w ** ((j * k) % n)
+            # strength-reduce the exact constants
+            if abs(c - 1) < 1e-14:
+                terms.append(f"x{j}")
+            elif abs(c + 1) < 1e-14:
+                terms.append(f"-x{j}")
+            elif abs(c - 1j) < 1e-14:
+                terms.append(f"1j*x{j}")
+            elif abs(c + 1j) < 1e-14:
+                terms.append(f"-1j*x{j}")
+            else:
+                terms.append(f"complex({float(c.real)!r}, "
+                             f"{float(c.imag)!r})*x{j}")
+        lines.append(f"    out[{k}] = " + " + ".join(terms))
+    lines.append("    return out")
+    return "\n".join(lines).replace("+ -", "- ")
+
+
+@lru_cache(maxsize=64)
+def get_codelet(n: int, sign: int = -1):
+    """Compile (once) and return the unrolled ``codelet(x, out)`` callable."""
+    source = generate_codelet_source(n, sign)
+    namespace: dict = {}
+    exec(compile(source, f"<codelet_{n}>", "exec"), namespace)
+    return namespace[f"codelet_{n}"]

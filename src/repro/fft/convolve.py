@@ -1,0 +1,40 @@
+"""Fast circular convolution/correlation via the library's own FFTs.
+
+The convolution theorem utilities every FFT library ships; built on the
+plan dispatcher so smooth sizes use Stockham and anything else Bluestein.
+(The SOI *oversampling* convolution in `repro.core.convolution` is a
+different, structured operator; this module is the generic service.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.plan import get_plan
+
+__all__ = ["fft_convolve", "fft_correlate"]
+
+
+def fft_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Circular convolution of equal-length 1-D arrays: ifft(fft(a)*fft(b))."""
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("expected two equal-length, non-empty 1-D arrays")
+    n = a.size
+    fwd = get_plan(n, -1)
+    return get_plan(n, +1)(fwd(a) * fwd(b))
+
+
+def fft_correlate(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Circular cross-correlation: ifft(fft(a) * conj(fft(b))).
+
+    ``out[k] = sum_n a[n + k] * conj(b[n])`` (periodic lag convention).
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    b = np.asarray(b, dtype=np.complex128)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("expected two equal-length, non-empty 1-D arrays")
+    n = a.size
+    fwd = get_plan(n, -1)
+    return get_plan(n, +1)(fwd(a) * np.conj(fwd(b)))

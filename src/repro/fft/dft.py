@@ -1,0 +1,40 @@
+"""Naive O(N^2) discrete Fourier transform — the test oracle.
+
+Every fast kernel in :mod:`repro.fft` is validated against this module.
+The forward transform uses the engineering sign convention (matching
+``numpy.fft``):  ``y[k] = sum_n x[n] * exp(-2j*pi*n*k/N)``; the inverse
+scales by ``1/N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft", "dft_matrix", "idft"]
+
+
+def dft_matrix(n: int, sign: int = -1, dtype=np.complex128) -> np.ndarray:
+    """The n-by-n DFT matrix ``F[k, j] = exp(sign * 2j*pi*k*j/n)``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if sign not in (-1, +1):
+        raise ValueError("sign must be -1 (forward) or +1 (inverse)")
+    k = np.arange(n)
+    return np.exp(sign * 2j * np.pi * np.outer(k, k) / n).astype(dtype)
+
+
+def dft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT along *axis* by direct matrix multiplication."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[axis]
+    f = dft_matrix(n, sign=-1)
+    return np.moveaxis(np.tensordot(f, np.moveaxis(x, axis, 0), axes=1), 0, axis)
+
+
+def idft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse DFT along *axis* (scaled by 1/N) by direct matrix multiply."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[axis]
+    f = dft_matrix(n, sign=+1)
+    out = np.tensordot(f, np.moveaxis(x, axis, 0), axes=1) / n
+    return np.moveaxis(out, 0, axis)

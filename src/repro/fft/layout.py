@@ -1,0 +1,69 @@
+"""Complex-array memory layouts: AoS vs SoA (paper §5.2.4).
+
+The paper's kernels use Struct-of-Arrays internally ("avoids gather and
+scatter or cross-lane operations") while the interface also supports
+Array-of-Structs "to increase mpi packet lengths by sending reals and
+imaginaries together".  This module makes the two layouts and their
+packet-length consequences explicit: an SoA wire format splits every
+message into separate real and imaginary packets (half the length each),
+an AoS format keeps one full-length packet — which is what sustains MPI
+bandwidth at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SoAView", "from_aos", "to_aos", "packet_lengths"]
+
+
+@dataclass
+class SoAView:
+    """Struct-of-Arrays representation: separate real/imag planes."""
+
+    real: np.ndarray
+    imag: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.real.shape != self.imag.shape:
+            raise ValueError("real and imag planes must have equal shapes")
+        if self.real.dtype != np.float64 or self.imag.dtype != np.float64:
+            raise ValueError("planes must be float64")
+
+    @property
+    def nbytes(self) -> int:
+        return self.real.nbytes + self.imag.nbytes
+
+    def to_complex(self) -> np.ndarray:
+        """Materialize the interleaved complex array (AoS)."""
+        return self.real + 1j * self.imag
+
+
+def from_aos(x: np.ndarray) -> SoAView:
+    """Split an interleaved complex array into SoA planes (copies)."""
+    x = np.asarray(x, dtype=np.complex128)
+    return SoAView(np.ascontiguousarray(x.real), np.ascontiguousarray(x.imag))
+
+
+def to_aos(view: SoAView) -> np.ndarray:
+    """Interleave SoA planes back into a complex array."""
+    return view.to_complex()
+
+
+def packet_lengths(n_elements: int, layout: str) -> list[int]:
+    """Wire packet lengths (bytes) for one message of complex elements.
+
+    AoS: one interleaved packet of 16 bytes/element.  SoA: two packets
+    (reals, then imaginaries) of 8 bytes/element each — half the length,
+    which on a rampy network sustains less bandwidth (§5.2.4's rationale
+    for the AoS interface option).
+    """
+    if n_elements < 0:
+        raise ValueError("n_elements must be non-negative")
+    if layout == "aos":
+        return [16 * n_elements]
+    if layout == "soa":
+        return [8 * n_elements, 8 * n_elements]
+    raise ValueError("layout must be 'aos' or 'soa'")

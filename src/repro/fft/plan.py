@@ -1,0 +1,59 @@
+"""Top-level FFT entry points: plan cache + length-based dispatch.
+
+``fft``/``ifft`` pick the fastest applicable kernel:
+
+* power-of-two and (2,3,5,7)-smooth lengths -> Stockham engine,
+* anything else -> Bluestein chirp-z.
+
+This mirrors the role MKL's DFTI plans play in the paper's node-local
+code: users express *what* to transform, the library picks *how*.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fft.bitops import mixed_radix_factors
+from repro.fft.bluestein import BluesteinPlan
+from repro.fft.stockham import StockhamPlan
+
+__all__ = ["fft", "ifft", "get_plan"]
+
+
+@lru_cache(maxsize=256)
+def _cached_plan(n: int, sign: int, dtype_str: str):
+    if mixed_radix_factors(n) is not None:
+        return StockhamPlan(n, sign, dtype=np.dtype(dtype_str).type)
+    if dtype_str != "complex128":
+        raise ValueError("single-precision plans are only available for "
+                         "(2,3,5,7)-smooth lengths (Bluestein's chirp "
+                         "tables need double precision)")
+    return BluesteinPlan(n, sign)
+
+
+def get_plan(n: int, sign: int = -1, dtype=np.complex128):
+    """Return a cached callable plan for length, direction, and precision."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return _cached_plan(n, sign, np.dtype(dtype).name)
+
+
+def _transform(x: np.ndarray, axis: int, sign: int) -> np.ndarray:
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim == 0:
+        raise ValueError("input must have at least one dimension")
+    moved = np.moveaxis(x, axis, -1)
+    plan = get_plan(moved.shape[-1], sign)
+    return np.moveaxis(plan(moved), -1, axis)
+
+
+def fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT along *axis* (unscaled, numpy convention)."""
+    return _transform(x, axis, -1)
+
+
+def ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Inverse DFT along *axis* (scaled by 1/N, numpy convention)."""
+    return _transform(x, axis, +1)

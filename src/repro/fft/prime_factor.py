@@ -1,0 +1,90 @@
+"""Good-Thomas prime-factor algorithm (PFA): twiddle-free decomposition.
+
+For coprime factors ``n = n1 * n2`` the Chinese Remainder Theorem turns
+the 1-D DFT into a true 2-D DFT with **no twiddle factors** between the
+stages — the multiplication count the Cooley-Tukey split pays for general
+factorizations disappears.  A classic member of every complete FFT
+library (FFTW generates PFA codelets), included here both for substrate
+completeness and as the natural partner of :mod:`repro.fft.rader`.
+
+Index maps (with ``n1*n2 = n``, ``gcd(n1, n2) = 1``):
+
+* input  (Ruritanian): ``j = (j1*n2 + j2*n1) mod n``
+* output (CRT):        ``k ≡ k1 (mod n1)``, ``k ≡ k2 (mod n2)``
+
+giving ``X[k(k1,k2)] = sum_{j1,j2} x[j(j1,j2)] w_{n1}^{j1 k1} w_{n2}^{j2 k2}``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import gcd
+
+import numpy as np
+
+from repro.fft.plan import get_plan
+
+__all__ = ["PrimeFactorPlan", "pfa_fft", "crt_maps"]
+
+
+def crt_maps(n1: int, n2: int) -> tuple[np.ndarray, np.ndarray]:
+    """(input_map, output_map) index vectors for the PFA of n = n1*n2.
+
+    ``input_map[j1*n2 + j2]`` is where x[j(j1,j2)] lives in the natural
+    input; ``output_map[k1*n2 + k2]`` is where X[k(k1,k2)] lands.
+    """
+    if gcd(n1, n2) != 1:
+        raise ValueError(f"factors must be coprime, got gcd={gcd(n1, n2)}")
+    n = n1 * n2
+    j1 = np.arange(n1)[:, None]
+    j2 = np.arange(n2)[None, :]
+    input_map = ((j1 * n2 + j2 * n1) % n).reshape(-1)
+    # CRT reconstruction: k = (k1 * n2 * inv(n2, n1) + k2 * n1 * inv(n1, n2)) mod n
+    inv_n2_mod_n1 = pow(n2, -1, n1) if n1 > 1 else 0
+    inv_n1_mod_n2 = pow(n1, -1, n2) if n2 > 1 else 0
+    k1 = np.arange(n1)[:, None]
+    k2 = np.arange(n2)[None, :]
+    output_map = ((k1 * n2 * inv_n2_mod_n1 + k2 * n1 * inv_n1_mod_n2) % n
+                  ).reshape(-1)
+    return input_map.astype(np.int64), output_map.astype(np.int64)
+
+
+class PrimeFactorPlan:
+    """Twiddle-free FFT for ``n = n1 * n2`` with coprime factors."""
+
+    def __init__(self, n1: int, n2: int, sign: int = -1):
+        if n1 < 1 or n2 < 1:
+            raise ValueError("factors must be positive")
+        self.n1, self.n2 = n1, n2
+        self.n = n1 * n2
+        self.sign = sign
+        self.input_map, self.output_map = crt_maps(n1, n2)
+        self._plan1 = get_plan(n1, sign)
+        self._plan2 = get_plan(n2, sign)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape[-1] != self.n:
+            raise ValueError(f"last axis must have length {self.n}")
+        lead = x.shape[:-1]
+        flat = x.reshape(-1, self.n)
+        # gather into the Ruritanian 2-D layout
+        grid = flat[:, self.input_map].reshape(-1, self.n1, self.n2)
+        # row DFTs (n2) then column DFTs (n1) — NO twiddles in between.
+        # For sign=+1 each sub-plan scales by 1/n1 resp. 1/n2, so the
+        # composite is the correctly 1/n-scaled inverse with no fix-up.
+        grid = self._plan2(grid)
+        grid = np.swapaxes(self._plan1(np.swapaxes(grid, 1, 2)), 1, 2)
+        out = np.empty_like(flat)
+        out[:, self.output_map] = grid.reshape(-1, self.n)
+        return out.reshape(lead + (self.n,))
+
+
+@lru_cache(maxsize=64)
+def _cached(n1: int, n2: int, sign: int) -> PrimeFactorPlan:
+    return PrimeFactorPlan(n1, n2, sign)
+
+
+def pfa_fft(x: np.ndarray, n1: int, n2: int, sign: int = -1) -> np.ndarray:
+    """One-shot PFA transform of the last axis (n1, n2 coprime)."""
+    return _cached(n1, n2, sign)(np.asarray(x, dtype=np.complex128))

@@ -1,0 +1,103 @@
+"""Rader's algorithm: prime-length DFT as a cyclic convolution.
+
+For prime p, the non-DC part of the DFT is a length-(p-1) cyclic
+convolution under the index permutation of a primitive root g of Z_p^*:
+
+``X[g^{-m}] - x[0] = sum_q x[g^q] * w^{g^{q-m}}``
+
+The convolution is evaluated with the library's own FFT convolution
+(:func:`repro.fft.convolve.fft_convolve`) on the length-(p-1) sequences,
+so a prime size reduces to a composite one — the other classic route to
+arbitrary lengths besides Bluestein, included for substrate completeness
+and cross-validated against it in the tests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fft.convolve import fft_convolve
+
+__all__ = ["RaderPlan", "primitive_root", "rader_fft"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def primitive_root(p: int) -> int:
+    """Smallest primitive root modulo a prime *p*."""
+    if not _is_prime(p):
+        raise ValueError(f"{p} is not prime")
+    if p == 2:
+        return 1
+    phi = p - 1
+    factors = set()
+    m, f = phi, 2
+    while f * f <= m:
+        while m % f == 0:
+            factors.add(f)
+            m //= f
+        f += 1
+    if m > 1:
+        factors.add(m)
+    for g in range(2, p):
+        if all(pow(g, phi // q, p) != 1 for q in factors):
+            return g
+    raise RuntimeError("no primitive root found")  # pragma: no cover
+
+
+class RaderPlan:
+    """Prime-length DFT via one length-(p-1) cyclic convolution."""
+
+    def __init__(self, p: int, sign: int = -1):
+        if not _is_prime(p) or p < 3:
+            raise ValueError("RaderPlan needs an odd prime length")
+        if sign not in (-1, +1):
+            raise ValueError("sign must be -1 or +1")
+        self.p = p
+        self.sign = sign
+        g = primitive_root(p)
+        m = p - 1
+        # permutations: g^q mod p and its inverse sequence g^{-q} mod p
+        self.gq = np.array([pow(g, q, p) for q in range(m)], dtype=np.int64)
+        g_inv = pow(g, -1, p)
+        self.g_inv_q = np.array([pow(g_inv, q, p) for q in range(m)],
+                                dtype=np.int64)
+        # convolution kernel: w^{g^{-q}}
+        self.kernel = np.exp(sign * 2j * np.pi * self.g_inv_q / p)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape != (self.p,):
+            raise ValueError(f"expected a 1-D array of length {self.p}")
+        p = self.p
+        out = np.empty(p, dtype=np.complex128)
+        out[0] = x.sum()
+        a = x[self.gq]  # x[g^q]
+        conv = fft_convolve(a, self.kernel)
+        # X[g^{-m}] = x[0] + conv[m]
+        out[self.g_inv_q] = x[0] + conv
+        if self.sign == +1:
+            out /= p
+        return out
+
+
+@lru_cache(maxsize=64)
+def _cached(p: int, sign: int) -> RaderPlan:
+    return RaderPlan(p, sign)
+
+
+def rader_fft(x: np.ndarray, sign: int = -1) -> np.ndarray:
+    """One-shot Rader transform of an odd-prime-length vector."""
+    x = np.asarray(x, dtype=np.complex128)
+    return _cached(x.size, sign)(x)

@@ -1,0 +1,88 @@
+"""Real-input FFTs built on the complex kernels.
+
+HPC FFT libraries expose real transforms because half the spectrum is
+redundant (conjugate symmetry).  Two classic constructions are provided,
+both layered on the library's own complex kernels (never ``numpy.fft``):
+
+* :func:`rfft` — the half-length trick: pack the 2n real samples into an
+  n-point complex signal, transform, and untangle with the split radix
+  post-pass.  Cost: one complex FFT of half the length.
+* :func:`rfft_pair` — transform two real signals with a single complex
+  FFT (the other classic), used e.g. for batched real workloads.
+
+Both return the ``n//2 + 1`` non-redundant bins in ``numpy.fft.rfft``
+convention; :func:`irfft` inverts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.plan import get_plan
+
+__all__ = ["irfft", "rfft", "rfft_pair"]
+
+
+def rfft(x: np.ndarray) -> np.ndarray:
+    """DFT of a real signal; returns bins [0, n/2] (numpy rfft convention).
+
+    Requires even length (the half-length packing splits the signal into
+    even/odd interleaved halves).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("rfft expects a 1-D real array")
+    n = x.size
+    if n % 2 or n == 0:
+        raise ValueError("rfft requires positive even length")
+    half = n // 2
+    # pack even samples as real part, odd samples as imaginary part
+    z = x[0::2] + 1j * x[1::2]
+    zf = get_plan(half, -1)(z)
+    # untangle: X_e[k] and X_o[k] from Z[k] and conj(Z[half-k])
+    k = np.arange(half)
+    z_sym = np.conj(zf[(-k) % half])
+    xe = 0.5 * (zf + z_sym)
+    xo = -0.5j * (zf - z_sym)
+    w = np.exp(-2j * np.pi * k / n)
+    out = np.empty(half + 1, dtype=np.complex128)
+    out[:half] = xe + w * xo
+    out[half] = (xe[0] - xo[0]).real + 0.0j  # Nyquist bin is real
+    return out
+
+
+def irfft(spectrum: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft`: real signal from bins [0, n/2]."""
+    s = np.asarray(spectrum, dtype=np.complex128)
+    if s.ndim != 1 or s.size < 2:
+        raise ValueError("irfft expects a 1-D spectrum of length >= 2")
+    if n is None:
+        n = 2 * (s.size - 1)
+    if n != 2 * (s.size - 1):
+        raise ValueError("n must equal 2*(len(spectrum)-1)")
+    half = n // 2
+    # rebuild the full spectrum by conjugate symmetry, then inverse FFT
+    full = np.empty(n, dtype=np.complex128)
+    full[: half + 1] = s
+    full[half + 1:] = np.conj(s[1:half][::-1])
+    x = get_plan(n, +1)(full)
+    return x.real
+
+
+def rfft_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """DFTs of two equal-length real signals from ONE complex FFT.
+
+    Returns the two half-spectra (numpy rfft convention).  Any length
+    supported by the complex kernels works.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise ValueError("rfft_pair expects two equal-length 1-D real arrays")
+    n = a.size
+    zf = get_plan(n, -1)(a + 1j * b)
+    k = np.arange(n // 2 + 1)
+    z_sym = np.conj(zf[(-k) % n])
+    fa = 0.5 * (zf[k] + z_sym)
+    fb = -0.5j * (zf[k] - z_sym)
+    return fa, fb

@@ -1,0 +1,210 @@
+"""Bailey's 6-step algorithm for large node-local 1D FFTs (paper §5.2).
+
+Two faithful variants are provided:
+
+* ``naive``  — Fig 4(a): explicit transposes and separate passes,
+  13 memory sweeps (1 ld + 1 st per transpose/FFT pass, 2 ld + 1 st for
+  the twiddle pass).
+* ``optimized`` — Fig 4(b): steps 1-4 fused into a panel loop over
+  8 columns at a time (copy panel -> 8 simultaneous P-point FFTs ->
+  twiddle from *split* tables -> permuted write-back), and steps 5-6
+  fused into a panel loop over 8 rows (8 M-point FFTs -> optional fused
+  demodulation -> permuted write-back); 4 memory sweeps, non-temporal
+  stores.
+
+Both produce bit-identical results (they are the same factorization); the
+difference is recorded in a :class:`~repro.machine.memory.SweepLedger`, the
+unit in which the paper argues its Fig 10 speedups.
+
+Math (N = n1*n2, input x[j1*n2 + j2], output y[k1 + k2*n1]):
+``y[k1 + k2*n1] = F_{n2}( w_N^{j2*k1} * F_{n1}(x[:, j2])[k1] )[k2]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.bitops import split_balanced
+from repro.fft.plan import get_plan
+from repro.fft.stockham import fft_flops
+from repro.fft.twiddle import SplitTwiddle, twiddle_matrix
+from repro.machine.memory import SweepLedger
+
+__all__ = ["SixStepResult", "sixstep_fft", "SIXSTEP_VARIANTS"]
+
+SIXSTEP_VARIANTS = ("naive", "optimized")
+
+
+@dataclass
+class SixStepResult:
+    """Output of :func:`sixstep_fft` plus its memory-traffic ledger."""
+
+    output: np.ndarray
+    ledger: SweepLedger
+    n1: int
+    n2: int
+
+    @property
+    def flops(self) -> float:
+        """Nominal 5 N log2 N flop count of the transform."""
+        return fft_flops(self.output.size)
+
+
+def _check_args(x: np.ndarray, n1: int | None, n2: int | None) -> tuple[int, int]:
+    n = x.shape[-1]
+    if x.ndim != 1:
+        raise ValueError("sixstep_fft expects a 1-D input vector")
+    if n1 is None or n2 is None:
+        n1, n2 = split_balanced(n)
+    if n1 * n2 != n:
+        raise ValueError(f"n1*n2 = {n1 * n2} != n = {n}")
+    if n1 < 1 or n2 < 1:
+        raise ValueError("factors must be positive")
+    return n1, n2
+
+
+def sixstep_fft(
+    x: np.ndarray,
+    n1: int | None = None,
+    n2: int | None = None,
+    *,
+    variant: str = "optimized",
+    sign: int = -1,
+    diagonal: np.ndarray | None = None,
+    panel: int = 8,
+) -> SixStepResult:
+    """Large 1-D FFT via the 6-step decomposition.
+
+    Parameters
+    ----------
+    x:
+        Complex input vector of length ``n1 * n2``.
+    n1, n2:
+        The 2-D decomposition (defaults to the balanced split).
+    variant:
+        ``"naive"`` (Fig 4a, 13 sweeps) or ``"optimized"`` (Fig 4b, 4 sweeps).
+    sign:
+        -1 forward / +1 inverse (inverse scaled by 1/N).
+    diagonal:
+        Optional length-N diagonal applied to the output.  In the optimized
+        variant it is *fused* into the step-5/6 panel loop — the paper's
+        "saving bandwidth by fusing demodulation and FFT" (§5.2.4), saving
+        two of the three sweeps a separate scaling pass would cost.
+    panel:
+        Panel width of the fused loops (8 on Xeon Phi = one cache line of
+        doubles).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n1, n2 = _check_args(x, n1, n2)
+    if variant not in SIXSTEP_VARIANTS:
+        raise ValueError(f"variant must be one of {SIXSTEP_VARIANTS}")
+    if panel < 1:
+        raise ValueError("panel must be >= 1")
+    if diagonal is not None:
+        diagonal = np.asarray(diagonal, dtype=np.complex128)
+        if diagonal.shape != (n1 * n2,):
+            raise ValueError("diagonal must have length n1*n2")
+    if variant == "naive":
+        out, ledger = _sixstep_naive(x, n1, n2, sign, diagonal)
+    else:
+        out, ledger = _sixstep_optimized(x, n1, n2, sign, diagonal, panel)
+    if sign == +1:
+        out = out / (n1 * n2)
+    return SixStepResult(out, ledger, n1, n2)
+
+
+def _sixstep_naive(x, n1, n2, sign, diagonal):
+    n = n1 * n2
+    led = SweepLedger()
+    itemsize = 16
+    a = x.reshape(n1, n2)
+
+    # step 1: transpose n1 x n2 -> n2 x n1 (strided read or write)
+    t1 = np.ascontiguousarray(a.T)
+    led.load("step1 transpose", n, stride_bytes=n2 * itemsize)
+    led.store("step1 transpose", n)
+
+    # step 2: n2 FFTs of length n1 (rows of t1)
+    t2 = get_plan(n1, sign)(t1)
+    if sign == +1:
+        t2 = t2 * n1  # undo the per-plan 1/n1; global 1/N applied by caller
+    led.load("step2 FFT", n)
+    led.store("step2 FFT", n)
+
+    # step 3: twiddle multiplication with the full table (2 loads, 1 store)
+    tw = twiddle_matrix(n2, n1, sign)  # tw[j2, k1] = w_N^{j2*k1}
+    t3 = t2 * tw
+    led.load("step3 twiddle data", n)
+    led.load("step3 twiddle table", n)
+    led.store("step3 twiddle", n)
+
+    # step 4: transpose n2 x n1 -> n1 x n2
+    t4 = np.ascontiguousarray(t3.T)
+    led.load("step4 transpose", n, stride_bytes=n1 * itemsize)
+    led.store("step4 transpose", n)
+
+    # step 5: n1 FFTs of length n2 (rows)
+    t5 = get_plan(n2, sign)(t4)
+    if sign == +1:
+        t5 = t5 * n2
+    led.load("step5 FFT", n)
+    led.store("step5 FFT", n)
+
+    # step 6: transpose n1 x n2 -> n2 x n1; flatten row-major:
+    # y[k2*n1 + k1] = t5[k1, k2]
+    out = np.ascontiguousarray(t5.T).reshape(n)
+    led.load("step6 transpose", n, stride_bytes=n2 * itemsize)
+    led.store("step6 transpose", n)
+
+    if diagonal is not None:
+        # separate demodulation pass: 1 load data + 1 load constants + 1 store
+        out = out * diagonal
+        led.load("demod data", n)
+        led.load("demod constants", n)
+        led.store("demod", n)
+    return out, led
+
+
+def _sixstep_optimized(x, n1, n2, sign, diagonal, panel):
+    n = n1 * n2
+    led = SweepLedger()
+    a = x.reshape(n1, n2)
+    split = SplitTwiddle(n, sign)
+    k1_idx = np.arange(n1)
+
+    # --- steps 1-4 fused: one load of x, one (non-temporal) store of c ---
+    c = np.empty((n1, n2), dtype=np.complex128)  # c[k1, j2]
+    plan1 = get_plan(n1, sign)
+    for j0 in range(0, n2, panel):
+        j1 = min(j0 + panel, n2)
+        cols = np.ascontiguousarray(a[:, j0:j1].T)  # copy panel to buffer
+        f = plan1(cols)  # <=panel simultaneous n1-point FFTs (outer-loop SIMD)
+        if sign == +1:
+            f = f * n1
+        tw = split.block_matrix(np.arange(j0, j1), k1_idx)  # w_N^{j2*k1}
+        c[:, j0:j1] = (f * tw).T  # permute and write back
+    led.load("steps1-4 load", n)
+    led.store("steps1-4 store", n, non_temporal=True)
+    # split twiddle tables are O(sqrt N): negligible but recorded honestly
+    led.load("twiddle tables", split.table_entries, stride_bytes=16)
+
+    # --- steps 5-6 fused: one load of c, one permuted non-temporal store ---
+    out = np.empty(n, dtype=np.complex128)
+    out2d = out.reshape(n2, n1)  # out[k2*n1 + k1] view
+    plan2 = get_plan(n2, sign)
+    diag2d = diagonal.reshape(n2, n1) if diagonal is not None else None
+    for r0 in range(0, n1, panel):
+        r1 = min(r0 + panel, n1)
+        rows = plan2(c[r0:r1, :])  # <=panel n2-point FFTs
+        if sign == +1:
+            rows = rows * n2
+        if diag2d is not None:
+            rows = rows * diag2d[:, r0:r1].T  # fused demodulation
+        out2d[:, r0:r1] = rows.T  # permuted write back
+    led.load("steps5-6 load", n)
+    led.store("steps5-6 store", n, non_temporal=True, stride_bytes=n1 * 16)
+    if diagonal is not None:
+        led.load("demod constants (fused)", n)
+    return out, led

@@ -1,0 +1,181 @@
+"""Batched iterative Stockham autosort FFT — the workhorse kernel.
+
+The Stockham formulation avoids the bit-reversal pass of classic
+Cooley-Tukey by ping-ponging between two buffers and interleaving outputs,
+so every stage reads and writes contiguous blocks — the same property the
+paper exploits on Xeon Phi to keep all FFT stages streaming-friendly.
+
+The engine is generic over the radix sequence: radix-4/8 stages (fewer
+passes, mirroring the paper's "we use radix 8 and 16" register-level
+choice) with a generic small-DFT butterfly fallback for odd radices
+(3, 5, 7, ...) used by the mixed-radix front end.
+
+All kernels operate on 2-D arrays ``(batch, n)`` and vectorize across both
+the batch (the paper's outer-loop vectorization of 8 simultaneous FFTs)
+and the butterflies within a transform (inner-loop vectorization).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.fft.bitops import factorize_radices, is_power_of_two, mixed_radix_factors
+
+__all__ = ["StockhamPlan", "fft_stockham", "fft_flops", "stage_count"]
+
+
+def fft_flops(n: int) -> float:
+    """Nominal flop count 5*N*log2(N) used throughout the paper."""
+    if n <= 1:
+        return 0.0
+    return 5.0 * n * np.log2(n)
+
+
+@lru_cache(maxsize=None)
+def _butterfly_matrix(r: int, sign: int) -> np.ndarray:
+    """The r-by-r DFT matrix used as the radix-r butterfly."""
+    u = np.arange(r)
+    return np.exp(sign * 2j * np.pi * np.outer(u, u) / r)
+
+
+class _Stage:
+    """One Stockham pass: current sub-length n, stride s, radix r."""
+
+    __slots__ = ("n", "s", "r", "tw")
+
+    def __init__(self, n: int, s: int, r: int, sign: int):
+        self.n = n
+        self.s = s
+        self.r = r
+        m = n // r
+        # tw[p, u] = w_n^{u*p} for p in [0, m), u in [0, r)
+        p = np.arange(m)[:, None]
+        u = np.arange(r)[None, :]
+        self.tw = np.exp(sign * 2j * np.pi * (p * u) / n)
+
+
+class StockhamPlan:
+    """Precomputed plan for batched FFTs of one length and direction.
+
+    Parameters
+    ----------
+    n:
+        Transform length.  Must factor into the supported radices
+        (2, 3, 4, 5, 7, 8 by default); arbitrary lengths go through
+        :mod:`repro.fft.bluestein` instead.
+    sign:
+        -1 for the forward transform, +1 for the inverse.  The inverse is
+        scaled by 1/n (matching ``numpy.fft.ifft``).
+    radices:
+        Optional explicit radix sequence whose product must equal *n*.
+    dtype:
+        ``numpy.complex128`` (default) or ``numpy.complex64`` — single
+        precision matches the GPU/Cell implementations the paper's §8.4
+        compares against (Chow et al.'s 2^24-point single-precision FFT).
+    """
+
+    def __init__(self, n: int, sign: int = -1, radices: list[int] | None = None,
+                 dtype=np.complex128):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if sign not in (-1, +1):
+            raise ValueError("sign must be -1 or +1")
+        if dtype not in (np.complex64, np.complex128):
+            raise ValueError("dtype must be complex64 or complex128")
+        self.n = n
+        self.sign = sign
+        self.dtype = np.dtype(dtype)
+        if radices is None:
+            if is_power_of_two(n):
+                radices = factorize_radices(n, radices=(4, 2))
+            else:
+                radices = mixed_radix_factors(n)
+                if radices is None:
+                    raise ValueError(
+                        f"n={n} is not smooth over (2,3,5,7); use bluestein_fft"
+                    )
+        if int(np.prod(radices)) != n:
+            raise ValueError(f"radices {radices} do not multiply to {n}")
+        self.radices = list(radices)
+        self._stages: list[_Stage] = []
+        cur_n, cur_s = n, 1
+        for r in self.radices:
+            st = _Stage(cur_n, cur_s, r, sign)
+            st.tw = st.tw.astype(self.dtype)
+            self._stages.append(st)
+            cur_n //= r
+            cur_s *= r
+        self._rot90 = self.dtype.type(1j * sign)  # i*sign in working precision
+
+    # -- execution -----------------------------------------------------
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Transform along the last axis; any leading shape is the batch."""
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape[-1] != self.n:
+            raise ValueError(f"last axis has length {x.shape[-1]}, plan is for {self.n}")
+        lead = x.shape[:-1]
+        flat = x.reshape(-1, self.n)
+        out = self._execute(flat)
+        if self.sign == +1:
+            out = out / self.n
+        return out.reshape(lead + (self.n,))
+
+    def _execute(self, x: np.ndarray) -> np.ndarray:
+        batch = x.shape[0]
+        cur = x.copy()
+        buf = np.empty_like(cur)
+        for st in self._stages:
+            self._apply_stage(cur, buf, st)
+            cur, buf = buf, cur
+        return cur
+
+    def _apply_stage(self, cur: np.ndarray, out: np.ndarray, st: _Stage) -> None:
+        batch = cur.shape[0]
+        n, s, r = st.n, st.s, st.r
+        m = n // r
+        c = cur.reshape(batch, r, m, s)
+        o = out.reshape(batch, m, r, s)
+        if r == 2:
+            a, b = c[:, 0], c[:, 1]
+            o[:, :, 0, :] = a + b
+            np.multiply(a - b, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+        elif r == 4:
+            c0, c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
+            ap, am = c0 + c2, c0 - c2
+            bp, bm = c1 + c3, c1 - c3
+            jbm = self._rot90 * bm
+            o[:, :, 0, :] = ap + bp
+            np.multiply(am + jbm, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+            np.multiply(ap - bp, st.tw[None, :, 2, None], out=o[:, :, 2, :])
+            np.multiply(am - jbm, st.tw[None, :, 3, None], out=o[:, :, 3, :])
+        else:
+            omega = _butterfly_matrix(r, self.sign).astype(self.dtype)
+            # t[b, u, p, s] = sum_j omega[u, j] * c[b, j, p, s]
+            t = np.einsum("uj,bjps->bpus", omega, c, optimize=True)
+            np.multiply(t.astype(self.dtype, copy=False),
+                        st.tw[None, :, :, None], out=o)
+
+    @property
+    def flops(self) -> float:
+        """Nominal flop count per transform (5 n log2 n)."""
+        return fft_flops(self.n)
+
+
+def stage_count(n: int) -> int:
+    """Number of Stockham passes for a power-of-two length (radix-4 biased)."""
+    return len(factorize_radices(n, radices=(4, 2)))
+
+
+@lru_cache(maxsize=128)
+def _cached_plan(n: int, sign: int) -> StockhamPlan:
+    return StockhamPlan(n, sign)
+
+
+def fft_stockham(x: np.ndarray, sign: int = -1) -> np.ndarray:
+    """Convenience wrapper: batched Stockham FFT along the last axis."""
+    x = np.asarray(x, dtype=np.complex128)
+    plan = _cached_plan(x.shape[-1], sign)
+    return plan(x)

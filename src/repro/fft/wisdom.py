@@ -1,0 +1,122 @@
+"""Empirical plan tuning and wisdom (FFTW-style), in miniature.
+
+The paper's "we use radix 8 and 16, case by case" (§5.2.4) is an
+empirical statement: the best radix decomposition depends on the size and
+the machine.  This module makes that choice measurable and persistent:
+
+* :func:`candidate_radix_plans` enumerates sensible decompositions;
+* :func:`tune` times them on representative data and records the winner;
+* :class:`Wisdom` stores the winners and serializes to/from JSON, so a
+  deployment tunes once and replans instantly afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.fft.bitops import is_power_of_two, mixed_radix_factors
+from repro.fft.stockham import StockhamPlan
+
+__all__ = ["Wisdom", "candidate_radix_plans", "tune"]
+
+
+def candidate_radix_plans(n: int) -> list[list[int]]:
+    """Reasonable radix decompositions of *n* (greedy ladders).
+
+    Power-of-two sizes get the radix-16/8/4/2 greedy ladders; other smooth
+    sizes get the prime factorization (unique up to order) in ascending
+    and descending order.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    out: list[list[int]] = []
+    if is_power_of_two(n):
+        for ladder in ((4, 2), (8, 4, 2), (16, 8, 4, 2), (2,)):
+            m, plan = n, []
+            while m > 1:
+                for r in ladder:
+                    if m % r == 0:
+                        plan.append(r)
+                        m //= r
+                        break
+            if plan not in out:
+                out.append(plan)
+        return out
+    factors = mixed_radix_factors(n)
+    if factors is None:
+        raise ValueError(f"{n} is not smooth over (2,3,5,7); Bluestein "
+                         f"handles it without radix tuning")
+    out.append(factors)
+    if factors[::-1] != factors:
+        out.append(factors[::-1])
+    return out
+
+
+def _time_plan(plan: StockhamPlan, x: np.ndarray, reps: int) -> float:
+    plan(x)  # warm caches and twiddles
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        plan(x)
+    return (time.perf_counter() - t0) / reps
+
+
+def tune(n: int, sign: int = -1, batch: int = 4, reps: int = 3,
+         rng_seed: int = 0) -> tuple[list[int], dict[str, float]]:
+    """Measure all candidates; return (best_radices, timings_by_plan)."""
+    rng = np.random.default_rng(rng_seed)
+    x = rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+    timings: dict[str, float] = {}
+    best: tuple[float, list[int]] | None = None
+    for radices in candidate_radix_plans(n):
+        plan = StockhamPlan(n, sign, radices=radices)
+        t = _time_plan(plan, x, reps)
+        timings[",".join(map(str, radices))] = t
+        if best is None or t < best[0]:
+            best = (t, radices)
+    assert best is not None
+    return best[1], timings
+
+
+class Wisdom:
+    """Persistent map from (n, sign) to the tuned radix decomposition."""
+
+    def __init__(self) -> None:
+        self._best: dict[tuple[int, int], list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return tuple(key) in self._best
+
+    def learn(self, n: int, sign: int = -1, **tune_kwargs) -> list[int]:
+        """Tune size *n* (if unknown) and remember the winner."""
+        key = (n, sign)
+        if key not in self._best:
+            best, _ = tune(n, sign, **tune_kwargs)
+            self._best[key] = best
+        return self._best[key]
+
+    def plan(self, n: int, sign: int = -1) -> StockhamPlan:
+        """A plan using the remembered (or freshly tuned) decomposition."""
+        return StockhamPlan(n, sign, radices=self.learn(n, sign))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = [{"n": n, "sign": s, "radices": r}
+                   for (n, s), r in sorted(self._best.items())]
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Wisdom":
+        w = cls()
+        for entry in json.loads(text):
+            n, sign, radices = entry["n"], entry["sign"], entry["radices"]
+            if int(np.prod(radices)) != n:
+                raise ValueError(f"corrupt wisdom entry for n={n}")
+            w._best[(n, sign)] = list(map(int, radices))
+        return w

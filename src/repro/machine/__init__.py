@@ -1,0 +1,36 @@
+"""Machine-model substrate: node specs, roofline timing, sweeps, caches."""
+
+from repro.machine.cache import CacheSim, CacheStats, TlbSim
+from repro.machine.energy import EnergyModel, EnergyReport
+from repro.machine.memory import PAGE_BYTES, SweepLedger, SweepRecord, tlb_bw_efficiency
+from repro.machine.pipeline import PipelineStats, simulate_smt_pipeline, smt_sweep
+from repro.machine.roofline import (
+    KernelCost,
+    algorithmic_bops_fft,
+    attainable_efficiency,
+    kernel_time,
+)
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, MachineSpec, scaled_machine
+
+__all__ = [
+    "CacheSim",
+    "CacheStats",
+    "EnergyModel",
+    "EnergyReport",
+    "KernelCost",
+    "MachineSpec",
+    "PAGE_BYTES",
+    "PipelineStats",
+    "SweepLedger",
+    "SweepRecord",
+    "TlbSim",
+    "XEON_E5_2680",
+    "XEON_PHI_SE10",
+    "algorithmic_bops_fft",
+    "attainable_efficiency",
+    "kernel_time",
+    "scaled_machine",
+    "simulate_smt_pipeline",
+    "smt_sweep",
+    "tlb_bw_efficiency",
+]

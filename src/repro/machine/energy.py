@@ -1,0 +1,107 @@
+"""Energy model: the paper's other leading constraint, quantified.
+
+§1 opens with "Power consumption and memory bandwidth have now become the
+leading constraints" and cites the exascale study [17], whose central
+numbers are energy *per operation* vs energy *per byte moved* — with data
+movement dollars-to-donuts more expensive, and interconnect bytes the most
+expensive of all.  :class:`EnergyModel` prices a run from exactly those
+unit costs plus static (leakage/idle) power, so SOI's communication
+savings can be expressed in joules, not just seconds.
+
+Default unit costs are exascale-study-era CMOS ballparks (double
+precision ~20 pJ/flop achieved-at-efficiency, DRAM ~100 pJ/byte, network
+~500 pJ/byte, ~100 W static per node) — see Kogge et al. 2008.  They are
+parameters, not claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import MachineSpec
+from repro.perfmodel.model import FftModel, ModelBreakdown
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules by component for one run."""
+
+    compute_j: float
+    memory_j: float
+    network_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.memory_j + self.network_j + self.static_j
+
+    @property
+    def movement_fraction(self) -> float:
+        """Share of energy spent moving data (memory + network + idle-while-
+        waiting is excluded: static is reported separately)."""
+        active = self.compute_j + self.memory_j + self.network_j
+        if active <= 0:
+            return 0.0
+        return (self.memory_j + self.network_j) / active
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Unit energy costs for a cluster of nodes."""
+
+    pj_per_flop: float = 20.0
+    pj_per_dram_byte: float = 100.0
+    pj_per_network_byte: float = 500.0
+    static_watts_per_node: float = 100.0
+
+    def __post_init__(self) -> None:
+        if min(self.pj_per_flop, self.pj_per_dram_byte,
+               self.pj_per_network_byte, self.static_watts_per_node) < 0:
+            raise ValueError("energy costs must be non-negative")
+
+    def soi_report(self, model: FftModel, machine: MachineSpec,
+                   memory_sweeps: float = 5.0) -> EnergyReport:
+        """Energy of one SOI transform (paper-style accounting).
+
+        flops: FFT (5 muN log2 muN) + convolution (8 B mu N); DRAM bytes:
+        ``memory_sweeps`` passes over the oversampled volume; network
+        bytes: the single all-to-all of 16 muN.
+        """
+        import numpy as np
+
+        n = model.n_total
+        mu = model.mu
+        flops = 5.0 * mu * n * float(np.log2(mu * n)) + 8.0 * model.b * mu * n
+        dram = memory_sweeps * 16.0 * mu * n
+        net = 16.0 * mu * n
+        seconds = model.soi_breakdown(machine).total
+        return self._report(flops, dram, net, seconds, model.nodes)
+
+    def ct_report(self, model: FftModel, machine: MachineSpec,
+                  memory_sweeps: float = 5.0) -> EnergyReport:
+        """Energy of one Cooley-Tukey transform: 3 all-to-alls, no mu."""
+        import numpy as np
+
+        n = model.n_total
+        flops = 5.0 * n * float(np.log2(n))
+        dram = memory_sweeps * 16.0 * n
+        net = 3.0 * 16.0 * n
+        seconds = model.ct_breakdown(machine).total
+        return self._report(flops, dram, net, seconds, model.nodes)
+
+    def _report(self, flops: float, dram_bytes: float, net_bytes: float,
+                seconds: float, nodes: int) -> EnergyReport:
+        return EnergyReport(
+            compute_j=flops * self.pj_per_flop * 1e-12,
+            memory_j=dram_bytes * self.pj_per_dram_byte * 1e-12,
+            network_j=net_bytes * self.pj_per_network_byte * 1e-12,
+            static_j=self.static_watts_per_node * nodes * seconds,
+        )
+
+    def soi_vs_ct_energy_ratio(self, model: FftModel, machine: MachineSpec
+                               ) -> float:
+        """CT joules / SOI joules (> 1 when SOI saves energy)."""
+        return self.ct_report(model, machine).total_j / \
+            self.soi_report(model, machine).total_j

@@ -1,0 +1,123 @@
+"""Memory-sweep accounting — the currency of the paper's §5.2/§5.3 analysis.
+
+One *memory sweep* is a load or store of an entire N-element working array
+(paper footnote 3).  The bandwidth optimizations in the paper are argued
+almost entirely in sweep counts (13 -> 4 for the 6-step FFT; saving two
+sweeps by fusing demodulation; one extra sweep for the decomposed
+convolution).  :class:`SweepLedger` makes those counts explicit, auditable
+objects: kernels record each pass over memory, and the ledger converts the
+total into bytes and into time on a :class:`~repro.machine.spec.MachineSpec`,
+including the paper's observed TLB penalty for page-sized strides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["SweepLedger", "SweepRecord", "tlb_bw_efficiency", "PAGE_BYTES"]
+
+#: Small page size assumed by the TLB-degradation model.
+PAGE_BYTES = 4096
+
+
+def tlb_bw_efficiency(stride_bytes: int, page_bytes: int = PAGE_BYTES,
+                      floor: float = 0.5) -> float:
+    """Bandwidth efficiency of a strided sweep.
+
+    §6.2: steps accessing data "in long strides that are comparable to the
+    page size" see TLB misses that reduce bandwidth efficiency "as low as
+    50%".  We model a linear roll-off from 1.0 (unit stride) down to
+    *floor* once the stride reaches a page.
+    """
+    if stride_bytes <= 0:
+        raise ValueError("stride_bytes must be positive")
+    if stride_bytes <= 64:  # within one cache line: streaming
+        return 1.0
+    frac = min(1.0, stride_bytes / page_bytes)
+    return 1.0 - (1.0 - floor) * frac
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One recorded pass over memory."""
+
+    label: str
+    elements: int  # number of elements transferred
+    kind: str  # "load" | "store" | "store_nt" (non-temporal)
+    dtype_bytes: int = 16
+    stride_bytes: int = 16  # access stride; drives the TLB model
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("load", "store", "store_nt"):
+            raise ValueError(f"unknown sweep kind {self.kind!r}")
+        if self.elements < 0:
+            raise ValueError("elements must be non-negative")
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes moved on the memory bus.
+
+        A normal store costs 2x (write-allocate: the line is read, modified,
+        written back); a non-temporal store writes once — the §5.2.3
+        optimization.
+        """
+        base = self.elements * self.dtype_bytes
+        return 2 * base if self.kind == "store" else base
+
+
+class SweepLedger:
+    """Accumulates sweep records for one kernel execution."""
+
+    def __init__(self) -> None:
+        self.records: list[SweepRecord] = []
+
+    def load(self, label: str, elements: int, *, dtype_bytes: int = 16,
+             stride_bytes: int = 16) -> None:
+        """Record a load sweep of *elements* elements."""
+        self.records.append(SweepRecord(label, elements, "load", dtype_bytes, stride_bytes))
+
+    def store(self, label: str, elements: int, *, dtype_bytes: int = 16,
+              stride_bytes: int = 16, non_temporal: bool = False) -> None:
+        """Record a store sweep (non-temporal stores skip write-allocate)."""
+        kind = "store_nt" if non_temporal else "store"
+        self.records.append(SweepRecord(label, elements, kind, dtype_bytes, stride_bytes))
+
+    # -- aggregate views -------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bus bytes across all records."""
+        return sum(r.nbytes for r in self.records)
+
+    def sweep_count(self, base_elements: int) -> float:
+        """Number of equivalent full sweeps over a *base_elements* array.
+
+        This is the unit of paper Fig 4 ("13 memory sweeps", "4 memory
+        sweeps"): element-transfers / base size, counting a write-allocate
+        store as one sweep (the paper's convention counts logical
+        loads/stores, not bus transactions).
+        """
+        if base_elements <= 0:
+            raise ValueError("base_elements must be positive")
+        return sum(r.elements for r in self.records) / base_elements
+
+    def time_on(self, machine: MachineSpec, *, tlb_model: bool = True) -> float:
+        """Memory time of all recorded sweeps on *machine* (seconds)."""
+        t = 0.0
+        for r in self.records:
+            eff = tlb_bw_efficiency(r.stride_bytes) if tlb_model else 1.0
+            t += machine.mem_time(r.nbytes, eff)
+        return t
+
+    def merge(self, other: "SweepLedger") -> None:
+        """Append all records from *other*."""
+        self.records.extend(other.records)
+
+    def by_label(self) -> dict[str, int]:
+        """Bytes per label — useful for breakdown tables."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0) + r.nbytes
+        return out

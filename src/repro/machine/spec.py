@@ -1,0 +1,130 @@
+"""Machine descriptions (paper Table 2) and derived bandwidth/compute ratios.
+
+A :class:`MachineSpec` carries exactly the parameters the paper's Section 4
+performance model consumes: peak double-precision flops, STREAM bandwidth,
+cache geometry, and the derived bytes-per-ops ("bops") ratio that drives
+every roofline argument in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineSpec", "XEON_E5_2680", "XEON_PHI_SE10", "scaled_machine"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Parameters of one compute node (or one coprocessor card)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    smt: int
+    simd_lanes: int  # double-precision lanes per vector unit
+    clock_ghz: float
+    l1_kb: int  # per core, private
+    l2_kb: int  # per core, private
+    l3_kb: int | None  # shared LLC; None when the L2s are the (private) LLC
+    peak_gflops: float
+    stream_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.stream_gbps <= 0:
+            raise ValueError("peak_gflops and stream_gbps must be positive")
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("need at least one socket and one core")
+
+    @property
+    def cores(self) -> int:
+        """Total physical cores across sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def threads(self) -> int:
+        """Total hardware threads (cores x SMT)."""
+        return self.cores * self.smt
+
+    @property
+    def bops(self) -> float:
+        """Machine bytes-per-ops ratio: STREAM bytes / peak flops (Table 2)."""
+        return self.stream_gbps / self.peak_gflops
+
+    @property
+    def llc_private(self) -> bool:
+        """True when the last-level cache is per-core private (Xeon Phi)."""
+        return self.l3_kb is None
+
+    @property
+    def llc_bytes_per_core(self) -> int:
+        """Capacity of the LLC slice one core can use without sharing."""
+        if self.llc_private:
+            return self.l2_kb * 1024
+        return (self.l3_kb * 1024) // self.cores
+
+    @property
+    def llc_bytes_total(self) -> int:
+        """Aggregate last-level cache capacity of the node."""
+        if self.llc_private:
+            return self.l2_kb * 1024 * self.cores
+        return self.l3_kb * 1024
+
+    def flop_time(self, flops: float, efficiency: float = 1.0) -> float:
+        """Seconds to execute *flops* at ``efficiency * peak``."""
+        if efficiency <= 0:
+            raise ValueError("efficiency must be positive")
+        return flops / (efficiency * self.peak_gflops * 1e9)
+
+    def mem_time(self, nbytes: float, bw_efficiency: float = 1.0) -> float:
+        """Seconds to stream *nbytes* at ``bw_efficiency * STREAM``."""
+        if bw_efficiency <= 0:
+            raise ValueError("bw_efficiency must be positive")
+        return nbytes / (bw_efficiency * self.stream_gbps * 1e9)
+
+
+#: Dual-socket Xeon E5-2680 (Table 2): 2 x 8 cores x 2 SMT x 4 DP lanes,
+#: 2.7 GHz, 346 GF/s peak, 79 GB/s STREAM, 20 MB shared L3 -> bops 0.23.
+XEON_E5_2680 = MachineSpec(
+    name="Xeon E5-2680 (dual socket)",
+    sockets=2,
+    cores_per_socket=8,
+    smt=2,
+    simd_lanes=4,
+    clock_ghz=2.7,
+    l1_kb=32,
+    l2_kb=256,
+    l3_kb=20480,
+    peak_gflops=346.0,
+    stream_gbps=79.0,
+)
+
+#: Xeon Phi SE10 (Table 2): 61 cores x 4 SMT x 8 DP lanes, 1.1 GHz,
+#: 1074 GF/s peak, 150 GB/s STREAM, private 512 KB L2 LLCs -> bops 0.14.
+XEON_PHI_SE10 = MachineSpec(
+    name="Xeon Phi SE10",
+    sockets=1,
+    cores_per_socket=61,
+    smt=4,
+    simd_lanes=8,
+    clock_ghz=1.1,
+    l1_kb=32,
+    l2_kb=512,
+    l3_kb=None,
+    peak_gflops=1074.0,
+    stream_gbps=150.0,
+)
+
+
+def scaled_machine(base: MachineSpec, name: str, flops_scale: float = 1.0,
+                   bw_scale: float = 1.0) -> MachineSpec:
+    """Derive a hypothetical machine by scaling peak flops / bandwidth.
+
+    Handy for what-if studies (the paper's "interconnect speed will only
+    deteriorate compared to compute speed" trajectory).
+    """
+    return replace(
+        base,
+        name=name,
+        peak_gflops=base.peak_gflops * flops_scale,
+        stream_gbps=base.stream_gbps * bw_scale,
+    )

@@ -1,0 +1,39 @@
+"""Analytic performance model (paper §4, §7) and calibration helpers."""
+
+from repro.perfmodel.calibration import (
+    fit_efficiencies,
+    implied_efficiency,
+    implied_fft_efficiency,
+)
+from repro.perfmodel.localfft import (
+    LOCAL_FFT_VARIANTS,
+    LocalFftVariant,
+    local_fft_gflops,
+    local_fft_time,
+)
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE, FftModel, ModelBreakdown
+from repro.perfmodel.modes import MODES, ModeModel
+from repro.perfmodel.multicard import MultiCardModel
+from repro.perfmodel.sensitivity import SensitivityRow, tornado
+from repro.perfmodel.overlap import SegmentedRun, segmented_breakdown, soi_segment_schedule
+
+__all__ = [
+    "FftModel",
+    "LOCAL_FFT_VARIANTS",
+    "LocalFftVariant",
+    "local_fft_gflops",
+    "local_fft_time",
+    "MODES",
+    "ModeModel",
+    "ModelBreakdown",
+    "MultiCardModel",
+    "PAPER_SECTION4_EXAMPLE",
+    "SegmentedRun",
+    "SensitivityRow",
+    "fit_efficiencies",
+    "tornado",
+    "implied_efficiency",
+    "implied_fft_efficiency",
+    "segmented_breakdown",
+    "soi_segment_schedule",
+]

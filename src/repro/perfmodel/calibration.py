@@ -1,0 +1,50 @@
+"""Calibration: recover model efficiencies from (simulated) measurements.
+
+The paper closes its methodology loop by checking that the efficiencies
+assumed in §4 (12% FFT, 40% convolution) match the measured kernels in §6.
+These helpers perform the inverse computation — given a measured component
+time, back out the implied compute efficiency — and fit the whole model to
+a measured breakdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+
+__all__ = ["implied_efficiency", "implied_fft_efficiency", "fit_efficiencies"]
+
+
+def implied_efficiency(seconds: float, flops: float, machine: MachineSpec,
+                       nodes: int = 1) -> float:
+    """Compute efficiency implied by running *flops* in *seconds*."""
+    if seconds <= 0 or flops <= 0:
+        raise ValueError("seconds and flops must be positive")
+    return flops / (seconds * machine.peak_gflops * 1e9 * nodes)
+
+
+def implied_fft_efficiency(seconds: float, n: int, machine: MachineSpec,
+                           nodes: int = 1) -> float:
+    """Efficiency of an n-point FFT done in *seconds* (5 n log2 n flops)."""
+    return implied_efficiency(seconds, 5.0 * n * float(np.log2(n)), machine, nodes)
+
+
+def fit_efficiencies(breakdown: dict[str, float], *, n: int, b: int, mu: float,
+                     machine: MachineSpec, nodes: int = 1) -> dict[str, float]:
+    """Back out (fft, conv) efficiencies from a measured SOI breakdown.
+
+    *breakdown* maps component labels (as produced by
+    :meth:`repro.cluster.simcluster.SimCluster.breakdown`) to seconds; the
+    keys ``"local FFT"`` and ``"convolution"`` are consumed.
+    """
+    out: dict[str, float] = {}
+    if "local FFT" in breakdown:
+        n_over = n * mu
+        out["fft"] = implied_efficiency(
+            breakdown["local FFT"], 5.0 * n_over * float(np.log2(n_over)),
+            machine, nodes)
+    if "convolution" in breakdown:
+        out["conv"] = implied_efficiency(
+            breakdown["convolution"], 8.0 * b * mu * n, machine, nodes)
+    return out

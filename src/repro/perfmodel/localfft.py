@@ -1,0 +1,107 @@
+"""Fig 10 model: node-local large-FFT performance vs optimization level.
+
+The paper's §6.2 ablation measures a 16M-point local FFT on one Xeon Phi
+card at four optimization levels.  Each level changes *mechanisms* that
+our substrate exposes as explicit parameters:
+
+``naive``           Fig 4(a): 13 memory sweeps, long-stride transposes
+                    (TLB-degraded bandwidth), no prefetch, no SMT
+                    pipelining (compute exposed).
+``opt``             Fig 4(b): 4 sweeps (fused loops, split twiddles,
+                    non-temporal stores); still no latency hiding.
+``latency-hiding``  + software prefetch & 4-SMT load/FFT/store pipelining
+                    (§5.2.3 / Fig 5): bandwidth utilization rises and
+                    compute partially overlaps memory.
+``fine-grain``      + multiple cores cooperating per FFT so the working
+                    set stays inside the private LLCs (one core-to-core
+                    read instead of LLC spill traffic).
+
+Calibration constants below are chosen once against the paper's §6.2
+facts — 120 GFLOPS final (12% efficiency), ~36% of time in non-memory
+steps, strided-step bandwidth efficiency "as low as 50%" — and then the
+whole four-bar shape of Fig 10 is *predicted*, not fit bar-by-bar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.stockham import fft_flops
+from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+
+__all__ = ["LocalFftVariant", "LOCAL_FFT_VARIANTS", "local_fft_time", "local_fft_gflops"]
+
+#: Fraction of runtime in cache-resident compute that cannot hide behind
+#: memory without SMT pipelining (§6.2 measures 36% with it; without it the
+#: un-overlapped fraction is the full compute share).
+_EXPOSED_COMPUTE_FRACTION = 0.36
+#: Bandwidth utilization without / with software prefetch + SMT pipelining.
+_BW_UTILIZATION_NO_PREFETCH = 0.55
+_BW_UTILIZATION_PREFETCH = 0.95
+#: TLB-limited bandwidth efficiency: full-matrix transposes walk pages at
+#: every element (§6.2: "as low as 50%"); the fused 8-wide panel write-back
+#: amortizes each page over a panel (~75%).
+_TLB_EFFICIENCY_TRANSPOSE = 0.50
+_TLB_EFFICIENCY_PANEL = 0.75
+#: Extra traffic multiplier when the fused panel working sets of all SMT
+#: threads spill the private LLCs (removed by fine-grain cooperative
+#: parallelization, §5.2.3).  The naive variant streams each pass and is
+#: not LLC-pressure bound.
+_LLC_SPILL_FACTOR = 1.6
+
+
+@dataclass(frozen=True)
+class LocalFftVariant:
+    """One bar of Fig 10."""
+
+    name: str
+    sweeps_unit_stride: float  # sweeps at streaming-friendly stride
+    sweeps_long_stride: float  # sweeps at strided access (TLB-limited)
+    tlb_efficiency: float  # bandwidth efficiency of the strided sweeps
+    prefetch: bool  # software prefetch + SMT pipelining
+    fine_grain: bool  # cooperative multi-core FFTs (no LLC spill)
+    fused: bool  # panel-fused loops (subject to LLC spill pressure)
+
+
+LOCAL_FFT_VARIANTS: tuple[LocalFftVariant, ...] = (
+    # Fig 4(a): 3 transposes (6 strided sweeps) + FFT/twiddle passes (7)
+    LocalFftVariant("6-step-naive", 7.0, 6.0, _TLB_EFFICIENCY_TRANSPOSE,
+                    prefetch=False, fine_grain=False, fused=False),
+    # Fig 4(b): 2 fused passes; the permuted write-backs remain strided
+    LocalFftVariant("6-step-opt", 2.0, 2.0, _TLB_EFFICIENCY_PANEL,
+                    prefetch=False, fine_grain=False, fused=True),
+    LocalFftVariant("latency-hiding", 2.0, 2.0, _TLB_EFFICIENCY_PANEL,
+                    prefetch=True, fine_grain=False, fused=True),
+    LocalFftVariant("fine-grain", 2.0, 2.0, _TLB_EFFICIENCY_PANEL,
+                    prefetch=True, fine_grain=True, fused=True),
+)
+
+
+def local_fft_time(n: int, variant: LocalFftVariant,
+                   machine: MachineSpec = XEON_PHI_SE10) -> float:
+    """Modeled seconds for an n-point local FFT at this optimization level."""
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    bytes_per_sweep = 16.0 * n
+    util = _BW_UTILIZATION_PREFETCH if variant.prefetch \
+        else _BW_UTILIZATION_NO_PREFETCH
+    spill = _LLC_SPILL_FACTOR if (variant.fused and not variant.fine_grain) else 1.0
+    traffic = bytes_per_sweep * (
+        variant.sweeps_unit_stride
+        + variant.sweeps_long_stride / variant.tlb_efficiency
+    ) * spill
+    if variant.fine_grain:
+        # the one core-to-core global read per FFT (§5.2.3)
+        traffic += bytes_per_sweep * 1.0
+    t_mem = traffic / (machine.stream_gbps * 1e9 * util)
+    # compute that cannot hide behind memory
+    exposed = _EXPOSED_COMPUTE_FRACTION if variant.prefetch else 0.5
+    return t_mem / (1.0 - exposed)
+
+
+def local_fft_gflops(n: int, variant: LocalFftVariant,
+                     machine: MachineSpec = XEON_PHI_SE10) -> float:
+    """GFLOP/s of the modeled variant (5 n log2 n convention)."""
+    return fft_flops(n) / local_fft_time(n, variant, machine) / 1e9

@@ -1,0 +1,167 @@
+"""The paper's Section 4 performance model, as executable equations.
+
+With aggregate peak flops and per-node MPI bandwidth:
+
+=====================  ====================================================
+``T_fft(N)``           ``5 N log2 N / (Eff_fft * Flops_peak)``
+``T_conv(N)``          ``8 B mu N / (Eff_conv * Flops_peak)``
+``T_mpi(N)``           ``16 N / bw_mpi``  (bw_mpi = aggregate all-to-all BW)
+``T_soi(N)``           ``T_fft(mu N) + T_conv(N) + mu T_mpi(N)``
+``T_ct(N)``            ``T_fft(N) + 3 T_mpi(N)``
+``T_soi^offload``      see :mod:`repro.perfmodel.modes`
+=====================  ====================================================
+
+The model instantiates the paper's §4 example exactly (32 nodes,
+N = 2^27 * 32, 12%/40% efficiencies, 3 GB/s per-node MPI) and also accepts
+a :class:`~repro.cluster.network.NetworkSpec` so weak-scaling sweeps pick
+up the packet-length-dependent bandwidth of large clusters (Fig 8/9).
+
+Reported FLOP/s use the HPCC G-FFT convention ``5 N log2 N / time`` —
+SOI's extra convolution arithmetic counts as time, not as flops, exactly
+as in the paper's TFLOPS plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cluster.network import STAMPEDE_EFFECTIVE, NetworkSpec
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, MachineSpec
+
+__all__ = ["FftModel", "ModelBreakdown", "PAPER_SECTION4_EXAMPLE"]
+
+
+@dataclass(frozen=True)
+class ModelBreakdown:
+    """Component times (seconds) of one modeled run."""
+
+    local_fft: float
+    convolution: float
+    mpi: float
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.local_fft + self.convolution + self.mpi + self.other
+
+    def normalized_to(self, reference: float) -> "ModelBreakdown":
+        """Scale all components by 1/reference (Fig 3's normalization)."""
+        if reference <= 0:
+            raise ValueError("reference must be positive")
+        return ModelBreakdown(self.local_fft / reference,
+                              self.convolution / reference,
+                              self.mpi / reference,
+                              self.other / reference)
+
+
+@dataclass(frozen=True)
+class FftModel:
+    """One (problem, cluster) instance of the Section 4 model."""
+
+    n_total: int  # N across the whole machine
+    nodes: int
+    b: int = 72
+    n_mu: int = 8
+    d_mu: int = 7
+    efficiency_fft: float = 0.12
+    efficiency_conv: float = 0.40
+    network: NetworkSpec = STAMPEDE_EFFECTIVE
+    segments_per_process: int = 1
+    use_packet_model: bool = False  # True: bandwidth depends on packet size
+
+    def __post_init__(self) -> None:
+        if self.n_total < 2 or self.nodes < 1:
+            raise ValueError("need n_total >= 2 and nodes >= 1")
+        if not (0 < self.efficiency_fft <= 1 and 0 < self.efficiency_conv <= 1):
+            raise ValueError("efficiencies must be in (0, 1]")
+        if self.n_mu <= self.d_mu:
+            raise ValueError("mu must exceed 1")
+
+    @property
+    def mu(self) -> float:
+        return self.n_mu / self.d_mu
+
+    # -- primitive terms ----------------------------------------------------
+
+    def t_fft(self, machine: MachineSpec, n: float | None = None) -> float:
+        """T_fft: node-local FFT time at Eff_fft of aggregate peak."""
+        n = self.n_total if n is None else n
+        peak = machine.peak_gflops * 1e9 * self.nodes
+        return 5.0 * n * np.log2(n) / (self.efficiency_fft * peak)
+
+    def t_conv(self, machine: MachineSpec) -> float:
+        """T_conv: convolution-and-oversampling at Eff_conv."""
+        peak = machine.peak_gflops * 1e9 * self.nodes
+        return 8.0 * self.b * self.mu * self.n_total / (self.efficiency_conv * peak)
+
+    def t_mpi(self, n: float | None = None) -> float:
+        """T_mpi: one all-to-all of n elements (16 bytes each).
+
+        With ``use_packet_model`` the effective bandwidth reflects the
+        per-pair message length (which shrinks like 1/nodes^2 in weak
+        scaling, and further with the segment count since each segment is
+        exchanged in its own round); otherwise the flat §4 form
+        ``16*N / (nodes * per-node-bandwidth)`` is used.
+        """
+        n = self.n_total if n is None else n
+        nbytes = 16.0 * n
+        if not self.use_packet_model or self.nodes == 1:
+            return nbytes / (self.nodes * self.network.bandwidth_gbps * 1e9)
+        spp = self.segments_per_process
+        per_pair = nbytes / (self.nodes ** 2) / spp
+        return spp * self.network.alltoall_time(self.nodes, per_pair)
+
+    # -- algorithm totals -----------------------------------------------------
+
+    def soi_breakdown(self, machine: MachineSpec) -> ModelBreakdown:
+        """T_soi ~ T_fft(mu N) + T_conv(N) + mu T_mpi(N)."""
+        return ModelBreakdown(
+            local_fft=self.t_fft(machine, self.mu * self.n_total),
+            convolution=self.t_conv(machine),
+            mpi=self.mu * self.t_mpi(self.n_total),
+        )
+
+    def ct_breakdown(self, machine: MachineSpec) -> ModelBreakdown:
+        """T_ct ~ T_fft(N) + 3 T_mpi(N)."""
+        return ModelBreakdown(
+            local_fft=self.t_fft(machine, self.n_total),
+            convolution=0.0,
+            mpi=3.0 * self.t_mpi(self.n_total),
+        )
+
+    # -- derived metrics --------------------------------------------------------
+
+    def gflops(self, seconds: float) -> float:
+        """HPCC G-FFT rate: 5 N log2 N / time, in GFLOP/s."""
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        return 5.0 * self.n_total * float(np.log2(self.n_total)) / seconds / 1e9
+
+    def speedup(self, algorithm: str = "soi",
+                fast: MachineSpec = XEON_PHI_SE10,
+                slow: MachineSpec = XEON_E5_2680) -> float:
+        """Projected Phi-over-Xeon speedup for "soi" or "ct" (§4's 1.7/1.14)."""
+        pick = self.soi_breakdown if algorithm == "soi" else self.ct_breakdown
+        if algorithm not in ("soi", "ct"):
+            raise ValueError("algorithm must be 'soi' or 'ct'")
+        return pick(slow).total / pick(fast).total
+
+    def with_nodes(self, nodes: int, weak_scaling: bool = True) -> "FftModel":
+        """Re-instantiate at a different node count (weak: N scales with P)."""
+        if weak_scaling:
+            per_node = self.n_total // self.nodes
+            return replace(self, nodes=nodes, n_total=per_node * nodes)
+        return replace(self, nodes=nodes)
+
+
+#: The §4 worked example: 32 nodes, N = 2^27 * 32, mu = 5/4, 3 GB/s/node.
+#: (T_fft ~ 0.50 s, T_conv ~ 0.64-0.70 s, T_mpi ~ 0.67-0.72 s.)
+PAPER_SECTION4_EXAMPLE = FftModel(
+    n_total=(2 ** 27) * 32,
+    nodes=32,
+    b=72,
+    n_mu=5,
+    d_mu=4,
+)

@@ -1,0 +1,97 @@
+"""Coprocessor usage modes: symmetric vs offload vs hybrid (paper §7).
+
+In **symmetric** mode the Phi runs its own MPI rank; PCIe traffic exists
+only inside the MPI proxy and is hidden behind InfiniBand (Fig 12a), so
+
+``T_soi^sym ~ T_fft^phi(mu N) + T_conv^phi(N) + mu T_mpi(N)``.
+
+In **offload** mode inputs live in host memory: they must cross PCIe in,
+and results cross back out.  The local FFT and convolution are faster than
+each PCIe transfer on Phi, so compute hides *behind* the transfers and
+
+``T_soi^off ~ 2 T_pci(N) + mu T_mpi(N)``   (Fig 12b),
+
+about 25% slower at the paper's 6 GB/s PCIe and §4 parameters.  The
+**hybrid** mode adds the host Xeon's flops to the symmetric Phi run; the
+paper expects <10% because the run is bandwidth/communication limited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, MachineSpec
+from repro.perfmodel.model import FftModel, ModelBreakdown
+
+__all__ = ["ModeModel", "MODES"]
+
+MODES = ("symmetric", "offload", "hybrid")
+
+
+@dataclass(frozen=True)
+class ModeModel:
+    """Section 7 extension of the Section 4 model."""
+
+    base: FftModel
+    pcie: PcieSpec = PCIE_GEN2_X16
+    phi: MachineSpec = XEON_PHI_SE10
+    host: MachineSpec = XEON_E5_2680
+
+    def t_pci(self, n: float | None = None) -> float:
+        """PCIe transfer time of n complex elements per node, aggregated."""
+        n = self.base.n_total if n is None else n
+        return 16.0 * n / (self.base.nodes * self.pcie.bandwidth_gbps * 1e9)
+
+    def breakdown(self, mode: str = "symmetric") -> ModelBreakdown:
+        """Component times of SOI on Phi in the given mode."""
+        b = self.base
+        if mode == "symmetric":
+            return b.soi_breakdown(self.phi)
+        if mode == "offload":
+            # compute hides behind PCIe: expose 2 T_pci + mu T_mpi
+            return ModelBreakdown(
+                local_fft=0.0,
+                convolution=0.0,
+                mpi=b.mu * b.t_mpi(),
+                other=2.0 * self.t_pci(),
+            )
+        if mode == "hybrid":
+            # host flops join in; gain bounded by the bandwidth-limited
+            # fraction: scale compute terms by phi/(phi + host) peak.
+            sym = b.soi_breakdown(self.phi)
+            share = self.phi.peak_gflops / (self.phi.peak_gflops
+                                            + self.host.peak_gflops)
+            return ModelBreakdown(
+                local_fft=sym.local_fft * share,
+                convolution=sym.convolution * share,
+                mpi=sym.mpi,
+            )
+        raise ValueError(f"mode must be one of {MODES}")
+
+    def offload_slowdown(self) -> float:
+        """T_offload / T_symmetric (paper: ~1.25 at §4 parameters)."""
+        return self.breakdown("offload").total / self.breakdown("symmetric").total
+
+    def hybrid_speedup(self) -> float:
+        """T_symmetric / T_hybrid (paper: expected < 1.10)."""
+        return self.breakdown("symmetric").total / self.breakdown("hybrid").total
+
+    def timing_diagram(self, mode: str = "symmetric") -> list[tuple[str, float]]:
+        """(stage label, seconds) rows in pipeline order — Fig 12's lanes."""
+        b = self.base
+        if mode == "symmetric":
+            return [
+                ("Xeon Phi: T_conv(N)", b.t_conv(self.phi)),
+                ("Xeon Phi: T_fft(mu N)", b.t_fft(self.phi, b.mu * b.n_total)),
+                ("PCIe: hidden under MPI", 0.0),
+                ("MPI: mu T_mpi(N)", b.mu * b.t_mpi()),
+            ]
+        if mode == "offload":
+            return [
+                ("PCIe: T_pci(N) in", self.t_pci()),
+                ("Xeon Phi: compute (hidden)", 0.0),
+                ("MPI: mu T_mpi(N)", b.mu * b.t_mpi()),
+                ("PCIe: T_pci(N) out", self.t_pci()),
+            ]
+        raise ValueError("timing_diagram supports 'symmetric' and 'offload'")

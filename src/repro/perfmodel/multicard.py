@@ -1,0 +1,73 @@
+"""Multiple coprocessor cards per node (paper §3).
+
+"Each compute node is composed of a small number of host Xeon processors
+and Xeon Phi coprocessors connected by pcie interface."  The paper runs
+one card per node; this model answers the natural deployment question it
+leaves open: what do 2-4 cards per node buy when they share the node's
+PCIe complex and its single InfiniBand NIC?
+
+Compute scales with the card count; the all-to-all volume per *node* is
+unchanged (same total problem) but the per-node NIC now serves the
+traffic of `cards` ranks, and in offload mode the host must feed every
+card across the shared PCIe complex.  Compute-bound configurations gain
+nearly linearly; communication-bound ones saturate — the same
+communication wall the paper's low-communication algorithm attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec
+from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+from repro.perfmodel.model import FftModel, ModelBreakdown
+
+__all__ = ["MultiCardModel"]
+
+
+@dataclass(frozen=True)
+class MultiCardModel:
+    """SOI on `nodes` hosts, each carrying `cards` coprocessors."""
+
+    base: FftModel  # nodes = number of HOST nodes; n_total global
+    cards: int = 1
+    card: MachineSpec = XEON_PHI_SE10
+    pcie: PcieSpec = PCIE_GEN2_X16
+    pcie_shared: bool = True  # cards share the node's PCIe complex
+
+    def __post_init__(self) -> None:
+        if self.cards < 1:
+            raise ValueError("need at least one card per node")
+
+    # -- component times ---------------------------------------------------
+
+    def compute_breakdown(self) -> ModelBreakdown:
+        """SOI compute terms with `cards`x the per-node flops."""
+        b = self.base
+        # aggregate peak grows with the card count, so compute terms shrink
+        fft = b.t_fft(self.card, b.mu * b.n_total) / self.cards
+        conv = b.t_conv(self.card) / self.cards
+        # the NIC is per node: per-node volume unchanged, so t_mpi is the
+        # single-card value regardless of cards
+        mpi = b.mu * b.t_mpi()
+        return ModelBreakdown(local_fft=fft, convolution=conv, mpi=mpi)
+
+    def symmetric_total(self) -> float:
+        return self.compute_breakdown().total
+
+    def offload_total(self) -> float:
+        """Offload mode: host feeds all cards over the PCIe complex."""
+        b = self.base
+        per_node_bytes = 16.0 * b.n_total / b.nodes
+        lanes = 1 if self.pcie_shared else self.cards
+        t_pci = per_node_bytes / (lanes * self.pcie.bandwidth_gbps * 1e9)
+        return 2.0 * t_pci + b.mu * b.t_mpi()
+
+    def speedup_vs_single_card(self) -> float:
+        one = MultiCardModel(self.base, 1, self.card, self.pcie,
+                             self.pcie_shared)
+        return one.symmetric_total() / self.symmetric_total()
+
+    def parallel_efficiency(self) -> float:
+        """speedup / cards: 1.0 = perfectly compute-bound scaling."""
+        return self.speedup_vs_single_card() / self.cards

@@ -1,0 +1,95 @@
+"""Tornado-style sensitivity analysis of the §4 model.
+
+Which inputs is the paper's bottom line actually sensitive to?  Perturb
+each model parameter by a fixed factor in both directions and record the
+swing in total SOI time — the standard tornado analysis.  The result
+quantifies the §4 narrative: communication bandwidth dominates, compute
+efficiency matters second, the convolution width is a distant third.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.network import NetworkSpec
+from repro.machine.spec import MachineSpec, scaled_machine
+from repro.perfmodel.model import FftModel
+
+__all__ = ["SensitivityRow", "tornado"]
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Swing of total time when one parameter moves by +-factor."""
+
+    parameter: str
+    low_total: float  # parameter scaled down (or made worse)
+    high_total: float  # parameter scaled up (or made better)
+    base_total: float
+
+    @property
+    def swing(self) -> float:
+        return abs(self.high_total - self.low_total)
+
+    @property
+    def relative_swing(self) -> float:
+        return self.swing / self.base_total
+
+
+def _with_network_scale(model: FftModel, scale: float) -> FftModel:
+    net = model.network
+    return replace(model, network=NetworkSpec(
+        name=net.name, bandwidth_gbps=net.bandwidth_gbps * scale,
+        latency_us=net.latency_us,
+        half_bandwidth_msg_bytes=net.half_bandwidth_msg_bytes,
+        contention=net.contention))
+
+
+def tornado(model: FftModel, machine: MachineSpec, factor: float = 1.5
+            ) -> list[SensitivityRow]:
+    """Sensitivity of SOI total time to each model input (sorted by swing).
+
+    Parameters perturbed: network bandwidth, machine peak flops, machine
+    memory bandwidth (via the machine's efficiency proxy), FFT efficiency,
+    convolution efficiency, and convolution width B.
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    base = model.soi_breakdown(machine).total
+    rows: list[SensitivityRow] = []
+
+    def total(m: FftModel, mach: MachineSpec) -> float:
+        return m.soi_breakdown(mach).total
+
+    rows.append(SensitivityRow(
+        "network bandwidth",
+        total(_with_network_scale(model, 1 / factor), machine),
+        total(_with_network_scale(model, factor), machine),
+        base))
+    rows.append(SensitivityRow(
+        "peak flops",
+        total(model, scaled_machine(machine, "low", flops_scale=1 / factor)),
+        total(model, scaled_machine(machine, "high", flops_scale=factor)),
+        base))
+    rows.append(SensitivityRow(
+        "FFT efficiency",
+        total(replace(model, efficiency_fft=model.efficiency_fft / factor),
+              machine),
+        total(replace(model,
+                      efficiency_fft=min(1.0, model.efficiency_fft * factor)),
+              machine),
+        base))
+    rows.append(SensitivityRow(
+        "convolution efficiency",
+        total(replace(model, efficiency_conv=model.efficiency_conv / factor),
+              machine),
+        total(replace(model, efficiency_conv=min(
+            1.0, model.efficiency_conv * factor)), machine),
+        base))
+    rows.append(SensitivityRow(
+        "convolution width B",
+        total(replace(model, b=max(4, int(model.b / factor))), machine),
+        total(replace(model, b=int(model.b * factor)), machine),
+        base))
+    rows.sort(key=lambda r: r.swing, reverse=True)
+    return rows

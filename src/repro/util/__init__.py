@@ -1,0 +1,21 @@
+"""Shared utilities: accuracy metrics, validation, HPCC residuals."""
+
+from repro.util.hpcc import HPCC_RESIDUAL_THRESHOLD, gfft_residual, validate_gfft
+from repro.util.validate import (
+    max_abs_error,
+    relative_l2_error,
+    relative_linf_error,
+    require,
+    rms_error,
+)
+
+__all__ = [
+    "HPCC_RESIDUAL_THRESHOLD",
+    "gfft_residual",
+    "max_abs_error",
+    "relative_l2_error",
+    "relative_linf_error",
+    "require",
+    "rms_error",
+    "validate_gfft",
+]

@@ -1,0 +1,55 @@
+"""HPCC G-FFT style run validation.
+
+The paper reports its headline numbers in HPCC G-FFT terms (§6.1 cites
+the HPCC rankings).  HPCC validates an FFT run by inverse-transforming
+the result and scaling the max residual:
+
+``residual = ||x - ifft(fft(x))||_inf / (eps * log2(N))``
+
+with the run accepted when ``residual < 16``.  These helpers implement
+that exact criterion for any forward/inverse pair, so SOI runs can be
+validated the same way the benchmark would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gfft_residual", "validate_gfft", "HPCC_RESIDUAL_THRESHOLD"]
+
+#: HPCC acceptance threshold for the scaled residual.
+HPCC_RESIDUAL_THRESHOLD = 16.0
+
+
+def gfft_residual(x: np.ndarray, x_roundtrip: np.ndarray) -> float:
+    """Scaled max-norm residual of a forward+inverse roundtrip."""
+    x = np.asarray(x, dtype=np.complex128)
+    x_roundtrip = np.asarray(x_roundtrip, dtype=np.complex128)
+    if x.shape != x_roundtrip.shape or x.ndim != 1:
+        raise ValueError("expected equal-shape 1-D arrays")
+    n = x.size
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    eps = np.finfo(np.float64).eps
+    num = float(np.max(np.abs(x - x_roundtrip)))
+    scale = float(np.max(np.abs(x)))
+    if scale == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / (eps * np.log2(n) * scale)
+
+
+def validate_gfft(x: np.ndarray, x_roundtrip: np.ndarray,
+                  threshold: float = HPCC_RESIDUAL_THRESHOLD
+                  ) -> tuple[bool, float]:
+    """(passed, residual) under the HPCC criterion.
+
+    Note: the exact kernels (`repro.fft`) pass the strict threshold; SOI
+    deliberately trades a *bounded* spectral error for communication, so
+    its roundtrip residual scales with the window stopband over machine
+    epsilon — orders of magnitude above 16 at mu = 8/7, and still ~300 at
+    mu = 5/4 (see tests).  This quantifies the accuracy concession the
+    SC'12 companion paper discusses; callers wanting an SOI-appropriate
+    acceptance test should pass ``threshold = stopband / eps`` instead.
+    """
+    r = gfft_residual(x, x_roundtrip)
+    return r < threshold, r

@@ -1,0 +1,72 @@
+"""Accuracy metrics and argument-validation helpers.
+
+Error metrics follow the conventions used in FFT accuracy literature
+(e.g. the FFTW benchFFT accuracy methodology): errors are reported
+relative to the l2 / l-inf norm of the reference signal, so they are
+invariant under input scaling and directly comparable to the window
+stop-band levels derived in :mod:`repro.core.window`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "relative_l2_error",
+    "relative_linf_error",
+    "require",
+    "rms_error",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds.
+
+    Used for public-API parameter validation so that misuse surfaces as a
+    clear exception rather than a cryptic downstream shape error.
+    """
+    if not condition:
+        raise ValueError(message)
+
+
+def _as_arrays(actual, reference) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(actual)
+    r = np.asarray(reference)
+    if a.shape != r.shape:
+        raise ValueError(f"shape mismatch: actual {a.shape} vs reference {r.shape}")
+    return a, r
+
+
+def relative_l2_error(actual, reference) -> float:
+    """||actual - reference||_2 / ||reference||_2 (0 if both are zero)."""
+    a, r = _as_arrays(actual, reference)
+    denom = np.linalg.norm(r.ravel())
+    num = np.linalg.norm((a - r).ravel())
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return float(num / denom)
+
+
+def relative_linf_error(actual, reference) -> float:
+    """max|actual - reference| / max|reference| (0 if both are zero)."""
+    a, r = _as_arrays(actual, reference)
+    denom = float(np.max(np.abs(r))) if r.size else 0.0
+    num = float(np.max(np.abs(a - r))) if a.size else 0.0
+    if denom == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return num / denom
+
+
+def max_abs_error(actual, reference) -> float:
+    """max|actual - reference| (absolute, not normalized)."""
+    a, r = _as_arrays(actual, reference)
+    return float(np.max(np.abs(a - r))) if a.size else 0.0
+
+
+def rms_error(actual, reference) -> float:
+    """Root-mean-square of (actual - reference)."""
+    a, r = _as_arrays(actual, reference)
+    if a.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean(np.abs(a - r) ** 2)))

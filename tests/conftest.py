@@ -1,0 +1,17 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def random_complex(rng: np.random.Generator, *shape: int) -> np.ndarray:
+    """Complex standard normal array helper used across test modules."""
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)

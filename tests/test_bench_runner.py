@@ -1,0 +1,167 @@
+"""Tests asserting the benchmark drivers reproduce the paper's claims."""
+
+import pytest
+
+from repro.bench.runner import (
+    PAPER_NODES,
+    accuracy_rows,
+    fig3_rows,
+    fig8_series,
+    fig9_rows,
+    fig10_rows,
+    fig11_rows,
+    fig12_rows,
+    headline_numbers,
+    segments_for_nodes,
+    table2_rows,
+)
+
+
+class TestTable2:
+    def test_two_machines(self):
+        rows = table2_rows()
+        assert len(rows) == 2
+        assert rows[0][0].startswith("Xeon E5")
+        assert rows[1][0].startswith("Xeon Phi")
+
+    def test_bops_column(self):
+        rows = table2_rows()
+        assert rows[0][-1] == pytest.approx(0.23, abs=0.005)
+        assert rows[1][-1] == pytest.approx(0.14, abs=0.005)
+
+
+class TestFig3:
+    def test_reference_is_one(self):
+        rows = fig3_rows()
+        assert rows[0][0].startswith("Cooley-Tukey / Xeon")
+        assert rows[0][-1] == pytest.approx(1.0)
+
+    def test_soi_phi_is_fastest(self):
+        rows = fig3_rows()
+        totals = {r[0]: r[-1] for r in rows}
+        assert min(totals, key=totals.get) == "SOI / Xeon Phi"
+        assert totals["SOI / Xeon Phi"] == pytest.approx(0.5, abs=0.06)
+
+    def test_ct_gains_little_from_phi(self):
+        totals = {r[0]: r[-1] for r in fig3_rows()}
+        ct_gain = totals["Cooley-Tukey / Xeon"] / totals["Cooley-Tukey / Xeon Phi"]
+        soi_gain = totals["SOI / Xeon"] / totals["SOI / Xeon Phi"]
+        assert ct_gain < 1.2
+        assert soi_gain > 1.5
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig8_series()
+
+    def test_headline_6_7_tflops_at_512(self, series):
+        tf = series["SOI Xeon Phi"][series["nodes"].index(512)]
+        assert tf == pytest.approx(6.7, rel=0.15)
+
+    def test_teraflop_mark_around_64_nodes(self, series):
+        tf64 = series["SOI Xeon Phi"][series["nodes"].index(64)]
+        assert tf64 == pytest.approx(1.0, rel=0.25)
+
+    def test_soi_phi_always_fastest_config(self, series):
+        for i in range(len(series["nodes"])):
+            others = [series[k][i] for k in
+                      ("CT Xeon", "CT Xeon Phi (projected)", "SOI Xeon")]
+            assert series["SOI Xeon Phi"][i] > max(others)
+
+    def test_speedup_bands(self, series):
+        # paper: SOI speedup 1.5-2.0x, CT ~1.1x
+        assert all(1.25 < s < 2.2 for s in series["SOI speedup"])
+        assert all(1.0 < s < 1.25 for s in series["CT speedup"])
+        assert all(s > c for s, c in zip(series["SOI speedup"],
+                                         series["CT speedup"]))
+
+    def test_weak_scaling_grows(self, series):
+        tf = series["SOI Xeon Phi"]
+        assert all(a < b for a, b in zip(tf, tf[1:]))
+
+    def test_headline_numbers(self):
+        h = headline_numbers()
+        assert h["tflops_512_phi"] == pytest.approx(6.7, rel=0.15)
+        assert h["per_node_vs_k_computer"] == pytest.approx(5.0, rel=0.25)
+        assert h["ct_phi_over_xeon_512"] < 1.2 < h["soi_phi_over_xeon_512"] + 0.2
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9_rows()
+
+    def test_both_machines_all_nodes(self, rows):
+        assert len(rows) == 2 * len(PAPER_NODES)
+
+    def test_mpi_time_slowly_increases(self, rows):
+        phi = [r for r in rows if r[0] == "Xeon Phi"]
+        exposed = [r[4] for r in phi]
+        assert exposed[-1] > exposed[0]
+
+    def test_phi_total_lower_than_xeon(self, rows):
+        for nodes in PAPER_NODES:
+            xeon = next(r for r in rows if r[0] == "Xeon" and r[1] == nodes)
+            phi = next(r for r in rows if r[0] == "Xeon Phi" and r[1] == nodes)
+            assert phi[-1] < xeon[-1]
+
+    def test_xeon_has_etc_from_unfused_demod(self, rows):
+        xeon = next(r for r in rows if r[0] == "Xeon")
+        phi = next(r for r in rows if r[0] == "Xeon Phi")
+        assert xeon[5] > phi[5]
+
+    def test_convolution_time_flat_in_nodes(self, rows):
+        phi = [r for r in rows if r[0] == "Xeon Phi"]
+        convs = [r[3] for r in phi]
+        assert max(convs) / min(convs) < 1.05
+
+
+class TestFig10:
+    def test_monotone_bars(self):
+        rows = fig10_rows()
+        vals = [v for _, v in rows]
+        assert vals == sorted(vals)
+
+    def test_final_120(self):
+        assert fig10_rows()[-1][1] == pytest.approx(120.0, rel=0.1)
+
+
+class TestFig11:
+    def test_buffering_flat_baseline_grows(self):
+        rows = fig11_rows()
+        baseline = [r[1] for r in rows]
+        buffered = [r[3] for r in rows]
+        assert baseline[-1] > 2 * baseline[0]
+        assert max(buffered) / min(buffered) < 1.05
+
+    def test_ordering_at_scale(self):
+        last = fig11_rows()[-1]
+        assert last[3] < last[2] < last[1]
+
+
+class TestFig12:
+    def test_offload_slowdown(self):
+        d = fig12_rows()
+        assert d["offload_slowdown"] == pytest.approx(1.25, abs=0.08)
+        assert d["offload_total"] > d["symmetric_total"]
+
+    def test_hybrid_below_10_percent(self):
+        assert 1.0 < fig12_rows()["hybrid_speedup"] < 1.10
+
+    def test_diagram_lanes(self):
+        d = fig12_rows()
+        assert len(d["symmetric"]) == 4
+        assert len(d["offload"]) == 4
+
+
+class TestAccuracyAndSegments:
+    def test_accuracy_rows_within_bounds(self):
+        for row in accuracy_rows():
+            n, s, mu, b, err, bound = row
+            assert err < 10 * bound + 1e-12
+
+    def test_segment_rule(self):
+        assert segments_for_nodes(4) == 8
+        assert segments_for_nodes(128) == 8
+        assert segments_for_nodes(512) == 2

@@ -1,0 +1,142 @@
+"""Unit and property tests for repro.fft.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fft.bitops import (
+    bit_reverse_indices,
+    digit_reverse_indices,
+    factorize_radices,
+    ilog2,
+    is_power_of_two,
+    largest_factor_leq_sqrt,
+    mixed_radix_factors,
+    split_balanced,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for s in range(20):
+            assert is_power_of_two(1 << s)
+
+    def test_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 12, 100, 1023):
+            assert not is_power_of_two(n)
+
+
+class TestIlog2:
+    def test_values(self):
+        for s in range(16):
+            assert ilog2(1 << s) == s
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestBitReverse:
+    def test_small_known(self):
+        assert bit_reverse_indices(8).tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_identity_for_one(self):
+        assert bit_reverse_indices(1).tolist() == [0]
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 64, 256])
+    def test_is_involution(self, n):
+        rev = bit_reverse_indices(n)
+        assert np.array_equal(rev[rev], np.arange(n))
+
+    @pytest.mark.parametrize("n", [2, 8, 32, 128])
+    def test_is_permutation(self, n):
+        rev = bit_reverse_indices(n)
+        assert sorted(rev.tolist()) == list(range(n))
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bit_reverse_indices(12)
+
+
+class TestDigitReverse:
+    def test_uniform_radix_matches_bit_reverse(self):
+        assert np.array_equal(digit_reverse_indices([2, 2, 2]),
+                              bit_reverse_indices(8))
+
+    def test_mixed_radix_is_permutation(self):
+        perm = digit_reverse_indices([2, 3, 5])
+        assert sorted(perm.tolist()) == list(range(30))
+
+    def test_reversed_radices_inverts(self):
+        fwd = digit_reverse_indices([2, 3, 4])
+        bwd = digit_reverse_indices([4, 3, 2])
+        assert np.array_equal(fwd[bwd], np.arange(24))
+
+
+class TestFactorize:
+    def test_radix_4_2(self):
+        assert factorize_radices(32, radices=(4, 2)) == [4, 4, 2]
+        assert factorize_radices(64, radices=(4, 2)) == [4, 4, 4]
+
+    def test_radix_8(self):
+        assert factorize_radices(512, radices=(8, 4, 2)) == [8, 8, 8]
+
+    def test_product_invariant(self):
+        for s in range(1, 14):
+            fac = factorize_radices(1 << s)
+            assert int(np.prod(fac)) == 1 << s
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            factorize_radices(24)
+
+
+class TestMixedRadixFactors:
+    def test_smooth(self):
+        assert mixed_radix_factors(60) == [2, 2, 3, 5]
+        assert mixed_radix_factors(7) == [7]
+        assert mixed_radix_factors(1) == []
+
+    def test_non_smooth_returns_none(self):
+        assert mixed_radix_factors(11) is None
+        assert mixed_radix_factors(13 * 4) is None
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            mixed_radix_factors(0)
+
+    @given(st.integers(min_value=1, max_value=10 ** 6))
+    def test_product_property(self, n):
+        fac = mixed_radix_factors(n)
+        if fac is not None:
+            assert int(np.prod(fac)) == n
+            assert all(f in (2, 3, 5, 7) for f in fac)
+
+
+class TestSplitBalanced:
+    def test_powers_of_two(self):
+        assert split_balanced(16) == (4, 4)
+        assert split_balanced(32) == (4, 8)
+        assert split_balanced(2) == (1, 2)
+
+    def test_general(self):
+        n1, n2 = split_balanced(48)
+        assert n1 * n2 == 48 and n1 <= n2
+
+    def test_prime(self):
+        assert split_balanced(13) == (1, 13)
+
+    @given(st.integers(min_value=1, max_value=10 ** 5))
+    def test_product_and_order(self, n):
+        n1, n2 = split_balanced(n)
+        assert n1 * n2 == n
+        assert 1 <= n1 <= n2
+
+
+class TestLargestFactor:
+    def test_values(self):
+        assert largest_factor_leq_sqrt(36) == 6
+        assert largest_factor_leq_sqrt(35) == 5
+        assert largest_factor_leq_sqrt(17) == 1

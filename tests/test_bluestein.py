@@ -1,0 +1,53 @@
+"""Tests for the Bluestein chirp-z FFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.bluestein import BluesteinPlan, bluestein_fft
+from tests.conftest import random_complex
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 2, 3, 11, 13, 17, 97, 101, 257, 1009])
+    def test_primes_match_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(bluestein_fft(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [22, 26, 33, 121])
+    def test_composite_non_smooth(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(bluestein_fft(x), np.fft.fft(x))
+
+    def test_also_correct_for_smooth_sizes(self, rng):
+        x = random_complex(rng, 64)
+        assert np.allclose(bluestein_fft(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [13, 53])
+    def test_roundtrip(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(bluestein_fft(bluestein_fft(x), sign=+1), x)
+
+    def test_batched(self, rng):
+        x = random_complex(rng, 4, 19)
+        assert np.allclose(bluestein_fft(x), np.fft.fft(x, axis=-1))
+
+    def test_large_n_numerics(self, rng):
+        # the (k*k) % (2n) chirp-table trick keeps large-n accuracy
+        n = 10007
+        x = random_complex(rng, n)
+        ref = np.fft.fft(x)
+        err = np.linalg.norm(bluestein_fft(x) - ref) / np.linalg.norm(ref)
+        assert err < 1e-12
+
+    def test_pad_size_is_sufficient_power_of_two(self):
+        plan = BluesteinPlan(100)
+        assert plan.m >= 199
+        assert plan.m & (plan.m - 1) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            BluesteinPlan(0)
+        with pytest.raises(ValueError):
+            BluesteinPlan(5, sign=3)
+        with pytest.raises(ValueError):
+            BluesteinPlan(5)(np.zeros(6, dtype=np.complex128))

@@ -1,0 +1,121 @@
+"""Tests for the cache and TLB simulators."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import CacheSim, TlbSim
+
+
+def seq(*addrs):
+    return np.asarray(addrs, dtype=np.int64)
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, assoc=2)
+        c.access(seq(0))
+        assert (c.stats.hits, c.stats.misses) == (0, 1)
+        c.access(seq(0))
+        assert (c.stats.hits, c.stats.misses) == (1, 1)
+
+    def test_same_line_hits(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, assoc=2)
+        c.access(seq(0, 8, 16, 63))
+        assert c.stats.misses == 1
+        assert c.stats.hits == 3
+
+    def test_capacity_eviction(self):
+        # direct-mapped 2 sets x 1 way of 64B: addresses 0 and 128 conflict
+        c = CacheSim(size_bytes=128, line_bytes=64, assoc=1)
+        c.access(seq(0, 128, 0))
+        assert c.stats.misses == 3
+
+    def test_associativity_avoids_conflict(self):
+        # same addresses, 2-way: second round hits
+        c = CacheSim(size_bytes=256, line_bytes=64, assoc=2)
+        c.access(seq(0, 128, 0, 128))
+        assert c.stats.misses == 2
+        assert c.stats.hits == 2
+
+    def test_lru_eviction_order(self):
+        c = CacheSim(size_bytes=128, line_bytes=64, assoc=2)  # 1 set, 2 ways
+        c.access(seq(0, 64, 0))      # lines A, B; A touched again
+        c.access(seq(128))           # evicts LRU = B
+        c.access(seq(0))             # A still resident -> hit
+        assert c.stats.hits == 2
+        c.access(seq(64))            # B was evicted -> miss
+        assert c.stats.misses == 4
+
+    def test_working_set_within_capacity_all_hits_on_reuse(self):
+        c = CacheSim(size_bytes=4096, line_bytes=64, assoc=8)
+        addrs = np.arange(0, 4096, 64)
+        c.access(addrs)
+        c.reset_stats()
+        c.access(addrs)
+        assert c.stats.misses == 0
+
+    def test_working_set_beyond_capacity_thrashes(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, assoc=2)
+        addrs = np.arange(0, 4096, 64)  # 4x capacity, cyclic
+        c.access(addrs)
+        c.reset_stats()
+        c.access(addrs)  # LRU + cyclic reuse = zero hits
+        assert c.stats.hits == 0
+
+    def test_power_of_two_stride_conflicts(self):
+        # stride = n_sets * line maps everything to one set
+        c = CacheSim(size_bytes=8192, line_bytes=64, assoc=4)
+        stride = c.n_sets * 64
+        addrs = np.arange(16) * stride
+        c.access(addrs)
+        c.reset_stats()
+        c.access(addrs)
+        assert c.stats.miss_rate == 1.0  # 16 lines through a 4-way set
+
+    def test_flush(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, assoc=2)
+        c.access(seq(0))
+        c.flush()
+        c.access(seq(0))
+        assert c.stats.misses == 2
+
+    def test_resident_lines(self):
+        c = CacheSim(size_bytes=1024, line_bytes=64, assoc=2)
+        c.access(np.arange(0, 320, 64))
+        assert c.resident_lines() == 5
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(size_bytes=1000, line_bytes=64, assoc=3)
+
+    def test_default_is_phi_l2(self):
+        c = CacheSim()
+        assert c.size_bytes == 512 * 1024
+        assert c.n_sets == 1024
+
+
+class TestTlbSim:
+    def test_page_locality(self):
+        t = TlbSim(entries=4)
+        t.access(seq(0, 8, 4000, 4096))
+        assert t.stats.misses == 2  # pages 0 and 1
+        assert t.stats.hits == 2
+
+    def test_capacity_eviction(self):
+        t = TlbSim(entries=2)
+        t.access(seq(0, 4096, 8192))  # third page evicts LRU (page 0)
+        t.access(seq(0))
+        assert t.stats.misses == 4
+
+    def test_lru_keeps_recent(self):
+        t = TlbSim(entries=2)
+        t.access(seq(0, 4096, 0, 8192))  # page 4096 is LRU at eviction
+        t.access(seq(0))
+        assert t.stats.hits == 2  # the re-touch of page 0, twice
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TlbSim(entries=0)
+
+    def test_miss_rate_zero_when_empty(self):
+        assert TlbSim().stats.miss_rate == 0.0

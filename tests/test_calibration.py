@@ -1,0 +1,80 @@
+"""Tests for efficiency calibration (model <-> measurement closure)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.calibration import (
+    fit_efficiencies,
+    implied_efficiency,
+    implied_fft_efficiency,
+)
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE
+
+
+class TestImpliedEfficiency:
+    def test_roundtrip(self):
+        # running 346 GFlops in 2 s on a 346 GF/s machine = 50% efficiency
+        assert implied_efficiency(2.0, 346e9, XEON_E5_2680) == pytest.approx(0.5)
+
+    def test_nodes_aggregate(self):
+        assert implied_efficiency(1.0, 2 * 346e9, XEON_E5_2680, nodes=2) == \
+            pytest.approx(1.0)
+
+    def test_fft_convention(self):
+        n = 2 ** 20
+        t = 5 * n * 20 / (0.12 * 1074e9)
+        assert implied_fft_efficiency(t, n, XEON_PHI_SE10) == pytest.approx(0.12)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            implied_efficiency(0.0, 1.0, XEON_E5_2680)
+        with pytest.raises(ValueError):
+            implied_efficiency(1.0, 0.0, XEON_E5_2680)
+
+
+class TestFitFromModel:
+    def test_model_closure(self):
+        """Feeding the §4 model's own component times back through the
+        calibrator must recover the configured efficiencies exactly."""
+        m = PAPER_SECTION4_EXAMPLE
+        breakdown = {
+            "local FFT": m.t_fft(XEON_E5_2680, m.mu * m.n_total),
+            "convolution": m.t_conv(XEON_E5_2680),
+        }
+        fit = fit_efficiencies(breakdown, n=m.n_total, b=m.b, mu=m.mu,
+                               machine=XEON_E5_2680, nodes=m.nodes)
+        assert fit["fft"] == pytest.approx(0.12, rel=1e-6)
+        assert fit["conv"] == pytest.approx(0.40, rel=1e-6)
+
+    def test_partial_breakdown(self):
+        fit = fit_efficiencies({"convolution": 1.0}, n=2 ** 20, b=72,
+                               mu=8 / 7, machine=XEON_PHI_SE10)
+        assert set(fit) == {"conv"}
+
+
+class TestExecutedRunClosure:
+    def test_simcluster_run_matches_configured_efficiencies(self, rng):
+        """Calibrate from an actually-executed distributed SOI trace."""
+        from repro.cluster.simcluster import SimCluster
+        from repro.core.params import SoiParams
+        from repro.core.soi_dist import DistributedSoiFFT
+
+        params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(4)
+        dist = DistributedSoiFFT(cl, params)
+        x = rng.standard_normal(params.n) + 1j * rng.standard_normal(params.n)
+        dist(dist.scatter(x))
+        b = cl.breakdown()
+        # exact closure: use the flops actually charged (S length-M' FFTs)
+        implied = implied_efficiency(b["local FFT"],
+                                     params.local_fft_flops / 4,
+                                     cl.machine)
+        assert implied == pytest.approx(0.12, rel=1e-6)
+        # the §4 model convention (5 muN log2 muN) over-counts by
+        # log2(muN)/log2(M'), so the fitted value lands above 0.12
+        fit = fit_efficiencies(b, n=params.n, b=params.b, mu=params.mu,
+                               machine=cl.machine, nodes=4)
+        ratio = np.log2(params.mu * params.n) / np.log2(params.m_oversampled)
+        assert fit["fft"] == pytest.approx(0.12 * ratio, rel=0.01)

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSelftest:
+    def test_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "OK" in out
+
+
+class TestTransform:
+    def test_default(self, capsys):
+        assert main(["transform", "--n", "3584", "--b", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "rel l2 error" in out
+
+    def test_mu_flags(self, capsys):
+        assert main(["transform", "--n", "4096", "--n-mu", "5",
+                     "--d-mu", "4", "--b", "48"]) == 0
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            main(["transform", "--n", "4096", "--b", "48"])  # 7 !| 512
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ["table2", "fig3", "fig10", "fig11",
+                                       "fig12"])
+    def test_individual_figures(self, capsys, which):
+        assert main(["figures", which]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig8_prints_series(self, capsys):
+        assert main(["figures", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "TFLOPS" in out
+        assert "512" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+
+class TestInfo:
+    def test_prints_presets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon Phi" in out
+        assert "bops" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,57 @@
+"""Tests for the unrolled-leaf codelet generator."""
+
+import numpy as np
+import pytest
+
+from repro.fft.codelet import CODELET_SIZES, generate_codelet_source, get_codelet
+from repro.fft.dft import dft
+from tests.conftest import random_complex
+
+
+class TestGeneratedSource:
+    def test_is_valid_python(self):
+        for n in CODELET_SIZES:
+            compile(generate_codelet_source(n), "<test>", "exec")
+
+    def test_straight_line_no_loops(self):
+        src = generate_codelet_source(8)
+        assert "for " not in src
+        assert "while " not in src
+
+    def test_strength_reduction_folds_units(self):
+        # a size-4 DFT needs no general complex multiplies at all
+        src = generate_codelet_source(4)
+        assert "complex(" not in src
+
+    def test_size_8_uses_few_general_multiplies(self):
+        src = generate_codelet_source(8)
+        # only the odd eighth-roots need real multiplies: 4 distinct lines
+        assert 0 < src.count("complex(") <= 8 * 4
+
+    def test_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            generate_codelet_source(6)
+        with pytest.raises(ValueError):
+            generate_codelet_source(8, sign=0)
+
+
+class TestCodeletCorrectness:
+    @pytest.mark.parametrize("n", CODELET_SIZES)
+    @pytest.mark.parametrize("sign", [-1, +1])
+    def test_matches_naive_dft(self, rng, n, sign):
+        c = get_codelet(n, sign)
+        x = random_complex(rng, n)
+        out = np.empty(n, dtype=np.complex128)
+        c(x, out)
+        ref = dft(x) if sign == -1 else np.conj(dft(np.conj(x)))
+        assert np.allclose(out, ref)
+
+    def test_cached(self):
+        assert get_codelet(8) is get_codelet(8)
+        assert get_codelet(8, -1) is not get_codelet(8, +1)
+
+    def test_works_on_plain_lists(self):
+        c = get_codelet(2)
+        out = np.empty(2, dtype=np.complex128)
+        c([1.0, 2.0], out)
+        assert np.allclose(out, [3.0, -1.0])

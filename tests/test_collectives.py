@@ -1,0 +1,98 @@
+"""Tests for all-to-all algorithms (pairwise / Bruck)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.collectives import (
+    alltoall_bruck,
+    alltoall_pairwise,
+    bruck_time,
+    pairwise_time,
+    recommend_algorithm,
+)
+from repro.cluster.network import STAMPEDE_EFFECTIVE as NET
+from tests.conftest import random_complex
+
+
+def blocks_for(rng, p, m=3):
+    return [[random_complex(rng, m) for _ in range(p)] for _ in range(p)]
+
+
+def assert_is_exchange(recv, blocks, p):
+    for src in range(p):
+        for dst in range(p):
+            assert np.array_equal(recv[dst][src], blocks[src][dst])
+
+
+class TestPairwise:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_exchange_semantics(self, rng, p):
+        blocks = blocks_for(rng, p)
+        recv, rounds = alltoall_pairwise(blocks)
+        assert_is_exchange(recv, blocks, p)
+        assert rounds == max(0, p - 1)
+
+    def test_rejects_ragged(self, rng):
+        with pytest.raises(ValueError):
+            alltoall_pairwise([[np.zeros(1)] * 2, [np.zeros(1)]])
+
+
+class TestBruck:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 13, 16])
+    def test_exchange_semantics(self, rng, p):
+        blocks = blocks_for(rng, p)
+        recv, rounds = alltoall_bruck(blocks)
+        assert_is_exchange(recv, blocks, p)
+
+    @pytest.mark.parametrize("p,expected", [(2, 1), (4, 2), (8, 3), (16, 4),
+                                            (5, 3), (9, 4)])
+    def test_logarithmic_rounds(self, rng, p, expected):
+        _, rounds = alltoall_bruck(blocks_for(rng, p, m=1))
+        assert rounds == expected
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_pairwise(self, p, m):
+        rng = np.random.default_rng(p * 100 + m)
+        blocks = [[rng.standard_normal(m) + 0j for _ in range(p)]
+                  for _ in range(p)]
+        ra, _ = alltoall_pairwise(blocks)
+        rb, _ = alltoall_bruck(blocks)
+        for d in range(p):
+            for s in range(p):
+                assert np.array_equal(ra[d][s], rb[d][s])
+
+
+class TestCostModels:
+    def test_bruck_wins_short_messages(self):
+        # latency-bound: log2(P) rounds beat P-1 rounds
+        assert bruck_time(NET, 512, 64) < pairwise_time(NET, 512, 64)
+
+    def test_pairwise_wins_long_messages(self):
+        # bandwidth-bound: Bruck forwards each byte log2(P)/2 times
+        big = 16 * 1024 * 1024
+        assert pairwise_time(NET, 64, big) < bruck_time(NET, 64, big)
+
+    def test_recommendation_crossover(self):
+        assert recommend_algorithm(NET, 512, 64) == "bruck"
+        assert recommend_algorithm(NET, 512, 16 * 1024 * 1024) == "pairwise"
+        assert recommend_algorithm(NET, 1, 100) == "pairwise"
+
+    def test_crossover_moves_with_segments(self):
+        """The §6.1 connection: more segments/process -> shorter packets ->
+        deeper into Bruck territory."""
+        nodes = 512
+        n_per_node = 7 * 2 ** 24
+        base_pair = 16 * n_per_node * nodes // (nodes * nodes)
+        algos = [recommend_algorithm(NET, nodes, base_pair // spp)
+                 for spp in (1, 2, 8, 64, 512, 4096)]
+        # once packets get short enough the recommendation flips to bruck
+        assert algos[0] == "pairwise"
+        assert algos[-1] == "bruck"
+
+    def test_degenerate_cases_free(self):
+        assert pairwise_time(NET, 1, 100) == 0.0
+        assert bruck_time(NET, 4, 0) == 0.0

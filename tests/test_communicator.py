@@ -1,0 +1,129 @@
+"""Tests for the Communicator collectives on SimCluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.simcluster import SimCluster
+from tests.conftest import random_complex
+
+
+@pytest.fixture
+def cluster():
+    return SimCluster(4)
+
+
+class TestAlltoall:
+    def test_transposes_payloads(self, cluster, rng):
+        p = 4
+        send = [[random_complex(rng, 3) for _ in range(p)] for _ in range(p)]
+        recv = cluster.comm.alltoall(send)
+        for src in range(p):
+            for dst in range(p):
+                assert np.array_equal(recv[dst][src], send[src][dst])
+
+    def test_returns_copies(self, cluster, rng):
+        send = [[random_complex(rng, 2) for _ in range(4)] for _ in range(4)]
+        recv = cluster.comm.alltoall(send)
+        send[0][1][:] = 0
+        assert not np.array_equal(recv[1][0], send[0][1])
+
+    def test_byte_accounting_excludes_self(self, cluster):
+        p = 4
+        send = [[np.ones(8, dtype=np.complex128) for _ in range(p)]
+                for _ in range(p)]
+        cluster.comm.alltoall(send)
+        assert cluster.comm.bytes_moved == p * (p - 1) * 8 * 16
+        assert cluster.comm.message_count == p * (p - 1)
+
+    def test_clocks_advance_uniformly(self, cluster):
+        send = [[np.ones(1024, dtype=np.complex128) for _ in range(4)]
+                for _ in range(4)]
+        cluster.comm.alltoall(send)
+        assert len(set(cluster.clocks)) == 1
+        assert cluster.clocks[0] > 0
+
+    def test_synchronizes_to_slowest(self, cluster):
+        cluster.charge_seconds(2, "work", 5.0)
+        send = [[np.zeros(0, dtype=np.complex128)] * 4 for _ in range(4)]
+        cluster.comm.alltoall(send)
+        assert all(c == pytest.approx(5.0) for c in cluster.clocks)
+
+    def test_trace_event_recorded(self, cluster):
+        send = [[np.ones(4, dtype=np.complex128)] * 4 for _ in range(4)]
+        cluster.comm.alltoall(send, label="xyz")
+        labels = {e.label for e in cluster.trace.events}
+        assert "xyz" in labels
+
+    def test_rejects_wrong_shape(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.comm.alltoall([[np.zeros(1)] * 3 for _ in range(4)])
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=15, deadline=None)
+    def test_property_recv_is_send_transposed(self, p, m):
+        cl = SimCluster(p)
+        send = [[np.full(m, src * 10 + dst, dtype=np.complex128)
+                 for dst in range(p)] for src in range(p)]
+        recv = cl.comm.alltoall(send)
+        for dst in range(p):
+            for src in range(p):
+                assert np.all(recv[dst][src] == src * 10 + dst)
+
+
+class TestRingExchange:
+    def test_neighbor_semantics(self, rng):
+        cl = SimCluster(4)
+        to_left = [np.full(2, 100 + r, dtype=np.complex128) for r in range(4)]
+        to_right = [np.full(3, 200 + r, dtype=np.complex128) for r in range(4)]
+        from_left, from_right = cl.comm.ring_exchange(to_left, to_right)
+        for r in range(4):
+            # from_left[r] = what rank r-1 sent right
+            assert np.all(from_left[r] == 200 + (r - 1) % 4)
+            # from_right[r] = what rank r+1 sent left
+            assert np.all(from_right[r] == 100 + (r + 1) % 4)
+
+    def test_single_rank_wraps_to_self(self):
+        cl = SimCluster(1)
+        fl, fr = cl.comm.ring_exchange([np.array([1.0 + 0j])],
+                                       [np.array([2.0 + 0j])])
+        assert fl[0][0] == 2.0  # own right send wraps to own left ghost
+        assert fr[0][0] == 1.0
+        assert cl.comm.bytes_moved == 0
+
+    def test_ghost_bytes_counted(self):
+        cl = SimCluster(2)
+        a = [np.ones(4, dtype=np.complex128)] * 2
+        cl.comm.ring_exchange(a, a)
+        assert cl.comm.bytes_moved == 2 * 2 * 64
+
+    def test_rejects_wrong_count(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.comm.ring_exchange([np.zeros(1)] * 3, [np.zeros(1)] * 4)
+
+
+class TestAllgatherBcast:
+    def test_allgather_everyone_gets_everything(self, cluster):
+        send = [np.full(2, r, dtype=np.complex128) for r in range(4)]
+        out = cluster.comm.allgather(send)
+        for dst in range(4):
+            for src in range(4):
+                assert np.all(out[dst][src] == src)
+
+    def test_bcast_values(self, cluster):
+        buf = np.arange(5, dtype=np.complex128)
+        out = cluster.comm.bcast(buf, root=2)
+        assert len(out) == 4
+        for o in out:
+            assert np.array_equal(o, buf)
+
+    def test_bcast_rejects_bad_root(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.comm.bcast(np.zeros(1), root=7)
+
+    def test_barrier_synchronizes(self, cluster):
+        cluster.charge_seconds(1, "w", 3.0)
+        cluster.comm.barrier()
+        assert all(c == pytest.approx(3.0) for c in cluster.clocks)

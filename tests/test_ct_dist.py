@@ -1,0 +1,94 @@
+"""Tests for the distributed Cooley-Tukey baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simcluster import SimCluster
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.util.validate import relative_l2_error
+from tests.conftest import random_complex
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [
+        (64, 4), (256, 4), (1024, 8), (4096, 16), (3584, 4), (2 ** 12, 2),
+        (900, 3),
+    ])
+    def test_matches_numpy(self, rng, n, p):
+        cluster = SimCluster(p)
+        ct = DistributedCooleyTukeyFFT(cluster, n)
+        x = random_complex(rng, n)
+        y = ct.assemble(ct(ct.scatter(x)))
+        assert relative_l2_error(y, np.fft.fft(x)) < 1e-12
+
+    def test_single_rank(self, rng):
+        cluster = SimCluster(1)
+        ct = DistributedCooleyTukeyFFT(cluster, 256)
+        x = random_complex(rng, 256)
+        assert np.allclose(ct([x])[0], np.fft.fft(x))
+
+    def test_output_block_distribution(self, rng):
+        cluster = SimCluster(4)
+        ct = DistributedCooleyTukeyFFT(cluster, 1024)
+        x = random_complex(rng, 1024)
+        parts = ct(ct.scatter(x))
+        ref = np.fft.fft(x)
+        for r, part in enumerate(parts):
+            assert np.allclose(part, ref[r * 256:(r + 1) * 256])
+
+
+class TestCommunicationStructure:
+    def test_three_alltoalls(self, rng):
+        cluster = SimCluster(4)
+        ct = DistributedCooleyTukeyFFT(cluster, 1024)
+        ct(ct.scatter(random_complex(rng, 1024)))
+        labels = {e.label for e in cluster.trace.events if e.category == "mpi"}
+        assert labels == {"all-to-all #1", "all-to-all #2", "all-to-all #3"}
+
+    def test_wire_volume_is_3x(self, rng):
+        n, p = 1024, 4
+        cluster = SimCluster(p)
+        ct = DistributedCooleyTukeyFFT(cluster, n)
+        ct(ct.scatter(random_complex(rng, n)))
+        expected = 3 * 16 * n * (p - 1) // p
+        assert cluster.comm.bytes_moved == expected
+
+    def test_ct_moves_more_than_soi(self, rng):
+        """The headline communication claim: 3 exchanges vs mu x one."""
+        from repro.core.params import SoiParams
+        from repro.core.soi_dist import DistributedSoiFFT
+
+        n, p = 8 * 448, 4
+        cl_ct = SimCluster(p)
+        ct = DistributedCooleyTukeyFFT(cl_ct, n)
+        ct(ct.scatter(random_complex(rng, n)))
+
+        cl_soi = SimCluster(p)
+        soi = DistributedSoiFFT(cl_soi, SoiParams(
+            n=n, n_procs=p, segments_per_process=2, n_mu=8, d_mu=7, b=48))
+        soi(soi.scatter(random_complex(rng, n)))
+
+        # mu/3 ~= 0.38 of CT's all-to-all volume, plus the small ghost halos
+        assert cl_soi.comm.bytes_moved < 0.6 * cl_ct.comm.bytes_moved
+
+
+class TestValidation:
+    def test_rejects_p_not_dividing(self):
+        with pytest.raises(ValueError):
+            DistributedCooleyTukeyFFT(SimCluster(3), 1024)
+
+    def test_rejects_p_squared_not_dividing(self):
+        with pytest.raises(ValueError):
+            DistributedCooleyTukeyFFT(SimCluster(8), 8 * 12)
+
+    def test_rejects_wrong_parts(self, rng):
+        ct = DistributedCooleyTukeyFFT(SimCluster(4), 1024)
+        with pytest.raises(ValueError):
+            ct([random_complex(rng, 256)] * 3)
+        with pytest.raises(ValueError):
+            ct([random_complex(rng, 100)] * 4)
+
+    def test_scatter_validates(self, rng):
+        ct = DistributedCooleyTukeyFFT(SimCluster(4), 1024)
+        with pytest.raises(ValueError):
+            ct.scatter(random_complex(rng, 999))

@@ -1,0 +1,51 @@
+"""Tests for the naive DFT oracle."""
+
+import numpy as np
+import pytest
+
+from repro.fft.dft import dft, dft_matrix, idft
+from tests.conftest import random_complex
+
+
+class TestDftMatrix:
+    def test_unitary_up_to_scale(self):
+        f = dft_matrix(16)
+        prod = f @ f.conj().T
+        assert np.allclose(prod, 16 * np.eye(16))
+
+    def test_forward_matches_numpy(self):
+        f = dft_matrix(8)
+        x = np.arange(8, dtype=np.complex128)
+        assert np.allclose(f @ x, np.fft.fft(x))
+
+    def test_inverse_sign(self):
+        assert np.allclose(dft_matrix(8, sign=+1), dft_matrix(8, sign=-1).conj())
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_bad_n(self, bad):
+        with pytest.raises(ValueError):
+            dft_matrix(bad)
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            dft_matrix(4, sign=2)
+
+
+class TestDft:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 17, 32])
+    def test_matches_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(dft(x), np.fft.fft(x))
+
+    def test_roundtrip(self, rng):
+        x = random_complex(rng, 24)
+        assert np.allclose(idft(dft(x)), x)
+
+    def test_axis_argument(self, rng):
+        x = random_complex(rng, 4, 6)
+        assert np.allclose(dft(x, axis=0), np.fft.fft(x, axis=0))
+        assert np.allclose(dft(x, axis=1), np.fft.fft(x, axis=1))
+
+    def test_idft_matches_numpy(self, rng):
+        x = random_complex(rng, 12)
+        assert np.allclose(idft(x), np.fft.ifft(x))

@@ -1,0 +1,58 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.machine.energy import EnergyModel, EnergyReport
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE as MODEL
+
+
+class TestEnergyReport:
+    def test_total(self):
+        r = EnergyReport(1.0, 2.0, 3.0, 4.0)
+        assert r.total_j == 10.0
+
+    def test_movement_fraction(self):
+        r = EnergyReport(compute_j=2.0, memory_j=1.0, network_j=1.0,
+                         static_j=100.0)
+        assert r.movement_fraction == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert EnergyReport(0, 0, 0, 0).movement_fraction == 0.0
+
+
+class TestEnergyModel:
+    def test_soi_saves_energy_vs_ct(self):
+        em = EnergyModel()
+        ratio = em.soi_vs_ct_energy_ratio(MODEL, XEON_PHI_SE10)
+        assert ratio > 1.3  # SOI: fewer network bytes AND less static time
+
+    def test_network_bytes_priced_by_mu_vs_3(self):
+        em = EnergyModel(static_watts_per_node=0.0, pj_per_flop=0.0,
+                         pj_per_dram_byte=0.0)
+        soi = em.soi_report(MODEL, XEON_PHI_SE10)
+        ct = em.ct_report(MODEL, XEON_PHI_SE10)
+        assert ct.network_j / soi.network_j == pytest.approx(3 / MODEL.mu,
+                                                             rel=1e-6)
+
+    def test_data_movement_dominates_compute(self):
+        # the paper's framing: moving data costs more than computing
+        em = EnergyModel()
+        r = em.soi_report(MODEL, XEON_PHI_SE10)
+        assert r.movement_fraction > 0.4
+
+    def test_static_power_scales_with_time(self):
+        em = EnergyModel()
+        phi = em.soi_report(MODEL, XEON_PHI_SE10)
+        xeon = em.soi_report(MODEL, XEON_E5_2680)
+        assert xeon.static_j > phi.static_j  # slower run leaks longer
+
+    def test_free_network_collapses_advantage(self):
+        em = EnergyModel(pj_per_network_byte=0.0, static_watts_per_node=0.0)
+        ratio = em.soi_vs_ct_energy_ratio(MODEL, XEON_PHI_SE10)
+        # with free wires, SOI pays extra compute/dram: CT can even win
+        assert ratio < 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(pj_per_flop=-1.0)

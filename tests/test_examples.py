@@ -1,0 +1,24 @@
+"""Every shipped example must run clean end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    out = subprocess.run([sys.executable, str(script)],
+                         capture_output=True, text=True, timeout=600)
+    assert out.returncode == 0, out.stderr[-2000:]
+    assert out.stdout.strip(), "examples must produce output"
+
+
+def test_expected_example_set():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "distributed_weak_scaling.py",
+            "spectral_analysis.py", "mode_planning.py",
+            "hybrid_cluster.py"} <= names

@@ -1,0 +1,76 @@
+"""Tests for the distributed 2-D FFT contrast case."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.baseline.fft2d_dist import Distributed2dFFT
+from repro.cluster.simcluster import SimCluster
+from tests.conftest import random_complex
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("r,c,p", [
+        (16, 16, 4), (32, 64, 8), (8, 12, 4), (64, 64, 1), (12, 20, 2),
+    ])
+    def test_matches_numpy_fft2(self, rng, r, c, p):
+        cl = SimCluster(p)
+        f2 = Distributed2dFFT(cl, r, c)
+        a = random_complex(rng, r, c)
+        y = f2.assemble(f2(f2.scatter(a)))
+        assert np.allclose(y, np.fft.fft2(a))
+
+    def test_output_is_column_distributed(self, rng):
+        cl = SimCluster(4)
+        f2 = Distributed2dFFT(cl, 16, 16)
+        a = random_complex(rng, 16, 16)
+        parts = f2(f2.scatter(a))
+        ref = np.fft.fft2(a)
+        for r, part in enumerate(parts):
+            assert part.shape == (4, 16)
+            assert np.allclose(part, ref[:, r * 4:(r + 1) * 4].T)
+
+
+class TestCommunication:
+    def test_single_alltoall(self, rng):
+        cl = SimCluster(4)
+        f2 = Distributed2dFFT(cl, 16, 16)
+        f2(f2.scatter(random_complex(rng, 16, 16)))
+        mpi = [e for e in cl.trace.events if e.category == "mpi"]
+        assert {e.label for e in mpi} == {"transpose all-to-all"}
+
+    def test_wire_bytes_exact(self, rng):
+        cl = SimCluster(8)
+        f2 = Distributed2dFFT(cl, 32, 64)
+        f2(f2.scatter(random_complex(rng, 32, 64)))
+        assert cl.comm.bytes_moved == f2.alltoall_bytes_total
+
+    def test_2d_moves_third_of_1d_ct(self, rng):
+        """The paper's §1 point, quantified: same N, the 2-D transform
+        needs 1/3 the wire volume of the in-order 1-D transform."""
+        n, p = 1024, 4
+        cl1 = SimCluster(p)
+        ct = DistributedCooleyTukeyFFT(cl1, n)
+        ct(ct.scatter(random_complex(rng, n)))
+        cl2 = SimCluster(p)
+        f2 = Distributed2dFFT(cl2, 32, 32)
+        f2(f2.scatter(random_complex(rng, 32, 32)))
+        assert cl2.comm.bytes_moved * 3 == cl1.comm.bytes_moved
+
+
+class TestValidation:
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            Distributed2dFFT(SimCluster(3), 16, 16)
+
+    def test_rejects_wrong_parts(self, rng):
+        f2 = Distributed2dFFT(SimCluster(4), 16, 16)
+        with pytest.raises(ValueError):
+            f2([random_complex(rng, 4, 16)] * 3)
+        with pytest.raises(ValueError):
+            f2([random_complex(rng, 2, 16)] * 4)
+
+    def test_scatter_validates(self, rng):
+        f2 = Distributed2dFFT(SimCluster(4), 16, 16)
+        with pytest.raises(ValueError):
+            f2.scatter(random_complex(rng, 8, 8))

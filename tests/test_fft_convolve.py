@@ -1,0 +1,71 @@
+"""Tests for circular convolution/correlation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.fft.convolve import fft_convolve, fft_correlate
+from tests.conftest import random_complex
+
+
+def direct_convolve(a, b):
+    n = a.size
+    return np.array([sum(a[m] * b[(k - m) % n] for m in range(n))
+                     for k in range(n)])
+
+
+def direct_correlate(a, b):
+    n = a.size
+    return np.array([sum(a[(m + k) % n] * np.conj(b[m]) for m in range(n))
+                     for k in range(n)])
+
+
+class TestConvolve:
+    @pytest.mark.parametrize("n", [4, 15, 60, 64])
+    def test_matches_direct(self, rng, n):
+        a, b = random_complex(rng, n), random_complex(rng, n)
+        assert np.allclose(fft_convolve(a, b), direct_convolve(a, b))
+
+    def test_commutative(self, rng):
+        a, b = random_complex(rng, 32), random_complex(rng, 32)
+        assert np.allclose(fft_convolve(a, b), fft_convolve(b, a))
+
+    def test_identity_kernel(self, rng):
+        a = random_complex(rng, 16)
+        delta = np.zeros(16, dtype=np.complex128)
+        delta[0] = 1.0
+        assert np.allclose(fft_convolve(a, delta), a)
+
+    def test_shift_kernel(self, rng):
+        a = random_complex(rng, 16)
+        delta = np.zeros(16, dtype=np.complex128)
+        delta[3] = 1.0
+        assert np.allclose(fft_convolve(a, delta), np.roll(a, 3))
+
+    def test_prime_length_via_bluestein(self, rng):
+        a, b = random_complex(rng, 17), random_complex(rng, 17)
+        assert np.allclose(fft_convolve(a, b), direct_convolve(a, b))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fft_convolve(random_complex(rng, 4), random_complex(rng, 5))
+
+
+class TestCorrelate:
+    @pytest.mark.parametrize("n", [8, 21, 64])
+    def test_matches_direct(self, rng, n):
+        a, b = random_complex(rng, n), random_complex(rng, n)
+        assert np.allclose(fft_correlate(a, b), direct_correlate(a, b))
+
+    def test_autocorrelation_peak_at_zero_lag(self, rng):
+        a = random_complex(rng, 64)
+        r = fft_correlate(a, a)
+        assert np.argmax(np.abs(r)) == 0
+        assert r[0].real == pytest.approx(np.sum(np.abs(a) ** 2))
+
+    def test_detects_shift(self, rng):
+        # shifted[m] = a[m - 11], so correlate(shifted, a)[k] peaks at the
+        # lag k = 11 that realigns them
+        a = random_complex(rng, 64)
+        shifted = np.roll(a, 11)
+        r = fft_correlate(shifted, a)
+        assert np.argmax(np.abs(r)) == 11

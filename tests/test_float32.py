@@ -1,0 +1,78 @@
+"""Tests for single-precision kernel support."""
+
+import numpy as np
+import pytest
+
+from repro.fft.stockham import StockhamPlan
+from tests.conftest import random_complex
+
+
+class TestComplex64:
+    @pytest.mark.parametrize("n", [8, 64, 1024, 60, 105])
+    def test_accuracy_at_single_precision(self, rng, n):
+        x = random_complex(rng, n).astype(np.complex64)
+        y = StockhamPlan(n, dtype=np.complex64)(x)
+        ref = np.fft.fft(x.astype(np.complex128))
+        err = np.linalg.norm(y - ref) / np.linalg.norm(ref)
+        assert err < 5e-6  # float32 epsilon territory
+
+    def test_output_dtype_preserved(self, rng):
+        y = StockhamPlan(64, dtype=np.complex64)(
+            random_complex(rng, 64).astype(np.complex64))
+        assert y.dtype == np.complex64
+
+    def test_roundtrip(self, rng):
+        x = random_complex(rng, 128).astype(np.complex64)
+        f = StockhamPlan(128, dtype=np.complex64)
+        b = StockhamPlan(128, sign=+1, dtype=np.complex64)
+        assert np.allclose(b(f(x)), x, atol=1e-4)
+
+    def test_double_more_accurate_than_single(self, rng):
+        n = 4096
+        x = random_complex(rng, n)
+        ref = np.fft.fft(x)
+        e64 = np.linalg.norm(
+            StockhamPlan(n, dtype=np.complex64)(x.astype(np.complex64))
+            - ref) / np.linalg.norm(ref)
+        e128 = np.linalg.norm(StockhamPlan(n)(x) - ref) / np.linalg.norm(ref)
+        assert e128 < 1e-6 * e64
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(ValueError):
+            StockhamPlan(8, dtype=np.float64)
+
+    def test_default_is_double(self, rng):
+        y = StockhamPlan(16)(random_complex(rng, 16))
+        assert y.dtype == np.complex128
+
+
+class TestDistributedInverse:
+    def test_roundtrip_through_cluster(self, rng):
+        from repro.cluster.simcluster import SimCluster
+        from repro.core.params import SoiParams
+        from repro.core.soi_dist import DistributedSoiFFT
+
+        params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(4)
+        d = DistributedSoiFFT(cl, params)
+        x = random_complex(rng, params.n)
+        back = d.assemble(d.inverse(d(d.scatter(x))))
+        err = np.linalg.norm(back - x) / np.linalg.norm(x)
+        assert err < 20 * d.tables.expected_stopband
+
+    def test_inverse_of_known_spectrum(self, rng):
+        from repro.cluster.simcluster import SimCluster
+        from repro.core.params import SoiParams
+        from repro.core.soi_dist import DistributedSoiFFT
+
+        params = SoiParams(n=8 * 448, n_procs=2, segments_per_process=4,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(2)
+        d = DistributedSoiFFT(cl, params)
+        x = random_complex(rng, params.n)
+        y = np.fft.fft(x)
+        chunk = params.elements_per_process
+        y_parts = [y[r * chunk:(r + 1) * chunk] for r in range(2)]
+        back = d.assemble(d.inverse(y_parts))
+        assert np.linalg.norm(back - x) / np.linalg.norm(x) < 1e-4

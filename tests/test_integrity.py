@@ -1,0 +1,100 @@
+"""Tests for checksums and fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.integrity import (
+    CorruptionDetected,
+    FaultInjector,
+    checksum,
+    checksummed_cluster,
+)
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from tests.conftest import random_complex
+
+
+class TestChecksum:
+    def test_deterministic(self, rng):
+        a = random_complex(rng, 32)
+        assert checksum(a) == checksum(a.copy())
+
+    def test_sensitive_to_any_change(self, rng):
+        a = random_complex(rng, 32)
+        b = a.copy()
+        b[17] += 1e-12
+        assert checksum(a) != checksum(b)
+
+    def test_order_sensitive(self, rng):
+        a = random_complex(rng, 8)
+        assert checksum(a) != checksum(a[::-1])
+
+
+class TestCleanRuns:
+    def test_checksummed_run_is_transparent(self, rng):
+        params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        x = random_complex(rng, params.n)
+        cl = checksummed_cluster(SimCluster(4))
+        soi = DistributedSoiFFT(cl, params)
+        y = soi.assemble(soi(soi.scatter(x)))
+        ref = np.fft.fft(x)
+        assert np.linalg.norm(y - ref) / np.linalg.norm(ref) < 1e-4
+
+    def test_injector_counts_messages(self, rng):
+        inj = FaultInjector(corrupt_nth=None)
+        cl = checksummed_cluster(SimCluster(3), inj)
+        send = [[random_complex(rng, 2) for _ in range(3)] for _ in range(3)]
+        cl.comm.alltoall(send)
+        assert inj.seen == 6  # 3*2 non-self payloads
+        assert inj.injected == 0
+
+
+class TestFaultDetection:
+    def test_corruption_is_detected(self, rng):
+        inj = FaultInjector(corrupt_nth=3)
+        cl = checksummed_cluster(SimCluster(3), inj)
+        send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
+        with pytest.raises(CorruptionDetected, match="failed its checksum"):
+            cl.comm.alltoall(send)
+        assert inj.injected == 1
+
+    def test_corruption_in_soi_run_detected(self, rng):
+        params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        inj = FaultInjector(corrupt_nth=5)
+        cl = checksummed_cluster(SimCluster(4), inj)
+        soi = DistributedSoiFFT(cl, params)
+        with pytest.raises(CorruptionDetected):
+            soi(soi.scatter(random_complex(rng, params.n)))
+
+    def test_zero_size_payloads_survive(self):
+        inj = FaultInjector(corrupt_nth=1)
+        cl = checksummed_cluster(SimCluster(2), inj)
+        send = [[np.zeros(0, dtype=np.complex128)] * 2 for _ in range(2)]
+        cl.comm.alltoall(send)  # nothing to corrupt, nothing to detect
+
+
+class TestBatchApi:
+    def test_batch_matches_per_vector(self, rng):
+        from repro.core.soi_single import SoiFFT
+
+        params = SoiParams(n=4 * 448, n_procs=1, segments_per_process=4,
+                           n_mu=8, d_mu=7, b=32)
+        f = SoiFFT(params)
+        xs = random_complex(rng, 3, params.n)
+        ys = f.batch(xs)
+        for i in range(3):
+            assert np.array_equal(ys[i], f(xs[i]))
+
+    def test_batch_validates_shape(self, rng):
+        from repro.core.soi_single import SoiFFT
+
+        params = SoiParams(n=4 * 448, n_procs=1, segments_per_process=4,
+                           n_mu=8, d_mu=7, b=32)
+        f = SoiFFT(params)
+        with pytest.raises(ValueError):
+            f.batch(random_complex(rng, 3, 10))
+        with pytest.raises(ValueError):
+            f.batch(random_complex(rng, params.n))

@@ -1,0 +1,58 @@
+"""Tests for AoS/SoA layout handling."""
+
+import numpy as np
+import pytest
+
+from repro.fft.layout import SoAView, from_aos, packet_lengths, to_aos
+from repro.cluster.network import STAMPEDE_EFFECTIVE
+from tests.conftest import random_complex
+
+
+class TestConversion:
+    def test_roundtrip(self, rng):
+        x = random_complex(rng, 100)
+        assert np.array_equal(to_aos(from_aos(x)), x)
+
+    def test_planes(self, rng):
+        x = random_complex(rng, 16)
+        v = from_aos(x)
+        assert np.array_equal(v.real, x.real)
+        assert np.array_equal(v.imag, x.imag)
+        assert v.real.flags["C_CONTIGUOUS"]
+
+    def test_nbytes_equal_to_complex(self, rng):
+        x = random_complex(rng, 64)
+        assert from_aos(x).nbytes == x.nbytes
+
+    def test_view_validation(self):
+        with pytest.raises(ValueError):
+            SoAView(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            SoAView(np.zeros(3, dtype=np.float32), np.zeros(3, dtype=np.float32))
+
+
+class TestPacketLengths:
+    def test_aos_single_full_packet(self):
+        assert packet_lengths(1000, "aos") == [16000]
+
+    def test_soa_two_half_packets(self):
+        assert packet_lengths(1000, "soa") == [8000, 8000]
+
+    def test_same_total_volume(self):
+        assert sum(packet_lengths(77, "aos")) == sum(packet_lengths(77, "soa"))
+
+    def test_aos_sustains_more_bandwidth(self):
+        """§5.2.4: 'longer packet length is advantageous in sustaining the
+        mpi bandwidth' — same bytes, fewer/longer packets, less time."""
+        n = 4096  # elements; packets land on the bandwidth ramp
+        t_aos = sum(STAMPEDE_EFFECTIVE.message_time(p)
+                    for p in packet_lengths(n, "aos"))
+        t_soa = sum(STAMPEDE_EFFECTIVE.message_time(p)
+                    for p in packet_lengths(n, "soa"))
+        assert t_aos < t_soa
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_lengths(-1, "aos")
+        with pytest.raises(ValueError):
+            packet_lengths(10, "interleaved")

@@ -1,0 +1,74 @@
+"""Tests for the Fig 10 local-FFT ablation model."""
+
+import pytest
+
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.localfft import (
+    LOCAL_FFT_VARIANTS,
+    LocalFftVariant,
+    local_fft_gflops,
+    local_fft_time,
+)
+
+N16M = 16 * 2 ** 20
+
+
+class TestFig10Shape:
+    def test_four_variants_in_paper_order(self):
+        names = [v.name for v in LOCAL_FFT_VARIANTS]
+        assert names == ["6-step-naive", "6-step-opt", "latency-hiding",
+                         "fine-grain"]
+
+    def test_monotone_improvement(self):
+        rates = [local_fft_gflops(N16M, v) for v in LOCAL_FFT_VARIANTS]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_final_performance_near_120_gflops(self):
+        # §6.2: "The performance of the final fft implementation, 120 gflops"
+        final = local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[-1])
+        assert final == pytest.approx(120.0, rel=0.10)
+
+    def test_final_efficiency_near_12_percent(self):
+        final = local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[-1])
+        assert final / XEON_PHI_SE10.peak_gflops == pytest.approx(0.12, abs=0.015)
+
+    def test_naive_is_several_times_slower(self):
+        naive = local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[0])
+        final = local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[-1])
+        assert final / naive > 4.0
+
+    def test_optimized_sweep_reduction_is_biggest_single_gain(self):
+        naive, opt, lat, fine = (local_fft_time(N16M, v)
+                                 for v in LOCAL_FFT_VARIANTS)
+        assert naive / opt > 2.0  # 13 -> 4 sweeps
+        assert opt / lat > 1.5  # prefetch + SMT
+        assert lat / fine > 1.1  # LLC spill removal
+
+    def test_realized_is_about_half_the_roofline_bound(self):
+        # §6.2: "Our realized efficiency is ~50% of this upper bound [23%]"
+        final = local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[-1])
+        bound = 0.23 * XEON_PHI_SE10.peak_gflops
+        assert final / bound == pytest.approx(0.5, abs=0.1)
+
+
+class TestModelMechanics:
+    def test_time_scales_superlinearly_in_n(self):
+        v = LOCAL_FFT_VARIANTS[-1]
+        assert local_fft_time(2 * N16M, v) > 1.9 * local_fft_time(N16M, v)
+
+    def test_other_machine(self):
+        v = LOCAL_FFT_VARIANTS[-1]
+        t_phi = local_fft_time(N16M, v, XEON_PHI_SE10)
+        t_xeon = local_fft_time(N16M, v, XEON_E5_2680)
+        # bandwidth-bound: ratio follows STREAM (150 vs 79)
+        assert t_xeon / t_phi == pytest.approx(150 / 79, rel=0.05)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            local_fft_time(1, LOCAL_FFT_VARIANTS[0])
+
+    def test_custom_variant(self):
+        v = LocalFftVariant("2-sweep-ideal", 2.0, 0.0, 1.0,
+                            prefetch=True, fine_grain=True, fused=True)
+        assert local_fft_gflops(N16M, v) > \
+            local_fft_gflops(N16M, LOCAL_FFT_VARIANTS[-1])

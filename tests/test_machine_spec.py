@@ -1,0 +1,82 @@
+"""Tests for machine specs (paper Table 2)."""
+
+import pytest
+
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, MachineSpec, scaled_machine
+
+
+class TestTable2Values:
+    def test_xeon_row(self):
+        m = XEON_E5_2680
+        assert (m.sockets, m.cores_per_socket, m.smt, m.simd_lanes) == (2, 8, 2, 4)
+        assert m.clock_ghz == 2.7
+        assert (m.l1_kb, m.l2_kb, m.l3_kb) == (32, 256, 20480)
+        assert m.peak_gflops == 346.0
+        assert m.stream_gbps == 79.0
+
+    def test_phi_row(self):
+        m = XEON_PHI_SE10
+        assert (m.sockets, m.cores_per_socket, m.smt, m.simd_lanes) == (1, 61, 4, 8)
+        assert m.clock_ghz == 1.1
+        assert m.l3_kb is None
+        assert m.peak_gflops == 1074.0
+        assert m.stream_gbps == 150.0
+
+    def test_bops_match_table2(self):
+        assert XEON_E5_2680.bops == pytest.approx(0.23, abs=0.005)
+        assert XEON_PHI_SE10.bops == pytest.approx(0.14, abs=0.005)
+
+    def test_peak_consistent_with_core_counts(self):
+        # peak ~= cores * clock * lanes * 2 (mul+add / FMA)
+        for m in (XEON_E5_2680, XEON_PHI_SE10):
+            derived = m.cores * m.clock_ghz * m.simd_lanes * 2
+            assert derived == pytest.approx(m.peak_gflops, rel=0.01)
+
+    def test_phi_roughly_3x_xeon_peak(self):
+        assert XEON_PHI_SE10.peak_gflops / XEON_E5_2680.peak_gflops == \
+            pytest.approx(3.1, abs=0.1)
+
+
+class TestDerived:
+    def test_cores_threads(self):
+        assert XEON_E5_2680.cores == 16
+        assert XEON_E5_2680.threads == 32
+        assert XEON_PHI_SE10.cores == 61
+        assert XEON_PHI_SE10.threads == 244
+
+    def test_llc_private_flag(self):
+        assert XEON_PHI_SE10.llc_private
+        assert not XEON_E5_2680.llc_private
+
+    def test_llc_capacity(self):
+        assert XEON_PHI_SE10.llc_bytes_per_core == 512 * 1024
+        assert XEON_E5_2680.llc_bytes_total == 20480 * 1024
+        assert XEON_PHI_SE10.llc_bytes_total == 61 * 512 * 1024
+
+    def test_flop_time(self):
+        # 346 GFLOPS at 100% for 346e9 flops = 1 second
+        assert XEON_E5_2680.flop_time(346e9) == pytest.approx(1.0)
+        assert XEON_E5_2680.flop_time(346e9, efficiency=0.5) == pytest.approx(2.0)
+
+    def test_mem_time(self):
+        assert XEON_PHI_SE10.mem_time(150e9) == pytest.approx(1.0)
+
+    def test_time_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            XEON_E5_2680.flop_time(1.0, efficiency=0)
+        with pytest.raises(ValueError):
+            XEON_E5_2680.mem_time(1.0, bw_efficiency=-1)
+
+
+class TestScaledMachine:
+    def test_scaling(self):
+        m = scaled_machine(XEON_PHI_SE10, "2x phi", flops_scale=2.0, bw_scale=0.5)
+        assert m.peak_gflops == pytest.approx(2148.0)
+        assert m.stream_gbps == pytest.approx(75.0)
+        assert m.name == "2x phi"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 1, 1, 1, 1, 1.0, 32, 256, None, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineSpec("bad", 0, 1, 1, 1, 1.0, 32, 256, None, 1.0, 1.0)

@@ -1,0 +1,94 @@
+"""Tests for the memory-sweep ledger and TLB bandwidth model."""
+
+import pytest
+
+from repro.machine.memory import PAGE_BYTES, SweepLedger, SweepRecord, tlb_bw_efficiency
+from repro.machine.spec import XEON_PHI_SE10
+
+
+class TestSweepRecord:
+    def test_load_bytes(self):
+        r = SweepRecord("x", 100, "load")
+        assert r.nbytes == 1600
+
+    def test_store_write_allocate_doubles(self):
+        assert SweepRecord("x", 100, "store").nbytes == 3200
+
+    def test_non_temporal_store_single_transfer(self):
+        assert SweepRecord("x", 100, "store_nt").nbytes == 1600
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            SweepRecord("x", 1, "flush")
+
+    def test_rejects_negative_elements(self):
+        with pytest.raises(ValueError):
+            SweepRecord("x", -1, "load")
+
+
+class TestLedger:
+    def test_sweep_count(self):
+        led = SweepLedger()
+        led.load("a", 1000)
+        led.store("b", 1000)
+        led.load("c", 500)
+        assert led.sweep_count(1000) == pytest.approx(2.5)
+
+    def test_total_bytes(self):
+        led = SweepLedger()
+        led.load("a", 10)
+        led.store("b", 10)
+        led.store("c", 10, non_temporal=True)
+        assert led.total_bytes == 160 + 320 + 160
+
+    def test_by_label_aggregates(self):
+        led = SweepLedger()
+        led.load("fft", 10)
+        led.load("fft", 10)
+        led.store("out", 5, non_temporal=True)
+        assert led.by_label() == {"fft": 320, "out": 80}
+
+    def test_merge(self):
+        a, b = SweepLedger(), SweepLedger()
+        a.load("x", 1)
+        b.load("y", 2)
+        a.merge(b)
+        assert len(a.records) == 2
+
+    def test_time_on_machine(self):
+        led = SweepLedger()
+        led.load("a", int(150e9) // 16)  # 150 GB -> 1 s on Phi
+        assert led.time_on(XEON_PHI_SE10) == pytest.approx(1.0, rel=1e-6)
+
+    def test_time_with_tlb_penalty(self):
+        led = SweepLedger()
+        led.load("strided", 1000, stride_bytes=PAGE_BYTES)
+        led2 = SweepLedger()
+        led2.load("unit", 1000)
+        assert led.time_on(XEON_PHI_SE10) > led2.time_on(XEON_PHI_SE10)
+        assert led.time_on(XEON_PHI_SE10, tlb_model=False) == \
+            pytest.approx(led2.time_on(XEON_PHI_SE10))
+
+    def test_sweep_count_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            SweepLedger().sweep_count(0)
+
+
+class TestTlbEfficiency:
+    def test_unit_stride_is_full_speed(self):
+        assert tlb_bw_efficiency(16) == 1.0
+        assert tlb_bw_efficiency(64) == 1.0
+
+    def test_page_stride_hits_floor(self):
+        # §6.2: strided steps see bandwidth efficiency "as low as 50%"
+        assert tlb_bw_efficiency(PAGE_BYTES) == pytest.approx(0.5)
+        assert tlb_bw_efficiency(10 * PAGE_BYTES) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        strides = [16, 128, 512, 1024, 2048, 4096, 8192]
+        effs = [tlb_bw_efficiency(s) for s in strides]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            tlb_bw_efficiency(0)

@@ -1,0 +1,78 @@
+"""Tests for the §7 coprocessor-usage-mode models."""
+
+import pytest
+
+from repro.cluster.pcie import PcieSpec
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE
+from repro.perfmodel.modes import MODES, ModeModel
+
+
+@pytest.fixture
+def mm():
+    return ModeModel(PAPER_SECTION4_EXAMPLE)
+
+
+class TestOffload:
+    def test_offload_about_25_percent_slower(self, mm):
+        # §7: "Xeon Phis in offload mode are expected to be ~25% slower"
+        assert mm.offload_slowdown() == pytest.approx(1.25, abs=0.07)
+
+    def test_offload_breakdown_is_pci_plus_mpi(self, mm):
+        b = mm.breakdown("offload")
+        assert b.local_fft == 0.0 and b.convolution == 0.0
+        assert b.other == pytest.approx(2 * mm.t_pci())
+        assert b.mpi > 0
+
+    def test_t_pci_formula(self, mm):
+        n = mm.base.n_total
+        expected = 16.0 * n / (mm.base.nodes * 6e9)
+        assert mm.t_pci() == pytest.approx(expected)
+
+    def test_faster_pcie_shrinks_gap(self):
+        fast = ModeModel(PAPER_SECTION4_EXAMPLE, pcie=PcieSpec(16.0))
+        slow = ModeModel(PAPER_SECTION4_EXAMPLE, pcie=PcieSpec(3.0))
+        assert fast.offload_slowdown() < slow.offload_slowdown()
+
+
+class TestHybrid:
+    def test_hybrid_speedup_below_10_percent(self, mm):
+        # §7: "only less than 10% speedups are expected"
+        assert 1.0 < mm.hybrid_speedup() < 1.10
+
+    def test_hybrid_does_not_touch_mpi(self, mm):
+        sym = mm.breakdown("symmetric")
+        hyb = mm.breakdown("hybrid")
+        assert hyb.mpi == pytest.approx(sym.mpi)
+        assert hyb.local_fft < sym.local_fft
+
+
+class TestSymmetric:
+    def test_symmetric_equals_base_soi_on_phi(self, mm):
+        from repro.machine.spec import XEON_PHI_SE10
+
+        assert mm.breakdown("symmetric").total == \
+            pytest.approx(mm.base.soi_breakdown(XEON_PHI_SE10).total)
+
+
+class TestDiagrams:
+    def test_symmetric_diagram_hides_pcie(self, mm):
+        lanes = dict(mm.timing_diagram("symmetric"))
+        assert lanes["PCIe: hidden under MPI"] == 0.0
+
+    def test_offload_diagram_has_two_pci_lanes(self, mm):
+        rows = mm.timing_diagram("offload")
+        pci = [t for label, t in rows if label.startswith("PCIe")]
+        assert len(pci) == 2 and all(t > 0 for t in pci)
+
+    def test_diagram_rejects_hybrid(self, mm):
+        with pytest.raises(ValueError):
+            mm.timing_diagram("hybrid")
+
+
+class TestValidation:
+    def test_modes_tuple(self):
+        assert MODES == ("symmetric", "offload", "hybrid")
+
+    def test_rejects_unknown_mode(self, mm):
+        with pytest.raises(ValueError):
+            mm.breakdown("turbo")

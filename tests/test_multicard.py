@@ -1,0 +1,61 @@
+"""Tests for the multi-card-per-node model."""
+
+import pytest
+
+from repro.cluster.pcie import PcieSpec
+from repro.perfmodel.model import FftModel
+from repro.perfmodel.multicard import MultiCardModel
+
+
+def base(nodes=64):
+    return FftModel(n_total=(7 * 2 ** 24) * nodes, nodes=nodes,
+                    n_mu=8, d_mu=7)
+
+
+class TestScaling:
+    def test_one_card_matches_base_model(self):
+        from repro.machine.spec import XEON_PHI_SE10
+
+        m = MultiCardModel(base())
+        assert m.symmetric_total() == pytest.approx(
+            base().soi_breakdown(XEON_PHI_SE10).total)
+
+    def test_compute_terms_shrink_with_cards(self):
+        b1 = MultiCardModel(base(), cards=1).compute_breakdown()
+        b4 = MultiCardModel(base(), cards=4).compute_breakdown()
+        assert b4.local_fft == pytest.approx(b1.local_fft / 4)
+        assert b4.convolution == pytest.approx(b1.convolution / 4)
+        assert b4.mpi == pytest.approx(b1.mpi)  # NIC is per node
+
+    def test_speedup_saturates(self):
+        speeds = [MultiCardModel(base(), cards=c).speedup_vs_single_card()
+                  for c in (1, 2, 4, 8)]
+        assert speeds[0] == pytest.approx(1.0)
+        assert all(a <= b for a, b in zip(speeds, speeds[1:]))
+        # communication floor: far below linear by 8 cards
+        assert speeds[3] < 4.0
+
+    def test_parallel_efficiency_decays(self):
+        effs = [MultiCardModel(base(), cards=c).parallel_efficiency()
+                for c in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+        assert effs[0] == pytest.approx(1.0)
+
+
+class TestOffload:
+    def test_shared_pcie_hurts(self):
+        shared = MultiCardModel(base(), cards=4, pcie_shared=True)
+        dedicated = MultiCardModel(base(), cards=4, pcie_shared=False)
+        assert shared.offload_total() > dedicated.offload_total()
+
+    def test_faster_pcie_helps_offload_only(self):
+        slow = MultiCardModel(base(), cards=2, pcie=PcieSpec(3.0))
+        fast = MultiCardModel(base(), cards=2, pcie=PcieSpec(12.0))
+        assert fast.offload_total() < slow.offload_total()
+        assert fast.symmetric_total() == pytest.approx(slow.symmetric_total())
+
+
+class TestValidation:
+    def test_rejects_zero_cards(self):
+        with pytest.raises(ValueError):
+            MultiCardModel(base(), cards=0)

@@ -1,0 +1,84 @@
+"""Tests for the k-step decomposition (paper §5.2.3 trade-off)."""
+
+import numpy as np
+import pytest
+
+from repro.fft.multistep import multistep_fft, multistep_sweeps
+from repro.fft.sixstep import sixstep_fft
+from tests.conftest import random_complex
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,factors", [
+        (64, (8, 8)), (512, (8, 8, 8)), (4096, (16, 16, 16)),
+        (1024, (4, 4, 8, 8)), (60, (3, 4, 5)), (256, (256,)),
+        (64, (2, 32)),
+    ])
+    def test_matches_numpy(self, rng, n, factors):
+        x = random_complex(rng, n)
+        res = multistep_fft(x, factors)
+        assert np.allclose(res.output, np.fft.fft(x))
+
+    def test_inverse(self, rng):
+        x = random_complex(rng, 512)
+        y = multistep_fft(x, (8, 8, 8))
+        back = multistep_fft(y.output, (8, 8, 8), sign=+1)
+        assert np.allclose(back.output, x)
+
+    def test_two_factor_matches_sixstep(self, rng):
+        x = random_complex(rng, 256)
+        a = multistep_fft(x, (16, 16)).output
+        b = sixstep_fft(x, 16, 16, variant="optimized").output
+        assert np.allclose(a, b, rtol=1e-13, atol=1e-12)
+
+    def test_fused_diagonal(self, rng):
+        x = random_complex(rng, 512)
+        d = random_complex(rng, 512)
+        res = multistep_fft(x, (8, 8, 8), diagonal=d)
+        assert np.allclose(res.output, np.fft.fft(x) * d)
+
+
+class TestSweepAccounting:
+    def test_sweep_formula(self):
+        assert multistep_sweeps(1) == 2.0
+        assert multistep_sweeps(2) == 4.0
+        assert multistep_sweeps(3) == 6.0
+
+    def test_3d_costs_2_extra_sweeps(self, rng):
+        """§5.2.3: '3D decomposition requires 2 extra memory sweeps.'"""
+        x = random_complex(rng, 4096)
+        two = multistep_fft(x, (64, 64)).ledger.sweep_count(4096)
+        three = multistep_fft(x, (16, 16, 16)).ledger.sweep_count(4096)
+        assert three - two == pytest.approx(2.0, abs=0.15)
+
+    def test_deeper_decomposition_shrinks_largest_subfft(self):
+        # the benefit side of the trade-off: (16,16,16) has max sub-FFT 16
+        # vs (64,64)'s 64 — smaller working set per transform
+        assert max((16, 16, 16)) < max((64, 64))
+
+    def test_measured_sweeps_match_formula(self, rng):
+        x = random_complex(rng, 1024)
+        for factors in ((32, 32), (4, 16, 16), (4, 4, 8, 8)):
+            got = multistep_fft(x, factors).ledger.sweep_count(1024)
+            assert got == pytest.approx(multistep_sweeps(len(factors)),
+                                        abs=0.25)
+
+
+class TestValidation:
+    def test_rejects_bad_factors(self, rng):
+        with pytest.raises(ValueError):
+            multistep_fft(random_complex(rng, 16), (4, 5))
+        with pytest.raises(ValueError):
+            multistep_fft(random_complex(rng, 16), ())
+
+    def test_rejects_bad_sign(self, rng):
+        with pytest.raises(ValueError):
+            multistep_fft(random_complex(rng, 16), (4, 4), sign=0)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            multistep_fft(random_complex(rng, 4, 4), (4, 4))
+
+    def test_rejects_wrong_diagonal(self, rng):
+        with pytest.raises(ValueError):
+            multistep_fft(random_complex(rng, 16), (4, 4), diagonal=np.ones(4))

@@ -1,0 +1,100 @@
+"""Tests for the interconnect cost model."""
+
+import pytest
+
+from repro.cluster.network import FDR_INFINIBAND, STAMPEDE_EFFECTIVE, NetworkSpec
+
+
+class TestEffectiveBandwidth:
+    def test_ramps_with_message_size(self):
+        n = STAMPEDE_EFFECTIVE
+        sizes = [1024, 16 * 1024, 64 * 1024, 1024 * 1024, 16 * 1024 * 1024]
+        bws = [n.effective_bandwidth(s) for s in sizes]
+        assert all(a < b for a, b in zip(bws, bws[1:]))
+        assert bws[-1] <= n.bandwidth_gbps
+
+    def test_half_bandwidth_point(self):
+        n = STAMPEDE_EFFECTIVE
+        assert n.effective_bandwidth(n.half_bandwidth_msg_bytes) == \
+            pytest.approx(n.bandwidth_gbps / 2)
+
+    def test_large_message_approaches_peak(self):
+        n = STAMPEDE_EFFECTIVE
+        assert n.effective_bandwidth(1 << 30) == \
+            pytest.approx(n.bandwidth_gbps, rel=1e-3)
+
+    def test_contention_applies(self):
+        n = NetworkSpec("c", 3.0, contention=lambda p: 0.5)
+        base = NetworkSpec("b", 3.0)
+        big = 1 << 30
+        assert n.effective_bandwidth(big, nodes=8) == \
+            pytest.approx(base.effective_bandwidth(big, nodes=8) / 2, rel=1e-6)
+
+    def test_invalid_contention_rejected(self):
+        n = NetworkSpec("bad", 3.0, contention=lambda p: 1.5)
+        with pytest.raises(ValueError):
+            n.effective_bandwidth(1024, nodes=4)
+
+
+class TestMessageTime:
+    def test_latency_floor(self):
+        n = STAMPEDE_EFFECTIVE
+        assert n.message_time(0) == pytest.approx(2e-6)
+
+    def test_large_message_bandwidth_dominated(self):
+        n = STAMPEDE_EFFECTIVE
+        t = n.message_time(3e9)  # ~1 s at 3 GB/s
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            STAMPEDE_EFFECTIVE.message_time(-1)
+
+
+class TestAlltoall:
+    def test_single_node_is_free(self):
+        assert STAMPEDE_EFFECTIVE.alltoall_time(1, 1 << 20) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert STAMPEDE_EFFECTIVE.alltoall_time(16, 0) == 0.0
+
+    def test_matches_paper_formula_for_long_messages(self):
+        # §4: T_mpi(N) = 16N / bw_mpi with bw_mpi = P * 3 GB/s.
+        # With long messages the ramp disappears and per-node injection is
+        # (P-1)/P of the full 16N/P volume.
+        p, n_elems = 32, (2 ** 27) * 32
+        bytes_per_pair = 16 * n_elems / (p * p)
+        t = STAMPEDE_EFFECTIVE.alltoall_time(p, bytes_per_pair)
+        flat = 16 * n_elems / (p * 3e9)
+        assert t == pytest.approx(flat * (p - 1) / p, rel=0.02)
+
+    def test_short_packets_are_slower_per_byte(self):
+        p = 64
+        vol = 1 << 26
+        t_few_big = STAMPEDE_EFFECTIVE.alltoall_time(p, vol / p)
+        t_many_small = sum(
+            STAMPEDE_EFFECTIVE.alltoall_time(p, vol / p / 8) for _ in range(8))
+        assert t_many_small > t_few_big
+
+    def test_aggregate_bandwidth(self):
+        p = 8
+        bw = STAMPEDE_EFFECTIVE.aggregate_alltoall_bandwidth(p, 1 << 24)
+        assert 0 < bw <= p * 3.0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            STAMPEDE_EFFECTIVE.alltoall_time(0, 100)
+
+
+class TestValidation:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("bad", 0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("bad", 1.0, latency_us=-1)
+
+    def test_presets(self):
+        assert STAMPEDE_EFFECTIVE.bandwidth_gbps == 3.0
+        assert FDR_INFINIBAND.bandwidth_gbps == 6.0

@@ -1,0 +1,77 @@
+"""Tests for the segment-pipelined overlap model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE, FftModel
+from repro.perfmodel.overlap import segmented_breakdown, soi_segment_schedule
+
+
+class TestSchedule:
+    def test_task_count(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=4)
+        sched = soi_segment_schedule(m, XEON_PHI_SE10)
+        assert len(sched.run()) == 1 + 2 * 4  # conv + (a2a, fft) per segment
+
+    def test_conv_runs_first(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=2)
+        r = soi_segment_schedule(m, XEON_PHI_SE10).run()
+        assert r["conv"].start == 0.0
+        assert r["a2a0"].start >= r["conv"].end
+
+    def test_fft_waits_for_its_alltoall(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=4)
+        r = soi_segment_schedule(m, XEON_PHI_SE10).run()
+        for seg in range(4):
+            assert r[f"fft{seg}"].start >= r[f"a2a{seg}"].end
+
+
+class TestOverlapBehaviour:
+    def test_more_segments_less_exposed_mpi(self):
+        """§6.1: segments let the all-to-all hide behind M'-FFT compute
+        (with a flat network model so packet effects don't interfere)."""
+        base = FftModel(n_total=(2 ** 27) * 32, nodes=32, n_mu=5, d_mu=4)
+        exposed = []
+        for spp in (1, 2, 4, 8):
+            m = replace(base, segments_per_process=spp)
+            exposed.append(segmented_breakdown(m, XEON_PHI_SE10).exposed_mpi)
+        assert exposed[0] > exposed[1] > exposed[2] > exposed[3]
+
+    def test_makespan_never_below_components(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=8)
+        run = segmented_breakdown(m, XEON_PHI_SE10)
+        assert run.total >= run.convolution + run.exposed_mpi - 1e-9
+        assert run.total >= run.local_fft
+
+    def test_exposed_never_exceeds_total_mpi(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=4)
+        run = segmented_breakdown(m, XEON_PHI_SE10)
+        assert 0 <= run.exposed_mpi <= run.mpi_total + 1e-12
+
+    def test_unfused_demod_adds_etc_time(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=2)
+        fused = segmented_breakdown(m, XEON_E5_2680, fuse_demodulation=True)
+        unfused = segmented_breakdown(m, XEON_E5_2680, fuse_demodulation=False)
+        assert unfused.other > fused.other
+        assert unfused.total > fused.total
+
+    def test_xeon_exposes_less_mpi_than_phi(self):
+        """§6.1: 'the exposed mpi communication time is larger in Xeon Phi
+        because less communication can be overlapped due to faster
+        computation.'"""
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=8)
+        phi = segmented_breakdown(m, XEON_PHI_SE10)
+        xeon = segmented_breakdown(m, XEON_E5_2680)
+        assert phi.exposed_mpi > xeon.exposed_mpi
+
+    def test_breakdown_keys(self):
+        run = segmented_breakdown(PAPER_SECTION4_EXAMPLE, XEON_PHI_SE10)
+        assert set(run.breakdown()) == {"local FFT", "convolution",
+                                        "exposed MPI", "etc"}
+
+    def test_rejects_zero_segments(self):
+        m = replace(PAPER_SECTION4_EXAMPLE, segments_per_process=0)
+        with pytest.raises(ValueError):
+            soi_segment_schedule(m, XEON_PHI_SE10)

@@ -1,0 +1,76 @@
+"""Package-level contract tests: public API integrity."""
+
+import importlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize("module", [
+        "repro.fft", "repro.machine", "repro.cluster", "repro.core",
+        "repro.baseline", "repro.perfmodel", "repro.bench", "repro.util",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_snippet_from_readme(self):
+        import numpy as np
+
+        x = np.random.default_rng(0).standard_normal(8 * 7 * 1024) + 0j
+        y = repro.soi_fft(x, n_segments=8, n_mu=8, d_mu=7, b=72)
+        assert np.allclose(y, np.fft.fft(x), atol=1e-4)
+
+
+class TestModuleExecution:
+    def test_python_dash_m_repro(self):
+        out = subprocess.run([sys.executable, "-m", "repro", "info"],
+                             capture_output=True, text=True, timeout=120)
+        assert out.returncode == 0
+        assert "Xeon Phi" in out.stdout
+
+
+class TestRadixVariants:
+    """The paper's 'we use radix 8 and 16, case by case' (§5.2.4)."""
+
+    def test_radix8_plan(self, rng):
+        import numpy as np
+
+        from repro.fft.stockham import StockhamPlan
+        from tests.conftest import random_complex
+
+        x = random_complex(rng, 512)
+        plan = StockhamPlan(512, radices=[8, 8, 8])
+        assert np.allclose(plan(x), np.fft.fft(x))
+
+    def test_radix16_plan(self, rng):
+        import numpy as np
+
+        from repro.fft.stockham import StockhamPlan
+        from tests.conftest import random_complex
+
+        x = random_complex(rng, 256)
+        plan = StockhamPlan(256, radices=[16, 16])
+        assert np.allclose(plan(x), np.fft.fft(x))
+
+    def test_mixed_8_16(self, rng):
+        import numpy as np
+
+        from repro.fft.stockham import StockhamPlan
+        from tests.conftest import random_complex
+
+        x = random_complex(rng, 2048)
+        plan = StockhamPlan(2048, radices=[16, 16, 8])
+        assert np.allclose(plan(x), np.fft.fft(x))

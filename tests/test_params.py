@@ -1,0 +1,127 @@
+"""Tests for SoiParams (paper Table 1 notation and validity rules)."""
+
+import pytest
+
+from repro.core.params import DEFAULT_B, SoiParams
+
+
+def make(n=8 * 448, p=4, spp=2, n_mu=8, d_mu=7, b=48):
+    return SoiParams(n=n, n_procs=p, segments_per_process=spp,
+                     n_mu=n_mu, d_mu=d_mu, b=b)
+
+
+class TestDerivedQuantities:
+    def test_table1_notation(self):
+        p = make()
+        assert p.n_segments == 8  # S = P * spp
+        assert p.m == 448  # M = N / S
+        assert p.mu == pytest.approx(8 / 7)
+        assert p.m_oversampled == 512  # M' = mu M
+        assert p.n_oversampled == 4096  # N' = mu N
+
+    def test_default_b_is_72(self):
+        assert DEFAULT_B == 72
+        assert SoiParams(n=64 * 448, n_procs=1, segments_per_process=8).b == 72
+
+    def test_rows_per_process(self):
+        p = make()
+        assert p.rows_per_process * p.n_procs == p.m_oversampled
+        assert p.rows_per_process % p.n_mu == 0
+
+    def test_elements_per_process(self):
+        assert make().elements_per_process == 8 * 448 // 4
+
+    def test_mu_five_quarters(self):
+        p = make(n=2 ** 12, n_mu=5, d_mu=4)
+        assert p.m_oversampled == 640
+        assert p.mu == 1.25
+
+
+class TestGhosts:
+    def test_ghost_blocks(self):
+        p = make(b=48)
+        assert p.ghost_blocks == (23, 24)
+
+    def test_ghost_bytes_positive(self):
+        assert make().ghost_bytes > 0
+
+    def test_ghost_is_latency_scale(self):
+        # §5.1: ghost messages are small (tens/hundreds of KB), all-to-all
+        # messages are the big ones
+        p = SoiParams(n=64 * 448, n_procs=8, segments_per_process=1, b=72)
+        assert p.ghost_bytes < 16 * p.elements_per_process
+
+
+class TestOperationCounts:
+    def test_conv_flops_formula(self):
+        p = make()
+        # §4/§5.3: 8 * B * mu * N
+        assert p.conv_flops == pytest.approx(8 * 48 * (8 / 7) * p.n)
+
+    def test_conv_is_several_times_local_fft_at_paper_scale(self):
+        # §5.3: "about 5x floating point operations compared to the local
+        # fft" with N = 2^27 * 32, B = 72, mu = 8/7
+        p = SoiParams(n=(7 * 2 ** 24) * 32, n_procs=32,
+                      segments_per_process=1, b=72)
+        ratio = p.conv_flops / p.local_fft_flops
+        assert 4.0 < ratio < 6.0
+
+    def test_lane_fft_flops_zero_for_single_segment(self):
+        p = SoiParams(n=448, n_procs=1, segments_per_process=1, b=8)
+        assert p.lane_fft_flops == 0.0
+
+    def test_alltoall_bytes_per_pair(self):
+        p = make()
+        total_wire = p.alltoall_bytes_per_pair * p.n_procs * p.n_procs
+        assert total_wire == 16 * p.n_oversampled
+
+
+class TestValidation:
+    def test_rejects_non_dividing_segments(self):
+        with pytest.raises(ValueError, match="divide"):
+            make(n=1000, p=3, spp=1)
+
+    def test_rejects_m_not_divisible_by_d_mu(self):
+        # the paper's power-of-two-only N is incompatible with mu = 8/7
+        with pytest.raises(ValueError, match="d_mu"):
+            make(n=2 ** 12)
+
+    def test_rejects_mu_not_lowest_terms(self):
+        with pytest.raises(ValueError, match="lowest terms"):
+            make(n_mu=10, d_mu=8)
+
+    def test_rejects_mu_leq_one(self):
+        with pytest.raises(ValueError):
+            make(n_mu=7, d_mu=7)
+        with pytest.raises(ValueError):
+            make(n_mu=6, d_mu=7)
+
+    def test_rejects_odd_b(self):
+        with pytest.raises(ValueError, match="even"):
+            make(b=47)
+
+    def test_rejects_tiny_b(self):
+        with pytest.raises(ValueError):
+            make(b=2)
+
+    def test_rejects_window_larger_than_signal(self):
+        with pytest.raises(ValueError, match="support"):
+            SoiParams(n=448, n_procs=1, segments_per_process=8, b=72)
+
+    def test_rejects_rows_not_multiple_of_chunks(self):
+        # S = 16, M = 56, M' = 64, P = 16 -> 4 rows/process, but a chunk is
+        # n_mu = 8 rows: processes would split chunks.
+        with pytest.raises(ValueError, match="n_mu"):
+            SoiParams(n=16 * 56, n_procs=16, segments_per_process=1,
+                      n_mu=8, d_mu=7, b=4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SoiParams(n=0)
+        with pytest.raises(ValueError):
+            SoiParams(n=448, n_procs=0)
+        with pytest.raises(ValueError):
+            SoiParams(n=448, segments_per_process=0)
+
+    def test_describe(self):
+        assert "mu=8/7" in make().describe()

@@ -1,0 +1,63 @@
+"""Tests for the PCIe link model and pipeline makespan."""
+
+import pytest
+
+from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec, pipeline_makespan
+
+
+class TestPcieSpec:
+    def test_transfer_time(self):
+        p = PcieSpec(bandwidth_gbps=6.0, latency_us=0.0)
+        assert p.transfer_time(6e9) == pytest.approx(1.0)
+
+    def test_latency_added(self):
+        p = PcieSpec(bandwidth_gbps=6.0, latency_us=10.0)
+        assert p.transfer_time(1) == pytest.approx(10e-6, rel=0.1)
+
+    def test_zero_bytes_free(self):
+        assert PCIE_GEN2_X16.transfer_time(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PCIE_GEN2_X16.transfer_time(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PcieSpec(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            PcieSpec(latency_us=-1)
+
+    def test_paper_table3_default(self):
+        assert PCIE_GEN2_X16.bandwidth_gbps == 6.0
+
+
+class TestPipelineMakespan:
+    def test_empty(self):
+        assert pipeline_makespan([]) == 0.0
+
+    def test_single_stage_sums(self):
+        assert pipeline_makespan([[1.0, 2.0, 3.0]]) == pytest.approx(6.0)
+
+    def test_two_balanced_stages_overlap(self):
+        # 4 chunks of 1s on each of 2 stages: 1 fill + 4 = 5
+        assert pipeline_makespan([[1.0] * 4, [1.0] * 4]) == pytest.approx(5.0)
+
+    def test_bottleneck_stage_dominates(self):
+        # stage 2 at 2 s/chunk dominates: 1 (fill) + 4*2 = 9
+        assert pipeline_makespan([[1.0] * 4, [2.0] * 4]) == pytest.approx(9.0)
+
+    def test_three_stage_fill(self):
+        # 1s chunks, 3 stages, n chunks -> (stages - 1) fill + n
+        assert pipeline_makespan([[1.0] * 5] * 3) == pytest.approx(7.0)
+
+    def test_single_chunk_is_sum_of_stages(self):
+        assert pipeline_makespan([[2.0], [3.0], [4.0]]) == pytest.approx(9.0)
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            pipeline_makespan([[1.0, 2.0], [1.0]])
+
+    def test_pipelining_beats_serial(self):
+        stages = [[0.5] * 8, [0.7] * 8]
+        serial = sum(sum(s) for s in stages)
+        assert pipeline_makespan(stages) < serial

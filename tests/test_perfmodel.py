@@ -1,0 +1,119 @@
+"""Tests for the Section 4 performance model."""
+
+import pytest
+
+from repro.cluster.network import NetworkSpec
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE, FftModel, ModelBreakdown
+
+
+class TestWorkedExample:
+    """§4: 32 nodes, N = 2^27*32, eff 12%/40%, 3 GB/s/node, mu = 5/4."""
+
+    def test_t_fft_xeon(self):
+        assert PAPER_SECTION4_EXAMPLE.t_fft(XEON_E5_2680) == \
+            pytest.approx(0.50, abs=0.05)
+
+    def test_t_fft_phi(self):
+        assert PAPER_SECTION4_EXAMPLE.t_fft(XEON_PHI_SE10) == \
+            pytest.approx(0.16, abs=0.02)
+
+    def test_t_conv(self):
+        assert PAPER_SECTION4_EXAMPLE.t_conv(XEON_E5_2680) == \
+            pytest.approx(0.64, abs=0.08)
+        assert PAPER_SECTION4_EXAMPLE.t_conv(XEON_PHI_SE10) == \
+            pytest.approx(0.21, abs=0.03)
+
+    def test_t_mpi(self):
+        assert PAPER_SECTION4_EXAMPLE.t_mpi() == pytest.approx(0.67, abs=0.06)
+
+    def test_soi_phi_speedup_near_70_percent(self):
+        assert PAPER_SECTION4_EXAMPLE.speedup("soi") == \
+            pytest.approx(1.7, abs=0.1)
+
+    def test_ct_phi_speedup_near_14_percent(self):
+        assert PAPER_SECTION4_EXAMPLE.speedup("ct") == \
+            pytest.approx(1.14, abs=0.05)
+
+    def test_soi_beats_ct_on_both_machines(self):
+        m = PAPER_SECTION4_EXAMPLE
+        for machine in (XEON_E5_2680, XEON_PHI_SE10):
+            assert m.soi_breakdown(machine).total < m.ct_breakdown(machine).total
+
+    def test_fig3_normalized_shape(self):
+        m = PAPER_SECTION4_EXAMPLE
+        ref = m.ct_breakdown(XEON_E5_2680).total
+        soi_phi = m.soi_breakdown(XEON_PHI_SE10).normalized_to(ref)
+        # Fig 3: SOI on Phi runs at about half the CT/Xeon time
+        assert soi_phi.total == pytest.approx(0.5, abs=0.05)
+
+    def test_mpi_dominates_ct(self):
+        br = PAPER_SECTION4_EXAMPLE.ct_breakdown(XEON_E5_2680)
+        # §2: all-to-all accounts for 50-90% of Cooley-Tukey time
+        assert 0.5 < br.mpi / br.total < 0.95
+
+
+class TestBreakdown:
+    def test_total(self):
+        b = ModelBreakdown(1.0, 2.0, 3.0, 0.5)
+        assert b.total == 6.5
+
+    def test_normalize(self):
+        b = ModelBreakdown(1.0, 2.0, 3.0).normalized_to(2.0)
+        assert (b.local_fft, b.convolution, b.mpi) == (0.5, 1.0, 1.5)
+
+    def test_normalize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ModelBreakdown(1, 1, 1).normalized_to(0.0)
+
+
+class TestScalingKnobs:
+    def test_with_nodes_weak_scaling(self):
+        m = PAPER_SECTION4_EXAMPLE.with_nodes(64)
+        assert m.nodes == 64
+        assert m.n_total == (2 ** 27) * 64
+
+    def test_with_nodes_strong_scaling(self):
+        m = PAPER_SECTION4_EXAMPLE.with_nodes(64, weak_scaling=False)
+        assert m.n_total == PAPER_SECTION4_EXAMPLE.n_total
+
+    def test_gflops_is_hpcc_convention(self):
+        m = FftModel(n_total=2 ** 20, nodes=1)
+        assert m.gflops(1.0) == pytest.approx(5 * 2 ** 20 * 20 / 1e9)
+
+    def test_gflops_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            PAPER_SECTION4_EXAMPLE.gflops(0.0)
+
+    def test_packet_model_slower_with_many_segments(self):
+        flat = FftModel(n_total=2 ** 30, nodes=64, use_packet_model=True,
+                        segments_per_process=1)
+        segmented = FftModel(n_total=2 ** 30, nodes=64, use_packet_model=True,
+                             segments_per_process=8)
+        # §6.1: more segments -> shorter packets -> lower MPI bandwidth
+        assert segmented.t_mpi() > flat.t_mpi()
+
+    def test_packet_model_reduces_bandwidth_at_scale(self):
+        flat = FftModel(n_total=2 ** 26 * 512, nodes=512)
+        pkt = FftModel(n_total=2 ** 26 * 512, nodes=512, use_packet_model=True)
+        assert pkt.t_mpi() > flat.t_mpi()
+
+
+class TestValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            FftModel(n_total=1, nodes=1)
+        with pytest.raises(ValueError):
+            FftModel(n_total=100, nodes=0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            FftModel(n_total=100, nodes=1, efficiency_fft=0.0)
+
+    def test_rejects_mu_below_one(self):
+        with pytest.raises(ValueError):
+            FftModel(n_total=100, nodes=1, n_mu=4, d_mu=5)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            PAPER_SECTION4_EXAMPLE.speedup("stockham")

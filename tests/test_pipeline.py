@@ -1,0 +1,70 @@
+"""Tests for the SMT load/FFT/store pipeline simulator (Fig 5)."""
+
+import pytest
+
+from repro.machine.pipeline import PipelineStats, simulate_smt_pipeline, smt_sweep
+
+
+class TestSingleThread:
+    def test_fully_serial(self):
+        s = simulate_smt_pipeline(4, 1.0, 2.0, 1.0, n_threads=1)
+        assert s.makespan == pytest.approx(4 * 4.0)
+        assert s.speedup_vs_serial == pytest.approx(1.0)
+
+    def test_mem_utilization_is_mem_share(self):
+        s = simulate_smt_pipeline(8, 1.0, 2.0, 1.0, n_threads=1)
+        assert s.mem_utilization == pytest.approx(0.5)
+
+
+class TestSmtHiding:
+    def test_four_threads_saturate_memory(self):
+        """§5.2.3: with 4 SMT threads the compute hides behind the memory
+        pipe and the loop becomes bandwidth-bound."""
+        s = simulate_smt_pipeline(64, 1.0, 2.0, 1.0, n_threads=4)
+        assert s.mem_utilization > 0.95
+        assert s.makespan == pytest.approx(s.mem_busy, rel=0.05)
+
+    def test_speedup_monotone_in_threads(self):
+        sweep = smt_sweep(64, 1.0, 2.0, 1.0, thread_counts=(1, 2, 4, 8))
+        spans = [s.makespan for s in sweep]
+        assert all(a >= b for a, b in zip(spans, spans[1:]))
+
+    def test_saturation_point(self):
+        # fft takes 2x one mem op: 2 extra threads suffice; 4 == 8
+        sweep = smt_sweep(64, 1.0, 2.0, 1.0, thread_counts=(4, 8))
+        assert sweep[0].makespan == pytest.approx(sweep[1].makespan)
+
+    def test_memory_bound_loop_gains_nothing(self):
+        # if FFT is tiny, one thread already saturates memory
+        s1 = simulate_smt_pipeline(32, 1.0, 0.01, 1.0, n_threads=1)
+        s4 = simulate_smt_pipeline(32, 1.0, 0.01, 1.0, n_threads=4)
+        assert s4.makespan == pytest.approx(s1.makespan, rel=0.02)
+
+    def test_compute_bound_loop_scales_with_threads(self):
+        s1 = simulate_smt_pipeline(32, 0.01, 4.0, 0.01, n_threads=1)
+        s4 = simulate_smt_pipeline(32, 0.01, 4.0, 0.01, n_threads=4)
+        assert s1.makespan / s4.makespan == pytest.approx(4.0, rel=0.05)
+
+
+class TestLowerBounds:
+    def test_never_beats_memory_bound(self):
+        for t in (1, 2, 4, 16):
+            s = simulate_smt_pipeline(40, 1.0, 3.0, 1.0, n_threads=t)
+            assert s.makespan >= s.mem_busy - 1e-12
+
+    def test_stats_fields(self):
+        s = simulate_smt_pipeline(10, 1.0, 1.0, 1.0, n_threads=2)
+        assert isinstance(s, PipelineStats)
+        assert s.mem_busy == pytest.approx(20.0)
+        assert s.compute_busy == pytest.approx(10.0)
+        assert s.serial_time == pytest.approx(30.0)
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            simulate_smt_pipeline(0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            simulate_smt_pipeline(4, 1.0, 1.0, 1.0, n_threads=0)
+        with pytest.raises(ValueError):
+            simulate_smt_pipeline(4, -1.0, 1.0, 1.0)

@@ -1,0 +1,53 @@
+"""Tests for the top-level fft/ifft dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.fft.bluestein import BluesteinPlan
+from repro.fft.plan import fft, get_plan, ifft
+from repro.fft.stockham import StockhamPlan
+from tests.conftest import random_complex
+
+
+class TestDispatch:
+    def test_pow2_uses_stockham(self):
+        assert isinstance(get_plan(256), StockhamPlan)
+
+    def test_smooth_uses_stockham(self):
+        assert isinstance(get_plan(360), StockhamPlan)
+
+    def test_prime_uses_bluestein(self):
+        assert isinstance(get_plan(101), BluesteinPlan)
+
+    def test_plan_cache_returns_same_object(self):
+        assert get_plan(512) is get_plan(512)
+        assert get_plan(512, -1) is not get_plan(512, +1)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            get_plan(0)
+
+
+class TestFftIfft:
+    @pytest.mark.parametrize("n", [8, 30, 37, 448])
+    def test_fft_matches_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [8, 37])
+    def test_ifft_matches_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(ifft(x), np.fft.ifft(x))
+
+    def test_axis_handling(self, rng):
+        x = random_complex(rng, 6, 8, 10)
+        for axis in (0, 1, 2, -1, -2):
+            assert np.allclose(fft(x, axis=axis), np.fft.fft(x, axis=axis))
+
+    def test_roundtrip_along_axis(self, rng):
+        x = random_complex(rng, 7, 16)
+        assert np.allclose(ifft(fft(x, axis=0), axis=0), x)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            fft(np.complex128(1.0))

@@ -1,0 +1,100 @@
+"""Tests for the Good-Thomas PFA and Rader algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.fft.bluestein import bluestein_fft
+from repro.fft.prime_factor import PrimeFactorPlan, crt_maps, pfa_fft
+from repro.fft.rader import RaderPlan, primitive_root, rader_fft
+from tests.conftest import random_complex
+
+
+class TestCrtMaps:
+    def test_maps_are_permutations(self):
+        for n1, n2 in ((4, 9), (5, 16), (7, 8)):
+            im, om = crt_maps(n1, n2)
+            n = n1 * n2
+            assert sorted(im.tolist()) == list(range(n))
+            assert sorted(om.tolist()) == list(range(n))
+
+    def test_crt_property_of_output_map(self):
+        n1, n2 = 4, 9
+        _, om = crt_maps(n1, n2)
+        for k1 in range(n1):
+            for k2 in range(n2):
+                k = om[k1 * n2 + k2]
+                assert k % n1 == k1
+                assert k % n2 == k2
+
+    def test_rejects_non_coprime(self):
+        with pytest.raises(ValueError, match="coprime"):
+            crt_maps(4, 6)
+
+
+class TestPfa:
+    @pytest.mark.parametrize("n1,n2", [(4, 9), (8, 9), (5, 16), (7, 8),
+                                       (3, 4), (1, 7), (9, 25)])
+    def test_matches_numpy(self, rng, n1, n2):
+        x = random_complex(rng, n1 * n2)
+        assert np.allclose(pfa_fft(x, n1, n2), np.fft.fft(x))
+
+    def test_inverse(self, rng):
+        x = random_complex(rng, 36)
+        assert np.allclose(pfa_fft(pfa_fft(x, 4, 9), 4, 9, sign=+1), x)
+
+    def test_batched(self, rng):
+        x = random_complex(rng, 3, 63)
+        assert np.allclose(PrimeFactorPlan(7, 9)(x), np.fft.fft(x, axis=-1))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            PrimeFactorPlan(4, 6)
+        with pytest.raises(ValueError):
+            PrimeFactorPlan(4, 9)(random_complex(rng, 35))
+
+
+class TestPrimitiveRoot:
+    @pytest.mark.parametrize("p,g", [(3, 2), (5, 2), (7, 3), (11, 2),
+                                     (13, 2), (23, 5)])
+    def test_known_roots(self, p, g):
+        assert primitive_root(p) == g
+
+    def test_root_generates_group(self):
+        p = 17
+        g = primitive_root(p)
+        powers = {pow(g, q, p) for q in range(p - 1)}
+        assert powers == set(range(1, p))
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            primitive_root(9)
+
+
+class TestRader:
+    @pytest.mark.parametrize("p", [3, 5, 7, 11, 13, 17, 31, 97, 101, 257])
+    def test_matches_numpy(self, rng, p):
+        x = random_complex(rng, p)
+        assert np.allclose(rader_fft(x), np.fft.fft(x))
+
+    def test_inverse(self, rng):
+        x = random_complex(rng, 31)
+        assert np.allclose(rader_fft(rader_fft(x), sign=+1), x)
+
+    def test_agrees_with_bluestein(self, rng):
+        """The two prime-length routes must coincide."""
+        x = random_complex(rng, 103)
+        assert np.allclose(rader_fft(x), bluestein_fft(x), atol=1e-10)
+
+    def test_dc_bin_is_plain_sum(self, rng):
+        x = random_complex(rng, 13)
+        assert np.isclose(rader_fft(x)[0], x.sum())
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RaderPlan(9)
+        with pytest.raises(ValueError):
+            RaderPlan(2)
+        with pytest.raises(ValueError):
+            RaderPlan(7)(random_complex(rng, 8))
+        with pytest.raises(ValueError):
+            RaderPlan(7, sign=2)

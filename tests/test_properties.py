@@ -1,0 +1,189 @@
+"""Cross-cutting property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.schedule import Schedule
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_single import SoiFFT
+from repro.fft.plan import fft, ifft
+from repro.machine.memory import SweepLedger
+
+
+# ---------------------------------------------------------------------------
+# SOI across a random parameter grid
+# ---------------------------------------------------------------------------
+
+_soi_configs = st.tuples(
+    st.sampled_from([4, 8]),            # segments
+    st.sampled_from([(8, 7), (5, 4), (9, 8)]),  # mu
+    st.sampled_from([16, 32, 48]),      # B
+    st.integers(min_value=0, max_value=2 ** 31),  # seed
+)
+
+
+class TestSoiParameterGrid:
+    @given(_soi_configs)
+    @settings(max_examples=12, deadline=None)
+    def test_error_always_under_design_bound(self, cfg):
+        s, (n_mu, d_mu), b, seed = cfg
+        m = d_mu * 64
+        params = SoiParams(n=s * m, n_procs=1, segments_per_process=s,
+                           n_mu=n_mu, d_mu=d_mu, b=b)
+        assume(b * s < params.n)
+        f = SoiFFT(params)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(params.n) + 1j * rng.standard_normal(params.n)
+        ref = np.fft.fft(x)
+        err = np.linalg.norm(f(x) - ref) / np.linalg.norm(ref)
+        assert err < 20 * f.expected_stopband + 1e-11
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=8, deadline=None)
+    def test_roundtrip_identity(self, seed):
+        params = SoiParams(n=4 * 448, n_procs=1, segments_per_process=4,
+                           n_mu=8, d_mu=7, b=32)
+        f = SoiFFT(params)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(params.n) + 1j * rng.standard_normal(params.n)
+        back = f.inverse(f(x))
+        assert np.linalg.norm(back - x) / np.linalg.norm(x) < \
+            50 * f.expected_stopband
+
+
+# ---------------------------------------------------------------------------
+# kernel-library identities at random smooth sizes
+# ---------------------------------------------------------------------------
+
+_smooth_sizes = st.sampled_from([8, 12, 30, 64, 105, 240, 448])
+
+
+class TestKernelIdentities:
+    @given(_smooth_sizes, st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=20, deadline=None)
+    def test_fft_ifft_identity(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ifft(fft(x)), x)
+
+    @given(_smooth_sizes, st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=20, deadline=None)
+    def test_conjugate_symmetry_of_real_input(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 0j
+        y = fft(x)
+        k = np.arange(n)
+        assert np.allclose(y[(-k) % n], np.conj(y))
+
+    @given(_smooth_sizes, st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=20, deadline=None)
+    def test_plancherel_inner_product(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        lhs = np.vdot(fft(a), fft(b))
+        rhs = n * np.vdot(a, b)
+        assert np.isclose(lhs, rhs, rtol=1e-9, atol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# scheduler invariants
+# ---------------------------------------------------------------------------
+
+_task_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),  # resource id
+              st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+    min_size=1, max_size=12)
+
+
+class TestScheduleInvariants:
+    @given(_task_lists, st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, tasks, seed):
+        """critical path <= makespan <= serial sum, with random chains."""
+        rng = np.random.default_rng(seed)
+        sched = Schedule()
+        ids = []
+        for i, (res, dur) in enumerate(tasks):
+            deps = []
+            if ids and rng.random() < 0.5:
+                deps = [str(rng.choice(len(ids)))]
+            sched.add(str(i), ("r", res), dur, deps=deps)
+            ids.append(str(i))
+        total = sum(d for _, d in tasks)
+        per_resource = {}
+        for res, dur in tasks:
+            per_resource[res] = per_resource.get(res, 0.0) + dur
+        lower = max(per_resource.values())
+        assert lower - 1e-9 <= sched.makespan <= total + 1e-9
+
+    @given(_task_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_no_resource_overlap(self, tasks):
+        sched = Schedule()
+        for i, (res, dur) in enumerate(tasks):
+            sched.add(str(i), ("r", res), dur)
+        for res in {r for r, _ in tasks}:
+            ivs = sched.intervals(("r", res))
+            for (a0, a1), (b0, b1) in zip(ivs, ivs[1:]):
+                assert a1 <= b0 + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# communicator conservation
+# ---------------------------------------------------------------------------
+
+class TestCommunicatorConservation:
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_alltoall_conserves_content(self, p, seed):
+        """The multiset of (values) is preserved by the exchange."""
+        rng = np.random.default_rng(seed)
+        cl = SimCluster(p)
+        send = [[rng.standard_normal(3) + 0j for _ in range(p)]
+                for _ in range(p)]
+        recv = cl.comm.alltoall(send)
+        sent = np.sort_complex(np.concatenate(
+            [b for row in send for b in row]))
+        got = np.sort_complex(np.concatenate(
+            [b for row in recv for b in row]))
+        assert np.allclose(sent, got)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_double_alltoall_is_identity(self, p):
+        """Exchanging twice returns every block to its origin."""
+        rng = np.random.default_rng(p)
+        cl = SimCluster(p)
+        send = [[rng.standard_normal(2) + 0j for _ in range(p)]
+                for _ in range(p)]
+        once = cl.comm.alltoall(send)
+        twice = cl.comm.alltoall(once)
+        for i in range(p):
+            for j in range(p):
+                assert np.array_equal(twice[i][j], send[i][j])
+
+
+# ---------------------------------------------------------------------------
+# sweep-ledger algebra
+# ---------------------------------------------------------------------------
+
+class TestLedgerAlgebra:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10 ** 6),
+                              st.booleans()), min_size=0, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_additivity(self, records):
+        a, b = SweepLedger(), SweepLedger()
+        for i, (elems, is_store) in enumerate(records):
+            target = a if i % 2 == 0 else b
+            if is_store:
+                target.store(f"r{i}", elems)
+            else:
+                target.load(f"r{i}", elems)
+        total = a.total_bytes + b.total_bytes
+        a.merge(b)
+        assert a.total_bytes == total

@@ -1,0 +1,95 @@
+"""Tests for the reverse-communication MPI proxy model."""
+
+import pytest
+
+from repro.cluster.network import STAMPEDE_EFFECTIVE, NetworkSpec
+from repro.cluster.pcie import PcieSpec
+from repro.cluster.proxy import NATIVE_MPI_CUTOFF_BYTES, ReverseProxy
+
+
+@pytest.fixture
+def proxy():
+    return ReverseProxy(PcieSpec(6.0, 10.0), STAMPEDE_EFFECTIVE)
+
+
+class TestBandwidth:
+    def test_asymptotic_bandwidth_is_min_of_stages(self, proxy):
+        assert proxy.bandwidth_gbps == 3.0
+        fast_net = ReverseProxy(PcieSpec(6.0), NetworkSpec("fast", 12.0))
+        assert fast_net.bandwidth_gbps == 6.0
+
+    def test_large_message_approaches_wire_rate(self, proxy):
+        nbytes = 1 << 28  # 256 MB
+        bw = proxy.effective_bandwidth(nbytes)
+        # chunked wire transfers pay the per-chunk ramp: ~0.89 of peak
+        assert 0.8 * 3.0 < bw <= 3.0
+
+    def test_latency_composition(self, proxy):
+        assert proxy.latency_us == pytest.approx(22.0)
+
+
+class TestMessageTime:
+    def test_short_messages_use_native_path(self, proxy):
+        nbytes = 32 * 1024
+        assert proxy.message_time(nbytes) == \
+            pytest.approx(STAMPEDE_EFFECTIVE.message_time(nbytes))
+
+    def test_cutoff_boundary(self, proxy):
+        at = proxy.message_time(NATIVE_MPI_CUTOFF_BYTES)
+        above = proxy.message_time(NATIVE_MPI_CUTOFF_BYTES + 1)
+        assert at == pytest.approx(
+            STAMPEDE_EFFECTIVE.message_time(NATIVE_MPI_CUTOFF_BYTES))
+        assert above > 0
+
+    def test_pipelining_hides_pcie(self, proxy):
+        # proxied long transfer should cost ~wire time, not wire + 2x pcie
+        nbytes = 1 << 26
+        t = proxy.message_time(nbytes)
+        wire = STAMPEDE_EFFECTIVE.message_time(nbytes)
+        unpipelined = wire + 2 * proxy.pcie.transfer_time(nbytes)
+        assert t < 0.75 * unpipelined
+        assert t > 0.9 * wire
+
+    def test_rejects_negative(self, proxy):
+        with pytest.raises(ValueError):
+            proxy.message_time(-5)
+
+
+class TestAlltoall:
+    def test_matches_paper_assumption(self, proxy):
+        # §4: "mpi bandwidth between Xeon Phis is the same as that between
+        # Xeons ... achieved by optimizations described in Section 5.1"
+        p, per_pair = 32, 1 << 22
+        phi = proxy.alltoall_time(p, per_pair)
+        xeon = STAMPEDE_EFFECTIVE.alltoall_time(p, per_pair)
+        assert phi == pytest.approx(xeon, rel=0.10)
+
+    def test_single_node_free(self, proxy):
+        assert proxy.alltoall_time(1, 1 << 20) == 0.0
+
+    def test_slow_pcie_becomes_bottleneck(self):
+        slow = ReverseProxy(PcieSpec(0.5), STAMPEDE_EFFECTIVE)
+        p, per_pair = 16, 1 << 24
+        t_slow = slow.alltoall_time(p, per_pair)
+        t_norm = STAMPEDE_EFFECTIVE.alltoall_time(p, per_pair)
+        assert t_slow > 2 * t_norm
+
+    def test_rejects_zero_nodes(self, proxy):
+        with pytest.raises(ValueError):
+            proxy.alltoall_time(0, 10)
+
+
+class TestGhostPath:
+    def test_ring_exchange_short_is_native(self, proxy):
+        nb = 64 * 1024  # "tens of KBs" ghost messages
+        assert proxy.ring_exchange_time(nb) == \
+            pytest.approx(STAMPEDE_EFFECTIVE.ring_exchange_time(nb))
+
+
+class TestValidation:
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            ReverseProxy(PcieSpec(), STAMPEDE_EFFECTIVE, chunk_bytes=0)
+
+    def test_name_mentions_components(self, proxy):
+        assert "proxy" in proxy.name

@@ -1,0 +1,63 @@
+"""Tests for real-input FFTs."""
+
+import numpy as np
+import pytest
+
+from repro.fft.real import irfft, rfft, rfft_pair
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 448, 1024, 30])
+    def test_matches_numpy(self, rng, n):
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x))
+
+    def test_output_length(self, rng):
+        assert rfft(rng.standard_normal(64)).shape == (33,)
+
+    def test_dc_and_nyquist_are_real(self, rng):
+        y = rfft(rng.standard_normal(32))
+        assert y[0].imag == pytest.approx(0.0, abs=1e-12)
+        assert y[-1].imag == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_odd_length(self, rng):
+        with pytest.raises(ValueError):
+            rfft(rng.standard_normal(7))
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(ValueError):
+            rfft(rng.standard_normal((4, 4)))
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [4, 64, 448])
+    def test_roundtrip(self, rng, n):
+        x = rng.standard_normal(n)
+        assert np.allclose(irfft(rfft(x)), x)
+
+    def test_matches_numpy(self, rng):
+        s = np.fft.rfft(rng.standard_normal(64))
+        assert np.allclose(irfft(s), np.fft.irfft(s))
+
+    def test_explicit_n(self, rng):
+        s = np.fft.rfft(rng.standard_normal(16))
+        assert irfft(s, n=16).shape == (16,)
+        with pytest.raises(ValueError):
+            irfft(s, n=20)
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            irfft(np.zeros(1, dtype=np.complex128))
+
+
+class TestRfftPair:
+    @pytest.mark.parametrize("n", [8, 15, 64, 100])
+    def test_both_match_numpy(self, rng, n):
+        a, b = rng.standard_normal(n), rng.standard_normal(n)
+        fa, fb = rfft_pair(a, b)
+        assert np.allclose(fa, np.fft.rfft(a))
+        assert np.allclose(fb, np.fft.rfft(b))
+
+    def test_rejects_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            rfft_pair(rng.standard_normal(8), rng.standard_normal(9))

@@ -1,0 +1,70 @@
+"""Tests for trace replay with segment overlap."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.replay import replay_with_overlap
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.trace import Trace
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+
+
+def synthetic_trace(setup=1.0, comm=4.0, post=2.0) -> Trace:
+    t = Trace()
+    clock = 0.0
+    for label, cat, dur in (("ghost exchange", "mpi", 0.0),
+                            ("convolution", "compute", setup),
+                            ("all-to-all", "mpi", comm),
+                            ("local FFT", "compute", post * 0.8),
+                            ("demodulation", "compute", post * 0.2)):
+        t.record(0, label, cat, clock, clock + dur)
+        clock += dur
+    return t
+
+
+class TestSyntheticReplay:
+    def test_single_segment_no_overlap(self):
+        r = replay_with_overlap(synthetic_trace(), rank=0, segments=1)
+        assert r.overlapped_elapsed == pytest.approx(r.sequential_elapsed)
+        assert r.exposed_mpi == pytest.approx(4.0)
+
+    def test_many_segments_hide_compute_side(self):
+        r = replay_with_overlap(synthetic_trace(), rank=0, segments=8)
+        assert r.overlapped_elapsed < r.sequential_elapsed
+        assert r.overlap_gain > 1.2
+
+    def test_comm_bound_floor(self):
+        # comm >> compute: overlapped time approaches setup + comm
+        r = replay_with_overlap(synthetic_trace(setup=1.0, comm=10.0,
+                                                post=1.0), rank=0, segments=8)
+        assert r.overlapped_elapsed == pytest.approx(1.0 + 10.0, rel=0.05)
+        assert r.hidden_mpi_fraction < 0.2
+
+    def test_compute_bound_hides_most_comm(self):
+        r = replay_with_overlap(synthetic_trace(setup=0.5, comm=2.0,
+                                                post=8.0), rank=0, segments=8)
+        assert r.hidden_mpi_fraction > 0.8
+
+    def test_more_segments_monotone_exposure(self):
+        exposed = [replay_with_overlap(synthetic_trace(), 0, s).exposed_mpi
+                   for s in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(exposed, exposed[1:]))
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            replay_with_overlap(synthetic_trace(), 0, 0)
+
+
+class TestExecutedReplay:
+    def test_replay_of_real_distributed_run(self, rng):
+        params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                           n_mu=8, d_mu=7, b=48)
+        cl = SimCluster(4)
+        soi = DistributedSoiFFT(cl, params)
+        x = rng.standard_normal(params.n) + 1j * rng.standard_normal(params.n)
+        soi(soi.scatter(x))
+        r = replay_with_overlap(cl.trace, rank=0, segments=2)
+        assert r.overlapped_elapsed <= r.sequential_elapsed + 1e-12
+        assert 0.0 <= r.exposed_mpi <= r.total_mpi
+        assert r.total_mpi > 0

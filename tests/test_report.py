@@ -1,0 +1,41 @@
+"""Tests for the consolidated report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import build_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report() -> str:
+    return build_report()
+
+
+class TestBuildReport:
+    def test_contains_every_exhibit(self, report):
+        for heading in ("Headline numbers", "Table 2", "Fig 3", "Fig 8",
+                        "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Accuracy"):
+            assert heading in report
+
+    def test_headline_values_present(self, report):
+        assert "TFLOPS (paper: 6.7)" in report
+        assert "K computer" in report
+
+    def test_markdown_blocks_balanced(self, report):
+        assert report.count("```") % 2 == 0
+
+    def test_write_report(self, report, tmp_path):
+        path = write_report(tmp_path / "R.md")
+        assert Path(path).exists()
+        assert Path(path).read_text() == report
+
+
+class TestCliReport:
+    def test_cli_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "CLI_REPORT.md"
+        assert main(["report", "--output", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out

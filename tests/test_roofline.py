@@ -1,0 +1,80 @@
+"""Tests for the roofline kernel-timing model."""
+
+import pytest
+
+from repro.machine.roofline import (
+    KernelCost,
+    algorithmic_bops_fft,
+    attainable_efficiency,
+    kernel_time,
+)
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+
+
+class TestKernelCost:
+    def test_bops(self):
+        assert KernelCost(100.0, 50.0).bops == 0.5
+
+    def test_zero_flops(self):
+        assert KernelCost(0.0, 10.0).bops == float("inf")
+        assert KernelCost(0.0, 0.0).bops == 0.0
+
+    def test_add(self):
+        c = KernelCost(1.0, 2.0, "a") + KernelCost(3.0, 4.0)
+        assert (c.flops, c.nbytes, c.label) == (4.0, 6.0, "a")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KernelCost(-1.0, 0.0)
+
+
+class TestPaperBopsClaims:
+    def test_in_cache_512_point_fft_bops(self):
+        # §5.2.1: 512-point FFT, 2 sweeps -> bops ~ 0.7
+        assert algorithmic_bops_fft(512, sweeps=2) == pytest.approx(0.71, abs=0.01)
+
+    def test_phi_20_percent_ceiling(self):
+        # §5.2.1: 0.14 / 0.7 ~= 20% max efficiency on Phi
+        bops = algorithmic_bops_fft(512, sweeps=2)
+        eff = attainable_efficiency(XEON_PHI_SE10, bops)
+        assert eff == pytest.approx(0.20, abs=0.01)
+
+    def test_16m_fft_5_sweeps_bops(self):
+        # §6.2: 16M-point FFT with 5 sweeps -> bops = 0.67, ~23% ceiling
+        bops = algorithmic_bops_fft(16 * 2 ** 20, sweeps=5)
+        assert bops == pytest.approx(0.67, abs=0.01)
+        assert attainable_efficiency(XEON_PHI_SE10, bops) == \
+            pytest.approx(0.21, abs=0.02)
+
+    def test_xeon_has_higher_ceiling_than_phi(self):
+        bops = algorithmic_bops_fft(512, sweeps=2)
+        assert attainable_efficiency(XEON_E5_2680, bops) > \
+            attainable_efficiency(XEON_PHI_SE10, bops)
+
+    def test_compute_bound_caps_at_one(self):
+        assert attainable_efficiency(XEON_PHI_SE10, 0.001) == 1.0
+        assert attainable_efficiency(XEON_PHI_SE10, 0.0) == 1.0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            algorithmic_bops_fft(1, sweeps=2)
+
+
+class TestKernelTime:
+    def test_memory_bound(self):
+        cost = KernelCost(flops=1e9, nbytes=150e9)  # 1s of memory on Phi
+        t = kernel_time(cost, XEON_PHI_SE10)
+        assert t == pytest.approx(1.0)
+
+    def test_compute_bound(self):
+        cost = KernelCost(flops=1074e9, nbytes=1.0)
+        assert kernel_time(cost, XEON_PHI_SE10) == pytest.approx(1.0)
+
+    def test_no_overlap_sums(self):
+        cost = KernelCost(flops=1074e9, nbytes=150e9)
+        assert kernel_time(cost, XEON_PHI_SE10, overlap=False) == pytest.approx(2.0)
+
+    def test_efficiency_scales(self):
+        cost = KernelCost(flops=1074e9, nbytes=0.0)
+        assert kernel_time(cost, XEON_PHI_SE10, compute_efficiency=0.12) == \
+            pytest.approx(1 / 0.12)

@@ -1,0 +1,113 @@
+"""Tests for the dependency/resource scheduler."""
+
+import pytest
+
+from repro.cluster.schedule import Schedule
+
+
+class TestBasicScheduling:
+    def test_single_task(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 2.0)
+        assert s.makespan == pytest.approx(2.0)
+
+    def test_dependency_ordering(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.0)
+        s.add("b", ("net", 0), 2.0, deps=["a"])
+        r = s.run()
+        assert r["b"].start == pytest.approx(1.0)
+        assert s.makespan == pytest.approx(3.0)
+
+    def test_resource_serialization(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.0)
+        s.add("b", ("cpu", 0), 1.0)  # same resource, no dep: still serial
+        assert s.makespan == pytest.approx(2.0)
+
+    def test_independent_resources_parallel(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.0)
+        s.add("b", ("net", 0), 1.0)
+        assert s.makespan == pytest.approx(1.0)
+
+    def test_diamond_dependency(self):
+        s = Schedule()
+        s.add("src", ("cpu", 0), 1.0)
+        s.add("l", ("cpu", 1), 2.0, deps=["src"])
+        s.add("r", ("cpu", 2), 3.0, deps=["src"])
+        s.add("sink", ("cpu", 0), 1.0, deps=["l", "r"])
+        r = s.run()
+        assert r["sink"].start == pytest.approx(4.0)
+        assert s.makespan == pytest.approx(5.0)
+
+    def test_zero_duration_tasks(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 0.0)
+        s.add("b", ("cpu", 0), 0.0, deps=["a"])
+        assert s.makespan == 0.0
+
+    def test_run_is_idempotent(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.0)
+        assert s.run() is s.run()
+
+
+class TestOverlapPipeline:
+    def _pipeline(self, n_seg, t_net, t_cpu):
+        s = Schedule()
+        prev_fft = None
+        for i in range(n_seg):
+            deps = [f"net{i-1}"] if i else []
+            s.add(f"net{i}", ("net", 0), t_net, deps=deps)
+            fdeps = [f"net{i}"] + ([f"cpu{i-1}"] if i else [])
+            s.add(f"cpu{i}", ("cpu", 0), t_cpu, deps=fdeps)
+        return s
+
+    def test_balanced_pipeline_overlaps(self):
+        s = self._pipeline(4, 1.0, 1.0)
+        # fill 1 + 4 cpu stages = 5 (perfect overlap)
+        assert s.makespan == pytest.approx(5.0)
+
+    def test_exposed_time_balanced(self):
+        s = self._pipeline(4, 1.0, 1.0)
+        # only the first net stage is uncovered by cpu work
+        assert s.exposed_time(("net", 0), ("cpu", 0)) == pytest.approx(1.0)
+
+    def test_net_dominated_exposes_difference(self):
+        s = self._pipeline(4, 2.0, 1.0)
+        exposed = s.exposed_time(("net", 0), ("cpu", 0))
+        assert exposed == pytest.approx(8.0 - 3.0)  # 8 net, 3 covered
+
+    def test_busy_time(self):
+        s = self._pipeline(3, 2.0, 1.0)
+        assert s.busy_time(("net", 0)) == pytest.approx(6.0)
+        assert s.busy_time(("cpu", 0)) == pytest.approx(3.0)
+
+    def test_category_total(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.5, category="compute")
+        s.add("b", ("net", 0), 2.5, category="mpi")
+        assert s.category_total("mpi") == pytest.approx(2.5)
+        assert s.category_total("compute") == pytest.approx(1.5)
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        s = Schedule()
+        s.add("a", ("cpu", 0), 1.0)
+        with pytest.raises(ValueError):
+            s.add("a", ("cpu", 0), 1.0)
+
+    def test_unknown_dep_rejected(self):
+        s = Schedule()
+        with pytest.raises(ValueError):
+            s.add("b", ("cpu", 0), 1.0, deps=["nope"])
+
+    def test_negative_duration_rejected(self):
+        s = Schedule()
+        with pytest.raises(ValueError):
+            s.add("a", ("cpu", 0), -1.0)
+
+    def test_empty_schedule(self):
+        assert Schedule().makespan == 0.0

@@ -1,0 +1,50 @@
+"""Tests for heterogeneous segment balancing."""
+
+import pytest
+
+from repro.core.segments import balance_segments, segments_for_machines
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+
+
+class TestBalanceSegments:
+    def test_uniform(self):
+        assert balance_segments([1.0, 1.0, 1.0], 9) == [3, 3, 3]
+
+    def test_proportional(self):
+        assert balance_segments([1.0, 3.0], 8) == [2, 6]
+
+    def test_total_always_exact(self):
+        for total in range(4, 40):
+            counts = balance_segments([1.0, 2.5, 3.3, 0.7], total)
+            assert sum(counts) == total
+            assert all(c >= 1 for c in counts)
+
+    def test_floor_of_one(self):
+        counts = balance_segments([0.01, 100.0], 2)
+        assert counts == [1, 1]
+
+    def test_rejects_too_few_segments(self):
+        with pytest.raises(ValueError):
+            balance_segments([1.0, 1.0, 1.0], 2)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            balance_segments([1.0, 0.0], 4)
+        with pytest.raises(ValueError):
+            balance_segments([], 4)
+
+
+class TestMachineAssignment:
+    def test_paper_1_to_6_ratio(self):
+        """§6.1: '1 segment per a socket of Xeon E5-2680 and 6 segments per
+        Xeon Phi (recall that a Xeon Phi has ~6x compute capability)'.
+        A dual-socket Xeon node (2 sockets) vs a Phi: ratio ~ 2:6."""
+        counts = segments_for_machines([XEON_E5_2680, XEON_PHI_SE10], 8)
+        assert counts == [2, 6]
+
+    def test_phi_heavy_cluster(self):
+        machines = [XEON_E5_2680] + [XEON_PHI_SE10] * 3
+        counts = segments_for_machines(machines, 16)
+        assert sum(counts) == 16
+        assert counts[0] < min(counts[1:])
+        assert len(set(counts[1:])) == 1  # identical Phis get equal shares

@@ -1,0 +1,49 @@
+"""Tests for the tornado sensitivity analysis."""
+
+import pytest
+
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE
+from repro.perfmodel.sensitivity import tornado
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tornado(PAPER_SECTION4_EXAMPLE, XEON_PHI_SE10)
+
+    def test_sorted_by_swing(self, rows):
+        swings = [r.swing for r in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_network_bandwidth_dominates_on_phi(self, rows):
+        """The §4 narrative: on Phi, SOI is communication-limited, so the
+        network term swings the total hardest."""
+        assert rows[0].parameter == "network bandwidth"
+
+    def test_all_parameters_present(self, rows):
+        names = {r.parameter for r in rows}
+        assert names == {"network bandwidth", "peak flops", "FFT efficiency",
+                         "convolution efficiency", "convolution width B"}
+
+    def test_base_within_swing(self, rows):
+        # 'low'/'high' are scaled-down/up, whose direction of harm depends
+        # on the parameter (bigger B costs more; bigger bandwidth less) —
+        # the base case always lies between the two perturbations
+        for r in rows:
+            assert min(r.low_total, r.high_total) <= r.base_total + 1e-12
+            assert max(r.low_total, r.high_total) >= r.base_total - 1e-12
+            assert r.swing > 0
+
+    def test_xeon_weights_compute_more(self):
+        phi = tornado(PAPER_SECTION4_EXAMPLE, XEON_PHI_SE10)
+        xeon = tornado(PAPER_SECTION4_EXAMPLE, XEON_E5_2680)
+        get = lambda rows, name: next(r for r in rows if r.parameter == name)
+        # compute terms matter relatively more on the slower Xeon
+        phi_ratio = get(phi, "peak flops").swing / get(phi, "network bandwidth").swing
+        xeon_ratio = get(xeon, "peak flops").swing / get(xeon, "network bandwidth").swing
+        assert xeon_ratio > phi_ratio
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            tornado(PAPER_SECTION4_EXAMPLE, XEON_PHI_SE10, factor=1.0)

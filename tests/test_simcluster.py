@@ -1,0 +1,107 @@
+"""Tests for SimCluster clock/charging mechanics."""
+
+import pytest
+
+from repro.cluster.network import STAMPEDE_EFFECTIVE
+from repro.cluster.simcluster import SimCluster
+from repro.machine.roofline import KernelCost
+from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cl = SimCluster(8)
+        assert cl.n_ranks == 8
+        assert cl.machine is XEON_PHI_SE10
+        assert cl.transport is STAMPEDE_EFFECTIVE
+        assert cl.elapsed == 0.0
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            SimCluster(0)
+
+
+class TestCharging:
+    def test_charge_seconds(self):
+        cl = SimCluster(2)
+        cl.charge_seconds(0, "w", 1.5)
+        assert cl.clocks == [1.5, 0.0]
+        assert cl.elapsed == 1.5
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimCluster(1).charge_seconds(0, "w", -1.0)
+
+    def test_charge_kernel_roofline(self):
+        cl = SimCluster(1, machine=XEON_PHI_SE10)
+        t = cl.charge_kernel(0, "fft", KernelCost(flops=1074e9, nbytes=0.0),
+                             compute_efficiency=0.5)
+        assert t == pytest.approx(2.0)
+        assert cl.clocks[0] == pytest.approx(2.0)
+
+    def test_charge_all(self):
+        cl = SimCluster(3)
+        cl.charge_all("step", 2.0)
+        assert cl.clocks == [2.0, 2.0, 2.0]
+
+    def test_charge_kernel_all(self):
+        cl = SimCluster(2, machine=XEON_E5_2680)
+        cl.charge_kernel_all("conv", KernelCost(flops=346e9, nbytes=0.0))
+        assert all(c == pytest.approx(1.0) for c in cl.clocks)
+
+
+class TestAggregation:
+    def test_breakdown_uses_slowest_rank(self):
+        cl = SimCluster(2)
+        cl.charge_seconds(0, "fft", 1.0)
+        cl.charge_seconds(1, "fft", 3.0)
+        cl.charge_seconds(1, "conv", 1.0)
+        b = cl.breakdown()
+        assert b == {"fft": pytest.approx(3.0), "conv": pytest.approx(1.0)}
+
+    def test_reset(self):
+        cl = SimCluster(2)
+        cl.charge_seconds(0, "x", 1.0)
+        cl.reset()
+        assert cl.elapsed == 0.0
+        assert not cl.trace.events
+
+    def test_trace_records_compute_events(self):
+        cl = SimCluster(1)
+        cl.charge_seconds(0, "fft", 1.0)
+        ev = cl.trace.events[0]
+        assert (ev.rank, ev.label, ev.category) == (0, "fft", "compute")
+
+
+class TestHeterogeneous:
+    def test_per_rank_machines(self):
+        cl = SimCluster(2, machines=[XEON_E5_2680, XEON_PHI_SE10])
+        assert cl.machine_of(0) is XEON_E5_2680
+        assert cl.machine_of(1) is XEON_PHI_SE10
+
+    def test_default_is_uniform(self):
+        cl = SimCluster(3, machine=XEON_E5_2680)
+        assert all(cl.machine_of(r) is XEON_E5_2680 for r in range(3))
+
+    def test_kernel_charge_uses_rank_machine(self):
+        cl = SimCluster(2, machines=[XEON_E5_2680, XEON_PHI_SE10])
+        cost = KernelCost(flops=346e9, nbytes=0.0)
+        t_xeon = cl.charge_kernel(0, "k", cost)
+        t_phi = cl.charge_kernel(1, "k", cost)
+        assert t_xeon == pytest.approx(1.0)
+        assert t_phi == pytest.approx(346 / 1074, rel=1e-6)
+
+    def test_rejects_wrong_machine_count(self):
+        with pytest.raises(ValueError):
+            SimCluster(3, machines=[XEON_E5_2680])
+
+
+class TestPcieCharging:
+    def test_charge_pcie(self):
+        cl = SimCluster(1)
+        t = cl.charge_pcie(0, "dma", 6e9)  # 1 s at 6 GB/s (+latency)
+        assert t == pytest.approx(1.0, rel=0.01)
+        assert cl.clocks[0] == pytest.approx(t)
+        ev = cl.trace.events[0]
+        assert ev.category == "pcie"
+        assert ev.nbytes == int(6e9)

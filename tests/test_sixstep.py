@@ -1,0 +1,107 @@
+"""Tests for the Bailey 6-step large local FFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.sixstep import SIXSTEP_VARIANTS, sixstep_fft
+from tests.conftest import random_complex
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,n1,n2", [
+        (16, 4, 4), (64, 8, 8), (256, 16, 16), (4096, None, None),
+        (48, 6, 8), (48, 8, 6), (2 ** 12, 2 ** 4, 2 ** 8),
+    ])
+    @pytest.mark.parametrize("variant", SIXSTEP_VARIANTS)
+    def test_matches_numpy(self, rng, n, n1, n2, variant):
+        x = random_complex(rng, n)
+        res = sixstep_fft(x, n1, n2, variant=variant)
+        assert np.allclose(res.output, np.fft.fft(x))
+
+    def test_variants_agree_exactly_in_structure(self, rng):
+        x = random_complex(rng, 256)
+        a = sixstep_fft(x, variant="naive").output
+        b = sixstep_fft(x, variant="optimized").output
+        assert np.allclose(a, b, rtol=1e-13, atol=1e-13)
+
+    @pytest.mark.parametrize("variant", SIXSTEP_VARIANTS)
+    def test_inverse(self, rng, variant):
+        x = random_complex(rng, 64)
+        y = sixstep_fft(x, variant=variant)
+        back = sixstep_fft(y.output, variant=variant, sign=+1)
+        assert np.allclose(back.output, x)
+
+    @pytest.mark.parametrize("panel", [1, 3, 8, 64])
+    def test_any_panel_width(self, rng, panel):
+        x = random_complex(rng, 256)
+        res = sixstep_fft(x, variant="optimized", panel=panel)
+        assert np.allclose(res.output, np.fft.fft(x))
+
+    def test_degenerate_factors(self, rng):
+        x = random_complex(rng, 16)
+        assert np.allclose(sixstep_fft(x, 1, 16).output, np.fft.fft(x))
+        assert np.allclose(sixstep_fft(x, 16, 1).output, np.fft.fft(x))
+
+
+class TestFusedDiagonal:
+    @pytest.mark.parametrize("variant", SIXSTEP_VARIANTS)
+    def test_diagonal_applied_to_output(self, rng, variant):
+        x = random_complex(rng, 64)
+        d = random_complex(rng, 64)
+        res = sixstep_fft(x, variant=variant, diagonal=d)
+        assert np.allclose(res.output, np.fft.fft(x) * d)
+
+    def test_fused_saves_sweeps(self, rng):
+        x = random_complex(rng, 64)
+        d = random_complex(rng, 64)
+        fused = sixstep_fft(x, variant="optimized", diagonal=d)
+        separate = sixstep_fft(x, variant="naive", diagonal=d)
+        # fused pays only the constants load (1 sweep); separate pays 3
+        assert separate.ledger.sweep_count(64) - \
+            sixstep_fft(x, variant="naive").ledger.sweep_count(64) == pytest.approx(3.0)
+        assert fused.ledger.sweep_count(64) - \
+            sixstep_fft(x, variant="optimized").ledger.sweep_count(64) == pytest.approx(1.0)
+
+
+class TestSweepAccounting:
+    def test_naive_has_13_sweeps(self, rng):
+        res = sixstep_fft(random_complex(rng, 1024), variant="naive")
+        assert res.ledger.sweep_count(1024) == pytest.approx(13.0)
+
+    def test_optimized_has_about_4_sweeps(self, rng):
+        n = 4096
+        res = sixstep_fft(random_complex(rng, n), variant="optimized")
+        sweeps = res.ledger.sweep_count(n)
+        assert 4.0 <= sweeps < 4.1  # + split twiddle tables (O(sqrt N))
+
+    def test_optimized_moves_fewer_bytes(self, rng):
+        x = random_complex(rng, 4096)
+        naive = sixstep_fft(x, variant="naive")
+        opt = sixstep_fft(x, variant="optimized")
+        assert opt.ledger.total_bytes < 0.4 * naive.ledger.total_bytes
+
+    def test_flops_property(self, rng):
+        res = sixstep_fft(random_complex(rng, 1024))
+        assert res.flops == pytest.approx(5 * 1024 * 10)
+
+
+class TestValidation:
+    def test_rejects_mismatched_factors(self, rng):
+        with pytest.raises(ValueError):
+            sixstep_fft(random_complex(rng, 16), 4, 3)
+
+    def test_rejects_2d_input(self, rng):
+        with pytest.raises(ValueError):
+            sixstep_fft(random_complex(rng, 4, 4))
+
+    def test_rejects_unknown_variant(self, rng):
+        with pytest.raises(ValueError):
+            sixstep_fft(random_complex(rng, 16), variant="magic")
+
+    def test_rejects_bad_panel(self, rng):
+        with pytest.raises(ValueError):
+            sixstep_fft(random_complex(rng, 16), panel=0)
+
+    def test_rejects_wrong_diagonal_length(self, rng):
+        with pytest.raises(ValueError):
+            sixstep_fft(random_complex(rng, 16), diagonal=np.ones(8))

@@ -1,0 +1,75 @@
+"""Tests for the executed offload-mode SOI (paper §7 / Fig 12b)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.pcie import PcieSpec
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.core.soi_offload import OffloadSoiFFT
+from repro.util.validate import relative_l2_error
+from tests.conftest import random_complex
+
+
+def build(p=4, pcie=None):
+    params = SoiParams(n=8 * 448, n_procs=p, segments_per_process=2,
+                       n_mu=8, d_mu=7, b=48)
+    kwargs = {"pcie": pcie} if pcie is not None else {}
+    cluster = SimCluster(p, **kwargs)
+    return cluster, OffloadSoiFFT(cluster, params)
+
+
+class TestNumerics:
+    def test_same_result_as_symmetric(self, rng):
+        x = random_complex(rng, 8 * 448)
+        cl_off, off = build()
+        y_off = off.assemble(off(off.scatter(x)))
+        params = off.params
+        cl_sym = SimCluster(4)
+        sym = DistributedSoiFFT(cl_sym, params)
+        y_sym = sym.assemble(sym(sym.scatter(x)))
+        assert np.allclose(y_off, y_sym)
+
+    def test_matches_numpy(self, rng):
+        x = random_complex(rng, 8 * 448)
+        cl, off = build()
+        y = off.assemble(off(off.scatter(x)))
+        assert relative_l2_error(y, np.fft.fft(x)) < 1e-4
+
+
+class TestTiming:
+    def test_offload_slower_than_symmetric(self, rng):
+        x = random_complex(rng, 8 * 448)
+        cl_off, off = build()
+        off(off.scatter(x))
+        cl_sym = SimCluster(4)
+        sym = DistributedSoiFFT(cl_sym, off.params)
+        sym(sym.scatter(x))
+        assert cl_off.elapsed > cl_sym.elapsed
+
+    def test_two_pcie_legs_in_trace(self, rng):
+        cl, off = build()
+        off(off.scatter(random_complex(rng, 8 * 448)))
+        labels = [e.label for e in cl.trace.events if e.category == "pcie"
+                  and e.rank == 0]
+        assert labels == ["PCIe host->phi", "PCIe phi->host"]
+
+    def test_pcie_bytes_are_in_and_out_chunks(self, rng):
+        cl, off = build()
+        off(off.scatter(random_complex(rng, 8 * 448)))
+        pcie_bytes = cl.trace.bytes_by_category()["pcie"]
+        assert pcie_bytes == 2 * 16 * 8 * 448  # N elements in + out, total
+
+    def test_pcie_seconds_scale_with_bandwidth(self, rng):
+        x = random_complex(rng, 8 * 448)
+        cl_fast, off_fast = build(pcie=PcieSpec(bandwidth_gbps=12.0))
+        off_fast(off_fast.scatter(x))
+        cl_slow, off_slow = build(pcie=PcieSpec(bandwidth_gbps=3.0))
+        off_slow(off_slow.scatter(x))
+        assert off_slow.pcie_seconds() > off_fast.pcie_seconds()
+
+    def test_pcie_seconds_positive(self, rng):
+        cl, off = build()
+        off(off.scatter(random_complex(rng, 8 * 448)))
+        assert off.pcie_seconds() > 0

@@ -1,0 +1,141 @@
+"""End-to-end tests for the single-process SOI FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SoiParams
+from repro.core.soi_single import LOCAL_FFT_CHOICES, SoiFFT, soi_fft
+from repro.core.window import GaussianSincWindow
+from repro.util.validate import relative_l2_error
+from tests.conftest import random_complex
+
+
+def make_params(n=8 * 448, s=8, n_mu=8, d_mu=7, b=48):
+    return SoiParams(n=n, n_procs=1, segments_per_process=s,
+                     n_mu=n_mu, d_mu=d_mu, b=b)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n,s,n_mu,d_mu,b", [
+        (8 * 448, 8, 8, 7, 48),
+        (8 * 448, 8, 8, 7, 72),
+        (16 * 448, 16, 8, 7, 72),
+        (4 * 448, 4, 8, 7, 32),
+        (2 ** 13, 8, 5, 4, 48),
+        (2 ** 13, 8, 5, 4, 72),
+        (6 * 448, 6, 8, 7, 48),       # non-power-of-two segment count
+        (8 * 448, 8, 9, 8, 48),       # mu = 9/8
+    ])
+    def test_error_within_design_bound(self, rng, n, s, n_mu, d_mu, b):
+        params = SoiParams(n=n, n_procs=1, segments_per_process=s,
+                           n_mu=n_mu, d_mu=d_mu, b=b)
+        f = SoiFFT(params)
+        x = random_complex(rng, n)
+        err = relative_l2_error(f(x), np.fft.fft(x))
+        # the Kaiser design formula predicts the stopband well; allow 10x
+        assert err < 10 * f.expected_stopband + 1e-12
+
+    def test_mu_5_4_b72_is_near_machine_precision(self, rng):
+        params = make_params(n=2 ** 13, n_mu=5, d_mu=4, b=72)
+        f = SoiFFT(params)
+        x = random_complex(rng, params.n)
+        assert relative_l2_error(f(x), np.fft.fft(x)) < 1e-11
+
+    def test_error_decreases_with_b(self, rng):
+        x = random_complex(rng, 8 * 448)
+        errs = []
+        for b in (16, 32, 48, 72):
+            f = SoiFFT(make_params(b=b))
+            errs.append(relative_l2_error(f(x), np.fft.fft(x)))
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < 1e-7
+
+    def test_pure_tone_every_segment(self, rng):
+        params = make_params(n=4 * 448, s=4, b=48)
+        f = SoiFFT(params)
+        n, m = params.n, params.m
+        for seg in range(4):
+            freq = seg * m + int(rng.integers(0, m))
+            x = np.exp(2j * np.pi * np.arange(n) * freq / n)
+            y = f(x)
+            expected = np.zeros(n, dtype=np.complex128)
+            expected[freq] = n
+            assert relative_l2_error(y, expected) < 1e-5
+
+    def test_gaussian_window_works(self, rng):
+        params = make_params(b=72)
+        window = GaussianSincWindow(params)
+        f = SoiFFT(params, window=window)
+        x = random_complex(rng, params.n)
+        err = relative_l2_error(f(x), np.fft.fft(x))
+        assert err < 5e-3
+        assert err < 10 * window.expected_stopband
+
+    def test_kaiser_beats_gaussian_at_same_support(self, rng):
+        params = make_params(b=72)
+        x = random_complex(rng, params.n)
+        ref = np.fft.fft(x)
+        err_kaiser = relative_l2_error(SoiFFT(params)(x), ref)
+        err_gauss = relative_l2_error(
+            SoiFFT(params, window=GaussianSincWindow(params))(x), ref)
+        assert err_kaiser < err_gauss
+
+
+class TestLocalFftChoices:
+    @pytest.mark.parametrize("choice", LOCAL_FFT_CHOICES)
+    def test_all_choices_agree(self, rng, choice):
+        params = make_params(n=4 * 448, s=4, b=32)
+        x = random_complex(rng, params.n)
+        ref = SoiFFT(params, local_fft="direct")(x)
+        got = SoiFFT(params, local_fft=choice)(x)
+        assert np.allclose(got, ref, rtol=1e-10, atol=1e-10)
+
+    def test_rejects_unknown_choice(self):
+        with pytest.raises(ValueError):
+            SoiFFT(make_params(), local_fft="fftw")
+
+
+class TestConvenienceWrapper:
+    def test_soi_fft_function(self, rng):
+        x = random_complex(rng, 8 * 448)
+        y = soi_fft(x, n_segments=8, b=48)
+        assert relative_l2_error(y, np.fft.fft(x)) < 1e-4
+
+    def test_kwargs_forwarded(self, rng):
+        x = random_complex(rng, 2 ** 12)
+        y = soi_fft(x, n_segments=8, n_mu=5, d_mu=4, b=64)
+        assert relative_l2_error(y, np.fft.fft(x)) < 1e-9
+
+
+class TestValidation:
+    def test_rejects_wrong_input_shape(self, rng):
+        f = SoiFFT(make_params())
+        with pytest.raises(ValueError):
+            f(random_complex(rng, 17))
+
+    def test_rejects_2d_input(self, rng):
+        f = SoiFFT(make_params())
+        with pytest.raises(ValueError):
+            f(random_complex(rng, 2, 448 * 4))
+
+
+class TestLinearity:
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=10, deadline=None)
+    def test_linearity_property(self, seed, alpha):
+        params = make_params(n=4 * 448, s=4, b=16)
+        f = SoiFFT(params)
+        r = np.random.default_rng(seed)
+        x = r.standard_normal(params.n) + 1j * r.standard_normal(params.n)
+        y = r.standard_normal(params.n) + 1j * r.standard_normal(params.n)
+        lhs = f(x + alpha * y)
+        rhs = f(x) + alpha * f(y)
+        assert np.allclose(lhs, rhs, rtol=1e-8, atol=1e-6)
+
+    def test_zero_maps_to_zero(self):
+        params = make_params(n=4 * 448, s=4, b=16)
+        f = SoiFFT(params)
+        assert np.allclose(f(np.zeros(params.n, dtype=np.complex128)), 0.0)

@@ -1,0 +1,152 @@
+"""Tests for the batched Stockham FFT engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fft.dft import dft
+from repro.fft.stockham import StockhamPlan, fft_flops, fft_stockham, stage_count
+from tests.conftest import random_complex
+
+
+class TestForwardCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 128, 1024, 4096])
+    def test_pow2_matches_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(fft_stockham(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 12, 15, 21, 35, 60, 105, 210])
+    def test_smooth_matches_numpy(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(fft_stockham(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [8, 24])
+    def test_matches_naive_dft(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(fft_stockham(x), dft(x))
+
+    def test_batch_2d(self, rng):
+        x = random_complex(rng, 5, 64)
+        assert np.allclose(fft_stockham(x), np.fft.fft(x, axis=-1))
+
+    def test_batch_3d(self, rng):
+        x = random_complex(rng, 2, 3, 16)
+        assert np.allclose(fft_stockham(x), np.fft.fft(x, axis=-1))
+
+    def test_real_input_promoted(self):
+        x = np.arange(8.0)
+        assert np.allclose(fft_stockham(x), np.fft.fft(x))
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [4, 12, 64, 135])
+    def test_roundtrip(self, rng, n):
+        x = random_complex(rng, n)
+        assert np.allclose(fft_stockham(fft_stockham(x), sign=+1), x)
+
+    def test_matches_numpy_ifft(self, rng):
+        x = random_complex(rng, 48)
+        assert np.allclose(fft_stockham(x, sign=+1), np.fft.ifft(x))
+
+
+class TestPlan:
+    def test_explicit_radices(self, rng):
+        x = random_complex(rng, 16)
+        for radices in ([2, 2, 2, 2], [4, 4], [2, 4, 2], [4, 2, 2]):
+            plan = StockhamPlan(16, radices=radices)
+            assert np.allclose(plan(x), np.fft.fft(x))
+
+    def test_odd_radices(self, rng):
+        x = random_complex(rng, 3 * 5 * 7)
+        plan = StockhamPlan(105, radices=[3, 5, 7])
+        assert np.allclose(plan(x), np.fft.fft(x))
+
+    def test_rejects_mismatched_radices(self):
+        with pytest.raises(ValueError):
+            StockhamPlan(16, radices=[2, 2])
+
+    def test_rejects_non_smooth(self):
+        with pytest.raises(ValueError):
+            StockhamPlan(22)
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            StockhamPlan(8, sign=0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            StockhamPlan(0)
+
+    def test_rejects_wrong_length_input(self, rng):
+        plan = StockhamPlan(8)
+        with pytest.raises(ValueError):
+            plan(random_complex(rng, 16))
+
+    def test_flops_property(self):
+        assert StockhamPlan(1024).flops == pytest.approx(5 * 1024 * 10)
+
+    def test_input_not_mutated(self, rng):
+        x = random_complex(rng, 32)
+        saved = x.copy()
+        fft_stockham(x)
+        assert np.array_equal(x, saved)
+
+
+class TestFlopsAndStages:
+    def test_fft_flops(self):
+        assert fft_flops(2) == pytest.approx(10.0)
+        assert fft_flops(1) == 0.0
+
+    def test_stage_count_radix4_bias(self):
+        assert stage_count(16) == 2
+        assert stage_count(32) == 3
+        assert stage_count(1024) == 5
+
+
+# -- property-based tests on DFT identities ---------------------------------
+
+_signals = arrays(
+    dtype=np.complex128,
+    shape=st.sampled_from([4, 8, 16, 12, 30]),
+    elements=st.complex_numbers(max_magnitude=1e3, allow_nan=False,
+                                allow_infinity=False),
+)
+
+
+class TestDftProperties:
+    @given(_signals, _signals.filter(lambda a: True))
+    @settings(max_examples=40, deadline=None)
+    def test_linearity(self, x, y):
+        if x.shape != y.shape:
+            return
+        lhs = fft_stockham(2.0 * x + 3.0 * y)
+        rhs = 2.0 * fft_stockham(x) + 3.0 * fft_stockham(y)
+        assert np.allclose(lhs, rhs, atol=1e-8 * (1 + np.abs(rhs).max()))
+
+    @given(_signals)
+    @settings(max_examples=40, deadline=None)
+    def test_parseval(self, x):
+        y = fft_stockham(x)
+        n = x.shape[-1]
+        assert np.isclose(np.sum(np.abs(y) ** 2), n * np.sum(np.abs(x) ** 2),
+                          rtol=1e-10, atol=1e-6)
+
+    @given(_signals, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_theorem(self, x, shift):
+        n = x.shape[-1]
+        y = fft_stockham(np.roll(x, shift))
+        k = np.arange(n)
+        expected = fft_stockham(x) * np.exp(-2j * np.pi * k * shift / n)
+        assert np.allclose(y, expected, atol=1e-8 * (1 + np.abs(expected).max()))
+
+    @given(st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_impulse_is_exponential(self, pos):
+        n = 16
+        x = np.zeros(n, dtype=np.complex128)
+        x[pos] = 1.0
+        k = np.arange(n)
+        assert np.allclose(fft_stockham(x), np.exp(-2j * np.pi * k * pos / n))

@@ -1,0 +1,106 @@
+"""Tests for the SOI-backed STFT."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SoiParams
+from repro.core.streaming import SoiStft, hann_window
+
+
+def frame_params(n=4 * 448, b=48):
+    return SoiParams(n=n, n_procs=1, segments_per_process=4,
+                     n_mu=8, d_mu=7, b=b)
+
+
+class TestHann:
+    def test_endpoints_and_peak(self):
+        w = hann_window(8)
+        assert w[0] == pytest.approx(0.0)
+        assert w[4] == pytest.approx(1.0)
+
+    def test_cola_at_half_overlap(self):
+        n = 64
+        w = hann_window(n)
+        total = w[: n // 2] + w[n // 2:]
+        assert np.allclose(total, 1.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            hann_window(0)
+
+
+class TestStft:
+    def test_frame_count(self):
+        stft = SoiStft(frame_params())
+        n = stft.frame_length
+        assert stft.frame_count(n) == 1
+        assert stft.frame_count(n + stft.hop) == 2
+        assert stft.frame_count(n - 1) == 0
+
+    def test_shape(self, rng):
+        stft = SoiStft(frame_params())
+        x = rng.standard_normal(3 * stft.frame_length) + 0j
+        s = stft.transform(x)
+        assert s.shape == (stft.frame_count(x.size), stft.frame_length)
+
+    def test_matches_numpy_per_frame(self, rng):
+        stft = SoiStft(frame_params(), analysis_window=None)
+        n = stft.frame_length
+        x = rng.standard_normal(2 * n) + 1j * rng.standard_normal(2 * n)
+        s = stft.transform(x)
+        ref0 = np.fft.fft(x[:n])
+        err = np.linalg.norm(s[0] - ref0) / np.linalg.norm(ref0)
+        assert err < 1e-4
+
+    def test_tracks_a_hopping_tone(self):
+        """A tone that changes frequency mid-signal shows up in the right
+        frames at the right bins."""
+        params = frame_params()
+        stft = SoiStft(params)
+        n = stft.frame_length
+        t = np.arange(n)
+        first = np.exp(2j * np.pi * 100 * t / n)
+        second = np.exp(2j * np.pi * 700 * t / n)
+        x = np.concatenate([first, first, second, second])
+        bins = stft.dominant_bins(x)
+        assert bins[0] == 100
+        assert bins[-1] == 700
+
+    def test_spectrogram_nonnegative(self, rng):
+        stft = SoiStft(frame_params())
+        x = rng.standard_normal(2 * stft.frame_length) + 0j
+        assert np.all(stft.spectrogram(x) >= 0)
+
+    def test_custom_hop(self, rng):
+        stft = SoiStft(frame_params(), hop=448)
+        x = rng.standard_normal(2 * stft.frame_length) + 0j
+        assert stft.transform(x).shape[0] == stft.frame_count(x.size)
+
+    def test_float32_plan(self, rng):
+        stft = SoiStft(frame_params(), dtype=np.complex64)
+        x = rng.standard_normal(stft.frame_length) + 0j
+        assert stft.transform(x).dtype == np.complex64
+
+
+class TestValidation:
+    def test_short_signal_rejected(self, rng):
+        stft = SoiStft(frame_params())
+        with pytest.raises(ValueError):
+            stft.transform(rng.standard_normal(10) + 0j)
+
+    def test_bad_hop(self):
+        with pytest.raises(ValueError):
+            SoiStft(frame_params(), hop=0)
+
+    def test_bad_window_name(self):
+        with pytest.raises(ValueError):
+            SoiStft(frame_params(), analysis_window="blackman")
+
+    def test_bad_window_length(self):
+        with pytest.raises(ValueError):
+            SoiStft(frame_params(), analysis_window=np.ones(7))
+
+    def test_2d_signal_rejected(self, rng):
+        stft = SoiStft(frame_params())
+        with pytest.raises(ValueError):
+            stft.transform(rng.standard_normal((2, stft.frame_length)) + 0j)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII table/figure renderers."""
+
+import pytest
+
+from repro.bench.tables import fmt, render_bars, render_series, render_table
+
+
+class TestFmt:
+    def test_ints(self):
+        assert fmt(42) == "42"
+
+    def test_floats(self):
+        assert fmt(0.125) == "0.125"
+        assert fmt(1.0e-9) == "1.000e-09"
+        assert fmt(0.0) == "0"
+
+    def test_strings_pass_through(self):
+        assert fmt("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "bee"], [[1, 2], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "---" in lines[2]
+        assert lines[1].startswith("a ")
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+
+class TestRenderBars:
+    def test_bar_lengths_proportional(self):
+        out = render_bars([("x", 1.0), ("y", 2.0)], width=10)
+        x_line, y_line = out.splitlines()
+        assert x_line.count("#") == 5
+        assert y_line.count("#") == 10
+
+    def test_empty(self):
+        assert render_bars([], title="t") == "t"
+
+    def test_unit_suffix(self):
+        out = render_bars([("x", 3.0)], unit=" GF")
+        assert "3 GF" in out
+
+
+class TestRenderSeries:
+    def test_structure(self):
+        out = render_series("n", [1, 2], {"a": [10, 20], "b": [30, 40]})
+        lines = out.splitlines()
+        assert lines[0].split() == ["n", "a", "b"]
+        assert lines[2].split() == ["1", "10", "30"]

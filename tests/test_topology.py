@@ -1,0 +1,70 @@
+"""Tests for fat-tree and torus topology models."""
+
+import networkx as nx
+import pytest
+
+from repro.cluster.topology import FatTree, Torus, alltoall_contention
+
+
+class TestFatTree:
+    def test_full_bisection_has_no_contention(self):
+        ft = FatTree(radix=36, oversubscription=1.0)
+        for nodes in (4, 64, 512):
+            assert ft.contention(nodes) == 1.0
+
+    def test_oversubscription_halves(self):
+        ft = FatTree(radix=36, oversubscription=2.0)
+        assert ft.contention(512) == pytest.approx(0.5)
+
+    def test_small_cluster_under_one_leaf_is_free(self):
+        ft = FatTree(radix=36, oversubscription=4.0)
+        assert ft.contention(8) == 1.0
+
+    def test_graph_is_connected(self):
+        g = FatTree(radix=8).graph(16)
+        assert nx.is_connected(g)
+        assert all(n in g for n in range(16))
+
+    def test_graph_two_hops_within_leaf(self):
+        g = FatTree(radix=8).graph(8)
+        assert nx.shortest_path_length(g, 0, 1) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTree(radix=1)
+        with pytest.raises(ValueError):
+            FatTree(oversubscription=0.5)
+
+
+class TestTorus:
+    def test_nodes(self):
+        assert Torus((4, 4, 4)).nodes == 64
+
+    def test_graph_degree(self):
+        t = Torus((4, 4))
+        g = t.graph()
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_bisection_links(self):
+        # 4x4 torus: cut along a dim of 4 -> 4 nodes/slice * 2 wrap = 8 links
+        assert Torus((4, 4)).bisection_links() == 8
+
+    def test_contention_shrinks_with_scale(self):
+        small = Torus((4, 4, 4)).contention()
+        big = Torus((16, 16, 16)).contention()
+        assert big < small <= 1.0
+
+    def test_contention_capped_at_one(self):
+        assert Torus((2,)).contention() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Torus(())
+        with pytest.raises(ValueError):
+            Torus((0, 4))
+
+
+class TestHelper:
+    def test_alltoall_contention_dispatch(self):
+        assert alltoall_contention(FatTree(), 16) == 1.0
+        assert 0 < alltoall_contention(Torus((8, 8)), 64) <= 1.0

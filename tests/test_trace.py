@@ -1,0 +1,76 @@
+"""Tests for trace events and aggregation."""
+
+import pytest
+
+from repro.cluster.trace import Event, Trace
+
+
+class TestEvent:
+    def test_duration(self):
+        assert Event(0, "x", "compute", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_rejects_bad_category(self):
+        with pytest.raises(ValueError):
+            Event(0, "x", "quantum", 0.0, 1.0)
+
+    def test_rejects_backwards_time(self):
+        with pytest.raises(ValueError):
+            Event(0, "x", "compute", 2.0, 1.0)
+
+
+class TestTrace:
+    def _sample(self):
+        t = Trace()
+        t.record(0, "fft", "compute", 0.0, 1.0)
+        t.record(0, "a2a", "mpi", 1.0, 2.0, nbytes=100)
+        t.record(1, "fft", "compute", 0.0, 1.5)
+        t.record(1, "a2a", "mpi", 1.5, 2.0, nbytes=80)
+        return t
+
+    def test_span(self):
+        assert self._sample().span == pytest.approx(2.0)
+
+    def test_empty_span(self):
+        assert Trace().span == 0.0
+
+    def test_total_filters(self):
+        t = self._sample()
+        assert t.total("compute") == pytest.approx(2.5)
+        assert t.total("mpi", rank=0) == pytest.approx(1.0)
+        assert t.total(label="fft") == pytest.approx(2.5)
+
+    def test_breakdown_by_label(self):
+        t = self._sample()
+        assert t.breakdown_by_label(rank=1) == \
+            {"fft": pytest.approx(1.5), "a2a": pytest.approx(0.5)}
+
+    def test_bytes_by_category(self):
+        assert self._sample().bytes_by_category()["mpi"] == 180
+
+    def test_rank_events(self):
+        assert len(self._sample().rank_events(0)) == 2
+
+
+class TestExposedTime:
+    def test_fully_exposed(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 2.0)
+        assert t.exposed_time(0) == pytest.approx(2.0)
+
+    def test_fully_hidden(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 2.0)
+        t.record(0, "fft", "compute", 0.0, 2.0)
+        assert t.exposed_time(0) == 0.0
+
+    def test_partial_overlap(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 3.0)
+        t.record(0, "fft", "compute", 1.0, 2.0)
+        assert t.exposed_time(0) == pytest.approx(2.0)
+
+    def test_other_ranks_do_not_hide(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 2.0)
+        t.record(1, "fft", "compute", 0.0, 2.0)
+        assert t.exposed_time(0) == pytest.approx(2.0)

@@ -1,0 +1,87 @@
+"""Tests for blocked transpose and the stride permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.transpose import (
+    blocked_transpose,
+    stride_permutation_indices,
+    transpose_naive,
+)
+from tests.conftest import random_complex
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("shape", [(4, 4), (8, 16), (7, 13), (1, 9), (20, 3)])
+    def test_blocked_matches_naive(self, rng, shape):
+        a = random_complex(rng, *shape)
+        assert np.array_equal(blocked_transpose(a), a.T)
+        assert np.array_equal(transpose_naive(a), a.T)
+
+    @pytest.mark.parametrize("block", [1, 2, 3, 8, 64])
+    def test_any_block_size(self, rng, block):
+        a = random_complex(rng, 10, 12)
+        assert np.array_equal(blocked_transpose(a, block=block), a.T)
+
+    def test_out_parameter(self, rng):
+        a = random_complex(rng, 6, 4)
+        out = np.empty((4, 6), dtype=np.complex128)
+        res = blocked_transpose(a, out=out)
+        assert res is out
+        assert np.array_equal(out, a.T)
+
+    def test_rejects_wrong_out_shape(self, rng):
+        a = random_complex(rng, 6, 4)
+        with pytest.raises(ValueError):
+            blocked_transpose(a, out=np.empty((6, 4), dtype=np.complex128))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            blocked_transpose(np.zeros(5))
+        with pytest.raises(ValueError):
+            transpose_naive(np.zeros((2, 2, 2)))
+
+    def test_rejects_bad_block(self, rng):
+        with pytest.raises(ValueError):
+            blocked_transpose(random_complex(rng, 4, 4), block=0)
+
+
+class TestStridePermutation:
+    def test_definition(self):
+        # w = P^{l,n} v  <=>  v[j + k*l] = w[k + j*(n/l)]
+        stride, n = 3, 12
+        perm = stride_permutation_indices(stride, n)
+        v = np.arange(n)
+        w = v[perm]
+        for j in range(stride):
+            for k in range(n // stride):
+                assert v[j + k * stride] == w[k + j * (n // stride)]
+
+    def test_matches_matrix_transpose(self):
+        # stride-l permutation == reading an (n/l)-by-l matrix column-major
+        perm = stride_permutation_indices(4, 20)
+        v = np.arange(20)
+        assert np.array_equal(v[perm], v.reshape(5, 4).T.ravel())
+
+    def test_identity_strides(self):
+        assert np.array_equal(stride_permutation_indices(1, 8), np.arange(8))
+        assert np.array_equal(stride_permutation_indices(8, 8), np.arange(8))
+
+    def test_inverse_pair(self):
+        n = 24
+        fwd = stride_permutation_indices(4, n)
+        inv = stride_permutation_indices(n // 4, n)
+        assert np.array_equal(fwd[inv], np.arange(n))
+
+    def test_rejects_non_divisor(self):
+        with pytest.raises(ValueError):
+            stride_permutation_indices(5, 12)
+
+    @given(st.sampled_from([(2, 16), (4, 16), (3, 27), (6, 36)]))
+    @settings(max_examples=10, deadline=None)
+    def test_is_permutation(self, args):
+        stride, n = args
+        perm = stride_permutation_indices(stride, n)
+        assert sorted(perm.tolist()) == list(range(n))

@@ -1,0 +1,76 @@
+"""Tests for twiddle tables and the dynamic block (split) scheme."""
+
+import numpy as np
+import pytest
+
+from repro.fft.twiddle import SplitTwiddle, twiddle_matrix, twiddle_table
+
+
+class TestTwiddleTable:
+    def test_values(self):
+        w = twiddle_table(4)
+        assert np.allclose(w, [1, -1j, -1, 1j])
+
+    def test_inverse_sign_conjugates(self):
+        assert np.allclose(twiddle_table(16, +1), twiddle_table(16, -1).conj())
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            twiddle_table(0)
+
+
+class TestTwiddleMatrix:
+    def test_matches_direct(self):
+        t = twiddle_matrix(3, 4)
+        n = 12
+        for j in range(3):
+            for k in range(4):
+                assert np.isclose(t[j, k], np.exp(-2j * np.pi * j * k / n))
+
+    def test_first_row_and_column_are_one(self):
+        t = twiddle_matrix(5, 7)
+        assert np.allclose(t[0, :], 1)
+        assert np.allclose(t[:, 0], 1)
+
+
+class TestSplitTwiddle:
+    @pytest.mark.parametrize("n", [16, 100, 1024, 4096])
+    def test_factors_match_direct(self, n):
+        split = SplitTwiddle(n)
+        m = np.arange(n)
+        direct = np.exp(-2j * np.pi * m / n)
+        assert np.allclose(split.factors(m), direct)
+
+    def test_exponents_wrap_mod_n(self):
+        split = SplitTwiddle(64)
+        assert np.allclose(split.factors([64 + 3]), split.factors([3]))
+
+    def test_storage_is_sublinear(self):
+        n = 1 << 16
+        split = SplitTwiddle(n)
+        assert split.table_entries < n // 8
+        # near-optimal: O(sqrt n)
+        assert split.table_entries <= 10 * int(np.sqrt(n))
+
+    def test_block_matrix_matches_full(self):
+        n1, n2 = 8, 16
+        split = SplitTwiddle(n1 * n2)
+        full = twiddle_matrix(n2, n1)  # [j2, k1]
+        got = split.block_matrix(np.arange(n2), np.arange(n1))
+        assert np.allclose(got, full)
+
+    def test_inverse_sign(self):
+        split = SplitTwiddle(256, sign=+1)
+        m = np.arange(256)
+        assert np.allclose(split.factors(m), np.exp(2j * np.pi * m / 256))
+
+    def test_explicit_block(self):
+        split = SplitTwiddle(100, block=10)
+        assert len(split.fine) == 10
+        assert len(split.coarse) == 10
+        assert np.allclose(split.factors(np.arange(100)),
+                           np.exp(-2j * np.pi * np.arange(100) / 100))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            SplitTwiddle(0)

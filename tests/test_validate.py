@@ -1,0 +1,58 @@
+"""Tests for accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.util.validate import (
+    max_abs_error,
+    relative_l2_error,
+    relative_linf_error,
+    require,
+    rms_error,
+)
+
+
+class TestRelativeL2:
+    def test_zero_for_equal(self):
+        a = np.arange(5.0)
+        assert relative_l2_error(a, a) == 0.0
+
+    def test_known_value(self):
+        assert relative_l2_error([2.0], [1.0]) == pytest.approx(1.0)
+
+    def test_scale_invariant(self):
+        a, b = np.array([1.0, 2.0]), np.array([1.1, 2.2])
+        assert relative_l2_error(10 * a, 10 * b) == \
+            pytest.approx(relative_l2_error(a, b))
+
+    def test_zero_reference(self):
+        assert relative_l2_error([0.0], [0.0]) == 0.0
+        assert relative_l2_error([1.0], [0.0]) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_l2_error(np.zeros(3), np.zeros(4))
+
+
+class TestOtherMetrics:
+    def test_linf(self):
+        assert relative_linf_error([1.0, 2.5], [1.0, 2.0]) == pytest.approx(0.25)
+
+    def test_max_abs(self):
+        assert max_abs_error([1.0, -3.0], [0.0, 0.0]) == 3.0
+
+    def test_rms(self):
+        assert rms_error([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_empty_arrays(self):
+        assert max_abs_error([], []) == 0.0
+        assert rms_error([], []) == 0.0
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")

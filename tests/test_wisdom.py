@@ -1,0 +1,78 @@
+"""Tests for plan tuning and wisdom persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fft.wisdom import Wisdom, candidate_radix_plans, tune
+from tests.conftest import random_complex
+
+
+class TestCandidates:
+    def test_pow2_candidates(self):
+        plans = candidate_radix_plans(64)
+        assert [4, 4, 4] in plans
+        assert [8, 8] in plans
+        assert [2] * 6 in plans
+        for p in plans:
+            assert int(np.prod(p)) == 64
+
+    def test_smooth_candidates(self):
+        plans = candidate_radix_plans(360)
+        for p in plans:
+            assert int(np.prod(p)) == 360
+        assert len(plans) >= 1
+
+    def test_palindromic_factorization_not_duplicated(self):
+        plans = candidate_radix_plans(9)  # factors [3, 3]
+        assert plans == [[3, 3]]
+
+    def test_rejects_non_smooth(self):
+        with pytest.raises(ValueError):
+            candidate_radix_plans(11)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            candidate_radix_plans(1)
+
+
+class TestTune:
+    def test_returns_valid_plan_and_timings(self):
+        best, timings = tune(64, reps=1, batch=1)
+        assert int(np.prod(best)) == 64
+        assert len(timings) == len(candidate_radix_plans(64))
+        assert all(t > 0 for t in timings.values())
+
+    def test_best_is_minimum(self):
+        best, timings = tune(128, reps=1, batch=1)
+        key = ",".join(map(str, best))
+        assert timings[key] == min(timings.values())
+
+
+class TestWisdom:
+    def test_learn_and_plan(self, rng):
+        w = Wisdom()
+        radices = w.learn(64, reps=1, batch=1)
+        assert (64, -1) in w
+        x = random_complex(rng, 64)
+        assert np.allclose(w.plan(64)(x), np.fft.fft(x))
+
+    def test_learn_is_cached(self):
+        w = Wisdom()
+        a = w.learn(64, reps=1, batch=1)
+        b = w.learn(64)  # no tuning kwargs needed: cached
+        assert a == b and len(w) == 1
+
+    def test_json_roundtrip(self):
+        w = Wisdom()
+        w.learn(64, reps=1, batch=1)
+        w.learn(60, reps=1, batch=1)
+        restored = Wisdom.from_json(w.to_json())
+        assert len(restored) == 2
+        assert restored.learn(64) == w.learn(64)
+
+    def test_corrupt_json_rejected(self):
+        bad = json.dumps([{"n": 64, "sign": -1, "radices": [4, 4]}])
+        with pytest.raises(ValueError, match="corrupt"):
+            Wisdom.from_json(bad)

@@ -1,0 +1,73 @@
+"""Tests for benchmark workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_complex
+
+
+class TestRandomComplex:
+    def test_deterministic(self):
+        assert np.array_equal(random_complex(64, seed=7), random_complex(64, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_complex(64, 0), random_complex(64, 1))
+
+    def test_dtype_and_shape(self):
+        x = random_complex(10)
+        assert x.dtype == np.complex128 and x.shape == (10,)
+
+    def test_scale(self):
+        assert np.allclose(random_complex(16, 0, scale=2.0),
+                           2.0 * random_complex(16, 0))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            random_complex(-1)
+
+
+class TestMultiTone:
+    def test_dft_is_sparse(self):
+        n = 64
+        x = multi_tone(n, [3, 10], amps=[1.0, 2.0])
+        y = np.fft.fft(x)
+        assert np.isclose(y[3], n)
+        assert np.isclose(y[10], 2 * n)
+        mask = np.ones(n, dtype=bool)
+        mask[[3, 10]] = False
+        assert np.allclose(y[mask], 0.0, atol=1e-9)
+
+    def test_phase(self):
+        x = multi_tone(16, [1], phases=[np.pi / 2])
+        assert np.isclose(x[0], 1j)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            multi_tone(16, [1, 2], amps=[1.0])
+
+
+class TestImpulse:
+    def test_dft_is_exponential(self):
+        x = impulse(32, position=5)
+        y = np.fft.fft(x)
+        assert np.allclose(np.abs(y), 1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            impulse(8, position=8)
+
+
+class TestChirpConstant:
+    def test_chirp_unit_magnitude(self):
+        x = chirp(128)
+        assert np.allclose(np.abs(x), 1.0)
+
+    def test_chirp_spreads_spectrum(self):
+        y = np.abs(np.fft.fft(chirp(256)))
+        # energy is spread: no single bin dominates
+        assert y.max() < 0.5 * np.linalg.norm(y)
+
+    def test_constant_concentrates_at_dc(self):
+        y = np.fft.fft(constant(32, 2.0))
+        assert np.isclose(y[0], 64.0)
+        assert np.allclose(y[1:], 0.0, atol=1e-12)
