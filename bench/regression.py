@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Kernel perf-trajectory harness: before/after microbenchmarks + allocation audit.
+
+Runs the executable hot paths (Stockham FFT, convolution-and-oversampling,
+single-node SOI, batched SOI) in two forms:
+
+* **before** — a faithful replica of the seed (pre-planned-execution)
+  kernels: fresh temporaries per call, gather-materialized convolution
+  windows, per-row Python loops over the batch;
+* **after**  — the planned zero-allocation layer: pooled workspaces,
+  ``out=`` destinations, strided-view convolution, batched FFT calls.
+
+Results land in ``BENCH_kernels.json`` at the repo root so the perf
+trajectory is tracked across PRs.  The harness also asserts the
+zero-allocation property with ``tracemalloc``: steady-state planned
+execution must perform no new >= 1 MiB allocations per call after warmup.
+
+Usage::
+
+    PYTHONPATH=src python bench/regression.py [--quick] [--output PATH]
+
+Exit status is non-zero if the allocation audit fails or the batched SOI
+speedup falls below the 1.5x acceptance floor (full mode only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from numpy.lib.stride_tricks import sliding_window_view  # noqa: E402
+
+from repro.core.convolution import (  # noqa: E402
+    ConvWorkspace,
+    block_range_for_rows,
+    convolve,
+    input_block_offsets,
+)
+from repro.core.demodulate import demodulate  # noqa: E402
+from repro.core.params import SoiParams  # noqa: E402
+from repro.core.soi_single import SoiFFT  # noqa: E402
+from repro.fft.stockham import StockhamPlan, _butterfly_matrix  # noqa: E402
+
+LARGE_ALLOC = 1 << 20  # 1 MiB
+SOI_SPEEDUP_FLOOR = 1.5
+STOCKHAM_REGRESSION_SLACK = 1.10  # after may be at most 10% slower than before
+
+
+# ---------------------------------------------------------------------------
+# Seed-kernel replicas (the "before" side, frozen from the pre-PR-1 tree)
+# ---------------------------------------------------------------------------
+
+def seed_stockham_call(plan: StockhamPlan, x: np.ndarray) -> np.ndarray:
+    """The seed execution path: x.copy(), fresh ping-pong pair, fresh temps."""
+    x = np.asarray(x, dtype=plan.dtype)
+    lead = x.shape[:-1]
+    flat = x.reshape(-1, plan.n)
+    batch = flat.shape[0]
+    cur = flat.copy()
+    buf = np.empty_like(cur)
+    rot90 = plan.dtype.type(1j * plan.sign)
+    for st in plan._stages:
+        n, s, r = st.n, st.s, st.r
+        m = n // r
+        c = cur.reshape(batch, r, m, s)
+        o = buf.reshape(batch, m, r, s)
+        if r == 2:
+            a, b = c[:, 0], c[:, 1]
+            o[:, :, 0, :] = a + b
+            np.multiply(a - b, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+        elif r == 4:
+            c0, c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
+            ap, am = c0 + c2, c0 - c2
+            bp, bm = c1 + c3, c1 - c3
+            jbm = rot90 * bm
+            o[:, :, 0, :] = ap + bp
+            np.multiply(am + jbm, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+            np.multiply(ap - bp, st.tw[None, :, 2, None], out=o[:, :, 2, :])
+            np.multiply(am - jbm, st.tw[None, :, 3, None], out=o[:, :, 3, :])
+        else:
+            omega = _butterfly_matrix(r, plan.sign).astype(plan.dtype)
+            t = np.einsum("uj,bjps->bpus", omega, c, optimize=True)
+            np.multiply(t.astype(plan.dtype, copy=False),
+                        st.tw[None, :, :, None], out=o)
+        cur, buf = buf, cur
+    out = cur
+    if plan.sign == +1:
+        out = out / plan.n
+    return out.reshape(lead + (plan.n,))
+
+
+def seed_convolve(x_ext, tables, j_start, n_rows, block_lo):
+    """The seed kernel: gather-materialized (chunk, B, S) windows + einsum."""
+    p = tables.params
+    s, b_width, n_mu = p.n_segments, p.b, p.n_mu
+    x_ext = np.asarray(x_ext, dtype=np.complex128)
+    m0 = input_block_offsets(p, j_start, n_rows) - block_lo
+    nblocks = x_ext.size // s
+    xb = x_ext.reshape(nblocks, s)
+    win = sliding_window_view(xb, (b_width, s))[:, 0]
+    out = np.empty((n_rows, s), dtype=np.complex128)
+    w = tables.coeffs
+    for r in range(n_mu):
+        rows_r = np.arange(r, n_rows, n_mu)
+        offs = m0[rows_r]
+        for c0 in range(0, rows_r.size, 4096):
+            c1 = min(c0 + 4096, rows_r.size)
+            sel = win[offs[c0:c1]]  # gather (chunk, B, S)
+            out[rows_r[c0:c1]] = np.einsum("cbs,bs->cs", sel, w[r],
+                                           optimize=True)
+    return out
+
+
+def seed_soi_call(f: SoiFFT, x: np.ndarray) -> np.ndarray:
+    """The seed pipeline: allocating stages, seed FFT execution, fresh temps."""
+    p = f.params
+    s = p.n_segments
+    idx = np.arange(f._block_lo * s, f._block_hi * s) % p.n
+    x_ext = np.asarray(x, dtype=f.dtype)[idx]
+    u = seed_convolve(x_ext, f.tables, 0, p.m_oversampled, f._block_lo)
+    z = seed_stockham_call(f._lane_plan, u) if f._lane_plan is not None else u
+    alpha = np.ascontiguousarray(z.T)
+    beta = seed_stockham_call(f._seg_plan, alpha)
+    return demodulate(beta, f.tables).reshape(p.n)
+
+
+# ---------------------------------------------------------------------------
+# Measurement helpers
+# ---------------------------------------------------------------------------
+
+def best_of(fn, reps: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def peak_new_bytes(fn, warmup: int = 2, reps: int = 3) -> int:
+    """Peak newly-allocated bytes across *reps* steady-state calls."""
+    for _ in range(warmup):
+        fn()
+    tracemalloc.start()
+    try:
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(reps):
+            fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak - baseline
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def run(quick: bool) -> dict:
+    rng = np.random.default_rng(2013)
+    reps = 2 if quick else 3
+    results: dict = {"workloads": {}, "allocations": {}}
+
+    def record(name, params, before_s, after_s):
+        results["workloads"][name] = {
+            "params": params,
+            "before_s": round(before_s, 6),
+            "after_s": round(after_s, 6),
+            "speedup": round(before_s / after_s, 3) if after_s else None,
+        }
+        print(f"  {name:24s} before {before_s * 1e3:9.2f} ms   "
+              f"after {after_s * 1e3:9.2f} ms   "
+              f"speedup {before_s / after_s:5.2f}x")
+
+    # -- 1. single-shot Stockham ---------------------------------------
+    n = 2 ** 14 if quick else 2 ** 18
+    plan = StockhamPlan(n)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    out = np.empty(n, dtype=np.complex128)
+    record("stockham_single", {"n": n},
+           best_of(lambda: seed_stockham_call(plan, x), reps),
+           best_of(lambda: plan(x, out=out), reps))
+
+    # -- 2. batched Stockham (the paper's 8-simultaneous-FFTs shape) ---
+    nb, bn = (8, 2 ** 10) if quick else (8, 2 ** 12)
+    bplan = StockhamPlan(bn)
+    bx = rng.standard_normal((nb, bn)) + 1j * rng.standard_normal((nb, bn))
+    bout = np.empty((nb, bn), dtype=np.complex128)
+    record("stockham_batched", {"batch": nb, "n": bn},
+           best_of(lambda: seed_stockham_call(bplan, bx), reps),
+           best_of(lambda: bplan(bx, out=bout), reps))
+
+    # -- 3. convolution-and-oversampling kernel ------------------------
+    conv_n = 7 * 2 ** 13 if quick else 7 * 2 ** 16
+    cp = SoiParams(n=conv_n, n_procs=1, segments_per_process=8,
+                   n_mu=8, d_mu=7, b=48)
+    cf = SoiFFT(cp)
+    lo, hi = block_range_for_rows(cp, 0, cp.m_oversampled)
+    s = cp.n_segments
+    cx = rng.standard_normal(cp.n) + 1j * rng.standard_normal(cp.n)
+    cx_ext = cx[np.arange(lo * s, hi * s) % cp.n]
+    cws = ConvWorkspace()
+    cout = np.empty((cp.m_oversampled, s), dtype=np.complex128)
+    record("convolution", {"n": conv_n, "rows": cp.m_oversampled, "b": cp.b},
+           best_of(lambda: seed_convolve(cx_ext, cf.tables, 0,
+                                         cp.m_oversampled, lo), reps),
+           best_of(lambda: convolve(cx_ext, cf.tables, 0, cp.m_oversampled,
+                                    lo, out=cout, workspace=cws), reps))
+
+    # -- 4. single-node SOI pipeline -----------------------------------
+    sout = np.empty(cp.n, dtype=np.complex128)
+    record("soi_single", {"n": cp.n, "segments": s, "b": cp.b},
+           best_of(lambda: seed_soi_call(cf, cx), reps),
+           best_of(lambda: cf(cx, out=sout), reps))
+
+    # -- 5. batched SOI (the acceptance workload: batch>=8, N>=2^18) ---
+    batch = 4 if quick else 8
+    xs = (rng.standard_normal((batch, cp.n))
+          + 1j * rng.standard_normal((batch, cp.n)))
+    xs_out = np.empty_like(xs)
+
+    def per_row_seed():
+        return np.stack([seed_soi_call(cf, row) for row in xs])
+
+    record("soi_batch", {"batch": batch, "n": cp.n},
+           best_of(per_row_seed, reps),
+           best_of(lambda: cf.batch(xs, out=xs_out), reps))
+
+    # -- allocation audit (planned paths, steady state) ----------------
+    print("allocation audit (steady state, threshold 1 MiB):")
+    for name, fn in [
+        ("stockham_single", lambda: plan(x, out=out)),
+        ("convolution", lambda: convolve(cx_ext, cf.tables, 0,
+                                         cp.m_oversampled, lo, out=cout,
+                                         workspace=cws)),
+        ("soi_single", lambda: cf(cx, out=sout)),
+        ("soi_batch", lambda: cf.batch(xs, out=xs_out)),
+    ]:
+        peak = peak_new_bytes(fn)
+        ok = peak < LARGE_ALLOC
+        results["allocations"][name] = {
+            "peak_new_bytes": int(peak), "limit": LARGE_ALLOC, "ok": bool(ok)}
+        print(f"  {name:24s} peak new {peak:>10d} B   "
+              f"{'ok' if ok else 'FAIL'}")
+    return results
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small sizes / fewer reps (CI mode)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "BENCH_kernels.json")
+    args = ap.parse_args(argv)
+
+    print(f"kernel regression harness ({'quick' if args.quick else 'full'} "
+          f"mode, numpy {np.__version__})")
+    results = run(args.quick)
+
+    wl = results["workloads"]
+    soi_speedup = wl["soi_batch"]["speedup"]
+    stockham_ratio = (wl["stockham_single"]["after_s"]
+                      / wl["stockham_single"]["before_s"])
+    allocs_ok = all(a["ok"] for a in results["allocations"].values())
+    criteria = {
+        "batched_soi_speedup_min": SOI_SPEEDUP_FLOOR,
+        "batched_soi_speedup": soi_speedup,
+        "batched_soi_ok": bool(soi_speedup >= SOI_SPEEDUP_FLOOR),
+        "stockham_single_after_over_before": round(stockham_ratio, 3),
+        "stockham_no_regression": bool(
+            stockham_ratio <= STOCKHAM_REGRESSION_SLACK),
+        "zero_alloc_ok": allocs_ok,
+    }
+    payload = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        **results,
+        "criteria": criteria,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failed = [k for k, v in criteria.items()
+              if isinstance(v, bool) and not v]
+    # quick mode is for CI smoke: sizes are too small for stable speedup
+    # floors, so only the allocation audit is binding there
+    if args.quick:
+        failed = [] if allocs_ok else ["zero_alloc_ok"]
+    if failed:
+        print(f"FAILED criteria: {', '.join(failed)}")
+        return 1
+    print("all criteria passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,6 +92,28 @@ class TestSoiPipeline:
                            n_mu=8, d_mu=7, b=48)
         benchmark(SoiFFT, params)
 
+    def test_soi_batch_per_row(self, benchmark, rng):
+        """Per-row loop over SoiFFT.__call__ — the batched path's baseline."""
+        import numpy as np
+
+        params = SoiParams(n=8 * 448, n_procs=1, segments_per_process=8,
+                           n_mu=8, d_mu=7, b=48)
+        f = SoiFFT(params)
+        xs = rng.standard_normal((8, params.n)) + 0j
+        out = np.empty_like(xs)
+        benchmark(lambda: [f(xs[i], out=out[i]) for i in range(8)])
+
+    def test_soi_batch_planned(self, benchmark, rng):
+        """SoiFFT.batch: one gather + one batched call per pipeline stage."""
+        import numpy as np
+
+        params = SoiParams(n=8 * 448, n_procs=1, segments_per_process=8,
+                           n_mu=8, d_mu=7, b=48)
+        f = SoiFFT(params)
+        xs = rng.standard_normal((8, params.n)) + 0j
+        out = np.empty_like(xs)
+        benchmark(f.batch, xs, out=out)
+
 
 class TestDistributedRuns:
     def test_distributed_soi_4_ranks(self, benchmark, rng):

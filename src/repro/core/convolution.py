@@ -33,6 +33,7 @@ from repro.machine.spec import MachineSpec
 
 __all__ = [
     "ConvStrategy",
+    "ConvWorkspace",
     "block_range_for_rows",
     "conv_time_model",
     "convolve",
@@ -40,8 +41,48 @@ __all__ = [
     "input_block_offsets",
 ]
 
-#: Rows per gather block in the vectorized kernel (bounds temp memory).
+#: Rows per gather/staging block in the vectorized kernels (bounds temp
+#: memory for the ``matmul`` mode and the tap-staging chunk for
+#: ``buffered``).
 _ROW_BLOCK = 4096
+
+#: Rows per residue staged through the reused circular buffers in the
+#: ``buffered`` mode — sized so acc+tmp stay cache-resident.
+_BUF_ROWS = 512
+
+#: Supported inner-product execution modes for :func:`convolve`.
+CONV_INNER_MODES = ("einsum", "buffered", "matmul")
+
+
+class ConvWorkspace:
+    """Reusable scratch arrays for :func:`convolve`.
+
+    Buffers are keyed by (name, shape, dtype), so a plan that calls
+    ``convolve`` with a fixed geometry gets the same storage back on every
+    call — the steady state performs no new allocations.  One workspace
+    per plan (``SoiFFT`` owns one); sharing across differently-shaped
+    callers is safe but grows the pool.
+    """
+
+    def __init__(self):
+        self._bufs: dict[tuple, np.ndarray] = {}
+
+    def array(self, name: str, shape: tuple, dtype) -> np.ndarray:
+        """Return a reused (uninitialized) buffer of the given geometry."""
+        key = (name, tuple(shape), np.dtype(dtype).str)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+    def nbytes(self) -> int:
+        """Bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def clear(self) -> None:
+        """Drop every pooled buffer."""
+        self._bufs.clear()
 
 
 def input_block_offsets(params: SoiParams, j_start: int, n_rows: int) -> np.ndarray:
@@ -68,39 +109,143 @@ def block_range_for_rows(params: SoiParams, j_start: int, n_rows: int
 
 
 def convolve(x_ext: np.ndarray, tables: SoiTables, j_start: int, n_rows: int,
-             block_lo: int, out: np.ndarray | None = None) -> np.ndarray:
+             block_lo: int, out: np.ndarray | None = None, *,
+             workspace: ConvWorkspace | None = None,
+             inner: str = "einsum") -> np.ndarray:
     """Vectorized W*x for rows [j_start, j_start+n_rows).
 
     ``x_ext`` holds the (ghost-extended, periodically wrapped) input blocks
-    ``[block_lo, block_lo + len(x_ext)//S)`` as a flat complex array.
-    Returns ``u`` of shape (n_rows, S).
+    ``[block_lo, block_lo + len(x_ext)//S)`` as a flat complex array, or a
+    ``(batch, ext)`` stack of such arrays for batched execution.  Returns
+    ``u`` of shape (n_rows, S) — ``(batch, n_rows, S)`` when batched.
+
+    The chunked, d_mu-shifted row structure makes every residue class
+    ``j mod n_mu`` read the input at a *fixed block stride d_mu*, so the
+    kernels below walk strided views of ``x_ext`` and never materialize
+    gathered copies of the B-deep windows.  ``inner`` selects the
+    inner-product execution:
+
+    * ``"einsum"`` (default) — one ``np.einsum`` per residue class over
+      the strided sliding-window view, writing straight into ``out``;
+    * ``"buffered"`` — tap-by-tap multiply-accumulate through two reused
+      cache-sized staging buffers (the executable form of the paper's
+      §5.3 circular-buffer strategy);
+    * ``"matmul"`` — stages window chunks contiguously and runs a batched
+      BLAS matmul over the lanes.
+
+    ``workspace`` (a :class:`ConvWorkspace`) supplies the staging buffers
+    for the latter two modes; with it, repeat calls of one geometry are
+    allocation-free apart from the (caller-avoidable) output.
     """
     p = tables.params
-    s, b_width, n_mu = p.n_segments, p.b, p.n_mu
+    s, b_width = p.n_segments, p.b
+    if inner not in CONV_INNER_MODES:
+        raise ValueError(f"inner must be one of {CONV_INNER_MODES}")
     arr = np.asarray(x_ext)
     dtype = np.complex64 if arr.dtype == np.complex64 else np.complex128
     x_ext = np.asarray(arr, dtype=dtype)
-    if x_ext.size % s:
+    if x_ext.ndim not in (1, 2):
+        raise ValueError("x_ext must be 1-D or (batch, ext)")
+    batched = x_ext.ndim == 2
+    if x_ext.shape[-1] % s:
         raise ValueError("x_ext length must be a multiple of S")
-    m0 = input_block_offsets(p, j_start, n_rows) - block_lo
-    nblocks = x_ext.size // s
-    if m0.min() < 0 or m0.max() + b_width > nblocks:
+    # the full per-row offset table is linear within each residue class
+    # (slope d_mu), so only the n_mu base offsets are ever materialized
+    m0 = input_block_offsets(p, j_start, min(n_rows, p.n_mu)) - block_lo
+    nblocks = x_ext.shape[-1] // s
+    last = (n_rows // p.n_mu - 1) * p.d_mu if n_rows >= p.n_mu else 0
+    if n_rows and (m0.min() < 0
+                   or int(m0.max()) + last + b_width > nblocks):
         raise ValueError("x_ext does not cover the required block range")
-    xb = x_ext.reshape(nblocks, s)
-    win = sliding_window_view(xb, (b_width, s))[:, 0]  # (nblocks-B+1, B, S)
+    out_shape = (x_ext.shape[0], n_rows, s) if batched else (n_rows, s)
     if out is None:
-        out = np.empty((n_rows, s), dtype=dtype)
-    elif out.shape != (n_rows, s):
+        out = np.empty(out_shape, dtype=dtype)
+    elif out.shape != out_shape:
         raise ValueError("out has wrong shape")
     w = tables.coeffs.astype(dtype, copy=False)
-    for r in range(n_mu):
-        rows_r = np.arange(r, n_rows, n_mu)
-        offs = m0[rows_r]
-        for c0 in range(0, rows_r.size, _ROW_BLOCK):
-            c1 = min(c0 + _ROW_BLOCK, rows_r.size)
-            sel = win[offs[c0:c1]]  # gather (chunk, B, S)
-            out[rows_r[c0:c1]] = np.einsum("cbs,bs->cs", sel, w[r], optimize=True)
+    ws = workspace if workspace is not None else ConvWorkspace()
+    xb = x_ext.reshape(-1, nblocks, s)
+    ob = out.reshape(-1, n_rows, s)
+    if inner == "einsum":
+        _convolve_einsum(xb, ob, w, m0, p)
+    elif inner == "buffered":
+        _convolve_buffered(xb, ob, w, m0, p, ws)
+    else:
+        _convolve_matmul(xb, ob, w, m0, p, ws)
     return out
+
+
+def _residue_window(win: np.ndarray, base: int, k0: int, k1: int,
+                    d_mu: int) -> np.ndarray:
+    """Strided view of rows k0..k1 of one residue class: (batch, k1-k0, B, S)."""
+    lo = base + k0 * d_mu
+    return win[:, lo: lo + (k1 - k0 - 1) * d_mu + 1: d_mu]
+
+
+def _convolve_einsum(xb, ob, w, m0, p) -> None:
+    """One strided-view einsum per residue class; no staging copies.
+
+    Batched inputs run one lane at a time: einsum's strided inner loops
+    degrade sharply once a fourth (batch) axis is added, so per-lane 3-D
+    contractions are the fast shape (see ``bench/regression.py``).
+    """
+    s, b_width, n_mu, d_mu = p.n_segments, p.b, p.n_mu, p.d_mu
+    n_rows = ob.shape[1]
+    nr = n_rows // n_mu
+    win = sliding_window_view(xb, (b_width, s), axis=(1, 2))[:, :, 0]
+    for x in range(xb.shape[0]):
+        for r in range(n_mu):
+            lo = int(m0[r])
+            v = win[x, lo: lo + (nr - 1) * d_mu + 1: d_mu]
+            np.einsum("cbs,bs->cs", v, w[r], out=ob[x, r::n_mu],
+                      optimize=False)
+
+
+def _convolve_buffered(xb, ob, w, m0, p, ws: ConvWorkspace) -> None:
+    """Tap-accumulate through two reused cache-sized staging buffers."""
+    s, b_width, n_mu, d_mu = p.n_segments, p.b, p.n_mu, p.d_mu
+    nb, n_rows = xb.shape[0], ob.shape[1]
+    nr = n_rows // n_mu
+    chunk = min(nr, max(1, _BUF_ROWS // nb)) if nr else 0
+    acc = ws.array("buffered.acc", (nb, chunk, s), xb.dtype)
+    tmp = ws.array("buffered.tmp", (nb, chunk, s), xb.dtype)
+    for r in range(n_mu):
+        base = int(m0[r])
+        orows = ob[:, r::n_mu]
+        for k0 in range(0, nr, chunk):
+            k1 = min(k0 + chunk, nr)
+            a, t = acc[:, : k1 - k0], tmp[:, : k1 - k0]
+            lo = base + k0 * d_mu
+            hi = lo + (k1 - k0 - 1) * d_mu + 1
+            np.multiply(xb[:, lo:hi:d_mu], w[r, 0], out=a)
+            for b in range(1, b_width):
+                np.multiply(xb[:, lo + b: hi + b: d_mu], w[r, b], out=t)
+                np.add(a, t, out=a)
+            orows[:, k0:k1] = a
+
+
+def _convolve_matmul(xb, ob, w, m0, p, ws: ConvWorkspace) -> None:
+    """Stage window chunks lane-major and contract with a batched matmul."""
+    s, b_width, n_mu, d_mu = p.n_segments, p.b, p.n_mu, p.d_mu
+    nb, n_rows = xb.shape[0], ob.shape[1]
+    nr = n_rows // n_mu
+    chunk = min(nr, max(1, _ROW_BLOCK // nb)) if nr else 0
+    win = sliding_window_view(xb, (b_width, s), axis=(1, 2))[:, :, 0]
+    sel = ws.array("matmul.sel", (nb, s, chunk, b_width), xb.dtype)
+    res = ws.array("matmul.res", (nb, s, chunk, 1), xb.dtype)
+    wcol = ws.array("matmul.w", (n_mu, s, b_width, 1), xb.dtype)
+    np.copyto(wcol, w.transpose(0, 2, 1)[..., None])
+    for r in range(n_mu):
+        base = int(m0[r])
+        orows = ob[:, r::n_mu]
+        for k0 in range(0, nr, chunk):
+            k1 = min(k0 + chunk, nr)
+            ck = k1 - k0
+            sl, rs = sel[:, :, :ck], res[:, :, :ck]
+            v = _residue_window(win, base, k0, k1, d_mu)  # (nb, ck, B, S)
+            np.copyto(sl, v.transpose(0, 3, 1, 2))
+            np.matmul(sl, wcol[r], out=rs)
+            orows[:, k0:k1] = rs[..., 0].transpose(0, 2, 1)
 
 
 def convolve_reference(x_ext: np.ndarray, tables: SoiTables, j_start: int,

@@ -20,11 +20,13 @@ from repro.machine.memory import SweepLedger
 __all__ = ["demodulate", "fused_demod_diagonal", "demod_ledger"]
 
 
-def demodulate(beta: np.ndarray, tables: SoiTables) -> np.ndarray:
+def demodulate(beta: np.ndarray, tables: SoiTables,
+               out: np.ndarray | None = None) -> np.ndarray:
     """Project a length-M' spectrum (or batch) to its M segment bins.
 
     *beta* has shape (..., M'); the result has shape (..., M) with
-    ``out[..., k] = beta[..., k] / demod[k]``.
+    ``out[..., k] = beta[..., k] / demod[k]``.  ``out=`` writes into a
+    caller-owned array of that shape (no allocation).
     """
     p = tables.params
     arr = np.asarray(beta)
@@ -33,7 +35,13 @@ def demodulate(beta: np.ndarray, tables: SoiTables) -> np.ndarray:
     if beta.shape[-1] != p.m_oversampled:
         raise ValueError(
             f"expected last axis M' = {p.m_oversampled}, got {beta.shape[-1]}")
-    return beta[..., : p.m] / tables.demod.astype(dtype, copy=False)
+    demod = tables.demod.astype(dtype, copy=False)
+    if out is None:
+        return beta[..., : p.m] / demod
+    if out.shape != beta.shape[:-1] + (p.m,):
+        raise ValueError(f"out must have shape {beta.shape[:-1] + (p.m,)}")
+    np.divide(beta[..., : p.m], demod, out=out)
+    return out
 
 
 def fused_demod_diagonal(tables: SoiTables) -> np.ndarray:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.cluster.simcluster import SimCluster
 from repro.core.convolution import (
     ConvStrategy,
+    ConvWorkspace,
     block_range_for_rows,
     conv_time_model,
     convolve,
@@ -76,6 +77,9 @@ class DistributedSoiFFT:
         self.segment_exchanges = segment_exchanges
         self._lane_plan = get_plan(p.n_segments, -1) if p.n_segments > 1 else None
         self._seg_plan = get_plan(p.m_oversampled, -1)
+        # every rank's convolution has identical geometry, so one reused
+        # workspace serves all ranks across repeated runs of the plan
+        self._conv_ws = ConvWorkspace()
 
     # -- data layout helpers ------------------------------------------------
 
@@ -141,7 +145,7 @@ class DistributedSoiFFT:
             own_lo = r * blocks_per_rank
             # x_ext[r] starts at block own_lo - left_g
             u = convolve(x_ext[r], self.tables, j_start, rows,
-                         own_lo - left_g)
+                         own_lo - left_g, workspace=self._conv_ws)
             z = self._lane_plan(u) if self._lane_plan is not None else u
             z_parts.append(z)
             cl.charge_seconds(r, "convolution", conv_seconds + lane_seconds)

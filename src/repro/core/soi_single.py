@@ -12,16 +12,30 @@ The distributed implementation (:mod:`repro.core.soi_dist`) runs exactly
 these kernels with the permutation realized as an all-to-all; this module
 is both the numerical reference for it and the convenient entry point for
 node-local use.
+
+Execution is planned: the wrap-index table, convolution workspaces, and
+all five stage buffers are allocated once per batch size at first use and
+reused, every stage runs through ``out=`` destinations, and
+:meth:`SoiFFT.batch` executes lane and segment FFTs as single
+``(batch*S, M')``-shaped Stockham calls rather than a per-row Python
+loop.  Steady-state calls with ``out=`` perform no new allocations
+(asserted by ``bench/regression.py`` via ``tracemalloc``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.convolution import block_range_for_rows, convolve
+from repro.core.convolution import (
+    CONV_INNER_MODES,
+    ConvWorkspace,
+    block_range_for_rows,
+    convolve,
+)
 from repro.core.demodulate import demodulate, fused_demod_diagonal
 from repro.core.params import SoiParams
 from repro.core.window import SoiTables, build_tables
+from repro.fft.dft import dft_matrix
 from repro.fft.plan import get_plan
 from repro.fft.sixstep import sixstep_fft
 
@@ -51,12 +65,30 @@ class SoiFFT:
         float32 epsilon anyway (e.g. mu = 8/7 at B <= 48); it requires
         ``local_fft="direct"`` and (2,3,5,7)-smooth S and M'.  The design
         tables themselves are always built in double precision.
+    conv_inner:
+        Inner-product mode for the convolution stage (see
+        :func:`repro.core.convolution.convolve`).  The default
+        ``"einsum"`` is bitwise-identical for batched and single
+        execution (``batch()`` must equal per-vector calls exactly);
+        ``"matmul"`` trades that reproducibility for BLAS throughput on
+        large batches.
+
+    Workspace contract
+    ------------------
+    ``plan(x, out=buf)`` / ``plan.batch(xs, out=bufs)`` write the spectrum
+    into a caller-owned C-contiguous array of the plan dtype; after the
+    first call of a given batch size no further allocations occur.  Calls
+    without ``out=`` allocate exactly the result array.  The pooled stage
+    buffers are private to the plan — results never alias them.
     """
 
     def __init__(self, params: SoiParams, window=None,
-                 local_fft: str = "direct", dtype=np.complex128):
+                 local_fft: str = "direct", dtype=np.complex128,
+                 conv_inner: str = "einsum"):
         if local_fft not in LOCAL_FFT_CHOICES:
             raise ValueError(f"local_fft must be one of {LOCAL_FFT_CHOICES}")
+        if conv_inner not in CONV_INNER_MODES:
+            raise ValueError(f"conv_inner must be one of {CONV_INNER_MODES}")
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.complex64), np.dtype(np.complex128)):
             raise ValueError("dtype must be complex64 or complex128")
@@ -64,35 +96,80 @@ class SoiFFT:
             raise ValueError("complex64 requires local_fft='direct'")
         self.params = params
         self.local_fft = local_fft
+        self.conv_inner = conv_inner
         self.tables: SoiTables = build_tables(params, window)
         dt = self.dtype.type
         self._lane_plan = get_plan(params.n_segments, -1, dtype=dt) \
             if params.n_segments > 1 else None
+        # for the tiny fixed-size lane transform (length S, huge batch) a
+        # direct DFT-matrix matmul beats the multi-pass Stockham stages by
+        # a wide margin (one BLAS zgemm vs ~12 strided ufunc sweeps); only
+        # worthwhile while the O(S^2) matrix stays cache-sized
+        self._lane_mat = None
+        if 1 < params.n_segments <= 64:
+            self._lane_mat = np.ascontiguousarray(
+                dft_matrix(params.n_segments).astype(self.dtype))
         self._seg_plan = get_plan(params.m_oversampled, -1, dtype=dt)
         self._fused_diag = fused_demod_diagonal(self.tables)
         lo, hi = block_range_for_rows(params, 0, params.m_oversampled)
         self._block_lo, self._block_hi = lo, hi
+        #: Precomputed periodic-wrap gather indices for extended_input.
+        self._ext_idx = np.arange(lo * params.n_segments,
+                                  hi * params.n_segments) % params.n
+        self._ext_start = (lo * params.n_segments) % params.n
+        self._conv_ws = ConvWorkspace()
+        #: batch size -> dict of reused pipeline stage buffers.
+        self._bufpool: dict[int, dict[str, np.ndarray]] = {}
 
     @property
     def expected_stopband(self) -> float:
         """Window-design estimate of the relative output error."""
         return self.tables.expected_stopband
 
+    # -- workspace management ---------------------------------------------
+
+    def _buffers(self, batch: int) -> dict[str, np.ndarray]:
+        bufs = self._bufpool.get(batch)
+        if bufs is None:
+            p = self.params
+            s, mp = p.n_segments, p.m_oversampled
+            ext = self._ext_idx.size
+            bufs = {
+                "x_ext": np.empty((batch, ext), dtype=self.dtype),
+                "u": np.empty((batch, mp, s), dtype=self.dtype),
+                "alpha": np.empty((batch, s, mp), dtype=self.dtype),
+                "beta": np.empty((batch, s, mp), dtype=self.dtype),
+            }
+            if self._lane_plan is not None:
+                bufs["z"] = np.empty((batch, mp, s), dtype=self.dtype)
+            self._bufpool[batch] = bufs
+        return bufs
+
+    def workspace_bytes(self) -> int:
+        """Bytes held by the pooled stage buffers and conv workspace."""
+        total = self._conv_ws.nbytes()
+        for bufs in self._bufpool.values():
+            total += sum(b.nbytes for b in bufs.values())
+        return total
+
+    def release_workspaces(self) -> None:
+        """Drop all pooled buffers (they re-allocate lazily on next use)."""
+        self._bufpool.clear()
+        self._conv_ws.clear()
+
     # -- pipeline stages (also reused by tests) ---------------------------
 
     def extended_input(self, x: np.ndarray) -> np.ndarray:
         """Input blocks [block_lo, block_hi) with periodic wrap."""
-        p = self.params
-        s = p.n_segments
-        idx = np.arange(self._block_lo * s, self._block_hi * s) % p.n
-        return np.asarray(x, dtype=self.dtype)[idx]
+        return np.asarray(x, dtype=self.dtype)[..., self._ext_idx]
 
     def oversample(self, x: np.ndarray) -> np.ndarray:
-        """Stages 1-2: u = W x, then z = (I (x) F_S) u. Shape (M'*S/S rows, S)."""
+        """Stages 1-2: u = W x, then z = (I (x) F_S) u.  Shape (M', S)."""
         p = self.params
         rows = p.m_oversampled  # all rows (single process)
         x_ext = self.extended_input(x)
-        u = convolve(x_ext, self.tables, 0, rows, self._block_lo)
+        u = convolve(x_ext, self.tables, 0, rows, self._block_lo,
+                     workspace=self._conv_ws, inner=self.conv_inner)
         if self._lane_plan is None:
             return u
         return self._lane_plan(u)
@@ -113,40 +190,134 @@ class SoiFFT:
             out[s] = res.output
         return out
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Full in-order DFT of *x* (length N)."""
+    # -- planned zero-allocation execution --------------------------------
+
+    def _gather_extended(self, xs: np.ndarray, dst: np.ndarray) -> None:
+        """Fill the extended-input buffer via wrapped slice copies.
+
+        The gather indices are consecutive integers mod N, so the copy is
+        a handful of contiguous slices — unlike ``np.take(..., out=)``,
+        which materializes a full temporary before writing ``out``.
+        """
+        n = self.params.n
+        ext = dst.shape[1]
+        pos, src = 0, self._ext_start
+        while pos < ext:
+            chunk = min(n - src, ext - pos)
+            dst[:, pos:pos + chunk] = xs[:, src:src + chunk]
+            pos += chunk
+            src = 0
+
+    def _run(self, xs: np.ndarray, res: np.ndarray) -> np.ndarray:
+        """Planned pipeline: (batch, N) -> (batch, N) through pooled buffers."""
+        p = self.params
+        s, mp = p.n_segments, p.m_oversampled
+        batch = xs.shape[0]
+        bufs = self._buffers(batch)
+        self._gather_extended(xs, bufs["x_ext"])
+        convolve(bufs["x_ext"], self.tables, 0, mp, self._block_lo,
+                 out=bufs["u"], workspace=self._conv_ws,
+                 inner=self.conv_inner)
+        if self._lane_mat is not None:
+            np.matmul(bufs["u"], self._lane_mat, out=bufs["z"])
+            z = bufs["z"]
+        elif self._lane_plan is not None:
+            self._lane_plan(bufs["u"].reshape(-1, s),
+                            out=bufs["z"].reshape(-1, s))
+            z = bufs["z"]
+        else:
+            z = bufs["u"]
+        np.copyto(bufs["alpha"], z.transpose(0, 2, 1))  # stride permutation
+        self._seg_plan(bufs["alpha"].reshape(-1, mp),
+                       out=bufs["beta"].reshape(-1, mp))
+        demodulate(bufs["beta"], self.tables,
+                   out=res.reshape(batch, s, p.m))
+        return res
+
+    def _check_out(self, out: np.ndarray, shape: tuple) -> np.ndarray:
+        if not isinstance(out, np.ndarray) or out.shape != shape:
+            raise ValueError(f"out must have shape {shape}")
+        if out.dtype != self.dtype:
+            raise ValueError(f"out must have dtype {self.dtype}")
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        return out
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Full in-order DFT of *x* (length N); ``out=`` avoids the result
+        allocation for the ``"direct"`` path."""
         p = self.params
         x = np.asarray(x, dtype=self.dtype)
         if x.shape != (p.n,):
             raise ValueError(f"expected input of shape ({p.n},), got {x.shape}")
-        z = self.oversample(x)
         if self.local_fft == "sixstep":
             # fused demodulation inside the 6-step final pass (§5.2.4)
+            z = self.oversample(x)
             alpha = np.ascontiguousarray(z.T)
-            y = np.empty(p.n, dtype=np.complex128)
+            y = np.empty(p.n, dtype=np.complex128) if out is None \
+                else self._check_out(out, (p.n,))
             for s in range(p.n_segments):
                 res = sixstep_fft(alpha[s], variant="optimized",
                                   diagonal=self._fused_diag)
                 y[s * p.m:(s + 1) * p.m] = res.output[: p.m]
             return y
-        beta = self.segment_spectra(z)
-        return demodulate(beta, self.tables).reshape(p.n)
+        if self.local_fft != "direct":
+            beta = self.segment_spectra(self.oversample(x))
+            y = demodulate(beta, self.tables).reshape(p.n)
+            if out is not None:
+                np.copyto(self._check_out(out, (p.n,)), y)
+                return out
+            return y
+        res = np.empty(p.n, dtype=self.dtype) if out is None \
+            else self._check_out(out, (p.n,))
+        self._run(x.reshape(1, -1), res.reshape(1, -1))
+        return res
 
-    def batch(self, xs: np.ndarray) -> np.ndarray:
+    #: Cache budget (bytes) for one row block of the batched pipeline.
+    #: Measured sweet spot: a block's stage buffers should stay resident
+    #: between pipeline stages; beyond ~8 MB the stage-at-a-time sweep
+    #: spills to DRAM and loses to smaller blocks (bench/regression.py).
+    _BATCH_CACHE_BUDGET = 8 << 20
+
+    def _rows_per_block(self) -> int:
+        p = self.params
+        lanes = 4 if self._lane_plan is not None else 3
+        per_row = (self._ext_idx.size
+                   + lanes * p.m_oversampled * p.n_segments
+                   ) * self.dtype.itemsize
+        return max(1, self._BATCH_CACHE_BUDGET // per_row)
+
+    def batch(self, xs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Transform each row of a (batch, N) matrix, reusing this plan.
 
         The expensive design work (window sampling, demodulation inverse,
         FFT plan construction) amortizes across the batch — the usage
         pattern of every frame-oriented application (see
-        :mod:`repro.core.streaming`).
+        :mod:`repro.core.streaming`).  For the ``"direct"`` local FFT the
+        batch executes as batched kernels over cache-sized row blocks:
+        per block, one convolution sweep, one ``(rows*M', S)`` lane
+        transform, one ``(rows*S, M')`` segment-FFT call, one
+        demodulation — no per-row Python loop over pipeline stages.  The
+        block size keeps a block's stage buffers cache-resident; tiny
+        frames batch fully, huge transforms fall back to row-at-a-time.
+        Results are bitwise-identical for every block size.
         """
         xs = np.asarray(xs, dtype=self.dtype)
         if xs.ndim != 2 or xs.shape[1] != self.params.n:
             raise ValueError(f"expected shape (batch, {self.params.n})")
-        out = np.empty_like(xs)
-        for i in range(xs.shape[0]):
-            out[i] = self(xs[i])
-        return out
+        if out is None:
+            res = np.empty(xs.shape, dtype=self.dtype)
+        else:
+            res = self._check_out(out, xs.shape)
+        if self.local_fft == "direct":
+            xs = np.ascontiguousarray(xs)
+            batch, block = xs.shape[0], self._rows_per_block()
+            for i in range(0, batch, block):
+                self._run(xs[i:i + block], res[i:i + block])
+        else:
+            for i in range(xs.shape[0]):
+                self(xs[i], out=res[i])
+        return res
 
     def inverse(self, y: np.ndarray) -> np.ndarray:
         """Inverse DFT via the conjugation identity.

@@ -70,6 +70,8 @@ class SoiStft:
             if analysis_window.shape != (n,):
                 raise ValueError("analysis window must match frame length")
         self.analysis_window = analysis_window
+        #: frame count -> reused windowed-frame staging buffer.
+        self._buffers: dict[int, np.ndarray] = {}
 
     @property
     def frame_length(self) -> int:
@@ -83,22 +85,39 @@ class SoiStft:
         """Number of full frames an input of *n_samples* yields."""
         return self.frames.count(n_samples)
 
-    def transform(self, x: np.ndarray) -> np.ndarray:
+    def transform(self, x: np.ndarray, out: np.ndarray | None = None
+                  ) -> np.ndarray:
         """STFT matrix of shape (frames, frame_length); trailing samples
-        that do not fill a frame are ignored."""
-        x = np.asarray(x, dtype=np.complex128)
+        that do not fill a frame are ignored.
+
+        All frames execute as ONE batched SOI call (see
+        :meth:`repro.core.soi_single.SoiFFT.batch`) — windowing is a
+        single broadcast multiply into a pooled frame buffer, and the
+        frame transforms share the plan's pooled stage workspaces.
+        ``out=`` writes into a caller-owned (frames, frame_length) array.
+        """
+        x = np.asarray(x, dtype=self.plan.dtype)
         if x.ndim != 1:
             raise ValueError("expected a 1-D signal")
         n_frames = self.frame_count(x.size)
         if n_frames == 0:
             raise ValueError("signal shorter than one frame")
-        out = np.empty((n_frames, self.frames.frame), dtype=self.plan.dtype)
-        for i in range(n_frames):
-            seg = x[i * self.frames.hop: i * self.frames.hop + self.frames.frame]
-            if self.analysis_window is not None:
-                seg = seg * self.analysis_window
-            out[i] = self.plan(seg)
-        return out
+        frame, hop = self.frames.frame, self.frames.hop
+        used = (n_frames - 1) * hop + frame
+        frames = np.lib.stride_tricks.sliding_window_view(
+            x[:used], frame)[::hop]  # (n_frames, frame) overlapped view
+        if self.analysis_window is not None:
+            buf = self._frame_buffer(n_frames)
+            np.multiply(frames, self.analysis_window, out=buf)
+            frames = buf
+        return self.plan.batch(frames, out=out)
+
+    def _frame_buffer(self, n_frames: int) -> np.ndarray:
+        buf = self._buffers.get(n_frames)
+        if buf is None:
+            buf = np.empty((n_frames, self.frames.frame), dtype=self.plan.dtype)
+            self._buffers[n_frames] = buf
+        return buf
 
     def spectrogram(self, x: np.ndarray) -> np.ndarray:
         """Power spectrogram |STFT|^2, shape (frames, frame_length)."""

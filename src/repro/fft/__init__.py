@@ -4,6 +4,23 @@ This subpackage plays the role MKL's DFTI plays in the paper: node-local
 FFT kernels.  Everything is implemented from first principles and verified
 against the naive DFT; ``numpy.fft`` is used only as an independent test
 oracle, never inside the library.
+
+Planned, zero-allocation execution
+----------------------------------
+All plans follow one workspace contract:
+
+* ``get_plan(n, sign, dtype)`` is the ONE dtype-aware plan cache —
+  ``fft``/``ifft``/``fft_stockham`` all share it; ``cache_clear()`` /
+  ``cache_info()`` manage it.
+* A plan lazily allocates ping-pong workspaces per distinct batch size
+  and reuses them forever after — calling a plan twice never re-allocates
+  and always returns independent result arrays.
+* ``plan(x, out=buf)`` writes into a caller-owned, C-contiguous array of
+  the plan dtype.  ``out`` may alias ``x`` (in-place transform) or any
+  previously returned result; it never aliases the internal pool.  With
+  ``out=`` the steady state performs zero heap allocations
+  (``bench/regression.py`` asserts this with ``tracemalloc``).
+* ``plan.release_workspaces()`` drops the pooled buffers.
 """
 
 from repro.fft.bluestein import BluesteinPlan, bluestein_fft
@@ -12,7 +29,7 @@ from repro.fft.convolve import fft_convolve, fft_correlate
 from repro.fft.dft import dft, dft_matrix, idft
 from repro.fft.layout import SoAView, from_aos, packet_lengths, to_aos
 from repro.fft.multistep import multistep_fft, multistep_sweeps
-from repro.fft.plan import fft, get_plan, ifft
+from repro.fft.plan import cache_clear, cache_info, fft, get_plan, ifft
 from repro.fft.prime_factor import PrimeFactorPlan, crt_maps, pfa_fft
 from repro.fft.rader import RaderPlan, primitive_root, rader_fft
 from repro.fft.real import irfft, rfft, rfft_pair
@@ -39,6 +56,8 @@ __all__ = [
     "StockhamPlan",
     "blocked_transpose",
     "bluestein_fft",
+    "cache_clear",
+    "cache_info",
     "Wisdom",
     "candidate_radix_plans",
     "dft",

@@ -4,6 +4,11 @@ Re-expresses a length-n DFT as a circular convolution of chirp-modulated
 sequences, evaluated with power-of-two Stockham FFTs of length >= 2n-1.
 Completes the substrate so that any transform length (e.g. prime segment
 counts in SOI parameter sweeps) is supported.
+
+Like :class:`repro.fft.stockham.StockhamPlan`, execution is planned and
+workspace-reusing: the padded chirp buffers are pooled per batch size and
+the embedded Stockham plans run with ``out=`` destinations, so a
+steady-state ``plan(x, out=buf)`` loop performs no per-call allocation.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ class BluesteinPlan:
             raise ValueError("sign must be -1 or +1")
         self.n = n
         self.sign = sign
+        self.dtype = np.dtype(np.complex128)
         m = 1
         while m < 2 * n - 1:
             m *= 2
@@ -41,20 +47,51 @@ class BluesteinPlan:
         self._fwd = StockhamPlan(m, -1)
         self._inv = StockhamPlan(m, +1)
         self._bhat = self._fwd(b)
+        self._inv_n = self.dtype.type(1.0 / n)
+        #: batch size -> (padded, spectrum) chirp-convolution buffers.
+        self._pool: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
+    def _workspace(self, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        ws = self._pool.get(batch)
+        if ws is None:
+            ws = (np.zeros((batch, self.m), dtype=self.dtype),
+                  np.empty((batch, self.m), dtype=self.dtype))
+            self._pool[batch] = ws
+        return ws
+
+    def release_workspaces(self) -> None:
+        """Drop pooled buffers here and in the embedded Stockham plans."""
+        self._pool.clear()
+        self._fwd.release_workspaces()
+        self._inv.release_workspaces()
+
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=np.complex128)
         if x.shape[-1] != self.n:
             raise ValueError(f"last axis has length {x.shape[-1]}, plan is for {self.n}")
         lead = x.shape[:-1]
         flat = x.reshape(-1, self.n)
-        a = np.zeros((flat.shape[0], self.m), dtype=np.complex128)
-        a[:, : self.n] = flat * self.chirp
-        conv = self._inv(self._fwd(a) * self._bhat)
-        out = conv[:, : self.n] * self.chirp
+        batch = flat.shape[0]
+        if out is None:
+            res = np.empty((batch, self.n), dtype=self.dtype)
+        else:
+            if not isinstance(out, np.ndarray) or out.shape != lead + (self.n,):
+                raise ValueError(f"out must have shape {lead + (self.n,)}")
+            if out.dtype != self.dtype:
+                raise ValueError(f"out must have dtype {self.dtype}")
+            if not out.flags.c_contiguous:
+                raise ValueError("out must be C-contiguous")
+            res = out.reshape(batch, self.n)
+        a, spec = self._workspace(batch)
+        np.multiply(flat, self.chirp, out=a[:, : self.n])
+        a[:, self.n:] = 0  # the inverse pass below repurposes a; re-zero the pad
+        self._fwd(a, out=spec)
+        np.multiply(spec, self._bhat, out=spec)
+        self._inv(spec, out=a)
+        np.multiply(a[:, : self.n], self.chirp, out=res)
         if self.sign == +1:
-            out = out / self.n
-        return out.reshape(lead + (self.n,))
+            np.multiply(res, self._inv_n, out=res)
+        return out if out is not None else res.reshape(lead + (self.n,))
 
 
 @lru_cache(maxsize=64)

@@ -7,6 +7,13 @@
 
 This mirrors the role MKL's DFTI plans play in the paper's node-local
 code: users express *what* to transform, the library picks *how*.
+
+There is exactly ONE plan cache in the library — the dtype-aware LRU
+behind :func:`get_plan`.  ``fft_stockham`` and the dispatchers all share
+it, so a plan's pooled workspaces (see ``StockhamPlan``) are reused no
+matter which entry point reached it.  ``cache_clear()`` releases every
+cached plan (and with them the workspace pools); ``cache_info()`` exposes
+the LRU counters for tests and diagnostics.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from repro.fft.bitops import mixed_radix_factors
 from repro.fft.bluestein import BluesteinPlan
 from repro.fft.stockham import StockhamPlan
 
-__all__ = ["fft", "ifft", "get_plan"]
+__all__ = ["fft", "ifft", "get_plan", "cache_clear", "cache_info"]
 
 
 @lru_cache(maxsize=256)
@@ -38,6 +45,16 @@ def get_plan(n: int, sign: int = -1, dtype=np.complex128):
     if n <= 0:
         raise ValueError("n must be positive")
     return _cached_plan(n, sign, np.dtype(dtype).name)
+
+
+def cache_clear() -> None:
+    """Drop every cached plan (and its pooled workspaces)."""
+    _cached_plan.cache_clear()
+
+
+def cache_info():
+    """LRU statistics of the unified plan cache (hits/misses/currsize)."""
+    return _cached_plan.cache_info()
 
 
 def _transform(x: np.ndarray, axis: int, sign: int) -> np.ndarray:

@@ -13,6 +13,12 @@ choice) with a generic small-DFT butterfly fallback for odd radices
 All kernels operate on 2-D arrays ``(batch, n)`` and vectorize across both
 the batch (the paper's outer-loop vectorization of 8 simultaneous FFTs)
 and the butterflies within a transform (inner-loop vectorization).
+
+Execution is *planned and allocation-free*: each plan owns a pool of
+ping-pong workspaces keyed by batch size, every stage writes through
+``out=`` ufunc destinations, and callers may supply the result array via
+``plan(x, out=...)`` so steady-state loops perform no heap traffic at
+all (``bench/regression.py`` asserts this with ``tracemalloc``).
 """
 
 from __future__ import annotations
@@ -74,6 +80,17 @@ class StockhamPlan:
         ``numpy.complex128`` (default) or ``numpy.complex64`` — single
         precision matches the GPU/Cell implementations the paper's §8.4
         compares against (Chow et al.'s 2^24-point single-precision FFT).
+
+    Workspace contract
+    ------------------
+    The plan lazily allocates one pair of ping-pong buffers (plus a small
+    radix-4 scratch) per distinct flattened batch size and reuses them for
+    every subsequent call — calling a plan twice never re-allocates and the
+    two calls return independent arrays.  ``plan(x, out=buf)`` writes the
+    result into a caller-owned, C-contiguous array of the plan dtype; the
+    input is never read after the destination is first written, so
+    ``out`` may alias ``x`` (a fully in-place transform) or a buffer
+    returned by a previous call.  ``release_workspaces()`` drops the pool.
     """
 
     def __init__(self, n: int, sign: int = -1, radices: list[int] | None = None,
@@ -108,31 +125,96 @@ class StockhamPlan:
             cur_n //= r
             cur_s *= r
         self._rot90 = self.dtype.type(1j * sign)  # i*sign in working precision
+        self._inv_n = self.dtype.type(1.0 / n)
+        # Radix-4 stages need one (batch, n/4) scratch; radix-2 and the
+        # generic butterfly write straight into the ping-pong destination.
+        self._scratch_elems = n // 4 if any(st.r == 4 for st in self._stages) else 0
+        #: batch size -> (ping, pong, scratch) reused across calls.
+        self._pool: dict[int, tuple] = {}
+
+    # -- workspace management ------------------------------------------
+
+    def _workspace(self, batch: int) -> tuple:
+        ws = self._pool.get(batch)
+        if ws is None:
+            ping = np.empty((batch, self.n), dtype=self.dtype)
+            pong = np.empty((batch, self.n), dtype=self.dtype)
+            scratch = (np.empty(batch * self._scratch_elems, dtype=self.dtype)
+                       if self._scratch_elems else None)
+            ws = (ping, pong, scratch)
+            self._pool[batch] = ws
+        return ws
+
+    def workspace_bytes(self) -> int:
+        """Bytes currently held by the pooled workspaces."""
+        total = 0
+        for bufs in self._pool.values():
+            total += sum(b.nbytes for b in bufs if b is not None)
+        return total
+
+    def release_workspaces(self) -> None:
+        """Drop all pooled buffers (they re-allocate lazily on next use)."""
+        self._pool.clear()
 
     # -- execution -----------------------------------------------------
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Transform along the last axis; any leading shape is the batch."""
-        x = np.asarray(x, dtype=self.dtype)
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Transform along the last axis; any leading shape is the batch.
+
+        With ``out=`` the result is written into the given C-contiguous
+        array of matching shape and plan dtype (it may alias ``x``) and no
+        allocation happens in steady state; without it a fresh result
+        array is the only allocation.
+        """
+        x = np.asarray(x)
         if x.shape[-1] != self.n:
             raise ValueError(f"last axis has length {x.shape[-1]}, plan is for {self.n}")
         lead = x.shape[:-1]
-        flat = x.reshape(-1, self.n)
-        out = self._execute(flat)
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
+        flat = np.ascontiguousarray(x.reshape(-1, self.n))
+        batch = flat.shape[0]
+        if out is None:
+            res = np.empty((batch, self.n), dtype=self.dtype)
+        else:
+            if not isinstance(out, np.ndarray) or out.shape != lead + (self.n,):
+                raise ValueError(f"out must have shape {lead + (self.n,)}")
+            if out.dtype != self.dtype:
+                raise ValueError(f"out must have dtype {self.dtype}")
+            if not out.flags.c_contiguous:
+                raise ValueError("out must be C-contiguous")
+            res = out.reshape(batch, self.n)
+        self._execute(flat, res)
         if self.sign == +1:
-            out = out / self.n
-        return out.reshape(lead + (self.n,))
+            np.multiply(res, self._inv_n, out=res)
+        return out if out is not None else res.reshape(lead + (self.n,))
 
-    def _execute(self, x: np.ndarray) -> np.ndarray:
-        batch = x.shape[0]
-        cur = x.copy()
-        buf = np.empty_like(cur)
-        for st in self._stages:
-            self._apply_stage(cur, buf, st)
-            cur, buf = buf, cur
-        return cur
+    def _execute(self, flat: np.ndarray, res: np.ndarray) -> np.ndarray:
+        """Run all stages from *flat* into *res* through the pooled pair."""
+        if not self._stages:
+            if res.base is not flat and res is not flat:
+                np.copyto(res, flat)
+            return res
+        ping, pong, scratch = self._workspace(flat.shape[0])
+        if np.may_share_memory(res, flat):
+            # destination aliases the input (e.g. plan(x, out=x)): stage 0
+            # must read a private copy so later writes cannot corrupt it.
+            np.copyto(ping, flat)
+            cur, spare = ping, pong
+            reading_user_input = False
+        else:
+            cur, spare = flat, ping
+            reading_user_input = True
+        last = len(self._stages) - 1
+        for i, st in enumerate(self._stages):
+            dst = res if i == last else spare
+            self._apply_stage(cur, dst, st, scratch)
+            spare = pong if (reading_user_input and i == 0) else cur
+            cur = dst
+        return res
 
-    def _apply_stage(self, cur: np.ndarray, out: np.ndarray, st: _Stage) -> None:
+    def _apply_stage(self, cur: np.ndarray, out: np.ndarray, st: _Stage,
+                     scratch: np.ndarray | None) -> None:
         batch = cur.shape[0]
         n, s, r = st.n, st.s, st.r
         m = n // r
@@ -140,23 +222,30 @@ class StockhamPlan:
         o = out.reshape(batch, m, r, s)
         if r == 2:
             a, b = c[:, 0], c[:, 1]
-            o[:, :, 0, :] = a + b
-            np.multiply(a - b, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+            np.add(a, b, out=o[:, :, 0, :])
+            np.subtract(a, b, out=o[:, :, 1, :])
+            np.multiply(o[:, :, 1, :], st.tw[None, :, 1, None], out=o[:, :, 1, :])
         elif r == 4:
             c0, c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
-            ap, am = c0 + c2, c0 - c2
-            bp, bm = c1 + c3, c1 - c3
-            jbm = self._rot90 * bm
-            o[:, :, 0, :] = ap + bp
-            np.multiply(am + jbm, st.tw[None, :, 1, None], out=o[:, :, 1, :])
-            np.multiply(ap - bp, st.tw[None, :, 2, None], out=o[:, :, 2, :])
-            np.multiply(am - jbm, st.tw[None, :, 3, None], out=o[:, :, 3, :])
+            o0, o1, o2, o3 = o[:, :, 0, :], o[:, :, 1, :], o[:, :, 2, :], o[:, :, 3, :]
+            sc = scratch[: batch * m * s].reshape(batch, m, s)
+            np.add(c0, c2, out=o0)          # ap
+            np.subtract(c0, c2, out=o1)     # am
+            np.add(c1, c3, out=o2)          # bp
+            np.subtract(c1, c3, out=sc)     # bm
+            np.multiply(sc, self._rot90, out=sc)   # i*sign*bm
+            np.subtract(o1, sc, out=o3)     # am - jbm
+            np.add(o1, sc, out=o1)          # am + jbm
+            np.subtract(o0, o2, out=sc)     # ap - bp
+            np.add(o0, o2, out=o0)          # ap + bp (tw[:, 0] == 1)
+            np.multiply(o1, st.tw[None, :, 1, None], out=o1)
+            np.multiply(sc, st.tw[None, :, 2, None], out=o2)
+            np.multiply(o3, st.tw[None, :, 3, None], out=o3)
         else:
             omega = _butterfly_matrix(r, self.sign).astype(self.dtype)
-            # t[b, u, p, s] = sum_j omega[u, j] * c[b, j, p, s]
-            t = np.einsum("uj,bjps->bpus", omega, c, optimize=True)
-            np.multiply(t.astype(self.dtype, copy=False),
-                        st.tw[None, :, :, None], out=o)
+            # o[b, p, u, s] = sum_j omega[u, j] * c[b, j, p, s]
+            np.einsum("uj,bjps->bpus", omega, c, out=o, optimize=True)
+            np.multiply(o, st.tw[None, :, :, None], out=o)
 
     @property
     def flops(self) -> float:
@@ -169,13 +258,17 @@ def stage_count(n: int) -> int:
     return len(factorize_radices(n, radices=(4, 2)))
 
 
-@lru_cache(maxsize=128)
-def _cached_plan(n: int, sign: int) -> StockhamPlan:
-    return StockhamPlan(n, sign)
-
-
 def fft_stockham(x: np.ndarray, sign: int = -1) -> np.ndarray:
-    """Convenience wrapper: batched Stockham FFT along the last axis."""
+    """Convenience wrapper: batched Stockham FFT along the last axis.
+
+    Plans come from the unified dtype-aware cache in
+    :func:`repro.fft.plan.get_plan`; non-smooth lengths are rejected here
+    (use :func:`repro.fft.bluestein.bluestein_fft` for those).
+    """
+    from repro.fft.plan import get_plan  # late import: plan.py imports us
+
     x = np.asarray(x, dtype=np.complex128)
-    plan = _cached_plan(x.shape[-1], sign)
-    return plan(x)
+    n = x.shape[-1]
+    if mixed_radix_factors(n) is None:
+        raise ValueError(f"n={n} is not smooth over (2,3,5,7); use bluestein_fft")
+    return get_plan(n, sign)(x)
