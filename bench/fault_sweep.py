@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Fault-tolerance sweep: makespan inflation vs fault rate, SOI vs CT.
+
+Thin driver over :mod:`repro.bench.faultsweep`; renders the sweep table
+and the rank-failure recovery demo to ``benchmarks/results/fault_sweep.txt``.
+
+Usage::
+
+    PYTHONPATH=src python bench/fault_sweep.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.faultsweep import (  # noqa: E402
+    DEFAULT_RATES,
+    DEFAULT_SEEDS,
+    render_fault_sweep,
+)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer rates/seeds (CI mode)")
+    ap.add_argument("--output", type=Path,
+                    default=REPO_ROOT / "benchmarks" / "results"
+                    / "fault_sweep.txt")
+    args = ap.parse_args(argv)
+
+    rates = (0.0, 0.002, 0.01) if args.quick else DEFAULT_RATES
+    seeds = DEFAULT_SEEDS[:2] if args.quick else DEFAULT_SEEDS
+    text = render_fault_sweep(rates, seeds)
+    print(text)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(text + "\n")
+    print(f"[saved to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,8 @@ Commands
                and the naive DFT oracle at several parameter points)
 ``transform``  SOI-transform a synthetic signal and report accuracy/timing
 ``figures``    regenerate the paper's model-driven exhibits as text
+``fault-sweep``  makespan inflation vs fault rate on the faulty simulated
+               fabric (SOI vs Cooley-Tukey + rank-failure recovery demo)
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -123,6 +125,27 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.faultsweep import (
+        DEFAULT_RATES,
+        DEFAULT_SEEDS,
+        render_fault_sweep,
+    )
+
+    rates = (0.0, 0.002, 0.01) if args.quick else DEFAULT_RATES
+    seeds = DEFAULT_SEEDS[:2] if args.quick else DEFAULT_SEEDS
+    text = render_fault_sweep(rates, seeds, p=args.ranks)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"[saved to {path}]")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import write_report
 
@@ -173,6 +196,14 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["all", "table2", "fig3", "fig8", "fig9",
                             "fig10", "fig11", "fig12"])
 
+    fs = sub.add_parser("fault-sweep",
+                        help="makespan inflation vs fault rate (SOI vs CT)")
+    fs.add_argument("--quick", action="store_true",
+                    help="fewer rates/seeds")
+    fs.add_argument("--ranks", type=int, default=8)
+    fs.add_argument("--output", default=None,
+                    help="also save the exhibit to this path")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -186,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         "selftest": _cmd_selftest,
         "transform": _cmd_transform,
         "figures": _cmd_figures,
+        "fault-sweep": _cmd_fault_sweep,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

@@ -8,11 +8,19 @@ from repro.cluster.collectives import (
     recommend_algorithm,
 )
 from repro.cluster.communicator import Communicator
+from repro.cluster.faults import (
+    CollectiveFailure,
+    CorruptionDetected,
+    FaultPlan,
+    RankFailed,
+    RetriesExhausted,
+    RetryPolicy,
+    chaos_cluster,
+    checksum,
+)
 from repro.cluster.gantt import gantt_from_schedule, gantt_from_trace
 from repro.cluster.integrity import (
-    CorruptionDetected,
     FaultInjector,
-    checksum,
     checksummed_cluster,
 )
 from repro.cluster.mpi_compat import LoopbackComm, MpiCommunicator
@@ -40,10 +48,16 @@ __all__ = [
     "Barrier",
     "Bcast",
     "CATEGORIES",
+    "CollectiveFailure",
     "Communicator",
     "Compute",
     "CorruptionDetected",
     "FaultInjector",
+    "FaultPlan",
+    "RankFailed",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "chaos_cluster",
     "checksum",
     "checksummed_cluster",
     "RankContext",

@@ -7,17 +7,53 @@ really moves the bytes (copies between per-rank arrays) and charges
 simulated time from the transport model, so communication volume, message
 counts, and packet sizes are exact — which is what the paper's
 communication-cost arguments are about.
+
+All five collectives execute through one verified path.  When a
+:class:`~repro.cluster.faults.FaultPlan` is installed (see
+:meth:`Communicator.install_faults`), every non-self payload is
+checksummed at the sender and verified at the receiver, the plan may
+tamper with payloads or make ranks unresponsive in between, and detected
+faults trigger retry with exponential backoff: the failed attempt is
+charged normally, the backoff wait and the re-flown transfer are charged
+under the ``"retry"`` trace category, and a rank that stays unresponsive
+past :attr:`~repro.cluster.faults.RetryPolicy.max_retries` is declared
+dead (:class:`~repro.cluster.faults.RankFailed`) for the algorithm layer
+to shrink around.
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
+
+from repro.cluster.faults import (
+    CorruptionDetected,
+    FaultPlan,
+    RankFailed,
+    RetriesExhausted,
+    RetryPolicy,
+    checksum,
+)
 
 __all__ = ["Communicator"]
 
 
 def _nbytes(a: np.ndarray) -> int:
     return int(np.asarray(a).nbytes)
+
+
+class _Route:
+    """One non-self wire payload inside a collective attempt."""
+
+    __slots__ = ("src", "dst", "get", "set")
+
+    def __init__(self, src: int, dst: int, get: Callable[[], np.ndarray],
+                 set_: Callable[[np.ndarray], None]):
+        self.src = src
+        self.dst = dst
+        self.get = get
+        self.set = set_
 
 
 class Communicator:
@@ -27,50 +63,188 @@ class Communicator:
         self._cluster = cluster
         self.message_count = 0
         self.bytes_moved = 0
+        self.retry_count = 0
+        self._plan: FaultPlan | None = None
+        self._policy = RetryPolicy()
 
     @property
     def size(self) -> int:
         return self._cluster.n_ranks
 
+    # -- fault layer --------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan,
+                       policy: RetryPolicy | None = None) -> None:
+        """Arm the verified path: checksums, the plan's faults, retries."""
+        self._plan = plan
+        if policy is not None:
+            self._policy = policy
+
+    def clear_faults(self) -> None:
+        self._plan = None
+        self._policy = RetryPolicy()
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self._plan
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._policy
+
     # -- internals --------------------------------------------------------
 
-    def _collective(self, label: str, duration: float, nbytes_per_rank: list[int],
-                    category: str = "mpi") -> None:
-        """Synchronize all clocks, advance them by *duration*, trace it."""
+    def _collective(self, label: str, duration: float,
+                    nbytes_by_rank: dict[int, int], category: str = "mpi",
+                    participants: list[int] | None = None) -> None:
+        """Synchronize participants' clocks, advance by *duration*, trace."""
         cl = self._cluster
-        start = max(cl.clocks)
-        for r in range(self.size):
+        ranks = participants if participants is not None \
+            else list(range(self.size))
+        start = max(cl.clocks[r] for r in ranks)
+        for r in ranks:
             cl.clocks[r] = start + duration
             cl.trace.record(r, label, category, start, start + duration,
-                            nbytes_per_rank[r])
+                            nbytes_by_rank.get(r, 0))
+
+    def _deliver(self, label: str, execute: Callable, *, duration: float,
+                 nbytes_by_rank: dict[int, int], participants: list[int],
+                 n_wire_messages: int, wire_bytes: int,
+                 category: str = "mpi"):
+        """Run one collective through the verified/retry path.
+
+        *execute* performs the data movement and returns ``(result,
+        routes)`` — it is re-invoked for every attempt, so retries really
+        re-fly the wire.  Without an installed plan this is a single
+        charged attempt with no checksum overhead.
+        """
+        plan, policy = self._plan, self._policy
+        result, routes = execute()
+        self.message_count += n_wire_messages
+        self.bytes_moved += wire_bytes
+        if plan is None:
+            self._collective(label, duration, nbytes_by_rank, category,
+                             participants)
+            return result
+
+        attempt = 0
+        while True:
+            dead = plan.begin_transfer() & set(participants)
+            failures: list[tuple[int, int, str]] = []
+            for route in routes:
+                payload = route.get()
+                ref = checksum(payload)  # sender-side checksum
+                tampered, fault = plan.apply(payload)
+                if route.src in dead or route.dst in dead:
+                    failures.append((route.src, route.dst, "unresponsive"))
+                    continue
+                if fault == "timeout":
+                    failures.append((route.src, route.dst, "timeout"))
+                    continue
+                if tampered is not payload:
+                    route.set(tampered)
+                    payload = tampered
+                if checksum(payload) != ref:
+                    failures.append((route.src, route.dst, "corrupt"))
+            if not routes and dead:
+                # route-free collectives (barrier) still detect dead ranks
+                failures = [(r, r, "unresponsive") for r in sorted(dead)]
+
+            stalled = any(kind != "corrupt" for _, _, kind in failures)
+            att_duration = duration + (policy.timeout_seconds if stalled
+                                       else 0.0)
+            att_category = category if attempt == 0 else "retry"
+            self._collective(label, att_duration, nbytes_by_rank,
+                             att_category, participants)
+            if not failures:
+                return result
+
+            if attempt >= policy.max_retries:
+                unresponsive = sorted(
+                    r for s, d, kind in failures if kind == "unresponsive"
+                    for r in (s, d) if r in dead)
+                if unresponsive:
+                    rank = unresponsive[0]
+                    self._cluster.fail_rank(rank)
+                    plan.failed_ranks_declared.append(rank)
+                    raise RankFailed(
+                        rank, f"rank {rank} unresponsive in '{label}' "
+                              f"after {attempt + 1} attempt(s)")
+                src, dst, kind = failures[0]
+                if kind == "corrupt":
+                    raise CorruptionDetected(
+                        f"payload {src}->{dst} failed its checksum in "
+                        f"'{label}' after {attempt + 1} attempt(s)")
+                raise RetriesExhausted(
+                    f"'{label}' still timing out after "
+                    f"{attempt + 1} attempt(s)")
+
+            backoff = policy.backoff(attempt)
+            if backoff > 0:
+                self._collective(f"{label} (backoff)", backoff, {},
+                                 "retry", participants)
+            self.retry_count += 1
+            self.message_count += n_wire_messages
+            self.bytes_moved += wire_bytes
+            result, routes = execute()  # the retry re-flies the data
+            attempt += 1
+
+    @staticmethod
+    def _resolve(ranks: list[int] | None, size: int) -> list[int]:
+        if ranks is None:
+            return list(range(size))
+        if len(set(ranks)) != len(ranks) or not ranks:
+            raise ValueError("ranks must be a non-empty list of distinct "
+                             "rank ids")
+        if any(not 0 <= r < size for r in ranks):
+            raise ValueError("rank id out of range")
+        return list(ranks)
 
     # -- collectives --------------------------------------------------------
 
-    def alltoall(self, sendbufs: list[list[np.ndarray]], label: str = "alltoall"
-                 ) -> list[list[np.ndarray]]:
+    def alltoall(self, sendbufs: list[list[np.ndarray]],
+                 label: str = "alltoall",
+                 ranks: list[int] | None = None) -> list[list[np.ndarray]]:
         """Personalized all-to-all: ``recv[dst][src] = send[src][dst]``.
 
-        *sendbufs* is a P-by-P nested list of arrays (row = source rank).
-        Returns the P-by-P received layout.  Self-messages are local copies
-        and do not count toward wire traffic.
+        *sendbufs* is a q-by-q nested list of arrays (row = source rank)
+        where q is the number of participants — all ranks by default, or
+        the subset *ranks* (a shrunken communicator, MPI
+        ``Comm_shrink``-style, indexed in participant order).  Self-
+        messages are local copies and do not count toward wire traffic.
         """
-        p = self.size
-        if len(sendbufs) != p or any(len(row) != p for row in sendbufs):
-            raise ValueError(f"sendbufs must be {p}x{p}")
-        recv = [[np.array(sendbufs[src][dst], copy=True) for src in range(p)]
-                for dst in range(p)]
-        wire_bytes = [sum(_nbytes(sendbufs[src][dst]) for dst in range(p) if dst != src)
-                      for src in range(p)]
+        parts = self._resolve(ranks, self.size)
+        q = len(parts)
+        if len(sendbufs) != q or any(len(row) != q for row in sendbufs):
+            raise ValueError(f"sendbufs must be {q}x{q}")
+        wire_by_rank = {
+            parts[src]: sum(_nbytes(sendbufs[src][dst]) for dst in range(q)
+                            if dst != src)
+            for src in range(q)}
         pair_sizes = [_nbytes(sendbufs[src][dst])
-                      for src in range(p) for dst in range(p) if src != dst]
+                      for src in range(q) for dst in range(q) if src != dst]
         bytes_per_pair = float(np.mean(pair_sizes)) if pair_sizes else 0.0
-        duration = self._cluster.transport.alltoall_time(p, bytes_per_pair)
-        self.message_count += p * (p - 1)
-        self.bytes_moved += sum(wire_bytes)
-        self._collective(label, duration, wire_bytes)
-        return recv
+        duration = self._cluster.transport.alltoall_time(q, bytes_per_pair)
 
-    def ring_exchange(self, to_left: list[np.ndarray], to_right: list[np.ndarray],
+        def execute():
+            recv = [[np.array(sendbufs[src][dst], copy=True)
+                     for src in range(q)] for dst in range(q)]
+            routes = [
+                _Route(parts[src], parts[dst],
+                       lambda src=src, dst=dst: recv[dst][src],
+                       lambda v, src=src, dst=dst:
+                           recv[dst].__setitem__(src, v))
+                for src in range(q) for dst in range(q) if src != dst]
+            return recv, routes
+
+        return self._deliver(label, execute, duration=duration,
+                             nbytes_by_rank=wire_by_rank,
+                             participants=parts,
+                             n_wire_messages=q * (q - 1),
+                             wire_bytes=sum(wire_by_rank.values()))
+
+    def ring_exchange(self, to_left: list[np.ndarray],
+                      to_right: list[np.ndarray],
                       label: str = "ghost exchange"
                       ) -> tuple[list[np.ndarray], list[np.ndarray]]:
         """Bidirectional nearest-neighbor exchange on a ring.
@@ -83,19 +257,43 @@ class Communicator:
         p = self.size
         if len(to_left) != p or len(to_right) != p:
             raise ValueError("need one send buffer per rank in each direction")
-        from_left = [np.array(to_right[(r - 1) % p], copy=True) for r in range(p)]
-        from_right = [np.array(to_left[(r + 1) % p], copy=True) for r in range(p)]
-        per_rank = [_nbytes(to_left[r]) + _nbytes(to_right[r]) for r in range(p)]
+        per_rank = {r: _nbytes(to_left[r]) + _nbytes(to_right[r])
+                    for r in range(p)}
         if p == 1:
             duration = 0.0
+            per_rank = {0: 0}
         else:
             msg = max(max(_nbytes(a) for a in to_left),
                       max(_nbytes(a) for a in to_right))
             duration = self._cluster.transport.ring_exchange_time(msg, p)
-        self.message_count += 2 * p if p > 1 else 0
-        self.bytes_moved += sum(per_rank) if p > 1 else 0
-        self._collective(label, duration, per_rank)
-        return from_left, from_right
+
+        def execute():
+            from_left = [np.array(to_right[(r - 1) % p], copy=True)
+                         for r in range(p)]
+            from_right = [np.array(to_left[(r + 1) % p], copy=True)
+                          for r in range(p)]
+            routes = []
+            if p > 1:
+                for r in range(p):
+                    # r's to_left lands as the left neighbor's from_right
+                    routes.append(_Route(
+                        r, (r - 1) % p,
+                        lambda r=r: from_right[(r - 1) % p],
+                        lambda v, r=r: from_right.__setitem__((r - 1) % p,
+                                                              v)))
+                    routes.append(_Route(
+                        r, (r + 1) % p,
+                        lambda r=r: from_left[(r + 1) % p],
+                        lambda v, r=r: from_left.__setitem__((r + 1) % p,
+                                                             v)))
+            return (from_left, from_right), routes
+
+        wire = sum(per_rank.values()) if p > 1 else 0
+        return self._deliver(label, execute, duration=duration,
+                             nbytes_by_rank=per_rank,
+                             participants=list(range(p)),
+                             n_wire_messages=2 * p if p > 1 else 0,
+                             wire_bytes=wire)
 
     def allgather(self, sendbufs: list[np.ndarray], label: str = "allgather"
                   ) -> list[list[np.ndarray]]:
@@ -103,34 +301,69 @@ class Communicator:
         p = self.size
         if len(sendbufs) != p:
             raise ValueError("need one send buffer per rank")
-        gathered = [np.array(b, copy=True) for b in sendbufs]
-        out = [[np.array(g, copy=True) for g in gathered] for _ in range(p)]
-        per_rank = [(p - 1) * _nbytes(sendbufs[r]) for r in range(p)]
+        per_rank = {r: (p - 1) * _nbytes(sendbufs[r]) for r in range(p)}
         msg = max((_nbytes(b) for b in sendbufs), default=0)
-        duration = self._cluster.transport.message_time(msg, p) * max(0, p - 1) \
-            if p > 1 else 0.0
-        self.message_count += p * (p - 1)
-        self.bytes_moved += sum(per_rank) if p > 1 else 0
-        self._collective(label, duration, per_rank)
-        return out
+        duration = self._cluster.transport.message_time(msg, p) * \
+            max(0, p - 1) if p > 1 else 0.0
 
-    def bcast(self, buf: np.ndarray, root: int = 0, label: str = "bcast"
-              ) -> list[np.ndarray]:
-        """Broadcast *buf* from *root*; returns one copy per rank."""
-        p = self.size
-        if not 0 <= root < p:
+        def execute():
+            out = [[np.array(sendbufs[src], copy=True) for src in range(p)]
+                   for _ in range(p)]
+            routes = [
+                _Route(src, dst,
+                       lambda src=src, dst=dst: out[dst][src],
+                       lambda v, src=src, dst=dst:
+                           out[dst].__setitem__(src, v))
+                for src in range(p) for dst in range(p) if src != dst]
+            return out, routes
+
+        wire = sum(per_rank.values()) if p > 1 else 0
+        return self._deliver(label, execute, duration=duration,
+                             nbytes_by_rank=per_rank,
+                             participants=list(range(p)),
+                             n_wire_messages=p * (p - 1), wire_bytes=wire)
+
+    def bcast(self, buf: np.ndarray, root: int = 0, label: str = "bcast",
+              ranks: list[int] | None = None) -> list[np.ndarray]:
+        """Broadcast *buf* from *root*; returns one copy per participant.
+
+        With *ranks* the broadcast runs on that subset only (*root* is a
+        global rank id and must be a participant); the returned list is in
+        participant order.
+        """
+        parts = self._resolve(ranks, self.size)
+        if root not in parts:
             raise ValueError("root out of range")
-        out = [np.array(buf, copy=True) for _ in range(p)]
+        q = len(parts)
         nb = _nbytes(buf)
-        # binomial tree: ceil(log2 P) rounds
-        rounds = int(np.ceil(np.log2(p))) if p > 1 else 0
-        duration = rounds * self._cluster.transport.message_time(nb, p)
-        per_rank = [nb if r != root else nb * (p - 1) for r in range(p)]
-        self.message_count += max(0, p - 1)
-        self.bytes_moved += nb * max(0, p - 1)
-        self._collective(label, duration, per_rank)
-        return out
+        # binomial tree: ceil(log2 q) rounds
+        rounds = int(np.ceil(np.log2(q))) if q > 1 else 0
+        duration = rounds * self._cluster.transport.message_time(nb, q)
+        per_rank = {r: (nb if r != root else nb * (q - 1)) for r in parts}
 
-    def barrier(self, label: str = "barrier") -> None:
-        """Synchronize clocks (no data movement)."""
-        self._collective(label, 0.0, [0] * self.size, category="other")
+        def execute():
+            out = [np.array(buf, copy=True) for _ in range(q)]
+            routes = [
+                _Route(root, r,
+                       lambda i=i: out[i],
+                       lambda v, i=i: out.__setitem__(i, v))
+                for i, r in enumerate(parts) if r != root]
+            return out, routes
+
+        return self._deliver(label, execute, duration=duration,
+                             nbytes_by_rank=per_rank, participants=parts,
+                             n_wire_messages=max(0, q - 1),
+                             wire_bytes=nb * max(0, q - 1))
+
+    def barrier(self, label: str = "barrier",
+                ranks: list[int] | None = None) -> None:
+        """Synchronize participants' clocks (no data movement).
+
+        Routed through the verified path like every other collective: a
+        rank the fault plan has made unresponsive fails the barrier and is
+        eventually declared dead.
+        """
+        parts = self._resolve(ranks, self.size)
+        self._deliver(label, lambda: (None, []), duration=0.0,
+                      nbytes_by_rank={}, participants=parts,
+                      n_wire_messages=0, wire_bytes=0, category="other")

@@ -1,0 +1,252 @@
+"""Unified fault scheduling for the simulated cluster.
+
+Large installations corrupt payloads, drop messages, and lose whole nodes
+(the paper's acknowledgements credit the Stampede/Endeavor teams with
+"resolving cluster instability in early installations of new hardware").
+This module is the single source of truth for *when* the simulated fabric
+misbehaves:
+
+* :class:`FaultPlan` — a deterministic (seeded) schedule of in-flight
+  corruption, message timeouts, whole-rank failures, and compute noise
+  (stragglers/jitter).  It supersedes the ad-hoc
+  :class:`~repro.cluster.integrity.FaultInjector`, which survives only as
+  a deprecation shim built on top of a plan.
+* :class:`RetryPolicy` — how hard the
+  :class:`~repro.cluster.communicator.Communicator` fights back: retries
+  with exponential backoff, a detection timeout, and the retry budget
+  after which an unresponsive rank is declared dead.
+* The failure taxonomy: :class:`CorruptionDetected` (checksum mismatch),
+  :class:`RetriesExhausted` (transient faults outlasted the budget), and
+  :class:`RankFailed` (a rank declared dead — recoverable by the
+  algorithm layer's shrink-and-redistribute path).
+
+Time spent recovering — re-flown transfers and backoff waits — is charged
+to the :class:`~repro.cluster.trace.Trace` under the ``"retry"`` event
+category, so Fig-9-style breakdowns show the cost of resilience.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "CollectiveFailure",
+    "CorruptionDetected",
+    "FaultPlan",
+    "RankFailed",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "chaos_cluster",
+    "checksum",
+]
+
+
+def checksum(a: np.ndarray) -> int:
+    """CRC32 of an array's raw bytes (cheap, order-sensitive)."""
+    return zlib.crc32(np.ascontiguousarray(a).tobytes())
+
+
+class CollectiveFailure(RuntimeError):
+    """Base class for failures surfaced by the verified collective path."""
+
+
+class CorruptionDetected(CollectiveFailure):
+    """An in-flight payload failed its checksum at the receiver."""
+
+
+class RetriesExhausted(CollectiveFailure):
+    """Transient faults persisted past the retry budget (no dead rank)."""
+
+
+class RankFailed(CollectiveFailure):
+    """A rank stayed unresponsive past the retry budget and was declared
+    dead.  Algorithm layers catch this and shrink onto the survivors."""
+
+    def __init__(self, rank: int, message: str):
+        super().__init__(message)
+        self.rank = rank
+
+
+class RetryPolicy:
+    """Retry-with-exponential-backoff parameters for collectives.
+
+    ``max_retries = 0`` is detect-only mode: the first observed fault
+    raises immediately (the legacy :func:`checksummed_cluster` contract).
+    ``timeout_seconds`` is the detection stall charged whenever an attempt
+    contains a timed-out or unresponsive route; ``backoff(k)`` is the wait
+    before re-attempt k (0-based), growing geometrically.
+    """
+
+    def __init__(self, max_retries: int = 3, backoff_base: float = 50e-6,
+                 backoff_factor: float = 2.0,
+                 timeout_seconds: float = 1e-3):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if backoff_base < 0 or backoff_factor < 1.0:
+            raise ValueError("need backoff_base >= 0 and backoff_factor >= 1")
+        if timeout_seconds < 0:
+            raise ValueError("timeout_seconds must be non-negative")
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.timeout_seconds = timeout_seconds
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff wait (seconds) before re-attempt *attempt* (0-based)."""
+        return self.backoff_base * self.backoff_factor ** attempt
+
+
+class FaultPlan:
+    """A deterministic schedule of faults for one simulated run.
+
+    The plan is indexed by two monotone counters that the communicator's
+    verified path advances:
+
+    * the **wire-message index** — 1-based count of non-self payloads
+      inspected, in collective order, src-major within each collective,
+      retries included (so a transient fault scheduled at index *i* hits
+      exactly one attempt and the retry heals it);
+    * the **transfer index** — 1-based count of wire transfers (each
+      attempt of each collective).  ``rank_failures[r] = t`` makes rank
+      *r* unresponsive from transfer *t* onward; after
+      :attr:`RetryPolicy.max_retries` the communicator declares it dead.
+
+    ``stragglers``/``jitter`` describe compute-side noise, applied by
+    :func:`chaos_cluster` through :class:`~repro.cluster.noise.NoiseModel`
+    so communication and compute chaos share one schedule object.
+
+    The schedule is immutable; the ``*_seen``/``*_injected`` attributes
+    are runtime counters (call :meth:`reset` to reuse a plan).  Two plans
+    built from the same arguments produce bitwise-identical traces on the
+    same workload.
+    """
+
+    def __init__(self, corrupt_messages=(), timeout_messages=(),
+                 rank_failures: dict[int, int] | None = None,
+                 stragglers: dict[int, float] | None = None,
+                 jitter: float = 0.0, seed: int = 0):
+        self.corrupt_messages = frozenset(int(i) for i in corrupt_messages)
+        self.timeout_messages = frozenset(int(i) for i in timeout_messages)
+        self.rank_failures = {int(r): int(t)
+                              for r, t in (rank_failures or {}).items()}
+        self.stragglers = dict(stragglers or {})
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        if any(i < 1 for i in self.corrupt_messages | self.timeout_messages):
+            raise ValueError("message indices are 1-based")
+        if self.corrupt_messages & self.timeout_messages:
+            raise ValueError("a message cannot both corrupt and time out")
+        if any(t < 1 for t in self.rank_failures.values()):
+            raise ValueError("transfer indices are 1-based")
+        if self.jitter < 0 or any(s < 0 for s in self.stragglers.values()):
+            raise ValueError("noise terms must be non-negative")
+        self.reset()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, n_ranks: int, *, corrupt_rate: float = 0.0,
+               timeout_rate: float = 0.0, n_rank_failures: int = 0,
+               horizon_messages: int = 4096, horizon_transfers: int = 64,
+               min_survivors: int = 1, jitter: float = 0.0,
+               n_stragglers: int = 0, straggler_slowdown: float = 1.0
+               ) -> "FaultPlan":
+        """Draw a seeded schedule: per-message Bernoulli corruption and
+        timeout over the first *horizon_messages* wire payloads, plus
+        *n_rank_failures* distinct ranks failing at uniform transfer
+        indices (capped so at least *min_survivors* ranks remain)."""
+        if not 0 <= corrupt_rate <= 1 or not 0 <= timeout_rate <= 1:
+            raise ValueError("rates must be probabilities")
+        rng = np.random.default_rng(seed)
+        draws = rng.random(horizon_messages)
+        corrupt = {i + 1 for i in range(horizon_messages)
+                   if draws[i] < corrupt_rate}
+        draws_t = rng.random(horizon_messages)
+        timeouts = {i + 1 for i in range(horizon_messages)
+                    if draws_t[i] < timeout_rate and (i + 1) not in corrupt}
+        n_fail = min(n_rank_failures, max(0, n_ranks - min_survivors))
+        failures: dict[int, int] = {}
+        if n_fail:
+            ranks = rng.choice(n_ranks, size=n_fail, replace=False)
+            times = rng.integers(1, max(2, horizon_transfers), size=n_fail)
+            failures = {int(r): int(t) for r, t in zip(ranks, times)}
+        stragglers: dict[int, float] = {}
+        if n_stragglers:
+            picks = rng.choice(n_ranks, size=min(n_stragglers, n_ranks),
+                               replace=False)
+            stragglers = {int(r): float(straggler_slowdown) for r in picks}
+        return cls(corrupt_messages=corrupt, timeout_messages=timeouts,
+                   rank_failures=failures, stragglers=stragglers,
+                   jitter=jitter, seed=seed)
+
+    # -- runtime interface (driven by the Communicator) ---------------------
+
+    def reset(self) -> None:
+        """Zero the runtime counters so the schedule can be replayed."""
+        self.messages_seen = 0
+        self.transfers_seen = 0
+        self.corruptions_injected = 0
+        self.timeouts_injected = 0
+        self.failed_ranks_declared: list[int] = []
+
+    def begin_transfer(self) -> frozenset[int]:
+        """Advance the transfer counter; returns the ranks dead during it."""
+        self.transfers_seen += 1
+        return frozenset(r for r, t in self.rank_failures.items()
+                         if self.transfers_seen >= t)
+
+    def apply(self, payload: np.ndarray) -> tuple[np.ndarray, str | None]:
+        """Consume one wire-message slot; returns ``(payload, fault)``.
+
+        ``fault`` is ``None``, ``"timeout"``, or ``"corrupt"`` (in which
+        case the returned payload is a tampered copy — a flipped mantissa
+        in spirit).  Empty payloads cannot corrupt.
+        """
+        self.messages_seen += 1
+        i = self.messages_seen
+        if i in self.timeout_messages:
+            self.timeouts_injected += 1
+            return payload, "timeout"
+        if i in self.corrupt_messages and payload.size:
+            bad = payload.copy()
+            flat = bad.reshape(-1)
+            flat[0] = flat[0] + ((1.0 + 1.0j)
+                                 if np.iscomplexobj(bad) else 1.0)
+            self.corruptions_injected += 1
+            return bad, "corrupt"
+        return payload, None
+
+    @property
+    def is_clean(self) -> bool:
+        """True if the schedule contains no communication faults."""
+        return not (self.corrupt_messages or self.timeout_messages
+                    or self.rank_failures)
+
+    def describe(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, "
+                f"corrupt={len(self.corrupt_messages)}, "
+                f"timeout={len(self.timeout_messages)}, "
+                f"rank_failures={dict(sorted(self.rank_failures.items()))}, "
+                f"stragglers={len(self.stragglers)}, jitter={self.jitter})")
+
+
+def chaos_cluster(cluster, plan: FaultPlan,
+                  policy: RetryPolicy | None = None):
+    """Arm a cluster with one unified fault schedule.
+
+    Installs the plan (and retry *policy*) on the communicator — every
+    collective then runs through the checksummed, retrying path — and, if
+    the plan carries compute noise, wraps the cluster's compute charges in
+    a seeded :class:`~repro.cluster.noise.NoiseModel`.  Returns the same
+    cluster object.
+    """
+    cluster.comm.install_faults(plan, policy)
+    if plan.jitter or plan.stragglers:
+        from repro.cluster.noise import NoiseModel, noisy_cluster
+
+        noisy_cluster(cluster, NoiseModel(jitter=plan.jitter,
+                                          stragglers=plan.stragglers,
+                                          seed=plan.seed))
+    return cluster

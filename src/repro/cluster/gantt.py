@@ -12,7 +12,8 @@ from repro.cluster.trace import Trace
 
 __all__ = ["gantt_from_trace", "gantt_from_schedule"]
 
-_GLYPHS = {"compute": "#", "mpi": "=", "pcie": "~", "other": "."}
+_GLYPHS = {"compute": "#", "mpi": "=", "pcie": "~", "retry": "!",
+           "other": "."}
 
 
 def _render(lanes: dict[str, list[tuple[float, float, str]]], span: float,

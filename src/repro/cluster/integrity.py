@@ -1,92 +1,69 @@
-"""Message integrity checking and fault injection.
+"""Message integrity checking — deprecation shims over :mod:`faults`.
 
-Large clusters corrupt data in flight more often than anyone likes (the
-paper's acknowledgements credit the Stampede/Endeavor teams with
-"resolving cluster instability in early installations of new hardware").
-This module adds an end-to-end integrity layer over the simulated
-transport — checksums computed at the sender and verified at the receiver
-— plus a deterministic fault injector that flips payload bits in transit,
-so the detection machinery is *tested*, not assumed.
+This module used to carry its own checksum wrapper and ad-hoc payload
+injector.  Both are now thin shims over the unified fault layer
+(:mod:`repro.cluster.faults` + the communicator's verified collective
+path), kept so existing call sites and tests continue to work:
+
+* :func:`checksummed_cluster` installs a detect-only
+  :class:`~repro.cluster.faults.FaultPlan` (``max_retries = 0``) on the
+  communicator — but now *every* collective is verified, not just the
+  all-to-all (``barrier``/``bcast`` previously bypassed the checksum
+  layer entirely).
+* :class:`FaultInjector` builds the equivalent plan from the legacy
+  ``corrupt_nth`` argument.  Note the unified layer counts **all** wire
+  payloads (ghost exchanges, broadcasts, ...) in its message index, where
+  the old injector saw only all-to-all payloads.
+
+New code should construct a :class:`~repro.cluster.faults.FaultPlan` and
+call :func:`~repro.cluster.faults.chaos_cluster` (or
+``cluster.comm.install_faults``) directly.
 """
 
 from __future__ import annotations
 
-import zlib
-
-import numpy as np
-
+from repro.cluster.faults import (
+    CorruptionDetected,
+    FaultPlan,
+    RetryPolicy,
+    checksum,
+)
 from repro.cluster.simcluster import SimCluster
 
 __all__ = ["CorruptionDetected", "FaultInjector", "checksum",
            "checksummed_cluster"]
 
 
-class CorruptionDetected(RuntimeError):
-    """An in-flight payload failed its checksum at the receiver."""
-
-
-def checksum(a: np.ndarray) -> int:
-    """CRC32 of an array's raw bytes (cheap, order-sensitive)."""
-    return zlib.crc32(np.ascontiguousarray(a).tobytes())
-
-
 class FaultInjector:
-    """Deterministically corrupts the k-th wire payload it sees.
+    """Deprecated: corrupts the k-th wire payload (``corrupt_nth``).
 
-    ``corrupt_nth`` counts only non-self messages, in (src, dst) scan
-    order across all collectives on the wrapped cluster.
+    Shim over :class:`~repro.cluster.faults.FaultPlan`; the ``seen`` and
+    ``injected`` counters mirror the plan's runtime statistics.
     """
 
     def __init__(self, corrupt_nth: int | None = None):
         self.corrupt_nth = corrupt_nth
-        self.seen = 0
-        self.injected = 0
+        self.plan = FaultPlan(
+            corrupt_messages=(corrupt_nth,) if corrupt_nth else ())
 
-    def maybe_corrupt(self, payload: np.ndarray) -> np.ndarray:
-        self.seen += 1
-        if self.corrupt_nth is not None and self.seen == self.corrupt_nth \
-                and payload.size:
-            bad = payload.copy()
-            flat = bad.reshape(-1)
-            flat[0] = flat[0] + (1.0 + 1.0j)  # a flipped mantissa, in spirit
-            self.injected += 1
-            return bad
-        return payload
+    @property
+    def seen(self) -> int:
+        return self.plan.messages_seen
+
+    @property
+    def injected(self) -> int:
+        return self.plan.corruptions_injected
 
 
 def checksummed_cluster(cluster: SimCluster,
                         injector: FaultInjector | None = None) -> SimCluster:
-    """Wrap a cluster's all-to-all with checksum verification.
+    """Deprecated: wrap a cluster's collectives with checksum verification.
 
-    Each non-self block is checksummed before the exchange and verified
-    after; an :class:`injector <FaultInjector>` (if given) tampers with
-    payloads in between, emulating in-flight corruption.  Raises
-    :class:`CorruptionDetected` naming the damaged route.
+    Detect-only mode (no retries): the first corrupted payload raises
+    :class:`~repro.cluster.faults.CorruptionDetected` naming the damaged
+    route, exactly as before — except the verification now covers all
+    collectives through the communicator's single verified path.
     """
-    comm = cluster.comm
-    original = comm.alltoall
-
-    def alltoall(sendbufs, label="all-to-all"):
-        p = len(sendbufs)
-        sums = {}
-        for src in range(p):
-            for dst in range(p):
-                if src != dst:
-                    sums[(src, dst)] = checksum(np.asarray(sendbufs[src][dst]))
-        recv = original(sendbufs, label=label)
-        for dst in range(p):
-            for src in range(p):
-                if src == dst:
-                    continue
-                payload = recv[dst][src]
-                if injector is not None:
-                    payload = injector.maybe_corrupt(payload)
-                    recv[dst][src] = payload
-                if checksum(np.asarray(payload)) != sums[(src, dst)]:
-                    raise CorruptionDetected(
-                        f"payload {src}->{dst} failed its checksum in "
-                        f"'{label}'")
-        return recv
-
-    comm.alltoall = alltoall  # type: ignore[method-assign]
+    plan = injector.plan if injector is not None else FaultPlan()
+    cluster.comm.install_faults(plan, RetryPolicy(max_retries=0))
     return cluster

@@ -45,12 +45,38 @@ class SimCluster:
         self.transport = transport
         self.pcie = pcie
         self.clocks = [0.0] * n_ranks
+        self.alive = [True] * n_ranks
         self.trace = Trace()
         self.comm = Communicator(self)
 
     def machine_of(self, rank: int) -> MachineSpec:
         """The node type of one rank."""
         return self.machines[rank]
+
+    # -- rank liveness -----------------------------------------------------
+
+    @property
+    def live_ranks(self) -> list[int]:
+        """Ranks not declared dead, in rank order."""
+        return [r for r in range(self.n_ranks) if self.alive[r]]
+
+    @property
+    def n_live(self) -> int:
+        return sum(self.alive)
+
+    def fail_rank(self, rank: int) -> None:
+        """Declare one rank dead: its clock freezes where it is and the
+        failure is stamped into the trace.  Idempotent.  Collectives over
+        an explicit surviving subset (``ranks=...``) exclude dead ranks;
+        the recovery paths in :mod:`repro.core.soi_dist` re-partition the
+        dead rank's work across the survivors."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError("rank out of range")
+        if not self.alive[rank]:
+            return
+        self.alive[rank] = False
+        t = self.clocks[rank]
+        self.trace.record(rank, "rank failure", "other", t, t)
 
     # -- time accounting ---------------------------------------------------
 
@@ -101,8 +127,9 @@ class SimCluster:
 
     @property
     def elapsed(self) -> float:
-        """Simulated wall time so far (slowest rank)."""
-        return max(self.clocks)
+        """Simulated wall time so far (slowest surviving rank)."""
+        live = self.live_ranks
+        return max(self.clocks[r] for r in live) if live else max(self.clocks)
 
     def breakdown(self) -> dict[str, float]:
         """Per-label time of the slowest-clock rank (Fig 9 style)."""
@@ -110,6 +137,8 @@ class SimCluster:
         return self.trace.breakdown_by_label(rank=slowest)
 
     def reset(self) -> None:
-        """Zero clocks and trace (keeps machine/transport/comm counters)."""
+        """Zero clocks, liveness, and trace (keeps machine/transport/comm
+        counters)."""
         self.clocks = [0.0] * self.n_ranks
+        self.alive = [True] * self.n_ranks
         self.trace = Trace()

@@ -23,14 +23,14 @@ clock charging are identical to the phase-structured path), and resumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.cluster.simcluster import SimCluster
 
-__all__ = ["AllToAll", "Barrier", "Bcast", "Compute", "RankContext",
-           "SendRecvRing", "run_spmd"]
+__all__ = ["AllToAll", "Barrier", "Bcast", "Checkpoint", "Compute",
+           "RankContext", "SendRecvRing", "run_spmd"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +75,21 @@ class Compute:
 
 
 @dataclass(frozen=True)
+class Checkpoint:
+    """Stash rank-local stage data with the runtime (resumes with None).
+
+    The engine stores *data* under ``(rank, tag)`` in the ``checkpoints``
+    dict passed to :func:`run_spmd` and charges the rank the streaming
+    cost of writing it — so if a later collective declares a rank dead,
+    the caller can restart from the survivors' checkpoints instead of
+    from scratch (see :func:`repro.core.soi_spmd.spmd_soi_fft`).
+    """
+
+    data: Any
+    tag: str = "checkpoint"
+
+
+@dataclass(frozen=True)
 class RankContext:
     """What a rank program knows about itself."""
 
@@ -98,13 +113,20 @@ def _check_uniform(requests: list) -> type:
     return kinds.pop()
 
 
-def run_spmd(cluster: SimCluster, program: Callable, *args) -> list:
+def run_spmd(cluster: SimCluster, program: Callable, *args,
+             checkpoints: dict | None = None) -> list:
     """Run *program(ctx, \\*args)* as a generator on every rank.
 
     Returns the list of per-rank return values.  Compute requests are
     charged per rank; collectives are matched across all live ranks.
     Ranks must finish after the same number of collectives (a rank
     returning early while others still communicate raises).
+
+    *checkpoints*, if given, is filled in place with the data of every
+    :class:`Checkpoint` request under ``(rank, tag)`` keys.  Because the
+    caller owns the dict, checkpointed stage data survives a collective
+    raising :class:`~repro.cluster.faults.RankFailed` — the basis for
+    shrink-and-redistribute restarts.
     """
     p = cluster.n_ranks
     gens = []
@@ -117,61 +139,73 @@ def run_spmd(cluster: SimCluster, program: Callable, *args) -> list:
     results: list = [None] * p
     payload: list = [None] * p
     done = [False] * p
-    while not all(done):
-        requests: list = [None] * p
-        for r, g in enumerate(gens):
-            if done[r]:
-                continue
-            try:
-                while True:
-                    req = g.send(payload[r])
+    try:
+        while not all(done):
+            requests: list = [None] * p
+            for r, g in enumerate(gens):
+                if done[r]:
+                    continue
+                try:
+                    while True:
+                        req = g.send(payload[r])
+                        payload[r] = None
+                        if isinstance(req, Compute):
+                            cluster.charge_seconds(r, req.label, req.seconds)
+                            continue  # local: keep stepping this rank
+                        if isinstance(req, Checkpoint):
+                            if checkpoints is not None:
+                                checkpoints[(r, req.tag)] = req.data
+                            nbytes = getattr(req.data, "nbytes", 0)
+                            cluster.charge_seconds(
+                                r, "checkpoint",
+                                cluster.machine_of(r).mem_time(nbytes))
+                            continue  # local: keep stepping this rank
+                        requests[r] = req
+                        break
+                except StopIteration as stop:
+                    done[r] = True
+                    results[r] = stop.value
+            live = [r for r in range(p) if not done[r]]
+            if not live:
+                break
+            if any(done[r] for r in range(p)):
+                raise SpmdError("some ranks finished while others still "
+                                "communicate (unbalanced collective counts)")
+            kind = _check_uniform([requests[r] for r in live])
+            if kind is AllToAll:
+                send = [requests[r].per_dest for r in range(p)]
+                for row in send:
+                    if len(row) != p:
+                        raise SpmdError("AllToAll needs one buffer per rank")
+                recv = cluster.comm.alltoall(
+                    [[np.asarray(b) for b in row] for row in send],
+                    label=requests[0].label)
+                for r in range(p):
+                    payload[r] = recv[r]
+            elif kind is SendRecvRing:
+                fl, fr = cluster.comm.ring_exchange(
+                    [np.asarray(requests[r].to_left) for r in range(p)],
+                    [np.asarray(requests[r].to_right) for r in range(p)],
+                    label=requests[0].label)
+                for r in range(p):
+                    payload[r] = (fl[r], fr[r])
+            elif kind is Bcast:
+                root = requests[0].root
+                if any(requests[r].root != root for r in range(p)):
+                    raise SpmdError("ranks disagree on bcast root")
+                if requests[root].buf is None:
+                    raise SpmdError("bcast root provided no buffer")
+                out = cluster.comm.bcast(np.asarray(requests[root].buf),
+                                         root=root, label=requests[0].label)
+                for r in range(p):
+                    payload[r] = out[r]
+            elif kind is Barrier:
+                cluster.comm.barrier(label=requests[0].label)
+                for r in range(p):
                     payload[r] = None
-                    if isinstance(req, Compute):
-                        cluster.charge_seconds(r, req.label, req.seconds)
-                        continue  # local: keep stepping this rank
-                    requests[r] = req
-                    break
-            except StopIteration as stop:
-                done[r] = True
-                results[r] = stop.value
-        live = [r for r in range(p) if not done[r]]
-        if not live:
-            break
-        if any(done[r] for r in range(p)):
-            raise SpmdError("some ranks finished while others still "
-                            "communicate (unbalanced collective counts)")
-        kind = _check_uniform([requests[r] for r in live])
-        if kind is AllToAll:
-            send = [requests[r].per_dest for r in range(p)]
-            for row in send:
-                if len(row) != p:
-                    raise SpmdError("AllToAll needs one buffer per rank")
-            recv = cluster.comm.alltoall(
-                [[np.asarray(b) for b in row] for row in send],
-                label=requests[0].label)
-            for r in range(p):
-                payload[r] = recv[r]
-        elif kind is SendRecvRing:
-            fl, fr = cluster.comm.ring_exchange(
-                [np.asarray(requests[r].to_left) for r in range(p)],
-                [np.asarray(requests[r].to_right) for r in range(p)],
-                label=requests[0].label)
-            for r in range(p):
-                payload[r] = (fl[r], fr[r])
-        elif kind is Bcast:
-            root = requests[0].root
-            if any(requests[r].root != root for r in range(p)):
-                raise SpmdError("ranks disagree on bcast root")
-            if requests[root].buf is None:
-                raise SpmdError("bcast root provided no buffer")
-            out = cluster.comm.bcast(np.asarray(requests[root].buf),
-                                     root=root, label=requests[0].label)
-            for r in range(p):
-                payload[r] = out[r]
-        elif kind is Barrier:
-            cluster.comm.barrier(label=requests[0].label)
-            for r in range(p):
-                payload[r] = None
-        else:  # pragma: no cover - _check_uniform limits the kinds
-            raise SpmdError(f"unknown request type {kind.__name__}")
+            else:  # pragma: no cover - _check_uniform limits the kinds
+                raise SpmdError(f"unknown request type {kind.__name__}")
+    finally:
+        for g in gens:
+            g.close()  # leave no suspended generators if a collective raised
     return results

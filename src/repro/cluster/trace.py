@@ -13,8 +13,10 @@ from dataclasses import dataclass, field
 
 __all__ = ["Event", "Trace", "CATEGORIES"]
 
-#: Canonical event categories used by the breakdown benches.
-CATEGORIES = ("compute", "mpi", "pcie", "other")
+#: Canonical event categories used by the breakdown benches.  ``"retry"``
+#: holds fault-recovery cost: backoff waits and re-flown transfers charged
+#: by the communicator's verified path (see :mod:`repro.cluster.faults`).
+CATEGORIES = ("compute", "mpi", "pcie", "retry", "other")
 
 
 @dataclass(frozen=True)

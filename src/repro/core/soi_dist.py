@@ -20,8 +20,11 @@ tested equal to the single-process pipeline and to ``numpy.fft``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
+from repro.cluster.faults import RankFailed
 from repro.cluster.simcluster import SimCluster
 from repro.core.convolution import (
     ConvStrategy,
@@ -35,11 +38,22 @@ from repro.core.params import SoiParams
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
 
-__all__ = ["DistributedSoiFFT", "DEFAULT_FFT_EFFICIENCY", "DEFAULT_CONV_EFFICIENCY"]
+__all__ = ["DistributedSoiFFT", "RecoveryReport", "DEFAULT_FFT_EFFICIENCY",
+           "DEFAULT_CONV_EFFICIENCY"]
 
 #: Paper §4/§6: measured compute efficiencies on both Xeon and Xeon Phi.
 DEFAULT_FFT_EFFICIENCY = 0.12
 DEFAULT_CONV_EFFICIENCY = 0.40
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What the shrink-and-redistribute path did after rank failures."""
+
+    dead_ranks: tuple[int, ...]  # ranks declared dead, ascending
+    n_live: int  # survivors that finished the transform
+    slot_owners: dict[int, int]  # global segment slot -> surviving owner
+    recomputed_rows: int  # convolution rows recomputed from checkpoints
 
 
 class DistributedSoiFFT:
@@ -75,6 +89,8 @@ class DistributedSoiFFT:
         #: :func:`repro.cluster.replay.replay_with_overlap` for the
         #: overlapped makespan.
         self.segment_exchanges = segment_exchanges
+        #: Set by :meth:`recover` after a run that survived rank failures.
+        self.last_recovery: RecoveryReport | None = None
         self._lane_plan = get_plan(p.n_segments, -1) if p.n_segments > 1 else None
         self._seg_plan = get_plan(p.m_oversampled, -1)
         # every rank's convolution has identical geometry, so one reused
@@ -104,6 +120,12 @@ class DistributedSoiFFT:
 
         Returns the block-distributed, natural-order spectrum: rank r's
         array is ``y[r*N/P : (r+1)*N/P]``.
+
+        Resilience: if a collective declares a rank dead
+        (:class:`~repro.cluster.faults.RankFailed`), the transform does
+        not abort — it re-partitions the dead rank's work across the
+        survivors from the nearest stage checkpoint and completes
+        degraded (see :meth:`recover`).
         """
         p = self.params
         cl = self.cluster
@@ -118,14 +140,19 @@ class DistributedSoiFFT:
             if np.asarray(part).shape != (p.elements_per_process,):
                 raise ValueError("each part must hold N/P elements")
         x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
+        self.last_recovery = None
 
         # ---- ghost exchange (nearest neighbor, latency bound) ----
         left_g, right_g = p.ghost_blocks
         if n_procs > 1:
             to_left = [part[: right_g * s] for part in x_parts]  # neighbor's right halo
             to_right = [part[part.size - left_g * s:] for part in x_parts]
-            from_left, from_right = cl.comm.ring_exchange(
-                to_left, to_right, label="ghost exchange")
+            try:
+                from_left, from_right = cl.comm.ring_exchange(
+                    to_left, to_right, label="ghost exchange")
+            except RankFailed:
+                # pre-convolution failure: only the input checkpoint exists
+                return self.recover(x_parts, None)
             x_ext = [np.concatenate([from_left[r], x_parts[r], from_right[r]])
                      for r in range(n_procs)]
         else:
@@ -149,6 +176,10 @@ class DistributedSoiFFT:
             z = self._lane_plan(u) if self._lane_plan is not None else u
             z_parts.append(z)
             cl.charge_seconds(r, "convolution", conv_seconds + lane_seconds)
+            # stage checkpoint: the post-convolution segments (mu*N/P
+            # complex words per rank) are the natural cut point for
+            # shrink-and-redistribute recovery
+            cl.charge_seconds(r, "checkpoint", cl.machine.mem_time(z.nbytes))
 
         # ---- per-segment compute costs ----
         fft_seconds = cl.machine.flop_time(p.local_fft_flops / n_procs,
@@ -165,7 +196,10 @@ class DistributedSoiFFT:
             sendbufs = [[np.ascontiguousarray(
                 z_parts[src][:, dst * spp:(dst + 1) * spp])
                 for dst in range(n_procs)] for src in range(n_procs)]
-            recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+            try:
+                recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+            except RankFailed:
+                return self.recover(x_parts, z_parts)
             y_parts: list[np.ndarray] = []
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst], axis=0)  # (M', spp), rows
@@ -183,7 +217,12 @@ class DistributedSoiFFT:
             sendbufs = [[np.ascontiguousarray(
                 z_parts[src][:, dst * spp + slot])
                 for dst in range(n_procs)] for src in range(n_procs)]
-            recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+            try:
+                recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+            except RankFailed:
+                # restart the exchange phase from the z checkpoint on the
+                # survivors (slots finished before the failure are redone)
+                return self.recover(x_parts, z_parts)
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst])  # (M',) for this segment
                 beta = self._seg_plan(alpha)
@@ -192,6 +231,174 @@ class DistributedSoiFFT:
                 cl.charge_seconds(dst, "local FFT", fft_seconds / spp)
                 cl.charge_seconds(dst, "demodulation", demod_seconds / spp)
         return [np.concatenate(chunks) for chunks in seg_chunks]
+
+    # -- fault recovery: shrink-and-redistribute ------------------------------
+
+    def recover(self, x_parts: list[np.ndarray],
+                z_parts: list[np.ndarray | None] | None
+                ) -> list[np.ndarray]:
+        """Complete the transform on the surviving ranks after failures.
+
+        ``x_parts`` is the stage-0 checkpoint (the block-distributed
+        input); ``z_parts`` the optional post-convolution checkpoint —
+        a list indexed by rank whose entries may be ``None`` for ranks
+        that had not checkpointed when the failure struck.  The dead
+        ranks' convolution rows are recomputed from the input checkpoint
+        by adopters (charged as ``"recovery recompute"``), their segment
+        slots are re-assigned round-robin across the survivors, and the
+        stride permutation runs as one all-to-all over the shrunken
+        communicator.  Output keeps the natural-order block-distributed
+        contract — parts of dead ranks are hosted by their adopters.
+
+        Further failures during recovery shrink again; only an empty
+        survivor set aborts.
+        """
+        x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
+        while True:
+            live = self.cluster.live_ranks
+            if not live:
+                raise RankFailed(-1, "no surviving ranks to recover on")
+            try:
+                return self._finish_on_survivors(live, x_parts, z_parts)
+            except RankFailed:
+                continue
+
+    def _compute_rows(self, x_global: np.ndarray, j_start: int,
+                      n_rows: int) -> np.ndarray:
+        """Convolution + lane FFT for an arbitrary global row range,
+        rebuilt from the (checkpointed) global input."""
+        p = self.params
+        s = p.n_segments
+        lo, hi = block_range_for_rows(p, j_start, n_rows)
+        n_blocks = p.n // s
+        idx = np.arange(lo, hi) % n_blocks
+        x_ext = np.ascontiguousarray(
+            x_global.reshape(n_blocks, s)[idx].reshape(-1))
+        u = convolve(x_ext, self.tables, j_start, n_rows, lo)
+        return self._lane_plan(u) if self._lane_plan is not None else u
+
+    def _balanced_slices(self, start: int, count: int, parts: int
+                         ) -> list[tuple[int, int]]:
+        """Split [start, start+count) into <= parts contiguous slices,
+        each a whole number of convolution chunks (multiples of n_mu —
+        the chunked convolution's row granularity)."""
+        n_mu = self.params.n_mu
+        chunks = count // n_mu
+        base, extra = divmod(chunks, parts)
+        out = []
+        j = start
+        for i in range(parts):
+            n = (base + (1 if i < extra else 0)) * n_mu
+            if n:
+                out.append((j, n))
+                j += n
+        return out
+
+    def _finish_on_survivors(self, live: list[int],
+                             x_parts: list[np.ndarray],
+                             z_parts: list[np.ndarray | None] | None
+                             ) -> list[np.ndarray]:
+        p = self.params
+        cl = self.cluster
+        n_procs, s, spp = p.n_procs, p.n_segments, p.segments_per_process
+        rows = p.rows_per_process
+        q = len(live)
+        live_set = set(live)
+        dead = [r for r in range(n_procs) if r not in live_set]
+
+        conv_seconds = conv_time_model(p, cl.machine, self.conv_strategy,
+                                       self.conv_efficiency)
+        lane_seconds = cl.machine.flop_time(p.lane_fft_flops / n_procs,
+                                            self.fft_efficiency)
+        fft_seconds = cl.machine.flop_time(p.local_fft_flops / n_procs,
+                                           self.fft_efficiency)
+        if self.fuse_demodulation:
+            demod_seconds = cl.machine.mem_time(p.m * spp * 16)
+        else:
+            demod_seconds = cl.machine.mem_time(
+                (2 * p.m_oversampled + 2 * p.m + p.m) * spp * 16)
+
+        x_global = np.concatenate(x_parts)  # stage-0 checkpoint, assembled
+
+        # ---- redistribute each lost input chunk to the survivors ----
+        for f in dead:
+            # the checkpoint copy is replayed from the first survivor
+            cl.comm.bcast(x_parts[f], root=live[0],
+                          ranks=live, label="recovery redistribute")
+
+        # ---- rebuild the row coverage: own rows + adopted dead rows ----
+        # row_chunks[r] = ordered [(j_start, z_block)] covering rank r's
+        # share of the M' global convolution rows
+        row_chunks: dict[int, list[tuple[int, np.ndarray]]] = \
+            {r: [] for r in live}
+        recomputed = 0
+        for r in live:
+            z = z_parts[r] if z_parts is not None else None
+            if z is None:
+                z = self._compute_rows(x_global, r * rows, rows)
+                cl.charge_seconds(r, "convolution",
+                                  conv_seconds + lane_seconds)
+                cl.charge_seconds(r, "checkpoint",
+                                  cl.machine.mem_time(z.nbytes))
+                recomputed += rows
+            row_chunks[r].append((r * rows, z))
+        for k, f in enumerate(dead):
+            for i, (j0, nr) in enumerate(
+                    self._balanced_slices(f * rows, rows, q)):
+                adopter = live[(i + k) % q]
+                z = self._compute_rows(x_global, j0, nr)
+                cl.charge_seconds(
+                    adopter, "recovery recompute",
+                    (conv_seconds + lane_seconds) * nr / rows)
+                row_chunks[adopter].append((j0, z))
+                recomputed += nr
+        for r in live:
+            row_chunks[r].sort(key=lambda c: c[0])
+
+        # ---- re-assign the dead ranks' segment slots round-robin ----
+        owner: dict[int, int] = {}
+        orphan = 0
+        for t in range(s):
+            orig = t // spp
+            if orig in live_set:
+                owner[t] = orig
+            else:
+                owner[t] = live[orphan % q]
+                orphan += 1
+        slots_of = {r: [t for t in range(s) if owner[t] == r] for r in live}
+
+        # ---- the stride permutation over the shrunken communicator ----
+        sendbufs = [[np.ascontiguousarray(np.concatenate(
+            [z[:, slots_of[d]] for _, z in row_chunks[src]], axis=0))
+            for d in live] for src in live]
+        recv = cl.comm.alltoall(sendbufs, label="all-to-all", ranks=live)
+
+        # ---- per owned slot: M'-point FFT + demodulation ----
+        y_by_slot: dict[int, np.ndarray] = {}
+        for dpos, d in enumerate(live):
+            slots = slots_of[d]
+            alpha = np.empty((p.m_oversampled, len(slots)),
+                             dtype=np.complex128)
+            for spos, src in enumerate(live):
+                piece = recv[dpos][spos]
+                off = 0
+                for j0, z in row_chunks[src]:
+                    alpha[j0:j0 + z.shape[0]] = piece[off:off + z.shape[0]]
+                    off += z.shape[0]
+            beta = self._seg_plan(alpha.T)  # (n_slots, M')
+            seg = demodulate(beta, self.tables)  # (n_slots, M)
+            cl.charge_seconds(d, "local FFT", fft_seconds * len(slots) / spp)
+            cl.charge_seconds(d, "demodulation",
+                              demod_seconds * len(slots) / spp)
+            for i, t in enumerate(slots):
+                y_by_slot[t] = seg[i]
+
+        self.last_recovery = RecoveryReport(
+            dead_ranks=tuple(dead), n_live=q, slot_owners=owner,
+            recomputed_rows=recomputed)
+        return [np.concatenate([y_by_slot[t]
+                                for t in range(r * spp, (r + 1) * spp)])
+                for r in range(n_procs)]
 
     def inverse(self, y_parts: list[np.ndarray]) -> list[np.ndarray]:
         """Distributed inverse DFT via the conjugation identity.

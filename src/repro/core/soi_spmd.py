@@ -13,12 +13,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.faults import RankFailed
 from repro.cluster.simcluster import SimCluster
-from repro.cluster.spmd import AllToAll, Compute, RankContext, SendRecvRing, run_spmd
+from repro.cluster.spmd import (
+    AllToAll,
+    Checkpoint,
+    Compute,
+    RankContext,
+    SendRecvRing,
+    run_spmd,
+)
 from repro.core.convolution import conv_time_model, convolve
 from repro.core.demodulate import demodulate
 from repro.core.params import SoiParams
-from repro.core.soi_dist import DEFAULT_CONV_EFFICIENCY, DEFAULT_FFT_EFFICIENCY
+from repro.core.soi_dist import (
+    DEFAULT_CONV_EFFICIENCY,
+    DEFAULT_FFT_EFFICIENCY,
+    DistributedSoiFFT,
+)
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
 
@@ -53,6 +65,9 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
     lane_secs = machine.flop_time(p.lane_fft_flops / size,
                                   DEFAULT_FFT_EFFICIENCY)
     yield Compute(conv_secs + lane_secs, label="convolution")
+    # stage checkpoint: post-convolution segments (mu*N/P complex words),
+    # the cut point shrink-and-redistribute recovery restarts from
+    yield Checkpoint(z, tag="post-conv")
 
     # --- the one all-to-all: my rows of every segment to its owner ---
     per_dest = [np.ascontiguousarray(z[:, d * spp:(d + 1) * spp])
@@ -71,8 +86,16 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
 
 
 def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
-                 window=None) -> np.ndarray:
-    """Scatter, run the SPMD program on every rank, gather the spectrum."""
+                 window=None, resilient: bool = True) -> np.ndarray:
+    """Scatter, run the SPMD program on every rank, gather the spectrum.
+
+    With ``resilient=True`` (the default) a collective that declares a
+    rank dead mid-run (:class:`~repro.cluster.faults.RankFailed`) does
+    not abort the transform: the survivors restart from the post-
+    convolution :class:`~repro.cluster.spmd.Checkpoint` data via the
+    phase-structured shrink-and-redistribute path
+    (:meth:`~repro.core.soi_dist.DistributedSoiFFT.recover`).
+    """
     x = np.asarray(x, dtype=np.complex128)
     if x.shape != (params.n,):
         raise ValueError(f"expected input of shape ({params.n},)")
@@ -86,5 +109,13 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     def program(ctx: RankContext):
         return (yield from soi_rank_program(ctx, parts[ctx.rank], tables))
 
-    results = run_spmd(cluster, program)
+    ckpts: dict = {}
+    try:
+        results = run_spmd(cluster, program, checkpoints=ckpts)
+    except RankFailed:
+        if not resilient:
+            raise
+        soi = DistributedSoiFFT(cluster, params, window)
+        z_parts = [ckpts.get((r, "post-conv")) for r in range(params.n_procs)]
+        results = soi.recover(parts, z_parts)
     return np.concatenate(results)

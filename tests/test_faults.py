@@ -1,0 +1,372 @@
+"""Unified fault layer: FaultPlan schedules, retry/backoff, rank-failure
+recovery, and the seeded chaos suite (``-m chaos``)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.ct_dist import DistributedCooleyTukeyFFT
+from repro.cluster.faults import (
+    CorruptionDetected,
+    FaultPlan,
+    RankFailed,
+    RetriesExhausted,
+    RetryPolicy,
+    chaos_cluster,
+)
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.core.soi_spmd import spmd_soi_fft
+from tests.conftest import random_complex
+
+
+def p8_params() -> SoiParams:
+    return SoiParams(n=8 * 448, n_procs=8, segments_per_process=1,
+                     n_mu=8, d_mu=7, b=48)
+
+
+def p4_params() -> SoiParams:
+    return SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                     n_mu=8, d_mu=7, b=48)
+
+
+def run_soi(params, x, plan=None, policy=None):
+    cl = SimCluster(params.n_procs)
+    if plan is not None:
+        chaos_cluster(cl, plan, policy or RetryPolicy(max_retries=16))
+    soi = DistributedSoiFFT(cl, params)
+    y = soi.assemble(soi(soi.scatter(x)))
+    return cl, soi, y
+
+
+def error_bound(soi) -> float:
+    return 10 * soi.tables.expected_stopband + 1e-12
+
+
+def rel_err(y, ref) -> float:
+    return float(np.linalg.norm(y - ref) / np.linalg.norm(ref))
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_geometrically(self):
+        pol = RetryPolicy(backoff_base=1e-5, backoff_factor=2.0)
+        assert pol.backoff(0) == pytest.approx(1e-5)
+        assert pol.backoff(3) == pytest.approx(8e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_indices_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_messages=(0,))
+        with pytest.raises(ValueError):
+            FaultPlan(rank_failures={0: 0})
+
+    def test_corrupt_and_timeout_disjoint(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_messages=(3,), timeout_messages=(3,))
+
+    def test_is_clean(self):
+        assert FaultPlan().is_clean
+        assert not FaultPlan(corrupt_messages=(1,)).is_clean
+        assert not FaultPlan(rank_failures={0: 1}).is_clean
+
+    def test_apply_counts_and_corrupts(self):
+        plan = FaultPlan(corrupt_messages=(2,), timeout_messages=(3,))
+        a = np.ones(4, dtype=np.complex128)
+        out, fault = plan.apply(a)
+        assert fault is None and out is a
+        out, fault = plan.apply(a)
+        assert fault == "corrupt" and not np.array_equal(out, a)
+        assert np.array_equal(a, np.ones(4))  # original untouched
+        out, fault = plan.apply(a)
+        assert fault == "timeout"
+        assert plan.messages_seen == 3
+        assert plan.corruptions_injected == 1
+        assert plan.timeouts_injected == 1
+
+    def test_empty_payload_cannot_corrupt(self):
+        plan = FaultPlan(corrupt_messages=(1,))
+        out, fault = plan.apply(np.zeros(0, dtype=np.complex128))
+        assert fault is None and plan.corruptions_injected == 0
+
+    def test_reset_replays(self):
+        plan = FaultPlan(corrupt_messages=(1,))
+        plan.apply(np.ones(2))
+        assert plan.corruptions_injected == 1
+        plan.reset()
+        assert plan.messages_seen == 0 and plan.corruptions_injected == 0
+        _, fault = plan.apply(np.ones(2))
+        assert fault == "corrupt"
+
+    def test_random_is_deterministic(self):
+        a = FaultPlan.random(5, 8, corrupt_rate=0.01, timeout_rate=0.01,
+                             n_rank_failures=2)
+        b = FaultPlan.random(5, 8, corrupt_rate=0.01, timeout_rate=0.01,
+                             n_rank_failures=2)
+        assert a.corrupt_messages == b.corrupt_messages
+        assert a.timeout_messages == b.timeout_messages
+        assert a.rank_failures == b.rank_failures
+
+    def test_random_respects_min_survivors(self):
+        plan = FaultPlan.random(0, 4, n_rank_failures=10, min_survivors=2)
+        assert len(plan.rank_failures) <= 2
+
+    def test_describe_mentions_the_schedule(self):
+        text = FaultPlan(corrupt_messages=(1,), rank_failures={2: 4},
+                         seed=9).describe()
+        assert "seed=9" in text and "corrupt=1" in text and "2: 4" in text
+
+
+class TestRetryHealsTransients:
+    def test_corruption_healed_by_retry(self, rng):
+        cl = SimCluster(3)
+        cl.comm.install_faults(FaultPlan(corrupt_messages=(3,)),
+                               RetryPolicy(max_retries=2))
+        send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
+        recv = cl.comm.alltoall(send)
+        for dst in range(3):
+            for src in range(3):
+                assert np.array_equal(recv[dst][src], send[src][dst])
+        assert cl.comm.retry_count == 1
+        retry = [e for e in cl.trace.events if e.category == "retry"]
+        assert retry  # the re-flown attempt (+ backoff) is visible
+
+    def test_timeout_healed_by_retry(self, rng):
+        cl = SimCluster(3)
+        cl.comm.install_faults(FaultPlan(timeout_messages=(1,)),
+                               RetryPolicy(max_retries=2,
+                                           timeout_seconds=1e-3))
+        send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
+        t0 = cl.elapsed
+        cl.comm.alltoall(send)
+        assert cl.elapsed > t0 + 1e-3  # detection stall was charged
+        assert cl.comm.retry_count == 1
+
+    def test_detect_only_mode_raises_immediately(self, rng):
+        cl = SimCluster(3)
+        cl.comm.install_faults(FaultPlan(corrupt_messages=(1,)),
+                               RetryPolicy(max_retries=0))
+        send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
+        with pytest.raises(CorruptionDetected, match="failed its checksum"):
+            cl.comm.alltoall(send)
+
+    def test_persistent_timeouts_exhaust_budget(self, rng):
+        cl = SimCluster(2)
+        cl.comm.install_faults(FaultPlan(timeout_messages=range(1, 100)),
+                               RetryPolicy(max_retries=3))
+        send = [[random_complex(rng, 2) for _ in range(2)] for _ in range(2)]
+        with pytest.raises(RetriesExhausted):
+            cl.comm.alltoall(send)
+        assert cl.comm.retry_count == 3
+
+
+class TestVerifiedBcastBarrier:
+    """barrier()/bcast() go through the same verified path (regression:
+    they used to bypass the checksum layer entirely)."""
+
+    def test_bcast_corruption_detected_and_healed(self, rng):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(corrupt_messages=(2,)),
+                               RetryPolicy(max_retries=2))
+        buf = random_complex(rng, 8)
+        out = cl.comm.bcast(buf, root=0)
+        for copy in out:
+            assert np.array_equal(copy, buf)
+        assert cl.comm.retry_count == 1
+
+    def test_bcast_detect_only_raises(self, rng):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(corrupt_messages=(1,)),
+                               RetryPolicy(max_retries=0))
+        with pytest.raises(CorruptionDetected, match="bcast"):
+            cl.comm.bcast(random_complex(rng, 8), root=0)
+
+    def test_barrier_declares_dead_rank(self):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(rank_failures={2: 1}),
+                               RetryPolicy(max_retries=1))
+        with pytest.raises(RankFailed) as exc:
+            cl.comm.barrier()
+        assert exc.value.rank == 2
+        assert cl.alive == [True, True, False, True]
+
+    def test_barrier_over_survivors_succeeds(self):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(rank_failures={2: 1}),
+                               RetryPolicy(max_retries=1))
+        with pytest.raises(RankFailed):
+            cl.comm.barrier()
+        cl.comm.barrier(ranks=[0, 1, 3])  # shrunken communicator works
+
+
+class TestShrinkAndRedistribute:
+    def test_rank_dies_at_the_alltoall(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        # transfer 2 is the all-to-all (ghost ring exchange is transfer 1)
+        cl, soi, y = run_soi(params, x,
+                             FaultPlan(rank_failures={3: 2}),
+                             RetryPolicy())
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        rec = soi.last_recovery
+        assert rec is not None and list(rec.dead_ranks) == [3]
+        assert rec.n_live == 7
+        assert cl.alive[3] is False
+        # the adopters' recomputed convolution rows are visible in the trace
+        assert any(e.label == "recovery recompute" for e in cl.trace.events)
+
+    def test_rank_dies_in_the_ghost_exchange(self, rng):
+        """Failure before any z checkpoint exists: survivors recompute
+        every row of the dead rank from the stage-0 input checkpoint."""
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl, soi, y = run_soi(params, x, FaultPlan(rank_failures={0: 1}),
+                             RetryPolicy())
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        assert soi.last_recovery.recomputed_rows >= params.rows_per_process
+
+    def test_two_ranks_die(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl, soi, y = run_soi(params, x,
+                             FaultPlan(rank_failures={1: 2, 5: 3}),
+                             RetryPolicy())
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        assert soi.last_recovery.n_live <= 7
+
+    def test_segment_slots_reassigned(self, rng):
+        params = p4_params()  # 2 segments per process
+        x = random_complex(rng, params.n)
+        cl, soi, y = run_soi(params, x, FaultPlan(rank_failures={2: 2}),
+                             RetryPolicy())
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        owners = soi.last_recovery.slot_owners
+        assert 2 not in owners.values()
+        assert set(owners) == set(range(params.n_segments))
+
+    def test_recovery_cost_charged_as_retry(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl, soi, y = run_soi(params, x, FaultPlan(rank_failures={3: 2}),
+                             RetryPolicy())
+        retry = [e for e in cl.trace.events if e.category == "retry"]
+        assert retry and sum(e.duration for e in retry) > 0
+
+    def test_inverse_through_recovery(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl = SimCluster(8)
+        chaos_cluster(cl, FaultPlan(rank_failures={4: 2}), RetryPolicy())
+        soi = DistributedSoiFFT(cl, params)
+        y = soi.assemble(soi.inverse(soi.scatter(x)))
+        assert rel_err(y, np.fft.ifft(x)) < error_bound(soi)
+
+    def test_ct_baseline_has_no_recovery_path(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl = SimCluster(8)
+        chaos_cluster(cl, FaultPlan(rank_failures={3: 2}), RetryPolicy())
+        ct = DistributedCooleyTukeyFFT(cl, params.n)
+        with pytest.raises(RankFailed):
+            ct(ct.scatter(x))
+
+
+# ---------------------------------------------------------------------------
+# seeded chaos suite
+# ---------------------------------------------------------------------------
+
+CHAOS_SEEDS = (0, 1, 2, 3, 4, 5)
+
+
+@pytest.mark.chaos
+class TestChaos:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_random_transients_still_correct(self, rng, seed):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        plan = FaultPlan.random(seed, 8, corrupt_rate=0.003,
+                                timeout_rate=0.003)
+        cl, soi, y = run_soi(params, x, plan)
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        if plan.corruptions_injected or plan.timeouts_injected:
+            assert [e for e in cl.trace.events if e.category == "retry"]
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_rank_failures_with_survivors_still_correct(self, rng, seed):
+        """Any schedule leaving >= 1 survivor completes within the
+        error-model bound."""
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        plan = FaultPlan.random(seed, 8, corrupt_rate=0.002,
+                                n_rank_failures=1 + seed % 3,
+                                horizon_transfers=4, min_survivors=1)
+        cl, soi, y = run_soi(params, x, plan)
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+        if plan.failed_ranks_declared:
+            assert soi.last_recovery is not None
+            assert cl.n_live == 8 - len(set(plan.failed_ranks_declared))
+
+    def test_mass_failure_single_survivor(self, rng):
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        plan = FaultPlan.random(99, 8, n_rank_failures=7,
+                                horizon_transfers=3, min_survivors=1)
+        assert len(plan.rank_failures) == 7
+        cl, soi, y = run_soi(params, x, plan)
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:3])
+    def test_identical_seeds_identical_traces(self, seed):
+        """Determinism: same seed, fresh cluster + plan => bitwise-equal
+        outputs and trace event streams."""
+        params = p8_params()
+        x = random_complex(np.random.default_rng(seed), params.n)
+
+        def one_run():
+            plan = FaultPlan.random(seed, 8, corrupt_rate=0.004,
+                                    timeout_rate=0.002, n_rank_failures=1,
+                                    horizon_transfers=4, jitter=0.02)
+            cl, soi, y = run_soi(params, x, plan)
+            events = [(e.rank, e.label, e.category, e.t_start, e.t_end,
+                       e.nbytes) for e in cl.trace.events]
+            return y, events
+
+        y1, ev1 = one_run()
+        y2, ev2 = one_run()
+        assert np.array_equal(y1, y2)
+        assert ev1 == ev2
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:3])
+    def test_spmd_runtime_recovers_too(self, seed):
+        params = p8_params()
+        x = random_complex(np.random.default_rng(seed + 17), params.n)
+        cl = SimCluster(8)
+        chaos_cluster(cl, FaultPlan.random(seed, 8, corrupt_rate=0.002,
+                                           n_rank_failures=1,
+                                           horizon_transfers=3),
+                      RetryPolicy(max_retries=16))
+        y = spmd_soi_fft(cl, params, x)
+        soi = DistributedSoiFFT(SimCluster(8), params)
+        assert rel_err(y, np.fft.fft(x)) < error_bound(soi)
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS[:3])
+    def test_ct_survives_transients(self, rng, seed):
+        """The baseline heals transients through the same retry layer —
+        only whole-rank loss is fatal to it."""
+        params = p8_params()
+        x = random_complex(rng, params.n)
+        cl = SimCluster(8)
+        chaos_cluster(cl, FaultPlan.random(seed, 8, corrupt_rate=0.003,
+                                           timeout_rate=0.003),
+                      RetryPolicy(max_retries=16))
+        ct = DistributedCooleyTukeyFFT(cl, params.n)
+        y = ct.assemble(ct(ct.scatter(x)))
+        assert rel_err(y, np.fft.fft(x)) < 1e-8

@@ -1,8 +1,14 @@
-"""Tests for checksums and fault injection."""
+"""Tests for checksums and fault injection.
+
+The legacy :mod:`repro.cluster.integrity` API is now a deprecation shim
+over the unified fault layer (:mod:`repro.cluster.faults`); the original
+assertions below double as regression coverage for the shims.
+"""
 
 import numpy as np
 import pytest
 
+from repro.cluster.faults import FaultPlan, RetryPolicy
 from repro.cluster.integrity import (
     CorruptionDetected,
     FaultInjector,
@@ -74,6 +80,52 @@ class TestFaultDetection:
         cl = checksummed_cluster(SimCluster(2), inj)
         send = [[np.zeros(0, dtype=np.complex128)] * 2 for _ in range(2)]
         cl.comm.alltoall(send)  # nothing to corrupt, nothing to detect
+
+
+class TestShimsOverFaultPlan:
+    """The deprecated API is a thin wrapper over the unified layer."""
+
+    def test_injector_builds_a_plan(self):
+        inj = FaultInjector(corrupt_nth=7)
+        assert isinstance(inj.plan, FaultPlan)
+        assert inj.plan.corrupt_messages == frozenset({7})
+        assert FaultInjector().plan.is_clean
+
+    def test_checksummed_cluster_installs_detect_only_policy(self):
+        cl = checksummed_cluster(SimCluster(2))
+        assert cl.comm.fault_plan is not None
+        assert cl.comm.fault_plan.is_clean
+        assert cl.comm.retry_policy.max_retries == 0
+
+    def test_same_fault_heals_under_a_retrying_policy(self, rng):
+        """What the old layer could only detect, the new layer rides out."""
+        send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
+
+        cl = checksummed_cluster(SimCluster(3), FaultInjector(corrupt_nth=3))
+        with pytest.raises(CorruptionDetected):
+            cl.comm.alltoall(send)
+
+        cl = SimCluster(3)
+        cl.comm.install_faults(FaultPlan(corrupt_messages=(3,)),
+                               RetryPolicy(max_retries=2))
+        recv = cl.comm.alltoall(send)
+        assert np.array_equal(recv[2][0], send[0][2])
+        assert cl.comm.retry_count == 1
+
+    def test_bcast_now_verified_too(self, rng):
+        """Regression for the old gap: bcast/barrier bypassed the
+        checksum layer; now every collective runs the verified path."""
+        cl = checksummed_cluster(SimCluster(3), FaultInjector(corrupt_nth=1))
+        with pytest.raises(CorruptionDetected, match="bcast"):
+            cl.comm.bcast(random_complex(rng, 4), root=0)
+
+    def test_clear_faults_disarms(self, rng):
+        inj = FaultInjector(corrupt_nth=1)
+        cl = checksummed_cluster(SimCluster(2), inj)
+        cl.comm.clear_faults()
+        send = [[random_complex(rng, 2) for _ in range(2)] for _ in range(2)]
+        cl.comm.alltoall(send)  # no verification, no injection
+        assert inj.seen == 0
 
 
 class TestBatchApi:

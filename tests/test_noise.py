@@ -1,8 +1,15 @@
-"""Tests for noise/straggler injection."""
+"""Tests for noise/straggler injection.
+
+Compute-side noise is now also schedulable through the unified
+:class:`~repro.cluster.faults.FaultPlan` (see ``TestChaosClusterNoise``);
+the direct :class:`NoiseModel` assertions below stay as regression
+coverage for the underlying mechanism.
+"""
 
 import numpy as np
 import pytest
 
+from repro.cluster.faults import FaultPlan, chaos_cluster
 from repro.cluster.noise import NoiseModel, expected_bsp_slowdown, noisy_cluster
 from repro.cluster.simcluster import SimCluster
 
@@ -69,6 +76,34 @@ class TestNoisyCluster:
         # all ranks end together: the straggler gates the collective
         assert max(cl_noisy.clocks) - min(cl_noisy.clocks) < \
             0.5 * cl_noisy.elapsed
+
+
+class TestChaosClusterNoise:
+    """FaultPlan stragglers/jitter arm the same NoiseModel mechanism."""
+
+    def test_plan_straggler_inflates_compute(self):
+        cl = chaos_cluster(SimCluster(2),
+                           FaultPlan(stragglers={1: 1.0}))
+        cl.charge_seconds(0, "w", 1.0)
+        cl.charge_seconds(1, "w", 1.0)
+        assert cl.clocks[0] == pytest.approx(1.0)
+        assert cl.clocks[1] == pytest.approx(2.0)
+
+    def test_plan_noise_matches_direct_noise_model(self):
+        plan = FaultPlan(jitter=0.1, stragglers={0: 0.5}, seed=11)
+        cl_plan = chaos_cluster(SimCluster(2), plan)
+        cl_direct = noisy_cluster(
+            SimCluster(2), NoiseModel(jitter=0.1, stragglers={0: 0.5},
+                                      seed=11))
+        for cl in (cl_plan, cl_direct):
+            cl.charge_seconds(0, "w", 1.0)
+            cl.charge_seconds(1, "w", 1.0)
+        assert cl_plan.clocks == cl_direct.clocks
+
+    def test_noise_free_plan_leaves_compute_alone(self):
+        cl = chaos_cluster(SimCluster(2), FaultPlan(corrupt_messages=(9,)))
+        cl.charge_seconds(0, "w", 1.0)
+        assert cl.clocks[0] == pytest.approx(1.0)
 
 
 class TestBspSlowdown:

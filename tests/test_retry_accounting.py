@@ -1,0 +1,119 @@
+"""Accounting invariants of the retry layer.
+
+Every ``"retry"`` trace event must correspond to a failed first attempt,
+wire bytes and simulated time must be conserved between the communicator
+counters and the trace, and a zero-fault plan must charge nothing under
+the retry category.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultPlan, RetryPolicy, chaos_cluster
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from tests.conftest import random_complex
+
+PARAMS = SoiParams(n=8 * 448, n_procs=8, segments_per_process=1,
+                   n_mu=8, d_mu=7, b=48)
+
+
+def soi_run(plan=None, policy=None, seed=3):
+    cl = SimCluster(PARAMS.n_procs)
+    if plan is not None:
+        chaos_cluster(cl, plan, policy or RetryPolicy(max_retries=16))
+    soi = DistributedSoiFFT(cl, PARAMS)
+    x = random_complex(np.random.default_rng(seed), PARAMS.n)
+    soi(soi.scatter(x))
+    return cl
+
+
+class TestZeroFaultPlans:
+    def test_no_retry_events_under_clean_plan(self):
+        cl = soi_run(FaultPlan())
+        assert not [e for e in cl.trace.events if e.category == "retry"]
+        assert cl.comm.retry_count == 0
+
+    def test_clean_plan_matches_no_plan_accounting(self):
+        armed = soi_run(FaultPlan())
+        bare = soi_run(None)
+        assert armed.comm.bytes_moved == bare.comm.bytes_moved
+        assert armed.comm.message_count == bare.comm.message_count
+        assert armed.elapsed == pytest.approx(bare.elapsed)
+
+    def test_retry_total_is_zero(self):
+        cl = soi_run(FaultPlan())
+        assert cl.trace.total(category="retry") == 0.0
+
+
+class TestRetryEventsMatchFailedAttempts:
+    def plan(self):
+        # two transient corruptions: one in the ghost exchange, one in
+        # the all-to-all (P=8: ring = messages 1-16, alltoall 17-72)
+        return FaultPlan(corrupt_messages=(5, 20), timeout_messages=(40,))
+
+    def test_every_retry_has_an_earlier_first_attempt(self):
+        cl = soi_run(self.plan())
+        events = cl.trace.events
+        retries = [e for e in events if e.category == "retry"]
+        assert retries
+        for ev in retries:
+            base = ev.label.removesuffix(" (backoff)")
+            first = [e for e in events
+                     if e.rank == ev.rank and e.label == base
+                     and e.category in ("mpi", "other")
+                     and e.t_start <= ev.t_start]
+            assert first, f"retry event {ev} has no failed first attempt"
+
+    def test_retry_count_matches_reflown_collectives(self):
+        cl = soi_run(self.plan())
+        # each re-flown collective charges one retry event per rank
+        reflown = [e for e in cl.trace.events if e.category == "retry"
+                   and not e.label.endswith("(backoff)")]
+        assert len(reflown) == cl.comm.retry_count * PARAMS.n_procs
+
+    def test_backoff_waits_are_traced(self):
+        cl = soi_run(self.plan())
+        backoffs = [e for e in cl.trace.events
+                    if e.label.endswith("(backoff)")]
+        assert backoffs
+        assert all(e.category == "retry" for e in backoffs)
+        assert all(e.nbytes == 0 for e in backoffs)
+
+    def test_timeout_stall_charged_on_failed_attempt(self):
+        stall = 2e-3
+        slow = soi_run(FaultPlan(timeout_messages=(5,)),
+                       RetryPolicy(max_retries=2, timeout_seconds=stall,
+                                   backoff_base=0.0))
+        clean = soi_run(None)
+        # one stalled first attempt + one clean re-flight of the ghost
+        # exchange: the makespan grows by the stall plus the re-flight
+        assert slow.elapsed > clean.elapsed + stall
+
+
+class TestByteConservation:
+    def test_bytes_moved_equals_traced_wire_bytes(self):
+        """With corruption-only faults (no bcast in the run), the sum of
+        per-event wire bytes over mpi + retry events equals the
+        communicator's bytes_moved counter — retransmissions included."""
+        cl = soi_run(FaultPlan(corrupt_messages=(5, 20, 60)))
+        traced = sum(e.nbytes for e in cl.trace.events
+                     if e.category in ("mpi", "retry"))
+        assert traced == cl.comm.bytes_moved
+
+    def test_retries_add_wire_traffic(self):
+        faulty = soi_run(FaultPlan(corrupt_messages=(20,)))
+        clean = soi_run(None)
+        assert faulty.comm.retry_count == 1
+        assert faulty.comm.bytes_moved > clean.comm.bytes_moved
+        assert faulty.comm.message_count > clean.comm.message_count
+
+    def test_retry_time_equals_category_total(self):
+        cl = soi_run(FaultPlan(corrupt_messages=(5, 20)))
+        per_event = sum(e.duration for e in cl.trace.events
+                        if e.category == "retry") / PARAMS.n_procs
+        # total() sums per-rank durations; collectives charge all 8 ranks
+        assert cl.trace.total(category="retry") == \
+            pytest.approx(per_event * PARAMS.n_procs)
+        assert per_event > 0
