@@ -2,11 +2,14 @@
 """Fault-tolerance sweep: makespan inflation vs fault rate, SOI vs CT.
 
 Thin driver over :mod:`repro.bench.faultsweep`; renders the sweep table
-and the rank-failure recovery demo to ``benchmarks/results/fault_sweep.txt``.
+and the rank-failure recovery demo to ``benchmarks/results/fault_sweep.txt``
+plus the ABFT detection-coverage exhibit (self-verifying stages vs SDC
+amplitude) to ``benchmarks/results/abft_coverage.txt``.
 
 Usage::
 
     PYTHONPATH=src python bench/fault_sweep.py [--quick] [--output PATH]
+        [--abft-output PATH] [--no-abft]
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bench.faultsweep import (  # noqa: E402
     DEFAULT_RATES,
     DEFAULT_SEEDS,
+    render_abft_coverage,
     render_fault_sweep,
 )
 
@@ -32,6 +36,11 @@ def main(argv=None) -> int:
     ap.add_argument("--output", type=Path,
                     default=REPO_ROOT / "benchmarks" / "results"
                     / "fault_sweep.txt")
+    ap.add_argument("--abft-output", type=Path,
+                    default=REPO_ROOT / "benchmarks" / "results"
+                    / "abft_coverage.txt")
+    ap.add_argument("--no-abft", action="store_true",
+                    help="skip the ABFT detection-coverage exhibit")
     args = ap.parse_args(argv)
 
     rates = (0.0, 0.002, 0.01) if args.quick else DEFAULT_RATES
@@ -41,6 +50,14 @@ def main(argv=None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(text + "\n")
     print(f"[saved to {args.output}]")
+
+    if not args.no_abft:
+        abft_text = render_abft_coverage(seeds=seeds)
+        print()
+        print(abft_text)
+        args.abft_output.parent.mkdir(parents=True, exist_ok=True)
+        args.abft_output.write_text(abft_text + "\n")
+        print(f"[saved to {args.abft_output}]")
     return 0
 
 

@@ -54,6 +54,7 @@ from repro.fft.stockham import StockhamPlan, _butterfly_matrix  # noqa: E402
 LARGE_ALLOC = 1 << 20  # 1 MiB
 SOI_SPEEDUP_FLOOR = 1.5
 STOCKHAM_REGRESSION_SLACK = 1.10  # after may be at most 10% slower than before
+ABFT_OVERHEAD_SLACK = 1.10  # verified batch may cost at most 10% extra
 
 
 # ---------------------------------------------------------------------------
@@ -239,6 +240,26 @@ def run(quick: bool) -> dict:
            best_of(per_row_seed, reps),
            best_of(lambda: cf.batch(xs, out=xs_out), reps))
 
+    # -- 6. ABFT-verified batched SOI (the price of self-verification) --
+    # the plain baseline is re-timed back to back with the verified run
+    # so the overhead ratio is not polluted by machine-state drift
+    # between workload sections
+    vf = SoiFFT(cp, verify=True)
+    vout = np.empty_like(xs)
+    vf.batch(xs, out=vout)  # warm the verifier's lazy tables
+    base_s = best_of(lambda: cf.batch(xs, out=xs_out), reps)
+    verified_s = best_of(lambda: vf.batch(xs, out=vout), reps)
+    overhead = verified_s / base_s if base_s else None
+    results["abft"] = {
+        "soi_batch_verified_s": round(verified_s, 6),
+        "soi_batch_s": base_s,
+        "overhead": round(overhead, 3),
+        "detections": vf.verifier.report.detections,  # must stay 0
+    }
+    print(f"  {'soi_batch_verified':24s} plain  {base_s * 1e3:9.2f} ms   "
+          f"abft  {verified_s * 1e3:9.2f} ms   "
+          f"overhead {overhead:5.3f}x")
+
     # -- allocation audit (planned paths, steady state) ----------------
     print("allocation audit (steady state, threshold 1 MiB):")
     for name, fn in [
@@ -275,6 +296,7 @@ def main(argv=None) -> int:
     stockham_ratio = (wl["stockham_single"]["after_s"]
                       / wl["stockham_single"]["before_s"])
     allocs_ok = all(a["ok"] for a in results["allocations"].values())
+    abft_overhead = results["abft"]["overhead"]
     criteria = {
         "batched_soi_speedup_min": SOI_SPEEDUP_FLOOR,
         "batched_soi_speedup": soi_speedup,
@@ -282,6 +304,11 @@ def main(argv=None) -> int:
         "stockham_single_after_over_before": round(stockham_ratio, 3),
         "stockham_no_regression": bool(
             stockham_ratio <= STOCKHAM_REGRESSION_SLACK),
+        "abft_overhead_max": ABFT_OVERHEAD_SLACK,
+        "abft_overhead": abft_overhead,
+        "abft_ok": bool(abft_overhead is not None
+                        and abft_overhead <= ABFT_OVERHEAD_SLACK
+                        and results["abft"]["detections"] == 0),
         "zero_alloc_ok": allocs_ok,
     }
     payload = {

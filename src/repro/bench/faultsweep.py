@@ -25,12 +25,18 @@ from repro.core.params import SoiParams
 from repro.core.soi_dist import DistributedSoiFFT
 
 __all__ = [
+    "ABFT_AMPLITUDES",
     "DEFAULT_RATES",
     "DEFAULT_SEEDS",
+    "abft_coverage_rows",
+    "detection_coverage",
     "fault_sweep_rows",
     "rank_failure_demo",
+    "render_abft_coverage",
     "render_fault_sweep",
+    "sdc_ground_truth",
     "sweep_params",
+    "verify_params",
 ]
 
 #: Per-wire-message fault probabilities on the x axis.  A P=8 all-to-all
@@ -161,6 +167,145 @@ def rank_failure_demo(p: int = 8, seed: int = 7) -> dict:
         "recomputed_rows": rec.recomputed_rows if rec else 0,
         "ct_outcome": ct_outcome,
     }
+
+
+# ---------------------------------------------------------------------------
+# ABFT detection coverage: silent data corruption vs the self-verifying
+# pipeline (repro.verify).  Ground truth comes from the fault plan's SDC
+# log; a run "detects" an injection when a tripped invariant names the
+# same stage and rank, and "localizes" it when the named segment set
+# contains the corrupted segment.
+# ---------------------------------------------------------------------------
+
+#: Injected perturbation amplitudes (units of the stage buffer's RMS).
+#: The first sits far below the calibrated detectability floor (the run
+#: must stay silently within the output error bound); the rest span
+#: barely-visible to catastrophic.
+ABFT_AMPLITUDES = (1e-13, 1e-8, 1e-4, 1.0)
+
+
+def verify_params(p: int = 4) -> SoiParams:
+    """The executed-run configuration for ABFT coverage (2 segment slots
+    per rank so segment-level localization is non-trivial)."""
+    return SoiParams(n=p * 2 * 448, n_procs=p, segments_per_process=2,
+                     n_mu=8, d_mu=7, b=48)
+
+
+def sdc_ground_truth(plan: FaultPlan,
+                     params: SoiParams) -> list[tuple[str, int, int]]:
+    """Map logged SDC events to ``(stage, rank, global_segment)`` truth.
+
+    ``"conv"`` events strike the (rows, S) post-conv buffer, whose
+    columns are the global segments; ``"segment-fft"`` events strike the
+    (spp, M') spectra of the rank's owned slots.
+    """
+    s, spp = params.n_segments, params.segments_per_process
+    mp = params.m_oversampled
+    out = []
+    for ev in plan.sdc_log:
+        if ev.stage == "conv":
+            seg = ev.element % s
+        else:  # "segment-fft"
+            seg = ev.rank * spp + ev.element // mp
+        out.append((ev.stage, ev.rank, seg))
+    return out
+
+
+def detection_coverage(report, plan: FaultPlan,
+                       params: SoiParams) -> dict:
+    """Score a verification report against the plan's SDC ground truth."""
+    truth = sdc_ground_truth(plan, params)
+    detected = localized = 0
+    for stage, rank, seg in truth:
+        evs = [e for e in report.events
+               if e.stage == stage and e.rank == rank]
+        detected += bool(evs)
+        localized += any(seg in e.segments for e in evs)
+    return {"injected": len(truth), "detected": detected,
+            "localized": localized, "detections": report.detections,
+            "repairs": report.repairs, "escalations": report.escalations}
+
+
+def _run_verified(params: SoiParams, x: np.ndarray, seed: int,
+                  sdc_rate: float, amplitude: float):
+    cl = SimCluster(params.n_procs)
+    # one run consumes exactly 2P SDC slots (P conv stages + P
+    # segment-FFT stages); matching the horizon makes sdc_rate the
+    # per-stage corruption probability
+    plan = FaultPlan.random(seed, params.n_procs, sdc_rate=sdc_rate,
+                            sdc_amplitude=amplitude,
+                            horizon_sdc=2 * params.n_procs)
+    chaos_cluster(cl, plan)
+    soi = DistributedSoiFFT(cl, params, verify=True)
+    y = soi.assemble(soi(soi.scatter(x)))
+    return cl, plan, soi, y
+
+
+def abft_coverage_rows(amplitudes: tuple[float, ...] = ABFT_AMPLITUDES,
+                       seeds: tuple[int, ...] = DEFAULT_SEEDS,
+                       p: int = 4, sdc_rate: float = 0.25) -> dict:
+    """Detection/localization coverage vs perturbation amplitude.
+
+    Returns ``{"clean_detections": int, "bound": float, "rows": [...]}``
+    where each row is ``[amplitude, injected, detected%, localized%,
+    max rel err, repair us]``.  ``clean_detections`` counts invariant
+    trips across sdc-free runs of every seed — the false-positive count,
+    which must be zero (thresholds are calibrated, not tuned).
+    """
+    params = verify_params(p)
+    rng = np.random.default_rng(99)
+    x = rng.standard_normal(params.n) + 1j * rng.standard_normal(params.n)
+    ref = np.fft.fft(x)
+    nref = float(np.linalg.norm(ref))
+
+    clean_det = 0
+    bound = 0.0
+    for seed in seeds:
+        _, _, soi, _ = _run_verified(params, x, seed, 0.0, 1.0)
+        clean_det += soi.last_verification.detections
+        bound = soi.verifier.thresholds.output_rtol
+
+    rows = []
+    for amp in amplitudes:
+        injected = detected = localized = 0
+        max_err, repair_s = 0.0, 0.0
+        for seed in seeds:
+            cl, plan, soi, y = _run_verified(params, x, seed, sdc_rate, amp)
+            cov = detection_coverage(soi.last_verification, plan, params)
+            injected += cov["injected"]
+            detected += cov["detected"]
+            localized += cov["localized"]
+            max_err = max(max_err,
+                          float(np.linalg.norm(y - ref)) / nref)
+            repair_s += sum(e.duration for e in cl.trace.events
+                            if e.label == "abft repair")
+        pct = (lambda k: round(100.0 * k / injected, 1) if injected
+               else "-")
+        rows.append([amp, injected, pct(detected), pct(localized),
+                     f"{max_err:.1e}", round(repair_s * 1e6, 2)])
+    return {"clean_detections": clean_det, "bound": bound, "rows": rows}
+
+
+def render_abft_coverage(amplitudes: tuple[float, ...] = ABFT_AMPLITUDES,
+                         seeds: tuple[int, ...] = DEFAULT_SEEDS,
+                         p: int = 4, sdc_rate: float = 0.25) -> str:
+    """Text exhibit: ABFT coverage table + clean false-positive line."""
+    from repro.bench.tables import render_table
+
+    data = abft_coverage_rows(amplitudes, seeds, p, sdc_rate)
+    text = render_table(
+        ["amplitude (rms)", "injected", "detected %", "localized %",
+         "max rel err", "repair us"],
+        data["rows"],
+        title=f"ABFT detection coverage vs SDC amplitude (P={p}, "
+              f"rate={sdc_rate}/stage, {len(seeds)} seeds)")
+    text += (
+        f"\n\nClean runs ({len(seeds)} seeds, no SDC): "
+        f"{data['clean_detections']} invariant trips (false positives)."
+        f"\nOutput error bound {data['bound']:.1e}; sub-threshold "
+        "amplitudes may go undetected but stay inside the bound — "
+        "corruption below the noise floor is harmless by construction.")
+    return text
 
 
 def render_fault_sweep(rates: tuple[float, ...] = DEFAULT_RATES,

@@ -8,6 +8,9 @@ Commands
 ``figures``    regenerate the paper's model-driven exhibits as text
 ``fault-sweep``  makespan inflation vs fault rate on the faulty simulated
                fabric (SOI vs Cooley-Tukey + rank-failure recovery demo)
+``verify``     run the ABFT self-verifying distributed transform under a
+               seeded silent-data-corruption schedule and report
+               detection / localization / repair counts
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -146,6 +149,47 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.bench.faultsweep import detection_coverage
+    from repro.cluster.faults import FaultPlan, chaos_cluster
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+    from repro.util.validate import relative_l2_error
+
+    p = SoiParams(n=args.n, n_procs=args.ranks,
+                  segments_per_process=args.segments,
+                  n_mu=args.n_mu, d_mu=args.d_mu, b=args.b)
+    cluster = SimCluster(args.ranks)
+    plan = FaultPlan.random(args.seed, args.ranks, sdc_rate=args.sdc_rate,
+                            sdc_amplitude=args.amplitude,
+                            horizon_sdc=2 * args.ranks)
+    chaos_cluster(cluster, plan)
+    soi = DistributedSoiFFT(cluster, p, verify=True)
+    th = soi.verifier.thresholds
+    print(f"running {p.describe()}")
+    print(f"fault plan: {plan.describe()}")
+    print(f"thresholds: checksum_rtol={th.checksum_rtol:.2e} "
+          f"energy_rtol={th.energy_rtol:.2e} "
+          f"min_detectable={th.min_detectable_amplitude:.2e} rms")
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(p.n) + 1j * rng.standard_normal(p.n)
+    y = soi.assemble(soi(soi.scatter(x)))
+    err = relative_l2_error(y, np.fft.fft(x))
+    rep = soi.last_verification
+    cov = detection_coverage(rep, plan, p)
+    print(f"verification: {rep.summary()}")
+    print(f"sdc: injected={cov['injected']} detected={cov['detected']} "
+          f"localized={cov['localized']} repairs={cov['repairs']} "
+          f"escalations={cov['escalations']}")
+    print(f"rel l2 error vs numpy: {err:.2e} (bound {th.output_rtol:.1e})")
+    ok = (err <= th.output_rtol
+          and cov["detected"] == cov["injected"]
+          and (plan.sdc_events or rep.detections == 0))
+    print("verify:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import write_report
 
@@ -204,6 +248,22 @@ def main(argv: list[str] | None = None) -> int:
     fs.add_argument("--output", default=None,
                     help="also save the exhibit to this path")
 
+    v = sub.add_parser(
+        "verify",
+        help="self-verifying distributed transform under seeded SDC")
+    v.add_argument("--n", type=int, default=4 * 2 * 448)
+    v.add_argument("--ranks", type=int, default=4)
+    v.add_argument("--segments", type=int, default=2,
+                   help="segment slots per rank")
+    v.add_argument("--n-mu", dest="n_mu", type=int, default=8)
+    v.add_argument("--d-mu", dest="d_mu", type=int, default=7)
+    v.add_argument("--b", type=int, default=48)
+    v.add_argument("--seed", type=int, default=0)
+    v.add_argument("--sdc-rate", dest="sdc_rate", type=float, default=0.25,
+                   help="per-stage silent-corruption probability")
+    v.add_argument("--amplitude", type=float, default=5.0,
+                   help="perturbation amplitude in units of buffer RMS")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -218,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         "transform": _cmd_transform,
         "figures": _cmd_figures,
         "fault-sweep": _cmd_fault_sweep,
+        "verify": _cmd_verify,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

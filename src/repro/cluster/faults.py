@@ -28,6 +28,7 @@ category, so Fig-9-style breakdowns show the cost of resilience.
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,6 +39,7 @@ __all__ = [
     "RankFailed",
     "RetriesExhausted",
     "RetryPolicy",
+    "SdcEvent",
     "chaos_cluster",
     "checksum",
 ]
@@ -67,6 +69,21 @@ class RankFailed(CollectiveFailure):
     def __init__(self, rank: int, message: str):
         super().__init__(message)
         self.rank = rank
+
+
+@dataclass(frozen=True)
+class SdcEvent:
+    """One injected silent data corruption (ground truth for coverage).
+
+    Recorded in :attr:`FaultPlan.sdc_log` when :meth:`FaultPlan.apply_sdc`
+    fires, so detection-coverage sweeps can compare what the ABFT layer
+    *reported* against what was *actually* injected."""
+
+    index: int  # 1-based slot in the SDC schedule
+    rank: int  # rank whose stage output was corrupted
+    stage: str  # pipeline stage name ("conv", "segment-fft", ...)
+    element: int  # flat index of the corrupted element
+    amplitude: float  # perturbation magnitude relative to the array rms
 
 
 class RetryPolicy:
@@ -126,7 +143,8 @@ class FaultPlan:
     def __init__(self, corrupt_messages=(), timeout_messages=(),
                  rank_failures: dict[int, int] | None = None,
                  stragglers: dict[int, float] | None = None,
-                 jitter: float = 0.0, seed: int = 0):
+                 jitter: float = 0.0, seed: int = 0,
+                 sdc_events: dict[int, float] | None = None):
         self.corrupt_messages = frozenset(int(i) for i in corrupt_messages)
         self.timeout_messages = frozenset(int(i) for i in timeout_messages)
         self.rank_failures = {int(r): int(t)
@@ -134,6 +152,8 @@ class FaultPlan:
         self.stragglers = dict(stragglers or {})
         self.jitter = float(jitter)
         self.seed = int(seed)
+        self.sdc_events = {int(i): float(a)
+                           for i, a in (sdc_events or {}).items()}
         if any(i < 1 for i in self.corrupt_messages | self.timeout_messages):
             raise ValueError("message indices are 1-based")
         if self.corrupt_messages & self.timeout_messages:
@@ -142,6 +162,10 @@ class FaultPlan:
             raise ValueError("transfer indices are 1-based")
         if self.jitter < 0 or any(s < 0 for s in self.stragglers.values()):
             raise ValueError("noise terms must be non-negative")
+        if any(i < 1 for i in self.sdc_events):
+            raise ValueError("SDC indices are 1-based")
+        if any(a <= 0 for a in self.sdc_events.values()):
+            raise ValueError("SDC amplitudes must be positive")
         self.reset()
 
     # -- construction -------------------------------------------------------
@@ -151,13 +175,20 @@ class FaultPlan:
                timeout_rate: float = 0.0, n_rank_failures: int = 0,
                horizon_messages: int = 4096, horizon_transfers: int = 64,
                min_survivors: int = 1, jitter: float = 0.0,
-               n_stragglers: int = 0, straggler_slowdown: float = 1.0
-               ) -> "FaultPlan":
+               n_stragglers: int = 0, straggler_slowdown: float = 1.0,
+               sdc_rate: float = 0.0, sdc_amplitude: float = 1.0,
+               horizon_sdc: int = 256) -> "FaultPlan":
         """Draw a seeded schedule: per-message Bernoulli corruption and
         timeout over the first *horizon_messages* wire payloads, plus
         *n_rank_failures* distinct ranks failing at uniform transfer
-        indices (capped so at least *min_survivors* ranks remain)."""
-        if not 0 <= corrupt_rate <= 1 or not 0 <= timeout_rate <= 1:
+        indices (capped so at least *min_survivors* ranks remain).
+        ``sdc_rate`` adds per-slot Bernoulli silent data corruption over
+        the first *horizon_sdc* compute-stage outputs, each perturbing
+        one element by ``sdc_amplitude`` times the array rms (the
+        compute-side analogue of ``corrupt_rate`` — invisible to wire
+        checksums, the ABFT layer's problem to catch)."""
+        if not 0 <= corrupt_rate <= 1 or not 0 <= timeout_rate <= 1 \
+                or not 0 <= sdc_rate <= 1:
             raise ValueError("rates must be probabilities")
         rng = np.random.default_rng(seed)
         draws = rng.random(horizon_messages)
@@ -177,9 +208,16 @@ class FaultPlan:
             picks = rng.choice(n_ranks, size=min(n_stragglers, n_ranks),
                                replace=False)
             stragglers = {int(r): float(straggler_slowdown) for r in picks}
+        # drawn last so schedules built without SDC keep the exact draw
+        # sequence (and traces) of pre-SDC plans with the same arguments
+        sdc: dict[int, float] = {}
+        if sdc_rate:
+            draws_s = rng.random(horizon_sdc)
+            sdc = {i + 1: float(sdc_amplitude) for i in range(horizon_sdc)
+                   if draws_s[i] < sdc_rate}
         return cls(corrupt_messages=corrupt, timeout_messages=timeouts,
                    rank_failures=failures, stragglers=stragglers,
-                   jitter=jitter, seed=seed)
+                   jitter=jitter, seed=seed, sdc_events=sdc)
 
     # -- runtime interface (driven by the Communicator) ---------------------
 
@@ -190,6 +228,9 @@ class FaultPlan:
         self.corruptions_injected = 0
         self.timeouts_injected = 0
         self.failed_ranks_declared: list[int] = []
+        self.sdc_seen = 0
+        self.sdc_injected = 0
+        self.sdc_log: list[SdcEvent] = []
 
     def begin_transfer(self) -> frozenset[int]:
         """Advance the transfer counter; returns the ranks dead during it."""
@@ -218,18 +259,63 @@ class FaultPlan:
             return bad, "corrupt"
         return payload, None
 
+    def apply_sdc(self, data: np.ndarray, *, rank: int = -1,
+                  stage: str = "") -> np.ndarray:
+        """Consume one compute-output slot; maybe corrupt one element.
+
+        Silent data corruption: the returned array (a tampered copy when
+        the schedule fires, *data* itself otherwise) carries a single
+        element perturbed by ``amplitude * rms(data)`` at a seeded
+        position and phase.  Unlike :meth:`apply`, nothing downstream
+        raises — wire checksums verify the corrupted values faithfully,
+        so only algorithm-level invariants (:mod:`repro.verify`) can
+        notice.  The pipelines call this at every stage-output point
+        whether or not verification is enabled; with an empty SDC
+        schedule the call is free.
+        """
+        if not self.sdc_events:
+            return data
+        self.sdc_seen += 1
+        amp = self.sdc_events.get(self.sdc_seen)
+        if amp is None or data.size == 0:
+            return data
+        bad = np.array(data, copy=True)
+        flat = bad.reshape(-1)
+        rng = np.random.default_rng(
+            (self.seed << 20) ^ (self.sdc_seen * 0x9E3779B1))
+        k = int(rng.integers(flat.size))
+        rms = float(np.sqrt(np.mean(np.abs(flat) ** 2))) or 1.0
+        if np.iscomplexobj(bad):
+            flat[k] += amp * rms * np.exp(2j * np.pi * rng.random())
+        else:
+            flat[k] += amp * rms * (1.0 if rng.random() < 0.5 else -1.0)
+        self.sdc_injected += 1
+        self.sdc_log.append(SdcEvent(index=self.sdc_seen, rank=rank,
+                                     stage=stage, element=k,
+                                     amplitude=float(amp)))
+        return bad
+
     @property
     def is_clean(self) -> bool:
-        """True if the schedule contains no communication faults."""
+        """True if the schedule contains no communication faults.
+
+        Compute-side silent corruption is tracked separately (see
+        :attr:`has_sdc`): wire checksums neither see nor heal it."""
         return not (self.corrupt_messages or self.timeout_messages
                     or self.rank_failures)
+
+    @property
+    def has_sdc(self) -> bool:
+        """True if the schedule injects compute-side silent corruption."""
+        return bool(self.sdc_events)
 
     def describe(self) -> str:
         return (f"FaultPlan(seed={self.seed}, "
                 f"corrupt={len(self.corrupt_messages)}, "
                 f"timeout={len(self.timeout_messages)}, "
                 f"rank_failures={dict(sorted(self.rank_failures.items()))}, "
-                f"stragglers={len(self.stragglers)}, jitter={self.jitter})")
+                f"stragglers={len(self.stragglers)}, jitter={self.jitter}, "
+                f"sdc={len(self.sdc_events)})")
 
 
 def chaos_cluster(cluster, plan: FaultPlan,

@@ -22,6 +22,8 @@ call :func:`~repro.cluster.faults.chaos_cluster` (or
 
 from __future__ import annotations
 
+import warnings
+
 from repro.cluster.faults import (
     CorruptionDetected,
     FaultPlan,
@@ -42,6 +44,11 @@ class FaultInjector:
     """
 
     def __init__(self, corrupt_nth: int | None = None):
+        warnings.warn(
+            "FaultInjector is deprecated; build a "
+            "repro.cluster.faults.FaultPlan(corrupt_messages=...) and "
+            "install it with chaos_cluster() or comm.install_faults()",
+            DeprecationWarning, stacklevel=2)
         self.corrupt_nth = corrupt_nth
         self.plan = FaultPlan(
             corrupt_messages=(corrupt_nth,) if corrupt_nth else ())
@@ -64,6 +71,11 @@ def checksummed_cluster(cluster: SimCluster,
     route, exactly as before — except the verification now covers all
     collectives through the communicator's single verified path.
     """
+    warnings.warn(
+        "checksummed_cluster is deprecated; every collective already runs "
+        "through the communicator's verified path once a FaultPlan is "
+        "installed — use repro.cluster.faults.chaos_cluster()",
+        DeprecationWarning, stacklevel=2)
     plan = injector.plan if injector is not None else FaultPlan()
     cluster.comm.install_faults(plan, RetryPolicy(max_retries=0))
     return cluster

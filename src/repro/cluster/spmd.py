@@ -114,7 +114,7 @@ def _check_uniform(requests: list) -> type:
 
 
 def run_spmd(cluster: SimCluster, program: Callable, *args,
-             checkpoints: dict | None = None) -> list:
+             checkpoints: dict | None = None, hedge=None) -> list:
     """Run *program(ctx, \\*args)* as a generator on every rank.
 
     Returns the list of per-rank return values.  Compute requests are
@@ -127,6 +127,12 @@ def run_spmd(cluster: SimCluster, program: Callable, *args,
     caller owns the dict, checkpointed stage data survives a collective
     raising :class:`~repro.cluster.faults.RankFailed` — the basis for
     shrink-and-redistribute restarts.
+
+    *hedge*, if given, is a :class:`repro.verify.watchdog.HedgePolicy`:
+    after each stepping round (all ranks advanced to their next
+    collective) it reviews the round's per-rank compute charges and
+    speculatively duplicates straggling steps on idle peers, first
+    finisher wins (charged to the ``"hedge"`` trace category).
     """
     p = cluster.n_ranks
     gens = []
@@ -142,6 +148,7 @@ def run_spmd(cluster: SimCluster, program: Callable, *args,
     try:
         while not all(done):
             requests: list = [None] * p
+            round_steps: list = []  # (rank, label, t0, seconds) this round
             for r, g in enumerate(gens):
                 if done[r]:
                     continue
@@ -150,7 +157,12 @@ def run_spmd(cluster: SimCluster, program: Callable, *args,
                         req = g.send(payload[r])
                         payload[r] = None
                         if isinstance(req, Compute):
+                            t0 = cluster.clocks[r]
                             cluster.charge_seconds(r, req.label, req.seconds)
+                            # record the *charged* duration (noise models
+                            # may inflate it) — what hedging must see
+                            round_steps.append(
+                                (r, req.label, t0, cluster.clocks[r] - t0))
                             continue  # local: keep stepping this rank
                         if isinstance(req, Checkpoint):
                             if checkpoints is not None:
@@ -165,6 +177,8 @@ def run_spmd(cluster: SimCluster, program: Callable, *args,
                 except StopIteration as stop:
                     done[r] = True
                     results[r] = stop.value
+            if hedge is not None and round_steps:
+                hedge.review(cluster, round_steps)
             live = [r for r in range(p) if not done[r]]
             if not live:
                 break

@@ -14,9 +14,13 @@ from dataclasses import dataclass, field
 __all__ = ["Event", "Trace", "CATEGORIES"]
 
 #: Canonical event categories used by the breakdown benches.  ``"retry"``
-#: holds fault-recovery cost: backoff waits and re-flown transfers charged
-#: by the communicator's verified path (see :mod:`repro.cluster.faults`).
-CATEGORIES = ("compute", "mpi", "pcie", "retry", "other")
+#: holds fault-recovery cost: backoff waits, re-flown transfers charged
+#: by the communicator's verified path (see :mod:`repro.cluster.faults`),
+#: and ABFT repair recomputes (see :mod:`repro.verify`).  ``"hedge"``
+#: holds speculative duplicate execution launched by the straggler
+#: watchdog (:class:`repro.verify.HedgePolicy`) — time a helper rank
+#: spent racing a slow rank's task.
+CATEGORIES = ("compute", "mpi", "pcie", "retry", "hedge", "other")
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,8 @@ import numpy as np
 from repro.core.window import SoiTables
 from repro.fft.plan import get_plan
 
-__all__ = ["AliasAnalysis", "alias_analysis", "tone_response"]
+__all__ = ["AliasAnalysis", "VerificationThresholds", "alias_analysis",
+           "tone_response", "verification_thresholds"]
 
 
 def tone_response(tables: SoiTables, frequencies: np.ndarray) -> np.ndarray:
@@ -96,3 +97,65 @@ def alias_analysis(tables: SoiTables, bins: np.ndarray | None = None,
             nu = bins + side * l * mp
             alias += np.abs(tone_response(tables, nu.astype(np.float64)))
     return AliasAnalysis(bins=bins, signal=signal, alias_sum=alias)
+
+
+@dataclass(frozen=True)
+class VerificationThresholds:
+    """Calibrated tolerances for the ABFT invariants (:mod:`repro.verify`).
+
+    Each field bounds the floating-point noise a *clean* run can show on
+    one invariant class, so any excess flags corruption with zero false
+    positives:
+
+    * ``checksum_rtol`` — weighted-checksum-row comparisons (transform of
+      the checksum row vs checksum of the transformed rows), normalized
+      by the absolute-sum of the checksummed terms;
+    * ``energy_rtol`` — Parseval/energy invariants at stage boundaries,
+      relative to the stage's total energy;
+    * ``demod_rtol`` — the elementwise demodulation consistency check;
+    * ``output_rtol`` — end-to-end agreement with the exact DFT (the
+      alias-analysis bound, never tighter than the proven
+      10x-expected-stopband convention);
+    * ``min_detectable_amplitude`` — the smallest single-element
+      perturbation (relative to the array rms) the energy invariant is
+      guaranteed to see even when the corruption lands orthogonal to the
+      existing value (the worst case: only the quadratic term survives).
+    """
+
+    checksum_rtol: float
+    energy_rtol: float
+    demod_rtol: float
+    output_rtol: float
+    min_detectable_amplitude: float
+
+
+def verification_thresholds(tables: SoiTables, *, dtype=np.complex128,
+                            safety: float = 64.0,
+                            use_alias: bool = True
+                            ) -> VerificationThresholds:
+    """Calibrate ABFT tolerances from the table's exact alias analysis.
+
+    The stage invariants are exact identities, so their thresholds come
+    from floating-point accumulation-error models scaled by *safety*: a
+    weighted sum of ``m`` terms carries ~``eps*sqrt(m)`` relative noise
+    (pairwise summation), an FFT perturbs norms by ~``eps*log2(n)``.  The
+    end-to-end bound is algorithmic, not floating point — it comes from
+    :func:`alias_analysis` (the rigorous per-bin worst case), floored at
+    the ``10 * expected_stopband`` convention the accuracy tests use.
+    """
+    p = tables.params
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    mp = p.m_oversampled
+    terms = mp + p.b * p.n_mu  # longest checksum accumulation chain
+    checksum_rtol = safety * eps * float(np.sqrt(terms))
+    energy_rtol = safety * eps * (np.log2(mp) + 4.0)
+    demod_rtol = safety * eps
+    output_rtol = 10.0 * tables.expected_stopband + 1e-12
+    if use_alias:
+        output_rtol = max(output_rtol, 2.0 * alias_analysis(tables).worst)
+    return VerificationThresholds(
+        checksum_rtol=float(checksum_rtol),
+        energy_rtol=float(energy_rtol),
+        demod_rtol=float(demod_rtol),
+        output_rtol=float(output_rtol),
+        min_detectable_amplitude=float(np.sqrt(4.0 * mp * energy_rtol)))

@@ -64,7 +64,8 @@ class DistributedSoiFFT:
                  conv_efficiency: float = DEFAULT_CONV_EFFICIENCY,
                  conv_strategy: ConvStrategy = ConvStrategy.BUFFERED,
                  fuse_demodulation: bool = True,
-                 segment_exchanges: bool = False):
+                 segment_exchanges: bool = False,
+                 verify=False):
         if params.n_procs != cluster.n_ranks:
             raise ValueError(f"params expect {params.n_procs} ranks, "
                              f"cluster has {cluster.n_ranks}")
@@ -91,6 +92,24 @@ class DistributedSoiFFT:
         self.segment_exchanges = segment_exchanges
         #: Set by :meth:`recover` after a run that survived rank failures.
         self.last_recovery: RecoveryReport | None = None
+        #: ABFT verifier (``verify=True`` or a VerifyPolicy arms it): every
+        #: rank's post-conv segments are checksum-verified *before* they are
+        #: checkpointed or cross the wire, every destination's segment
+        #: spectra are checked against Parseval + an appended checksum row,
+        #: and demodulation is consistency-checked.  Detected segments are
+        #: recomputed from the in-memory stage inputs; verification time is
+        #: charged as ``"abft verify"`` and repairs as ``"abft repair"``.
+        #: If the installed wire fault plan carries SDC events
+        #: (:meth:`repro.cluster.faults.FaultPlan.apply_sdc`), they strike
+        #: the stage buffers here.  Per-call results land in
+        #: ``self.last_verification``.
+        self.verifier = None
+        self.last_verification = None
+        if verify is not None and verify is not False:
+            from repro.verify.policy import VerifyPolicy
+            from repro.verify.selfcheck import DistVerifier
+            self.verifier = DistVerifier(self.tables,
+                                         VerifyPolicy.coerce(verify))
         self._lane_plan = get_plan(p.n_segments, -1) if p.n_segments > 1 else None
         self._seg_plan = get_plan(p.m_oversampled, -1)
         # every rank's convolution has identical geometry, so one reused
@@ -141,6 +160,11 @@ class DistributedSoiFFT:
                 raise ValueError("each part must hold N/P elements")
         x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
         self.last_recovery = None
+        fault_plan = cl.comm.fault_plan
+        sdc = fault_plan if (fault_plan is not None
+                             and fault_plan.has_sdc) else None
+        if self.verifier is not None:
+            self.last_verification = self.verifier.reset_report()
 
         # ---- ghost exchange (nearest neighbor, latency bound) ----
         left_g, right_g = p.ghost_blocks
@@ -174,8 +198,16 @@ class DistributedSoiFFT:
             u = convolve(x_ext[r], self.tables, j_start, rows,
                          own_lo - left_g, workspace=self._conv_ws)
             z = self._lane_plan(u) if self._lane_plan is not None else u
-            z_parts.append(z)
             cl.charge_seconds(r, "convolution", conv_seconds + lane_seconds)
+            if sdc is not None:
+                z = sdc.apply_sdc(z, rank=r, stage="conv")
+            if self.verifier is not None:
+                # verify before the checkpoint and the wire: a corrupt z
+                # must never be trusted for recovery or shipped to peers
+                z = self.verifier.check_conv(
+                    cl, r, x_ext[r], u, z, j_start, own_lo - left_g,
+                    conv_seconds=conv_seconds, lane_seconds=lane_seconds)
+            z_parts.append(z)
             # stage checkpoint: the post-convolution segments (mu*N/P
             # complex words per rank) are the natural cut point for
             # shrink-and-redistribute recovery
@@ -205,10 +237,19 @@ class DistributedSoiFFT:
                 alpha = np.concatenate(recv[dst], axis=0)  # (M', spp), rows
                 # in global j order because sources are rank-ordered
                 beta = self._seg_plan(alpha.T)  # (spp, M')
-                seg = demodulate(beta, self.tables)  # (spp, M)
-                y_parts.append(seg.reshape(-1))
                 cl.charge_seconds(dst, "local FFT", fft_seconds)
+                if sdc is not None:
+                    beta = sdc.apply_sdc(beta, rank=dst, stage="segment-fft")
+                slots = range(dst * spp, (dst + 1) * spp)
+                if self.verifier is not None:
+                    beta = self.verifier.check_segments(
+                        cl, dst, alpha, beta, slots,
+                        fft_seconds=fft_seconds)
+                seg = demodulate(beta, self.tables)  # (spp, M)
                 cl.charge_seconds(dst, "demodulation", demod_seconds)
+                if self.verifier is not None:
+                    seg = self.verifier.check_demod(cl, dst, beta, seg, slots)
+                y_parts.append(seg.reshape(-1))
             return y_parts
 
         # ---- segmented exchanges: one round per owned-segment slot ----
@@ -226,10 +267,20 @@ class DistributedSoiFFT:
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst])  # (M',) for this segment
                 beta = self._seg_plan(alpha)
-                seg = demodulate(beta, self.tables)
-                seg_chunks[dst].append(seg)
                 cl.charge_seconds(dst, "local FFT", fft_seconds / spp)
+                if sdc is not None:
+                    beta = sdc.apply_sdc(beta, rank=dst, stage="segment-fft")
+                if self.verifier is not None:
+                    beta = self.verifier.check_segments(
+                        cl, dst, alpha[:, None], beta[None, :],
+                        [dst * spp + slot], fft_seconds=fft_seconds / spp)[0]
+                seg = demodulate(beta, self.tables)
                 cl.charge_seconds(dst, "demodulation", demod_seconds / spp)
+                if self.verifier is not None:
+                    seg = self.verifier.check_demod(
+                        cl, dst, beta[None, :], seg[None, :],
+                        [dst * spp + slot])[0]
+                seg_chunks[dst].append(seg)
         return [np.concatenate(chunks) for chunks in seg_chunks]
 
     # -- fault recovery: shrink-and-redistribute ------------------------------

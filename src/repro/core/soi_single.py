@@ -44,6 +44,14 @@ __all__ = ["SoiFFT", "soi_fft", "LOCAL_FFT_CHOICES"]
 LOCAL_FFT_CHOICES = ("direct", "sixstep", "sixstep-naive")
 
 
+def _coerce_verify(verify):
+    """Normalize ``verify=`` lazily (repro.verify imports core modules)."""
+    if verify is None or verify is False:
+        return None
+    from repro.verify.policy import VerifyPolicy
+    return VerifyPolicy.coerce(verify)
+
+
 class SoiFFT:
     """Planned single-process SOI transform for one parameter set.
 
@@ -72,6 +80,14 @@ class SoiFFT:
         execution (``batch()`` must equal per-vector calls exactly);
         ``"matmul"`` trades that reproducibility for BLAS throughput on
         large batches.
+    verify:
+        ``True`` or a :class:`repro.verify.VerifyPolicy` arms algorithm-
+        based fault tolerance: every planned block is checked against
+        weighted-checksum and Parseval invariants after execution,
+        corrupt segments are recomputed in place, and persistent
+        corruption raises :class:`repro.verify.VerificationError`.
+        Counters accumulate in ``self.verifier.report``.  Requires
+        ``local_fft="direct"`` (the planned pipeline).
 
     Workspace contract
     ------------------
@@ -84,7 +100,7 @@ class SoiFFT:
 
     def __init__(self, params: SoiParams, window=None,
                  local_fft: str = "direct", dtype=np.complex128,
-                 conv_inner: str = "einsum"):
+                 conv_inner: str = "einsum", verify=False):
         if local_fft not in LOCAL_FFT_CHOICES:
             raise ValueError(f"local_fft must be one of {LOCAL_FFT_CHOICES}")
         if conv_inner not in CONV_INNER_MODES:
@@ -120,6 +136,14 @@ class SoiFFT:
         self._conv_ws = ConvWorkspace()
         #: batch size -> dict of reused pipeline stage buffers.
         self._bufpool: dict[int, dict[str, np.ndarray]] = {}
+        #: armed ABFT verifier (None unless ``verify`` was requested).
+        self.verifier = None
+        policy = _coerce_verify(verify)
+        if policy is not None:
+            if local_fft != "direct":
+                raise ValueError("verify requires local_fft='direct'")
+            from repro.verify.selfcheck import PipelineVerifier
+            self.verifier = PipelineVerifier(self, policy)
 
     @property
     def expected_stopband(self) -> float:
@@ -208,16 +232,22 @@ class SoiFFT:
             pos += chunk
             src = 0
 
-    def _run(self, xs: np.ndarray, res: np.ndarray) -> np.ndarray:
-        """Planned pipeline: (batch, N) -> (batch, N) through pooled buffers."""
+    def _execute(self, xs: np.ndarray, res: np.ndarray) -> np.ndarray:
+        """Planned pipeline: (batch, N) -> (batch, N) through pooled buffers.
+
+        When a verifier is armed, its stage hook fires after every stage
+        (the single-node silent-corruption injection point)."""
         p = self.params
         s, mp = p.n_segments, p.m_oversampled
         batch = xs.shape[0]
         bufs = self._buffers(batch)
+        hook = self.verifier.stage_hook if self.verifier is not None else None
         self._gather_extended(xs, bufs["x_ext"])
         convolve(bufs["x_ext"], self.tables, 0, mp, self._block_lo,
                  out=bufs["u"], workspace=self._conv_ws,
                  inner=self.conv_inner)
+        if hook:
+            hook("conv", bufs["u"])
         if self._lane_mat is not None:
             np.matmul(bufs["u"], self._lane_mat, out=bufs["z"])
             z = bufs["z"]
@@ -227,11 +257,26 @@ class SoiFFT:
             z = bufs["z"]
         else:
             z = bufs["u"]
+        if hook and z is not bufs["u"]:
+            hook("lane", z)
         np.copyto(bufs["alpha"], z.transpose(0, 2, 1))  # stride permutation
+        if hook:
+            hook("permute", bufs["alpha"])
         self._seg_plan(bufs["alpha"].reshape(-1, mp),
                        out=bufs["beta"].reshape(-1, mp))
+        if hook:
+            hook("segment-fft", bufs["beta"])
         demodulate(bufs["beta"], self.tables,
                    out=res.reshape(batch, s, p.m))
+        if hook:
+            hook("demod", res.reshape(batch, s, p.m))
+        return res
+
+    def _run(self, xs: np.ndarray, res: np.ndarray) -> np.ndarray:
+        """Execute one planned block, then (if armed) verify and repair."""
+        self._execute(xs, res)
+        if self.verifier is not None:
+            self.verifier.check_and_repair(xs, res)
         return res
 
     def _check_out(self, out: np.ndarray, shape: tuple) -> np.ndarray:

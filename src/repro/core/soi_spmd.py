@@ -38,8 +38,15 @@ __all__ = ["soi_rank_program", "spmd_soi_fft"]
 
 
 def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
-                     tables: SoiTables):
-    """Generator run by every rank: local chunk in, local spectrum out."""
+                     tables: SoiTables, verifier=None):
+    """Generator run by every rank: local chunk in, local spectrum out.
+
+    *verifier*, if given, is a shared
+    :class:`~repro.verify.selfcheck.DistVerifier`: each stage is
+    ABFT-checked (and repaired) in place before its data is
+    checkpointed, shipped, or returned; SDC events of the installed
+    wire fault plan strike the stage buffers first.
+    """
     p = tables.params
     rank, size = ctx.rank, ctx.size
     machine = ctx.cluster.machine
@@ -65,6 +72,18 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
     lane_secs = machine.flop_time(p.lane_fft_flops / size,
                                   DEFAULT_FFT_EFFICIENCY)
     yield Compute(conv_secs + lane_secs, label="convolution")
+    fault_plan = ctx.cluster.comm.fault_plan
+    sdc = fault_plan if (fault_plan is not None
+                         and fault_plan.has_sdc) else None
+    if sdc is not None:
+        z = sdc.apply_sdc(z, rank=rank, stage="conv")
+    if verifier is not None:
+        # verify before the checkpoint and the wire: corrupt z must not
+        # be trusted for recovery or shipped to peers
+        z = verifier.check_conv(ctx.cluster, rank, x_ext, u, z, j_start,
+                                rank * blocks_per_rank - left_g,
+                                conv_seconds=conv_secs,
+                                lane_seconds=lane_secs)
     # stage checkpoint: post-convolution segments (mu*N/P complex words),
     # the cut point shrink-and-redistribute recovery restarts from
     yield Checkpoint(z, tag="post-conv")
@@ -76,17 +95,26 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
 
     # --- per owned segment: M'-point FFT + demodulation ---
     alpha = np.concatenate(pieces, axis=0)  # (M', spp), source-rank order
+    fft_secs = machine.flop_time(p.local_fft_flops / size,
+                                 DEFAULT_FFT_EFFICIENCY)
     beta = get_plan(p.m_oversampled, -1)(alpha.T)
-    yield Compute(machine.flop_time(p.local_fft_flops / size,
-                                    DEFAULT_FFT_EFFICIENCY),
-                  label="local FFT")
+    yield Compute(fft_secs, label="local FFT")
+    if sdc is not None:
+        beta = sdc.apply_sdc(beta, rank=rank, stage="segment-fft")
+    slots = range(rank * spp, (rank + 1) * spp)
+    if verifier is not None:
+        beta = verifier.check_segments(ctx.cluster, rank, alpha, beta,
+                                       slots, fft_seconds=fft_secs)
     seg = demodulate(beta, tables)
     yield Compute(machine.mem_time(p.m * spp * 16), label="demodulation")
+    if verifier is not None:
+        seg = verifier.check_demod(ctx.cluster, rank, beta, seg, slots)
     return seg.reshape(-1)
 
 
 def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
-                 window=None, resilient: bool = True) -> np.ndarray:
+                 window=None, resilient: bool = True, verify=False,
+                 hedge=None) -> np.ndarray:
     """Scatter, run the SPMD program on every rank, gather the spectrum.
 
     With ``resilient=True`` (the default) a collective that declares a
@@ -95,6 +123,13 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     convolution :class:`~repro.cluster.spmd.Checkpoint` data via the
     phase-structured shrink-and-redistribute path
     (:meth:`~repro.core.soi_dist.DistributedSoiFFT.recover`).
+
+    *verify* arms ABFT stage verification: ``True`` / a
+    :class:`~repro.verify.VerifyPolicy` build a fresh
+    :class:`~repro.verify.DistVerifier`, or pass your own verifier
+    (built for the same params) to read its ``.report`` afterwards.
+    *hedge*, a :class:`~repro.verify.HedgePolicy`, arms straggler
+    hedging in the runtime (see :func:`repro.cluster.spmd.run_spmd`).
     """
     x = np.asarray(x, dtype=np.complex128)
     if x.shape != (params.n,):
@@ -102,16 +137,26 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     if params.n_procs != cluster.n_ranks:
         raise ValueError("params/cluster rank mismatch")
     tables = build_tables(params, window)
+    verifier = None
+    if verify is not None and verify is not False:
+        from repro.verify.policy import VerifyPolicy
+        from repro.verify.selfcheck import DistVerifier
+        if isinstance(verify, DistVerifier):
+            verifier = verify
+            verifier.reset_report()
+        else:
+            verifier = DistVerifier(tables, VerifyPolicy.coerce(verify))
     chunk = params.elements_per_process
     parts = [x[r * chunk:(r + 1) * chunk].copy()
              for r in range(params.n_procs)]
 
     def program(ctx: RankContext):
-        return (yield from soi_rank_program(ctx, parts[ctx.rank], tables))
+        return (yield from soi_rank_program(ctx, parts[ctx.rank], tables,
+                                            verifier))
 
     ckpts: dict = {}
     try:
-        results = run_spmd(cluster, program, checkpoints=ckpts)
+        results = run_spmd(cluster, program, checkpoints=ckpts, hedge=hedge)
     except RankFailed:
         if not resilient:
             raise

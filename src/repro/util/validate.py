@@ -13,10 +13,12 @@ import numpy as np
 
 __all__ = [
     "max_abs_error",
+    "parseval_gap",
     "relative_l2_error",
     "relative_linf_error",
     "require",
     "rms_error",
+    "spectral_snr",
 ]
 
 
@@ -70,3 +72,46 @@ def rms_error(actual, reference) -> float:
     if a.size == 0:
         return 0.0
     return float(np.sqrt(np.mean(np.abs(a - r) ** 2)))
+
+
+def spectral_snr(actual, reference) -> float:
+    """Signal-to-noise ratio of *actual* against *reference*, in dB.
+
+    ``10 * log10(sum|reference|^2 / sum|actual - reference|^2)`` — the
+    paper's §6 accuracy currency (its SNR floors per (mu, B) design point
+    are stated in exactly these units).  Returns ``inf`` for an exact
+    match and ``-inf`` for a zero reference against a nonzero actual.
+    """
+    a, r = _as_arrays(actual, reference)
+    signal = float(np.sum(np.abs(r) ** 2))
+    noise = float(np.sum(np.abs(a - r) ** 2))
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal / noise))
+
+
+def parseval_gap(time_domain, freq_domain) -> float:
+    """Relative violation of Parseval's identity for an unscaled DFT.
+
+    For ``X = fft(x)`` (numpy's unscaled forward convention, applied
+    along the last axis) Parseval gives ``sum|X|^2 = n * sum|x|^2`` with
+    ``n = x.shape[-1]``.  Returns ``|sum|X|^2 - n*sum|x|^2| / (n*sum|x|^2)``
+    (0 for empty or all-zero inputs) — an O(n) invariant the ABFT layer
+    (:mod:`repro.verify`) uses to cross-check FFT stages: floating-point
+    rounding keeps the gap at ~eps*log2(n) while a single corrupted
+    element of typical magnitude shifts it by ~1/n.
+    """
+    x = np.asarray(time_domain)
+    f = np.asarray(freq_domain)
+    if x.shape != f.shape:
+        raise ValueError(f"shape mismatch: time {x.shape} vs freq {f.shape}")
+    if x.size == 0:
+        return 0.0
+    n = x.shape[-1]
+    e_time = float(np.sum(np.abs(x) ** 2))
+    e_freq = float(np.sum(np.abs(f) ** 2))
+    if e_time == 0.0:
+        return 0.0 if e_freq == 0.0 else float("inf")
+    return abs(e_freq - n * e_time) / (n * e_time)

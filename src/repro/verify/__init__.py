@@ -1,0 +1,72 @@
+"""Algorithm-based fault tolerance for the SOI pipelines.
+
+Wire checksums (:mod:`repro.cluster.faults`) prove that bytes crossed
+the fabric intact — they are blind to silent data corruption *inside* a
+rank's compute.  This package makes every stage of the single-node and
+distributed SOI transform self-verifying, in the Huang-Abraham ABFT
+tradition adapted to the SOI factorization:
+
+* **Weighted checksum rows** (:mod:`~repro.verify.abft`): by linearity,
+  the transform of a weighted sum of rows must equal the weighted sum of
+  the transformed rows.  The convolution operator W carries a
+  *precomputed* checksum functional (``w^T W``) that rides the lane
+  transform, so conv + lane are verifiable against the staged input in
+  one O(N) sweep.
+* **Parseval/energy invariants** (:mod:`~repro.verify.invariants`): an
+  unscaled forward FFT preserves energy up to the factor n, and its
+  outputs satisfy the exact sum invariant ``sum_k Y[k] = n * y[0]`` —
+  two O(n) per-row cross-checks that *localize* the corrupt segment,
+  not just detect the corruption.
+* **Segment-level repair** (:mod:`~repro.verify.selfcheck`): a failed
+  invariant names the corrupt segment(s); the pipelines recompute only
+  those from the stage inputs still in memory (the PR-2 checkpoint cut
+  points), escalating to a full stage/block recompute after repeated
+  strikes and raising :class:`VerificationError` only when recomputation
+  cannot restore the invariants.
+* **Straggler hedging** (:mod:`~repro.verify.watchdog`): the SPMD
+  runtime duplicates the slowest compute steps speculatively on idle
+  ranks and takes the first finisher, charged under the ``"hedge"``
+  trace category.
+
+Thresholds are calibrated from the exact alias analysis
+(:func:`repro.core.error_model.verification_thresholds`): invariant
+tolerances sit at the floating-point noise floor of a clean run (zero
+false positives by construction), while any single-element perturbation
+above :attr:`~repro.core.error_model.VerificationThresholds.min_detectable_amplitude`
+is guaranteed to trip an invariant.
+"""
+
+from repro.verify.abft import (
+    ConvChecksum,
+    batch_checksum,
+    checksum_weights,
+)
+from repro.verify.invariants import (
+    energy_cols,
+    energy_rows,
+    parseval_check,
+)
+from repro.verify.policy import (
+    DetectionRecord,
+    VerificationError,
+    VerificationReport,
+    VerifyPolicy,
+)
+from repro.verify.selfcheck import DistVerifier, PipelineVerifier
+from repro.verify.watchdog import HedgePolicy
+
+__all__ = [
+    "ConvChecksum",
+    "DetectionRecord",
+    "DistVerifier",
+    "HedgePolicy",
+    "PipelineVerifier",
+    "VerificationError",
+    "VerificationReport",
+    "VerifyPolicy",
+    "batch_checksum",
+    "checksum_weights",
+    "energy_cols",
+    "energy_rows",
+    "parseval_check",
+]

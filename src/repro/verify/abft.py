@@ -1,0 +1,103 @@
+"""Weighted-checksum ABFT primitives (Huang-Abraham, complex-weighted).
+
+The classical ABFT encoding appends a checksum row ``c = sum_j w_j x_j``
+to a batch before a linear transform T; by linearity ``T(c)`` must equal
+``sum_j w_j T(x_j)``, so comparing the transformed checksum row against
+the checksum of the transformed rows verifies the whole batched call in
+O(rows) extra work.  Real 1/j weights condition badly at FFT scale;
+unit-modulus complex weights (golden-ratio phases) keep every row's
+contribution the same magnitude, so a single corrupted element shifts
+the checksum by exactly its perturbation.
+
+For the convolution stage the checksum row cannot be *computed* by
+running the operator on an extra input row (each output row applies a
+different functional of the input), but it can be *precomputed*: the
+checksum of the convolution's output rows is itself a fixed linear
+functional of the input, ``w^T W`` — a (blocks, S) coefficient array
+built once per plan (:class:`ConvChecksum`) and applied per call in
+O(ext).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convolution import input_block_offsets
+from repro.core.window import SoiTables
+
+__all__ = ["ConvChecksum", "batch_checksum", "checksum_weights"]
+
+#: Golden-ratio phase increment: ``w_j = exp(2*pi*i * j * GOLDEN)`` never
+#: cycles (irrational rotation), so any two rows get well-separated
+#: weights — the complex analogue of distinct Huang-Abraham weights.
+GOLDEN = (np.sqrt(5.0) - 1.0) / 2.0
+
+
+def checksum_weights(m: int, dtype=np.complex128) -> np.ndarray:
+    """Unit-modulus checksum weights ``exp(2*pi*i*j*phi)`` for m rows."""
+    return np.exp(2j * np.pi * GOLDEN * np.arange(m)).astype(dtype)
+
+
+def batch_checksum(rows: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Weighted sum over the second-to-last axis: the checksum row.
+
+    ``rows`` has shape ``(..., m, k)``; returns ``(..., k)``.  Runs as a
+    BLAS matvec, so checksumming a batch costs one memory sweep.
+    """
+    return np.matmul(weights, rows)
+
+
+class ConvChecksum:
+    """Precomputed checksum functional ``w^T W`` of the convolution.
+
+    For rows ``u[j, p] = sum_b coeffs[j % n_mu, b, p] * x[(m0(j)+b)*S + p]``
+    the weighted row checksum collapses to
+
+    ``c[p] = sum_block A[block, p] * x_ext[block*S + p]``
+
+    with ``A[block, p] = sum_j w_j coeffs[j % n_mu, block - m0(j), p]``
+    accumulated once at plan time.  :meth:`predict` then verifies the
+    conv stage against its *input* in one O(ext) sweep — any corruption
+    of the computed rows (or of the staged input) breaks the match in
+    the corrupted lane's column.
+    """
+
+    def __init__(self, tables: SoiTables, j_start: int, n_rows: int,
+                 block_lo: int, weights: np.ndarray, dtype=np.complex128):
+        p = tables.params
+        s, b_width, n_mu, d_mu = p.n_segments, p.b, p.n_mu, p.d_mu
+        if weights.shape != (n_rows,):
+            raise ValueError("need one weight per convolution row")
+        m0 = input_block_offsets(p, j_start, n_rows) - block_lo
+        nblocks = int(m0.max()) + b_width
+        a = np.zeros((nblocks, s), dtype=np.complex128)
+        nr = n_rows // n_mu
+        coeffs = tables.coeffs
+        for r in range(n_mu):
+            w_rows = weights[r::n_mu]  # (nr,)
+            blocks = m0[r] + np.arange(nr) * d_mu
+            for b in range(b_width):
+                np.add.at(a, blocks + b, w_rows[:, None] * coeffs[r, b])
+        self.weights = weights
+        self.n_rows = n_rows
+        self.nblocks = nblocks
+        self.n_segments = s
+        #: (S, nblocks) layout so predict() runs as S BLAS matvecs over
+        #: each lane's stride-S input slice.
+        self._a_t = np.ascontiguousarray(a.T.astype(dtype))
+
+    def predict(self, x_ext: np.ndarray) -> np.ndarray:
+        """Checksum row of the conv output, from the input: shape (.., S).
+
+        ``x_ext`` is the (ghost-extended) input, flat or ``(batch, ext)``;
+        only the first ``nblocks*S`` samples participate (the geometry
+        this functional was built for).
+        """
+        s = self.n_segments
+        xv = x_ext[..., : self.nblocks * s]
+        xv = xv.reshape(xv.shape[:-1] + (self.nblocks, s))
+        # c[.., p] = A[p, :] . x[.., :, p] — a batched per-lane matvec
+        out = np.empty(xv.shape[:-2] + (s,), dtype=self._a_t.dtype)
+        for p in range(s):
+            np.matmul(xv[..., p], self._a_t[p], out=out[..., p])
+        return out

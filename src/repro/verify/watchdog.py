@@ -1,0 +1,96 @@
+"""Straggler hedging for the SPMD runtime.
+
+On real Xeon Phi clusters the tail rank sets the makespan: every
+collective waits for the slowest card, and transient stragglers (OS
+jitter, thermal throttling, a busy PCIe root complex) stretch the
+bulk-synchronous critical path far beyond the median.  The classical
+mitigation is *hedging* (speculative duplicate execution, as in
+MapReduce backup tasks): once a rank's compute step runs past a multiple
+of the group median, an idle peer re-executes the same step and the
+first finisher wins.
+
+:class:`HedgePolicy` implements this for the simulated SPMD engine
+(:func:`repro.cluster.spmd.run_spmd`).  After each stepping round the
+engine hands the policy every ``Compute`` charge of the round; same-label
+charges across ranks are the SPMD mirror steps of one program stage, so
+the group median is the expected duration and anything beyond
+``threshold * median`` is a straggler.  A backup launches on the
+least-loaded non-straggling rank no earlier than the detection time
+``t0 + threshold * median``; if the backup's finish beats the
+straggler's, the straggler's clock is pulled back to the backup finish
+(first-finisher-wins).  Every backup — won or lost — is stamped into the
+trace under the ``"hedge"`` category, so the cost of speculation is
+visible in the same breakdowns as compute/MPI/PCIe time.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+__all__ = ["HedgePolicy"]
+
+
+@dataclass
+class HedgePolicy:
+    """Speculative duplicate execution of straggling SPMD compute steps.
+
+    ``threshold`` is the straggler multiple: a step slower than
+    ``threshold * median(group)`` is hedged.  ``min_ranks`` guards the
+    median — with fewer same-label samples per round there is no robust
+    notion of "expected" duration and the policy stays quiet.
+    """
+
+    threshold: float = 1.5
+    min_ranks: int = 3
+    #: backups launched / that beat the straggler / that did not.
+    launched: int = 0
+    won: int = 0
+    lost: int = 0
+    #: simulated seconds spent on duplicate execution (the price paid).
+    time_charged: float = 0.0
+    #: simulated seconds shaved off straggler clocks (the prize).
+    time_saved: float = 0.0
+    events: list = field(default_factory=list)
+
+    def review(self, cluster, events) -> None:
+        """Inspect one stepping round's ``(rank, label, t0, seconds)``
+        compute charges; hedge stragglers in place on *cluster*."""
+        by_label: dict[str, list] = {}
+        for rank, label, t0, dur in events:
+            by_label.setdefault(label, []).append((rank, t0, dur))
+        for label, group in by_label.items():
+            if len(group) < self.min_ranks:
+                continue
+            med = statistics.median(d for _, _, d in group)
+            if med <= 0.0:
+                continue
+            cutoff = self.threshold * med
+            helpers = [r for r, _, d in group if d <= cutoff
+                       and cluster.alive[r]]
+            for rank, t0, dur in group:
+                if dur <= cutoff or not helpers:
+                    continue
+                helper = min(helpers, key=lambda r: cluster.clocks[r])
+                # the backup cannot start before the straggler is *known*
+                # slow, nor before the helper finished its own step
+                start = max(t0 + cutoff, cluster.clocks[helper])
+                end = start + med
+                self.launched += 1
+                self.time_charged += med
+                cluster.trace.record(helper, f"hedge {label}", "hedge",
+                                     start, end)
+                cluster.clocks[helper] = max(cluster.clocks[helper], end)
+                if end < t0 + dur:  # backup wins: straggler adopts its result
+                    saved = (t0 + dur) - end
+                    cluster.clocks[rank] -= saved
+                    self.time_saved += saved
+                    self.won += 1
+                else:
+                    self.lost += 1
+                self.events.append((label, rank, helper, dur, med))
+
+    def summary(self) -> str:
+        return (f"hedges={self.launched} won={self.won} lost={self.lost} "
+                f"charged={self.time_charged:.3g}s "
+                f"saved={self.time_saved:.3g}s")

@@ -46,6 +46,25 @@ class TestFigures:
             main(["figures", "fig99"])
 
 
+class TestVerify:
+    def test_sdc_run_detects_and_passes(self, capsys):
+        assert main(["verify", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+        assert "detected=" in out
+        assert "thresholds:" in out
+
+    def test_clean_run_has_zero_detections(self, capsys):
+        assert main(["verify", "--sdc-rate", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "injected=0 detected=0" in out
+        assert "verify: PASS" in out
+
+    def test_amplitude_flag(self, capsys):
+        assert main(["verify", "--seed", "1", "--amplitude", "0.01"]) == 0
+        assert "verify: PASS" in capsys.readouterr().out
+
+
 class TestInfo:
     def test_prints_presets(self, capsys):
         assert main(["info"]) == 0

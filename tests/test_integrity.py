@@ -82,6 +82,29 @@ class TestFaultDetection:
         cl.comm.alltoall(send)  # nothing to corrupt, nothing to detect
 
 
+class TestDeprecationWarnings:
+    """The shims announce themselves: a real DeprecationWarning pointing
+    callers at the unified fault layer, aimed at the caller's frame."""
+
+    def test_fault_injector_warns(self):
+        with pytest.warns(DeprecationWarning,
+                          match="FaultInjector is deprecated"):
+            FaultInjector()
+
+    def test_checksummed_cluster_warns(self):
+        with pytest.warns(DeprecationWarning,
+                          match="checksummed_cluster is deprecated"):
+            checksummed_cluster(SimCluster(2))
+
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning,
+                          match="chaos_cluster") as rec:
+            FaultInjector(corrupt_nth=2)
+        # stacklevel=2: the warning must point at this test file, not at
+        # the shim module itself
+        assert rec[0].filename == __file__
+
+
 class TestShimsOverFaultPlan:
     """The deprecated API is a thin wrapper over the unified layer."""
 

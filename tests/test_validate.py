@@ -5,10 +5,12 @@ import pytest
 
 from repro.util.validate import (
     max_abs_error,
+    parseval_gap,
     relative_l2_error,
     relative_linf_error,
     require,
     rms_error,
+    spectral_snr,
 )
 
 
@@ -47,6 +49,58 @@ class TestOtherMetrics:
     def test_empty_arrays(self):
         assert max_abs_error([], []) == 0.0
         assert rms_error([], []) == 0.0
+
+
+class TestSpectralSnr:
+    def test_pinned_value(self):
+        # signal energy 3^2 + 4^2 = 25, noise energy 0.5^2 = 0.25:
+        # 10*log10(25/0.25) = exactly 20 dB
+        ref = np.array([3.0, 4.0])
+        actual = ref + np.array([0.0, 0.5])
+        assert spectral_snr(actual, ref) == pytest.approx(20.0, abs=1e-12)
+
+    def test_exact_match_is_infinite(self):
+        a = np.array([1.0 + 2.0j, -3.0j])
+        assert spectral_snr(a, a) == float("inf")
+
+    def test_zero_reference_nonzero_actual(self):
+        assert spectral_snr([1.0], [0.0]) == float("-inf")
+
+    def test_scale_invariant(self, rng=np.random.default_rng(7)):
+        r = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        a = r + 0.01 * rng.standard_normal(64)
+        assert spectral_snr(3.0 * a, 3.0 * r) == \
+            pytest.approx(spectral_snr(a, r))
+
+
+class TestParsevalGap:
+    def test_clean_fft_at_noise_floor(self):
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        assert parseval_gap(x, np.fft.fft(x)) < 1e-13
+
+    def test_pinned_violation(self):
+        # x = [1, 1j]: n*sum|x|^2 = 4; doubling the spectrum makes
+        # sum|X|^2 = 16, so the gap is exactly |16 - 4| / 4 = 3
+        x = np.array([1.0, 1.0j])
+        assert parseval_gap(x, 2.0 * np.fft.fft(x)) == pytest.approx(3.0)
+
+    def test_zero_and_empty_inputs(self):
+        assert parseval_gap(np.zeros(4), np.zeros(4)) == 0.0
+        assert parseval_gap(np.array([]), np.array([])) == 0.0
+        assert parseval_gap(np.zeros(2), np.ones(2)) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            parseval_gap(np.zeros(3), np.zeros(4))
+
+    def test_single_corrupted_element_is_visible(self):
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        f = np.fft.fft(x)
+        clean = parseval_gap(x, f)
+        f[100] += 3.0 * np.sqrt((np.abs(f) ** 2).mean())
+        assert parseval_gap(x, f) > 1e6 * clean
 
 
 class TestRequire:
