@@ -9,6 +9,7 @@ Layering (bottom up):
 ``repro.core``       the SOI FFT (single-process and distributed)
 ``repro.baseline``   distributed Cooley-Tukey (3 all-to-alls)
 ``repro.perfmodel``  the paper's §4/§7 analytic model and ablation models
+``repro.resilience`` deadline-aware serving: admission, breakers, degradation
 ``repro.bench``      workloads + experiment drivers for every table/figure
 
 Quick start::
@@ -36,10 +37,22 @@ from repro.core import (
 from repro.fft import fft, ifft, irfft, rfft
 from repro.machine import XEON_E5_2680, XEON_PHI_SE10, MachineSpec
 from repro.perfmodel import FftModel, ModeModel
+from repro.resilience import (
+    ClusterSoiService,
+    Deadline,
+    DeadlineExceeded,
+    DegradationLadder,
+    Overloaded,
+    SoiService,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterSoiService",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
     "DistributedCooleyTukeyFFT",
     "DistributedSoiFFT",
     "FftModel",
@@ -47,9 +60,11 @@ __all__ = [
     "MachineSpec",
     "ModeModel",
     "OffloadSoiFFT",
+    "Overloaded",
     "SimCluster",
     "SoiFFT",
     "SoiParams",
+    "SoiService",
     "XEON_E5_2680",
     "XEON_PHI_SE10",
     "fft",

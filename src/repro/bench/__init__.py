@@ -15,6 +15,7 @@ from repro.bench.runner import (
     table2_rows,
 )
 from repro.bench.apidoc import build_apidoc, write_apidoc
+from repro.bench.degrade import degrade_sweep_rows, render_degrade_sweep
 from repro.bench.report import build_report, write_report
 from repro.bench.tables import fmt, render_bars, render_series, render_table
 from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_complex
@@ -28,6 +29,7 @@ __all__ = [
     "chirp",
     "write_report",
     "constant",
+    "degrade_sweep_rows",
     "fig3_rows",
     "fig8_series",
     "fig9_rows",
@@ -41,6 +43,7 @@ __all__ = [
     "paper_scale_model",
     "random_complex",
     "render_bars",
+    "render_degrade_sweep",
     "render_series",
     "render_table",
     "segments_for_nodes",

@@ -11,6 +11,8 @@ Commands
 ``verify``     run the ABFT self-verifying distributed transform under a
                seeded silent-data-corruption schedule and report
                detection / localization / repair counts
+``degrade-sweep``  measure every degradation-ladder rung against its
+               predicted SNR (the serving layer's accuracy contract)
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -190,6 +192,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_degrade_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.degrade import DEFAULT_N, render_degrade_sweep
+
+    n = DEFAULT_N if args.n is None else args.n
+    text = render_degrade_sweep(n, seed=args.seed)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"[saved to {path}]")
+    return int("FAIL" in text or "VIOLATED" in text)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.bench.report import write_report
 
@@ -264,6 +282,16 @@ def main(argv: list[str] | None = None) -> int:
     v.add_argument("--amplitude", type=float, default=5.0,
                    help="perturbation amplitude in units of buffer RMS")
 
+    ds = sub.add_parser(
+        "degrade-sweep",
+        help="measured vs predicted SNR for every degradation-ladder rung")
+    ds.add_argument("--n", type=int, default=None,
+                    help="problem size (default: 8 * 1344)")
+    ds.add_argument("--seed", type=int, default=0)
+    ds.add_argument("--output",
+                    default="benchmarks/results/degradation_ladder.txt",
+                    help="save the exhibit here ('' to skip saving)")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -279,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "fault-sweep": _cmd_fault_sweep,
         "verify": _cmd_verify,
+        "degrade-sweep": _cmd_degrade_sweep,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

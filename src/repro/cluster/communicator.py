@@ -19,6 +19,19 @@ under the ``"retry"`` trace category, and a rank that stays unresponsive
 past :attr:`~repro.cluster.faults.RetryPolicy.max_retries` is declared
 dead (:class:`~repro.cluster.faults.RankFailed`) for the algorithm layer
 to shrink around.
+
+Two per-request hooks plug into the same path (both duck-typed, so this
+module never imports :mod:`repro.resilience`):
+
+* :meth:`Communicator.install_deadline` arms stage-boundary deadline
+  enforcement — every collective checks the deadline at entry and before
+  each retry, and charges its duration (attempts, backoff waits) to the
+  request's budget;
+* :meth:`Communicator.install_breakers` arms per-link circuit breakers —
+  repeated failures on one directed link trip it open, after which
+  collectives touching the link fail fast (escalating immediately
+  instead of burning the retry budget), with state transitions stamped
+  into the trace as zero-duration ``"other"`` events.
 """
 
 from __future__ import annotations
@@ -66,6 +79,8 @@ class Communicator:
         self.retry_count = 0
         self._plan: FaultPlan | None = None
         self._policy = RetryPolicy()
+        self._deadline = None  # duck-typed: .check(stage), .charge(k, s)
+        self._breakers = None  # duck-typed: a BreakerBoard
 
     @property
     def size(self) -> int:
@@ -91,6 +106,37 @@ class Communicator:
     @property
     def retry_policy(self) -> RetryPolicy:
         return self._policy
+
+    # -- per-request resilience hooks ---------------------------------------
+
+    def install_deadline(self, deadline) -> None:
+        """Arm per-request deadline enforcement on every collective.
+
+        *deadline* is duck-typed (``check(stage)`` raising on expiry,
+        ``charge(purpose, seconds)``) so the resilience layer stays
+        import-free from here; pass ``None`` to restore a previous
+        deadline when nesting.
+        """
+        self._deadline = deadline
+
+    def clear_deadline(self) -> None:
+        self._deadline = None
+
+    @property
+    def deadline(self):
+        return self._deadline
+
+    def install_breakers(self, board) -> None:
+        """Arm per-link circuit breakers (a ``BreakerBoard``) on the
+        verified path.  Shared across requests by the serving layer."""
+        self._breakers = board
+
+    def clear_breakers(self) -> None:
+        self._breakers = None
+
+    @property
+    def breakers(self):
+        return self._breakers
 
     # -- internals --------------------------------------------------------
 
@@ -119,12 +165,19 @@ class Communicator:
         charged attempt with no checksum overhead.
         """
         plan, policy = self._plan, self._policy
+        deadline, board = self._deadline, self._breakers
+        if deadline is not None:
+            deadline.check(label)
+        if board is not None:
+            self._fail_fast_on_open_links(label, participants, plan)
         result, routes = execute()
         self.message_count += n_wire_messages
         self.bytes_moved += wire_bytes
         if plan is None:
             self._collective(label, duration, nbytes_by_rank, category,
                              participants)
+            if deadline is not None:
+                deadline.charge(category, duration)
             return result
 
         attempt = 0
@@ -156,38 +209,148 @@ class Communicator:
             att_category = category if attempt == 0 else "retry"
             self._collective(label, att_duration, nbytes_by_rank,
                              att_category, participants)
+            if deadline is not None:
+                deadline.charge(att_category, att_duration)
+            tripped = False
+            if board is not None:
+                tripped = self._record_on_board(routes, failures, dead,
+                                                participants)
             if not failures:
                 return result
 
-            if attempt >= policy.max_retries:
-                unresponsive = sorted(
-                    r for s, d, kind in failures if kind == "unresponsive"
-                    for r in (s, d) if r in dead)
-                if unresponsive:
-                    rank = unresponsive[0]
-                    self._cluster.fail_rank(rank)
-                    plan.failed_ranks_declared.append(rank)
-                    raise RankFailed(
-                        rank, f"rank {rank} unresponsive in '{label}' "
-                              f"after {attempt + 1} attempt(s)")
-                src, dst, kind = failures[0]
-                if kind == "corrupt":
-                    raise CorruptionDetected(
-                        f"payload {src}->{dst} failed its checksum in "
-                        f"'{label}' after {attempt + 1} attempt(s)")
-                raise RetriesExhausted(
-                    f"'{label}' still timing out after "
-                    f"{attempt + 1} attempt(s)")
+            if tripped or attempt >= policy.max_retries:
+                # A link just tripped open (stop burning retries on it)
+                # or the policy's retry budget is spent: escalate.
+                exc, cause = self._escalate(label, failures, dead,
+                                            attempt + 1, plan)
+                if cause is not None:
+                    raise exc from cause
+                raise exc
 
             backoff = policy.backoff(attempt)
             if backoff > 0:
                 self._collective(f"{label} (backoff)", backoff, {},
                                  "retry", participants)
+                if deadline is not None:
+                    deadline.charge("retry", backoff)
+            if deadline is not None:
+                deadline.check(f"{label} (retry)")
             self.retry_count += 1
             self.message_count += n_wire_messages
             self.bytes_moved += wire_bytes
             result, routes = execute()  # the retry re-flies the data
             attempt += 1
+
+    def _escalate(self, label: str, failures: list[tuple[int, int, str]],
+                  dead: set[int], attempts: int, plan: FaultPlan | None
+                  ) -> tuple[Exception, Exception | None]:
+        """Map persistent route failures to the exception to raise.
+
+        Returns ``(exception, cause)``; the cause (the underlying timeout
+        or checksum mismatch) is chained with ``raise ... from`` so the
+        algorithm layer sees *why* the collective was given up on.
+        """
+        unresponsive = sorted(
+            r for s, d, kind in failures if kind == "unresponsive"
+            for r in (s, d) if r in dead)
+        if unresponsive:
+            rank = unresponsive[0]
+            self._cluster.fail_rank(rank)
+            if plan is not None:
+                plan.failed_ranks_declared.append(rank)
+            cause = TimeoutError(
+                f"rank {rank} stopped acknowledging transfers")
+            return RankFailed(
+                rank, f"rank {rank} unresponsive in '{label}' "
+                      f"after {attempts} attempt(s)"), cause
+        src, dst, kind = failures[0]
+        if kind == "corrupt":
+            return CorruptionDetected(
+                f"payload {src}->{dst} failed its checksum in "
+                f"'{label}' after {attempts} attempt(s)"), None
+        n_corrupt = sum(1 for _, _, k in failures if k == "corrupt")
+        cause: Exception = CorruptionDetected(
+            f"{n_corrupt} payload(s) also failed checksums") if n_corrupt \
+            else TimeoutError(f"transfer {src}->{dst} timed out")
+        return RetriesExhausted(
+            f"'{label}' still timing out after "
+            f"{attempts} attempt(s)"), cause
+
+    # -- circuit-breaker plumbing -------------------------------------------
+
+    def _stamp_breaker_transitions(self) -> None:
+        """Record drained breaker state changes as zero-duration events."""
+        for tr in self._breakers.drain_transitions():
+            self._cluster.trace.record(
+                tr.src, f"breaker {tr.old}->{tr.new} [{tr.src}->{tr.dst}]",
+                "other", tr.at, tr.at)
+
+    def _record_on_board(self, routes, failures, dead: set[int],
+                         participants: list[int]) -> bool:
+        """Feed one attempt's outcome to the breaker board.
+
+        Returns True if any link tripped open on this attempt.  Routes
+        that flew clean count as successes (closing half-open breakers);
+        each failure counts against its directed link, with the dead
+        endpoint remembered as the suspect for fast declaration.
+        """
+        board, cl = self._breakers, self._cluster
+        now = max(cl.clocks[r] for r in participants)
+        failed_links = {(s, d) for s, d, _ in failures}
+        tripped = False
+        for s, d, kind in failures:
+            suspect = None
+            if kind == "unresponsive":
+                suspect = s if s in dead else d
+            if board.record_failure(s, d, kind, suspect=suspect, now=now):
+                tripped = True
+        for route in routes:
+            if (route.src, route.dst) not in failed_links:
+                board.record_success(route.src, route.dst, now=now)
+        self._stamp_breaker_transitions()
+        return tripped
+
+    def _fail_fast_on_open_links(self, label: str, participants: list[int],
+                                 plan: FaultPlan | None) -> None:
+        """Short-circuit a collective touching an open (uncooled) link.
+
+        Raises the same exception the retry path would eventually reach,
+        without re-burning the retry budget: an unresponsive suspect is
+        declared dead on the spot (handing the algorithm layer straight
+        to its shrink-and-recover path), corrupt links raise
+        :class:`CorruptionDetected`, timing-out links
+        :class:`RetriesExhausted`.  Cooled-down links transition to
+        half-open inside ``blocking`` and let this attempt through as
+        their trial.
+        """
+        board, cl = self._breakers, self._cluster
+        now = max(cl.clocks[r] for r in participants)
+        blocked = board.blocking(participants, now)
+        self._stamp_breaker_transitions()
+        if not blocked:
+            return
+        board.fast_failures += 1
+        src, dst, brk = blocked[0]
+        kind = brk.last_kind or "timeout"
+        if kind == "unresponsive":
+            rank = brk.suspect_rank if brk.suspect_rank is not None else src
+            self._cluster.fail_rank(rank)
+            if plan is not None and rank not in plan.failed_ranks_declared:
+                plan.failed_ranks_declared.append(rank)
+            raise RankFailed(
+                rank, f"open breaker on link {src}->{dst}: rank {rank} "
+                      f"declared failed without retrying '{label}'") \
+                from TimeoutError(
+                    f"link {src}->{dst} tripped after repeated "
+                    f"unresponsive transfers")
+        if kind == "corrupt":
+            raise CorruptionDetected(
+                f"open breaker on link {src}->{dst}: failing '{label}' "
+                f"fast after repeated checksum failures")
+        raise RetriesExhausted(
+            f"open breaker on link {src}->{dst}: failing '{label}' fast "
+            f"after repeated timeouts") from TimeoutError(
+                f"link {src}->{dst} tripped after repeated timeouts")
 
     @staticmethod
     def _resolve(ranks: list[int] | None, size: int) -> list[int]:

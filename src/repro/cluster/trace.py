@@ -19,8 +19,11 @@ __all__ = ["Event", "Trace", "CATEGORIES"]
 #: and ABFT repair recomputes (see :mod:`repro.verify`).  ``"hedge"``
 #: holds speculative duplicate execution launched by the straggler
 #: watchdog (:class:`repro.verify.HedgePolicy`) — time a helper rank
-#: spent racing a slow rank's task.
-CATEGORIES = ("compute", "mpi", "pcie", "retry", "hedge", "other")
+#: spent racing a slow rank's task.  ``"deadline"`` holds simulated time
+#: a request ran *past* its per-request deadline before the overrun was
+#: detected at a stage boundary (see :mod:`repro.resilience`).
+CATEGORIES = ("compute", "mpi", "pcie", "retry", "hedge", "other",
+              "deadline")
 
 
 @dataclass(frozen=True)

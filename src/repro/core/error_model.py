@@ -24,8 +24,9 @@ import numpy as np
 from repro.core.window import SoiTables
 from repro.fft.plan import get_plan
 
-__all__ = ["AliasAnalysis", "VerificationThresholds", "alias_analysis",
-           "tone_response", "verification_thresholds"]
+__all__ = ["AliasAnalysis", "SNR_MODEL_HEADROOM_DB", "VerificationThresholds",
+           "alias_analysis", "expected_snr_db", "tone_response",
+           "verification_thresholds"]
 
 
 def tone_response(tables: SoiTables, frequencies: np.ndarray) -> np.ndarray:
@@ -97,6 +98,55 @@ def alias_analysis(tables: SoiTables, bins: np.ndarray | None = None,
             nu = bins + side * l * mp
             alias += np.abs(tone_response(tables, nu.astype(np.float64)))
     return AliasAnalysis(bins=bins, signal=signal, alias_sum=alias)
+
+
+#: Conservative margin subtracted from the on-grid alias SNR prediction.
+#: The closed-form response R(nu) only sees the alias images on the M'
+#: grid.  Subsampling by the *rational* factor n_mu/d_mu with a finite
+#: B-tap window additionally leaks images on the finer grid of multiples
+#: of M'/n_mu (= M/d_mu); measured on the standard rung matrix these
+#: carry 2-4x the on-grid alias power, i.e. the pure alias model is
+#: 2.4-4.8 dB optimistic.  5 dB of headroom makes the prediction strictly
+#: conservative (measured SNR sits 0.2-2.6 dB above it across the rung
+#: matrix — confirmed within the 3 dB criterion by the degrade-sweep
+#: exhibit and tests/test_resilience.py).
+SNR_MODEL_HEADROOM_DB = 5.0
+
+
+def expected_snr_db(tables: SoiTables, bins: np.ndarray | None = None,
+                    n_aliases: int | None = None,
+                    headroom_db: float = SNR_MODEL_HEADROOM_DB) -> float:
+    """Predicted output SNR (dB) for spectrally flat random input.
+
+    For flat input every bin carries equal expected power, so the
+    expected relative error power is the per-bin mean of the *power*
+    alias sum normalized by the demodulated own-bin response:
+    ``mean_k( sum_{l != 0} |R(k + l M')|^2 / |R(k)|^2 )`` (demodulation
+    divides by R(k), making the own-bin response exactly 1).  The result
+    is ``-10 log10`` of that mean, minus *headroom_db* for the fine-grid
+    resampling images the closed form cannot see (see
+    :data:`SNR_MODEL_HEADROOM_DB`).  This is the accuracy annotation the
+    degradation ladder (:mod:`repro.resilience`) attaches to each rung.
+    """
+    p = tables.params
+    m, mp = p.m, p.m_oversampled
+    if bins is None:
+        bins = np.unique(np.linspace(0, m - 1, min(m, 129)).astype(np.int64))
+    bins = np.asarray(bins, dtype=np.int64)
+    if bins.size == 0 or bins.min() < 0 or bins.max() >= m:
+        raise ValueError("bins must be non-empty and within [0, M)")
+    if n_aliases is None:
+        n_aliases = max(1, p.n // mp // 2)
+    nu = bins.astype(np.float64)
+    signal = np.abs(tone_response(tables, nu)) ** 2
+    alias = np.zeros(bins.size)
+    for l in range(1, n_aliases + 1):
+        for side in (+1, -1):
+            alias += np.abs(tone_response(tables, nu + side * l * mp)) ** 2
+    noise = float(np.mean(alias / signal))
+    if noise <= 0.0:
+        noise = np.finfo(np.float64).tiny
+    return float(-10.0 * np.log10(noise)) - headroom_db
 
 
 @dataclass(frozen=True)

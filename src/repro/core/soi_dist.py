@@ -134,7 +134,8 @@ class DistributedSoiFFT:
 
     # -- the algorithm --------------------------------------------------------
 
-    def __call__(self, x_parts: list[np.ndarray]) -> list[np.ndarray]:
+    def __call__(self, x_parts: list[np.ndarray],
+                 deadline=None) -> list[np.ndarray]:
         """Run the distributed transform on block-distributed input.
 
         Returns the block-distributed, natural-order spectrum: rank r's
@@ -145,6 +146,12 @@ class DistributedSoiFFT:
         not abort — it re-partitions the dead rank's work across the
         survivors from the nearest stage checkpoint and completes
         degraded (see :meth:`recover`).
+
+        *deadline* (duck-typed :class:`repro.resilience.Deadline`) is
+        checked at the stage boundaries — entry, before the all-to-all,
+        and between recovery rounds; a stage that started runs to
+        completion.  Collectives themselves check the deadline installed
+        on the communicator, if any.
         """
         p = self.params
         cl = self.cluster
@@ -159,6 +166,8 @@ class DistributedSoiFFT:
             if np.asarray(part).shape != (p.elements_per_process,):
                 raise ValueError("each part must hold N/P elements")
         x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
+        if deadline is not None:
+            deadline.check("distributed entry")
         self.last_recovery = None
         fault_plan = cl.comm.fault_plan
         sdc = fault_plan if (fault_plan is not None
@@ -176,7 +185,7 @@ class DistributedSoiFFT:
                     to_left, to_right, label="ghost exchange")
             except RankFailed:
                 # pre-convolution failure: only the input checkpoint exists
-                return self.recover(x_parts, None)
+                return self.recover(x_parts, None, deadline=deadline)
             x_ext = [np.concatenate([from_left[r], x_parts[r], from_right[r]])
                      for r in range(n_procs)]
         else:
@@ -223,6 +232,8 @@ class DistributedSoiFFT:
             demod_seconds = cl.machine.mem_time(
                 (2 * p.m_oversampled + 2 * p.m + p.m) * spp * 16)
 
+        if deadline is not None:
+            deadline.check("pre all-to-all")
         if not self.segment_exchanges:
             # ---- the ONE all-to-all: stride permutation P^{S,N'}_erm ----
             sendbufs = [[np.ascontiguousarray(
@@ -231,7 +242,7 @@ class DistributedSoiFFT:
             try:
                 recv = cl.comm.alltoall(sendbufs, label="all-to-all")
             except RankFailed:
-                return self.recover(x_parts, z_parts)
+                return self.recover(x_parts, z_parts, deadline=deadline)
             y_parts: list[np.ndarray] = []
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst], axis=0)  # (M', spp), rows
@@ -263,7 +274,7 @@ class DistributedSoiFFT:
             except RankFailed:
                 # restart the exchange phase from the z checkpoint on the
                 # survivors (slots finished before the failure are redone)
-                return self.recover(x_parts, z_parts)
+                return self.recover(x_parts, z_parts, deadline=deadline)
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst])  # (M',) for this segment
                 beta = self._seg_plan(alpha)
@@ -286,8 +297,8 @@ class DistributedSoiFFT:
     # -- fault recovery: shrink-and-redistribute ------------------------------
 
     def recover(self, x_parts: list[np.ndarray],
-                z_parts: list[np.ndarray | None] | None
-                ) -> list[np.ndarray]:
+                z_parts: list[np.ndarray | None] | None,
+                deadline=None) -> list[np.ndarray]:
         """Complete the transform on the surviving ranks after failures.
 
         ``x_parts`` is the stage-0 checkpoint (the block-distributed
@@ -301,17 +312,24 @@ class DistributedSoiFFT:
         communicator.  Output keeps the natural-order block-distributed
         contract — parts of dead ranks are hosted by their adopters.
 
-        Further failures during recovery shrink again; only an empty
-        survivor set aborts.
+        Further failures during recovery shrink again (with *deadline*,
+        if given, checked between rounds); only an empty survivor set
+        aborts, raising :class:`~repro.cluster.faults.RankFailed`
+        chained from the failure that killed the last recovery round.
         """
         x_parts = [np.asarray(a, dtype=np.complex128) for a in x_parts]
+        last: RankFailed | None = None
         while True:
+            if deadline is not None:
+                deadline.check("recovery round")
             live = self.cluster.live_ranks
             if not live:
-                raise RankFailed(-1, "no surviving ranks to recover on")
+                raise RankFailed(
+                    -1, "no surviving ranks to recover on") from last
             try:
                 return self._finish_on_survivors(live, x_parts, z_parts)
-            except RankFailed:
+            except RankFailed as exc:
+                last = exc
                 continue
 
     def _compute_rows(self, x_global: np.ndarray, j_start: int,
@@ -398,9 +416,10 @@ class DistributedSoiFFT:
                     self._balanced_slices(f * rows, rows, q)):
                 adopter = live[(i + k) % q]
                 z = self._compute_rows(x_global, j0, nr)
-                cl.charge_seconds(
-                    adopter, "recovery recompute",
-                    (conv_seconds + lane_seconds) * nr / rows)
+                seconds = (conv_seconds + lane_seconds) * nr / rows
+                cl.charge_seconds(adopter, "recovery recompute", seconds)
+                if cl.comm.deadline is not None:
+                    cl.comm.deadline.charge("recovery", seconds)
                 row_chunks[adopter].append((j0, z))
                 recomputed += nr
         for r in live:

@@ -288,9 +288,14 @@ class SoiFFT:
             raise ValueError("out must be C-contiguous")
         return out
 
-    def __call__(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def __call__(self, x: np.ndarray, out: np.ndarray | None = None,
+                 deadline=None) -> np.ndarray:
         """Full in-order DFT of *x* (length N); ``out=`` avoids the result
-        allocation for the ``"direct"`` path."""
+        allocation for the ``"direct"`` path.  *deadline* (a
+        :class:`repro.resilience.Deadline`, duck-typed) is checked at
+        entry — a transform that started runs to completion."""
+        if deadline is not None:
+            deadline.check("transform entry")
         p = self.params
         x = np.asarray(x, dtype=self.dtype)
         if x.shape != (p.n,):
@@ -332,7 +337,8 @@ class SoiFFT:
                    ) * self.dtype.itemsize
         return max(1, self._BATCH_CACHE_BUDGET // per_row)
 
-    def batch(self, xs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    def batch(self, xs: np.ndarray, out: np.ndarray | None = None,
+              deadline=None) -> np.ndarray:
         """Transform each row of a (batch, N) matrix, reusing this plan.
 
         The expensive design work (window sampling, demodulation inverse,
@@ -346,7 +352,15 @@ class SoiFFT:
         block size keeps a block's stage buffers cache-resident; tiny
         frames batch fully, huge transforms fall back to row-at-a-time.
         Results are bitwise-identical for every block size.
+
+        *deadline* (duck-typed :class:`repro.resilience.Deadline`) is
+        checked at entry and between row blocks — the stage-boundary
+        contract: a block that started runs to completion, the overrun
+        raises at the next block boundary (or the caller's completion
+        check).
         """
+        if deadline is not None:
+            deadline.check("batch entry")
         xs = np.asarray(xs, dtype=self.dtype)
         if xs.ndim != 2 or xs.shape[1] != self.params.n:
             raise ValueError(f"expected shape (batch, {self.params.n})")
@@ -358,9 +372,13 @@ class SoiFFT:
             xs = np.ascontiguousarray(xs)
             batch, block = xs.shape[0], self._rows_per_block()
             for i in range(0, batch, block):
+                if deadline is not None and i > 0:
+                    deadline.check(f"batch block {i // block}")
                 self._run(xs[i:i + block], res[i:i + block])
         else:
             for i in range(xs.shape[0]):
+                if deadline is not None and i > 0:
+                    deadline.check(f"batch row {i}")
                 self(xs[i], out=res[i])
         return res
 

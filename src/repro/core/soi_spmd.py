@@ -114,7 +114,7 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
 
 def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
                  window=None, resilient: bool = True, verify=False,
-                 hedge=None) -> np.ndarray:
+                 hedge=None, deadline=None) -> np.ndarray:
     """Scatter, run the SPMD program on every rank, gather the spectrum.
 
     With ``resilient=True`` (the default) a collective that declares a
@@ -130,6 +130,13 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     (built for the same params) to read its ``.report`` afterwards.
     *hedge*, a :class:`~repro.verify.HedgePolicy`, arms straggler
     hedging in the runtime (see :func:`repro.cluster.spmd.run_spmd`).
+
+    *deadline* (duck-typed :class:`repro.resilience.Deadline`) is
+    installed on the communicator for the duration of the call — every
+    collective checks it at entry and charges attempts, backoff waits,
+    and recovery transfers to its budget — and checked again before
+    recovery and at the gather.  Any previously installed deadline is
+    restored on exit.
     """
     x = np.asarray(x, dtype=np.complex128)
     if x.shape != (params.n,):
@@ -155,12 +162,25 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
                                             verifier))
 
     ckpts: dict = {}
+    prev_deadline = cluster.comm.deadline
+    if deadline is not None:
+        cluster.comm.install_deadline(deadline)
     try:
-        results = run_spmd(cluster, program, checkpoints=ckpts, hedge=hedge)
-    except RankFailed:
-        if not resilient:
-            raise
-        soi = DistributedSoiFFT(cluster, params, window)
-        z_parts = [ckpts.get((r, "post-conv")) for r in range(params.n_procs)]
-        results = soi.recover(parts, z_parts)
+        try:
+            results = run_spmd(cluster, program, checkpoints=ckpts,
+                               hedge=hedge)
+        except RankFailed:
+            if not resilient:
+                raise
+            if deadline is not None:
+                deadline.check("pre recovery")
+            soi = DistributedSoiFFT(cluster, params, window)
+            z_parts = [ckpts.get((r, "post-conv"))
+                       for r in range(params.n_procs)]
+            results = soi.recover(parts, z_parts, deadline=deadline)
+        if deadline is not None:
+            deadline.check("gather")
+    finally:
+        if deadline is not None:
+            cluster.comm.install_deadline(prev_deadline)
     return np.concatenate(results)

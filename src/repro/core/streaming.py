@@ -28,12 +28,40 @@ def hann_window(n: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class _Frames:
-    """Frame geometry of one STFT configuration."""
+    """Frame geometry of one STFT configuration.
+
+    Validates itself: a non-positive frame, a non-positive hop, or a hop
+    longer than the frame (which would silently skip samples between
+    frames) are all geometry errors, rejected here no matter which code
+    path constructs the geometry.
+    """
 
     frame: int
     hop: int
 
-    def count(self, n_samples: int) -> int:
+    def __post_init__(self) -> None:
+        if self.frame < 1:
+            raise ValueError("frame length must be positive")
+        if not 0 < self.hop <= self.frame:
+            raise ValueError(
+                f"hop must be in (0, frame length]; got hop={self.hop} "
+                f"for frame={self.frame} (hop > frame would drop samples "
+                f"between consecutive frames)")
+
+    def count(self, n_samples: int, pad_tail: bool = False) -> int:
+        """Frames an input of *n_samples* yields.
+
+        By default only full frames count (trailing samples that do not
+        fill a frame are ignored).  With *pad_tail* the final partial
+        frame — including a signal shorter than one frame — counts too,
+        to be zero-padded by the caller.
+        """
+        if pad_tail:
+            if n_samples <= 0:
+                return 0
+            if n_samples <= self.frame:
+                return 1
+            return 1 + -(-(n_samples - self.frame) // self.hop)
         if n_samples < self.frame:
             return 0
         return 1 + (n_samples - self.frame) // self.hop
@@ -58,9 +86,7 @@ class SoiStft:
         self.plan = SoiFFT(frame_params, dtype=dtype)
         n = frame_params.n
         hop = n // 2 if hop is None else hop
-        if not 0 < hop <= n:
-            raise ValueError("hop must be in (0, frame length]")
-        self.frames = _Frames(frame=n, hop=hop)
+        self.frames = _Frames(frame=n, hop=hop)  # validates the geometry
         if isinstance(analysis_window, str):
             if analysis_window != "hann":
                 raise ValueError("only the 'hann' named window is built in")
@@ -81,36 +107,57 @@ class SoiStft:
     def hop(self) -> int:
         return self.frames.hop
 
-    def frame_count(self, n_samples: int) -> int:
-        """Number of full frames an input of *n_samples* yields."""
-        return self.frames.count(n_samples)
+    def frame_count(self, n_samples: int, pad_tail: bool = False) -> int:
+        """Number of frames an input of *n_samples* yields (full frames
+        only by default; with *pad_tail* the zero-padded final partial
+        frame counts too)."""
+        return self.frames.count(n_samples, pad_tail=pad_tail)
 
-    def transform(self, x: np.ndarray, out: np.ndarray | None = None
-                  ) -> np.ndarray:
-        """STFT matrix of shape (frames, frame_length); trailing samples
-        that do not fill a frame are ignored.
+    def transform(self, x: np.ndarray, out: np.ndarray | None = None, *,
+                  pad_tail: bool = False, deadline=None) -> np.ndarray:
+        """STFT matrix of shape (frames, frame_length).
+
+        By default trailing samples that do not fill a frame are ignored
+        — the classic silent-tail-drop.  ``pad_tail=True`` keeps them:
+        the final partial frame (or a whole signal shorter than one
+        frame) is zero-padded to full length and transformed too, so
+        every input sample contributes to the output.
 
         All frames execute as ONE batched SOI call (see
         :meth:`repro.core.soi_single.SoiFFT.batch`) — windowing is a
         single broadcast multiply into a pooled frame buffer, and the
         frame transforms share the plan's pooled stage workspaces.
-        ``out=`` writes into a caller-owned (frames, frame_length) array.
+        ``out=`` writes into a caller-owned (frames, frame_length) array;
+        *deadline* is forwarded to the batched transform (checked
+        between row blocks).
         """
         x = np.asarray(x, dtype=self.plan.dtype)
         if x.ndim != 1:
             raise ValueError("expected a 1-D signal")
-        n_frames = self.frame_count(x.size)
-        if n_frames == 0:
-            raise ValueError("signal shorter than one frame")
         frame, hop = self.frames.frame, self.frames.hop
-        used = (n_frames - 1) * hop + frame
-        frames = np.lib.stride_tricks.sliding_window_view(
-            x[:used], frame)[::hop]  # (n_frames, frame) overlapped view
-        if self.analysis_window is not None:
+        n_full = self.frames.count(x.size)
+        n_frames = self.frames.count(x.size, pad_tail=pad_tail)
+        if n_frames == 0:
+            raise ValueError("empty signal" if pad_tail
+                             else "signal shorter than one frame")
+        if n_frames == n_full:
+            used = (n_frames - 1) * hop + frame
+            frames = np.lib.stride_tricks.sliding_window_view(
+                x[:used], frame)[::hop]  # (n_frames, frame) overlapped view
+            if self.analysis_window is not None:
+                buf = self._frame_buffer(n_frames)
+                np.multiply(frames, self.analysis_window, out=buf)
+                frames = buf
+        else:
             buf = self._frame_buffer(n_frames)
-            np.multiply(frames, self.analysis_window, out=buf)
+            for i in range(n_frames):
+                chunk = x[i * hop:i * hop + frame]
+                buf[i, :chunk.size] = chunk
+                buf[i, chunk.size:] = 0.0
+            if self.analysis_window is not None:
+                np.multiply(buf, self.analysis_window, out=buf)
             frames = buf
-        return self.plan.batch(frames, out=out)
+        return self.plan.batch(frames, out=out, deadline=deadline)
 
     def _frame_buffer(self, n_frames: int) -> np.ndarray:
         buf = self._buffers.get(n_frames)

@@ -11,7 +11,12 @@ from repro.perfmodel.localfft import (
     local_fft_gflops,
     local_fft_time,
 )
-from repro.perfmodel.model import PAPER_SECTION4_EXAMPLE, FftModel, ModelBreakdown
+from repro.perfmodel.model import (
+    PAPER_SECTION4_EXAMPLE,
+    FftModel,
+    ModelBreakdown,
+    soi_request_seconds,
+)
 from repro.perfmodel.modes import MODES, ModeModel
 from repro.perfmodel.multicard import MultiCardModel
 from repro.perfmodel.sensitivity import SensitivityRow, tornado
@@ -35,5 +40,6 @@ __all__ = [
     "implied_efficiency",
     "implied_fft_efficiency",
     "segmented_breakdown",
+    "soi_request_seconds",
     "soi_segment_schedule",
 ]

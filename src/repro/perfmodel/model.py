@@ -30,7 +30,8 @@ import numpy as np
 from repro.cluster.network import STAMPEDE_EFFECTIVE, NetworkSpec
 from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10, MachineSpec
 
-__all__ = ["FftModel", "ModelBreakdown", "PAPER_SECTION4_EXAMPLE"]
+__all__ = ["FftModel", "ModelBreakdown", "PAPER_SECTION4_EXAMPLE",
+           "soi_request_seconds"]
 
 
 @dataclass(frozen=True)
@@ -154,6 +155,36 @@ class FftModel:
             per_node = self.n_total // self.nodes
             return replace(self, nodes=nodes, n_total=per_node * nodes)
         return replace(self, nodes=nodes)
+
+
+def soi_request_seconds(params, machine: MachineSpec = XEON_PHI_SE10, *,
+                        nodes: int = 1, itemsize: int = 16,
+                        efficiency_fft: float = 0.12,
+                        efficiency_conv: float = 0.40,
+                        network: NetworkSpec = STAMPEDE_EFFECTIVE,
+                        batch: int = 1) -> float:
+    """Modeled seconds for one SOI request of the given geometry.
+
+    This is the admission-control cost estimate the serving layer
+    (:mod:`repro.resilience`) uses to project a request's completion
+    time before running it: the Section 4 breakdown for the request's
+    own ``mu = n_mu/d_mu`` and ``B``, with the MPI term dropped for
+    node-local execution.  ``itemsize`` scales the arithmetic terms for
+    reduced precision (8 bytes/element for complex64 lanes), ``batch``
+    for batched transforms.  Absolute values are model units — serving
+    calibrates them against observed latency with an EWMA scale, so only
+    the *relative* cost of ladder rungs matters here.
+    """
+    model = FftModel(n_total=params.n, nodes=max(1, nodes), b=params.b,
+                     n_mu=params.n_mu, d_mu=params.d_mu,
+                     efficiency_fft=efficiency_fft,
+                     efficiency_conv=efficiency_conv, network=network,
+                     segments_per_process=params.segments_per_process)
+    br = model.soi_breakdown(machine)
+    seconds = br.local_fft + br.convolution
+    if nodes > 1:
+        seconds += br.mpi
+    return seconds * batch * (itemsize / 16.0)
 
 
 #: The §4 worked example: 32 nodes, N = 2^27 * 32, mu = 5/4, 3 GB/s/node.

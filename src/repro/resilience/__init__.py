@@ -1,0 +1,61 @@
+"""Deadline-aware resilient serving for the SOI transform.
+
+The fault-tolerance layers built so far answer "did it fail?" (verified
+collectives, :mod:`repro.verify` ABFT) — this package answers "did it
+finish *in time*, at an accuracy the caller accepted?".  Four pieces:
+
+* **Deadlines & budgets** (:mod:`~repro.resilience.deadline`) — one
+  :class:`Deadline` per request, enforced at stage boundaries and
+  threaded through :class:`~repro.core.soi_single.SoiFFT`,
+  :class:`~repro.core.soi_dist.DistributedSoiFFT`,
+  :func:`~repro.core.soi_spmd.spmd_soi_fft` and the communicator, so
+  every retry, backoff wait, hedge, and recovery transfer is charged
+  against the same per-request :class:`Budget`.
+* **Admission control** (:mod:`~repro.resilience.server`) — a bounded
+  queue plus Section 4 perf-model cost projections; requests that
+  cannot finish in time are shed as :class:`Overloaded` before any work
+  runs.
+* **Circuit breakers** (:mod:`~repro.resilience.breaker`) — per-link
+  closed/open/half-open state shared across requests; flapping links
+  fail fast instead of re-burning retry budgets.
+* **The degradation ladder** (:mod:`~repro.resilience.ladder`) — an
+  ordered list of cheaper SOI configurations (lower oversampling mu,
+  narrower convolution B, float32 lanes), each annotated with its
+  predicted SNR from the exact alias model
+  (:func:`repro.core.error_model.expected_snr_db`); under pressure the
+  service re-plans onto the cheapest rung meeting the caller's
+  ``min_snr_db`` and reports what it did in a
+  :class:`DegradationReport`.
+"""
+
+from repro.resilience.breaker import BREAKER_STATES, BreakerBoard, LinkBreaker
+from repro.resilience.deadline import (
+    Budget,
+    Deadline,
+    DeadlineExceeded,
+    Overloaded,
+)
+from repro.resilience.ladder import (
+    DEFAULT_RUNG_CANDIDATES,
+    DegradationLadder,
+    DegradationReport,
+    Rung,
+)
+from repro.resilience.server import ClusterSoiService, ServeResult, SoiService
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerBoard",
+    "Budget",
+    "ClusterSoiService",
+    "DEFAULT_RUNG_CANDIDATES",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "DegradationReport",
+    "LinkBreaker",
+    "Overloaded",
+    "Rung",
+    "ServeResult",
+    "SoiService",
+]

@@ -1,0 +1,223 @@
+"""Per-link circuit breakers for the verified collective path.
+
+A flapping link — one the :class:`~repro.cluster.faults.FaultPlan` keeps
+corrupting or timing out, or whose endpoint is dead — burns the retry
+budget of *every* collective it touches.  A :class:`BreakerBoard`
+installed on the :class:`~repro.cluster.communicator.Communicator`
+(:meth:`~repro.cluster.communicator.Communicator.install_breakers`)
+remembers failures per directed link across collectives *and across
+requests*, and applies the classic three-state machine:
+
+* **closed** — traffic flows; consecutive failures are counted,
+* **open** — after ``threshold`` consecutive failures the link fails
+  fast: collectives touching it raise immediately instead of retrying
+  (an unresponsive endpoint is declared dead on the spot, handing the
+  algorithm layer to its shrink-and-redistribute recovery),
+* **half-open** — after ``cooldown_seconds`` of simulated time one trial
+  attempt is let through; success closes the breaker, failure re-opens
+  it with the cooldown escalated by ``escalation``.
+
+The board sees every transport identically — plain
+:class:`~repro.cluster.network.NetworkSpec` fabrics and the Xeon Phi
+:class:`~repro.cluster.proxy.ReverseProxy` path both deliver through the
+communicator's one verified ``_deliver`` — so proxied links trip the
+same way direct links do.  State transitions are stamped into the
+cluster trace (zero-duration ``"other"`` events) by the communicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BreakerBoard", "LinkBreaker", "BREAKER_STATES"]
+
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+@dataclass
+class _Transition:
+    """One breaker state change, drained by the communicator for tracing."""
+
+    src: int
+    dst: int
+    old: str
+    new: str
+    at: float
+
+
+class LinkBreaker:
+    """Three-state breaker for one directed link (src, dst)."""
+
+    def __init__(self, threshold: int = 3, cooldown_seconds: float = 5e-3,
+                 escalation: float = 2.0):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown_seconds <= 0 or escalation < 1.0:
+            raise ValueError("need cooldown_seconds > 0 and escalation >= 1")
+        self.threshold = threshold
+        self.base_cooldown = cooldown_seconds
+        self.escalation = escalation
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.opened_at = 0.0
+        self.cooldown = cooldown_seconds
+        self.last_kind: str | None = None
+        self.suspect_rank: int | None = None
+
+    def record_failure(self, kind: str, *, suspect: int | None = None,
+                       now: float = 0.0) -> bool:
+        """One failed delivery on this link; True if it (re)tripped open."""
+        self.last_kind = kind
+        if suspect is not None:
+            self.suspect_rank = suspect
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            # failed trial: re-open with an escalated cooldown
+            self.state = "open"
+            self.opened_at = now
+            self.cooldown *= self.escalation
+            self.trips += 1
+            return True
+        if self.state == "closed" and \
+                self.consecutive_failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = now
+            self.cooldown = self.base_cooldown
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """One clean delivery; True if this closed a half-open breaker."""
+        self.consecutive_failures = 0
+        if self.state == "half-open":
+            self.state = "closed"
+            self.cooldown = self.base_cooldown
+            return True
+        return False
+
+    def blocking(self, now: float) -> bool:
+        """True if the link must fail fast right now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open as a side effect (the caller's attempt is the trial).
+        """
+        if self.state != "open":
+            return False
+        if now >= self.opened_at + self.cooldown:
+            self.state = "half-open"
+            return False
+        return True
+
+
+class BreakerBoard:
+    """All link breakers of one communicator, keyed by directed link.
+
+    Shared across requests: install one board per serving session so a
+    link that flapped during request *k* fails fast (or is half-open
+    probed) in request *k+1* instead of burning its retry budget again.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_seconds: float = 5e-3,
+                 escalation: float = 2.0):
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.escalation = escalation
+        self._links: dict[tuple[int, int], LinkBreaker] = {}
+        self._transitions: list[_Transition] = []
+        self.fast_failures = 0  # collectives short-circuited by open links
+
+    def link(self, src: int, dst: int) -> LinkBreaker:
+        key = (src, dst)
+        brk = self._links.get(key)
+        if brk is None:
+            brk = LinkBreaker(self.threshold, self.cooldown_seconds,
+                              self.escalation)
+            self._links[key] = brk
+        return brk
+
+    def record_failure(self, src: int, dst: int, kind: str, *,
+                       suspect: int | None = None, now: float = 0.0) -> bool:
+        brk = self.link(src, dst)
+        old = brk.state
+        tripped = brk.record_failure(kind, suspect=suspect, now=now)
+        if brk.state != old:
+            self._transitions.append(_Transition(src, dst, old, brk.state,
+                                                 now))
+        return tripped
+
+    def record_success(self, src: int, dst: int, *, now: float = 0.0) -> None:
+        brk = self._links.get((src, dst))
+        if brk is None:
+            return
+        old = brk.state
+        brk.record_success()
+        if brk.state != old:
+            self._transitions.append(_Transition(src, dst, old, brk.state,
+                                                 now))
+
+    def blocking(self, participants: list[int], now: float
+                 ) -> list[tuple[int, int, LinkBreaker]]:
+        """Open (not yet cooled-down) links among *participants*.
+
+        Cooled-down links transition to half-open here and are *not*
+        returned — the caller's attempt is their trial.
+        """
+        parts = set(participants)
+        blocked = []
+        for (src, dst), brk in self._links.items():
+            if src not in parts or dst not in parts:
+                continue
+            old = brk.state
+            if brk.blocking(now):
+                blocked.append((src, dst, brk))
+            elif brk.state != old:
+                self._transitions.append(_Transition(src, dst, old,
+                                                     brk.state, now))
+        return blocked
+
+    def drain_transitions(self) -> list[_Transition]:
+        """State changes since the last drain (for trace stamping)."""
+        out, self._transitions = self._transitions, []
+        return out
+
+    @property
+    def open_links(self) -> list[tuple[int, int]]:
+        return sorted(k for k, b in self._links.items() if b.state == "open")
+
+    @property
+    def tripped_links(self) -> list[tuple[int, int]]:
+        """Links that have ever tripped (open, half-open, or re-closed)."""
+        return sorted(k for k, b in self._links.items() if b.trips)
+
+    def cooled_at(self) -> float | None:
+        """Time by which every currently open link has cooled down.
+
+        ``None`` when nothing is open.  A serving layer can idle the
+        cluster to this point to turn open breakers half-open (the next
+        attempt becomes their trial) instead of failing fast forever.
+        """
+        ts = [b.opened_at + b.cooldown for b in self._links.values()
+              if b.state == "open"]
+        return max(ts) if ts else None
+
+    def any_open(self, now: float | None = None) -> bool:
+        """True if any link is open (and, given *now*, still cooling)."""
+        for brk in self._links.values():
+            if brk.state != "open":
+                continue
+            if now is None or now < brk.opened_at + brk.cooldown:
+                return True
+        return False
+
+    def reset(self) -> None:
+        self._links.clear()
+        self._transitions.clear()
+        self.fast_failures = 0
+
+    def describe(self) -> str:
+        n_open = len(self.open_links)
+        return (f"BreakerBoard(links={len(self._links)}, open={n_open}, "
+                f"trips={sum(b.trips for b in self._links.values())}, "
+                f"fast_failures={self.fast_failures})")

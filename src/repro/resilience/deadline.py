@@ -1,0 +1,181 @@
+"""Per-request deadlines and time budgets.
+
+A :class:`Deadline` is one request's contract with the execution layer:
+it fixes an absolute expiry on some clock (wall clock for node-local
+serving, the simulated cluster clock for :class:`~repro.cluster
+.simcluster.SimCluster` runs) and carries a :class:`Budget` that records
+where the request's time went — collectives, retries, backoff waits,
+hedges, recovery recomputes.
+
+The contract with the pipelines is *stage-boundary* enforcement:
+``deadline.check(stage)`` raises :class:`DeadlineExceeded` only between
+well-defined units of work (between cache blocks of a batched transform,
+at the entry of a collective, before a retry re-flies data, between
+recovery rounds).  A unit that started before the deadline runs to
+completion and its result is returned even if it finished late — the
+overrun is then raised at the *next* boundary, or by the serving layer's
+completion check.  On a simulated cluster the detected overrun interval
+is charged to the trace under the ``"deadline"`` category, so Fig-9
+style breakdowns show how far past its deadline a request ran before
+the system noticed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Budget", "Deadline", "DeadlineExceeded", "Overloaded"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran past its deadline.
+
+    Raised at stage boundaries by pipelines holding a :class:`Deadline`,
+    and by the serving layer's completion check when a transform finished
+    but finished late.  ``stage`` names the boundary that detected the
+    overrun; ``elapsed``/``deadline_seconds`` quantify it.
+    """
+
+    def __init__(self, message: str, *, stage: str = "",
+                 elapsed: float = 0.0, deadline_seconds: float = 0.0):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed = elapsed
+        self.deadline_seconds = deadline_seconds
+
+
+class Overloaded(RuntimeError):
+    """Admission control rejected a request (load shedding).
+
+    Raised *before* any work runs: either the bounded request queue is
+    full, or the cost model projects that no ladder rung meeting the
+    caller's ``min_snr_db`` can complete within the deadline.
+    """
+
+    def __init__(self, message: str, *, queued: int = 0,
+                 projected_seconds: float | None = None):
+        super().__init__(message)
+        self.queued = queued
+        self.projected_seconds = projected_seconds
+
+
+@dataclass
+class Budget:
+    """Where one request's time went, keyed by purpose.
+
+    Purposes mirror the trace categories of the simulated cluster
+    (``"mpi"``, ``"retry"``, ``"hedge"``, ``"recovery"``, ``"deadline"``)
+    so the per-request accounting and the per-rank trace agree on what
+    resilience cost.
+    """
+
+    seconds: float
+    charges: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, purpose: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("charges must be non-negative")
+        self.charges[purpose] = self.charges.get(purpose, 0.0) + seconds
+
+    @property
+    def spent(self) -> float:
+        """Total charged seconds (communication-path accounting)."""
+        return sum(self.charges.values())
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{k}={v:.3g}s"
+                          for k, v in sorted(self.charges.items()))
+        return f"Budget({self.seconds:.3g}s: {parts or 'nothing charged'})"
+
+
+class Deadline:
+    """Absolute expiry on an injectable clock, with budget accounting.
+
+    ``Deadline(seconds)`` uses the wall clock (``time.monotonic``);
+    :meth:`simulated` binds the expiry to a cluster's simulated clocks
+    instead, with overruns charged to the ``"deadline"`` trace category.
+    The object is duck-typed for the
+    :class:`~repro.cluster.communicator.Communicator` (which must not
+    import this package): any object with ``check(stage)`` and
+    ``charge(purpose, seconds)`` can be installed.
+    """
+
+    def __init__(self, seconds: float, *, clock=None, start: float | None = None):
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self._clock = time.monotonic if clock is None else clock
+        self.start = float(self._clock() if start is None else start)
+        self.seconds = float(seconds)
+        self.budget = Budget(self.seconds)
+        self._cluster = None
+        self._tripped = False
+
+    @classmethod
+    def simulated(cls, cluster, seconds: float, *,
+                  start: float | None = None) -> "Deadline":
+        """Deadline on a :class:`SimCluster`'s simulated clock.
+
+        The clock reads ``cluster.elapsed`` (slowest surviving rank);
+        *start* defaults to the current simulated time.  When a check
+        detects an overrun, the interval from expiry to detection is
+        recorded once in the cluster trace under ``"deadline"``.
+        """
+        d = cls(seconds, clock=lambda: cluster.elapsed, start=start)
+        d._cluster = cluster
+        return d
+
+    # -- clock arithmetic ---------------------------------------------------
+
+    @property
+    def expires_at(self) -> float:
+        return self.start + self.seconds
+
+    def now(self) -> float:
+        return float(self._clock())
+
+    def elapsed(self) -> float:
+        return self.now() - self.start
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once past it)."""
+        return self.expires_at - self.now()
+
+    def expired(self) -> bool:
+        return self.remaining() < 0
+
+    # -- budget -------------------------------------------------------------
+
+    def charge(self, purpose: str, seconds: float) -> None:
+        """Charge *seconds* of *purpose* against this request's budget."""
+        self.budget.charge(purpose, seconds)
+
+    # -- enforcement ----------------------------------------------------------
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed.
+
+        This is the stage-boundary hook: call it *between* units of work.
+        On a simulated cluster the first failing check records the
+        overrun interval (expiry -> detection, on the slowest surviving
+        rank) as a ``"deadline"`` trace event and charges it to the
+        budget; repeat checks raise without double-counting.
+        """
+        over = -self.remaining()
+        if over <= 0:
+            return
+        if not self._tripped:
+            self._tripped = True
+            self.budget.charge("deadline", over)
+            if self._cluster is not None:
+                cl = self._cluster
+                live = cl.live_ranks or list(range(cl.n_ranks))
+                rank = max(live, key=lambda r: cl.clocks[r])
+                label = f"deadline ({stage})" if stage else "deadline"
+                cl.trace.record(rank, label, "deadline", self.expires_at,
+                                self.expires_at + over)
+        raise DeadlineExceeded(
+            f"deadline exceeded at stage '{stage}': "
+            f"{self.elapsed():.4g}s elapsed of {self.seconds:.4g}s",
+            stage=stage, elapsed=self.elapsed(),
+            deadline_seconds=self.seconds)

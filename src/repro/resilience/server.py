@@ -1,0 +1,366 @@
+"""Deadline-aware SOI serving: admission control and degradation.
+
+Two services share one request contract — ``submit(x, deadline_seconds,
+min_snr_db)`` returns a :class:`ServeResult` or raises exactly one of
+:class:`~repro.resilience.deadline.Overloaded` (shed before any work
+ran) / :class:`~repro.resilience.deadline.DeadlineExceeded` (ran, but
+too late):
+
+* :class:`SoiService` — node-local, wall-clock.  Requests run through
+  lazily planned :class:`~repro.core.soi_single.SoiFFT` instances, one
+  per ladder rung.
+* :class:`ClusterSoiService` — a :class:`~repro.cluster.simcluster
+  .SimCluster` front end over :func:`~repro.core.soi_spmd.spmd_soi_fft`
+  in simulated time, with a shared :class:`~repro.resilience.breaker
+  .BreakerBoard` installed on the communicator and collective failures
+  answered by stepping down the ladder.
+
+Admission control projects each candidate rung's completion time from
+the Section 4 performance model
+(:func:`~repro.perfmodel.model.soi_request_seconds`), calibrated to
+observed latency with an EWMA scale, against a bounded queue of
+projected finish times.  A request no viable rung can finish in time is
+shed as ``Overloaded`` *before* burning any compute — the paper's
+flop-budget arithmetic, repurposed as a load shedder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.faults import CollectiveFailure
+from repro.core.soi_single import SoiFFT
+from repro.core.soi_spmd import spmd_soi_fft
+from repro.core.streaming import SoiStft
+from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+from repro.perfmodel.model import soi_request_seconds
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline, DeadlineExceeded, Overloaded
+from repro.resilience.ladder import DegradationLadder, DegradationReport
+
+__all__ = ["ClusterSoiService", "ServeResult", "SoiService"]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: the spectrum plus its resilience paper trail."""
+
+    y: np.ndarray
+    outcome: str  # "ok" | "degraded"
+    report: DegradationReport
+    latency_seconds: float
+    deadline_seconds: float
+
+
+class _Admission:
+    """Shared queue/estimate logic (clock-agnostic)."""
+
+    def __init__(self, ladder: DegradationLadder, queue_limit: int,
+                 calibration_gain: float):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if not 0.0 < calibration_gain <= 1.0:
+            raise ValueError("calibration_gain must be in (0, 1]")
+        self.ladder = ladder
+        self.queue_limit = queue_limit
+        self.calibration_gain = calibration_gain
+        self._scale = 1.0  # EWMA: observed seconds per modeled second
+        self._backlog: list[float] = []  # projected finish times
+        self.shed_count = 0
+        self.served_count = 0
+
+    def scaled(self, raw_seconds: float) -> float:
+        return raw_seconds * self._scale
+
+    def calibrate(self, raw_seconds: float, observed_seconds: float) -> None:
+        """EWMA-update the model-to-observed scale from one clean run."""
+        if raw_seconds <= 0 or observed_seconds <= 0:
+            return
+        g = self.calibration_gain
+        self._scale = (1 - g) * self._scale + g * (observed_seconds
+                                                   / raw_seconds)
+
+    def admit(self, now: float, deadline_seconds: float, min_snr_db: float,
+              estimate):
+        """Pick the most accurate viable rung whose projected completion
+        fits the deadline; raise :class:`Overloaded` if queue-full or
+        none fits.  Returns ``(rung_index, rung, projected_finish)``.
+        """
+        self._backlog = [t for t in self._backlog if t > now]
+        if len(self._backlog) >= self.queue_limit:
+            self.shed_count += 1
+            raise Overloaded(
+                f"request queue full ({len(self._backlog)} queued)",
+                queued=len(self._backlog))
+        viable = self.ladder.viable(min_snr_db)
+        if not viable:
+            self.shed_count += 1
+            raise Overloaded(
+                f"no ladder rung meets min_snr_db={min_snr_db:.1f}",
+                queued=len(self._backlog))
+        start = max([now] + self._backlog)
+        cheapest_projection = None
+        for idx, rung in viable:
+            projected = start + self.scaled(estimate(rung))
+            cheapest_projection = projected
+            if projected <= now + deadline_seconds:
+                self._backlog.append(projected)
+                return idx, rung, projected
+        self.shed_count += 1
+        raise Overloaded(
+            "no rung meeting the accuracy floor can finish in "
+            f"{deadline_seconds:.4g}s (cheapest projects "
+            f"{cheapest_projection - now:.4g}s)",
+            queued=len(self._backlog),
+            projected_seconds=cheapest_projection - now)
+
+    def release(self, projected_finish: float) -> None:
+        try:
+            self._backlog.remove(projected_finish)
+        except ValueError:
+            pass
+
+    @property
+    def queued(self) -> int:
+        return len(self._backlog)
+
+
+class SoiService:
+    """Node-local deadline-aware SOI serving on the wall clock.
+
+    One lazily constructed :class:`~repro.core.soi_single.SoiFFT` plan
+    per ladder rung (plan reuse is where SOI's planning pays); admission
+    control as described in the module docstring.  ``clock`` is
+    injectable for deterministic tests.
+    """
+
+    def __init__(self, ladder: DegradationLadder, *,
+                 machine: MachineSpec = XEON_PHI_SE10, queue_limit: int = 8,
+                 clock=time.monotonic, calibration_gain: float = 0.3):
+        self.ladder = ladder
+        self.machine = machine
+        self.clock = clock
+        self.admission = _Admission(ladder, queue_limit, calibration_gain)
+        self._plans: dict[int, SoiFFT] = {}
+        self._stfts: dict[tuple[int, int], SoiStft] = {}
+
+    def plan(self, rung_index: int) -> SoiFFT:
+        plan = self._plans.get(rung_index)
+        if plan is None:
+            rung = self.ladder[rung_index]
+            plan = SoiFFT(rung.params, dtype=rung.dtype)
+            self._plans[rung_index] = plan
+        return plan
+
+    def _estimate(self, batch: int):
+        def est(rung):
+            return soi_request_seconds(rung.params, self.machine,
+                                       itemsize=rung.dtype.itemsize,
+                                       batch=batch)
+        return est
+
+    def submit(self, x: np.ndarray, *, deadline_seconds: float,
+               min_snr_db: float = 0.0) -> ServeResult:
+        """Serve one transform (1-D signal or ``(batch, n)`` stack)."""
+        x = np.asarray(x)
+        batch = 1 if x.ndim == 1 else x.shape[0]
+        now = float(self.clock())
+        idx, rung, projected = self.admission.admit(
+            now, deadline_seconds, min_snr_db, self._estimate(batch))
+        raw = self._estimate(batch)(rung)
+        deadline = Deadline(deadline_seconds, clock=self.clock, start=now)
+        try:
+            plan = self.plan(idx)
+            xs = x[None, :] if x.ndim == 1 else x
+            y = plan.batch(xs.astype(plan.dtype, copy=False),
+                           deadline=deadline)
+            if x.ndim == 1:
+                y = y[0]
+            deadline.check("completion")
+        finally:
+            self.admission.release(projected)
+        latency = float(self.clock()) - now
+        self.admission.calibrate(raw, latency)
+        self.admission.served_count += 1
+        reason = "full quality" if idx == 0 else "deadline pressure"
+        report = DegradationReport(rung_index=idx, rung=rung, reason=reason,
+                                   min_snr_db=min_snr_db)
+        return ServeResult(y=y, outcome="degraded" if report.degraded
+                           else "ok", report=report,
+                           latency_seconds=latency,
+                           deadline_seconds=deadline_seconds)
+
+    def submit_stft(self, x: np.ndarray, *, deadline_seconds: float,
+                    min_snr_db: float = 0.0, hop: int | None = None,
+                    pad_tail: bool = False) -> ServeResult:
+        """Serve an STFT of *x* framed by the chosen rung's geometry."""
+        x = np.asarray(x)
+        if x.ndim != 1:
+            raise ValueError("expected a 1-D signal")
+        now = float(self.clock())
+
+        def est(rung):
+            frame = rung.params.n
+            h = frame // 2 if hop is None else hop
+            n_frames = max(1, 1 + max(0, x.size - frame) // max(1, h))
+            return soi_request_seconds(rung.params, self.machine,
+                                       itemsize=rung.dtype.itemsize,
+                                       batch=n_frames)
+
+        idx, rung, projected = self.admission.admit(
+            now, deadline_seconds, min_snr_db, est)
+        raw = est(rung)
+        deadline = Deadline(deadline_seconds, clock=self.clock, start=now)
+        try:
+            key = (idx, -1 if hop is None else hop)
+            stft = self._stfts.get(key)
+            if stft is None:
+                stft = SoiStft(rung.params, hop=hop, dtype=rung.dtype)
+                self._stfts[key] = stft
+            y = stft.transform(x, pad_tail=pad_tail, deadline=deadline)
+            deadline.check("completion")
+        finally:
+            self.admission.release(projected)
+        latency = float(self.clock()) - now
+        self.admission.calibrate(raw, latency)
+        self.admission.served_count += 1
+        reason = "full quality" if idx == 0 else "deadline pressure"
+        report = DegradationReport(rung_index=idx, rung=rung, reason=reason,
+                                   min_snr_db=min_snr_db)
+        return ServeResult(y=y, outcome="degraded" if report.degraded
+                           else "ok", report=report,
+                           latency_seconds=latency,
+                           deadline_seconds=deadline_seconds)
+
+
+class ClusterSoiService:
+    """Deadline-aware serving of distributed SOI requests (simulated).
+
+    Wraps :func:`~repro.core.soi_spmd.spmd_soi_fft` on one
+    :class:`~repro.cluster.simcluster.SimCluster`: per-request simulated
+    deadlines (:meth:`Deadline.simulated`) are installed on the
+    communicator so every collective, retry, backoff wait, and recovery
+    transfer is charged against the request's budget and checked at
+    stage boundaries.  A :class:`~repro.resilience.breaker.BreakerBoard`
+    shared across requests makes flapping links fail fast; a collective
+    failure answers with a step *down* the ladder (cheaper config, fewer
+    bytes on the wire) up to ``max_attempts`` tries.  When any breaker
+    is open at admission time the request starts directly on the
+    cheapest viable rung.
+    """
+
+    def __init__(self, cluster, ladder: DegradationLadder, *,
+                 queue_limit: int = 8, max_attempts: int = 3,
+                 breakers: BreakerBoard | None = None,
+                 calibration_gain: float = 0.3, verify=False, hedge=None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        for rung in ladder:
+            if rung.params.n_procs != cluster.n_ranks:
+                raise ValueError("every ladder rung must target the "
+                                 "cluster's rank count")
+        self.cluster = cluster
+        self.ladder = ladder
+        self.max_attempts = max_attempts
+        self.verify = verify
+        self.hedge = hedge
+        self.breakers = BreakerBoard() if breakers is None else breakers
+        cluster.comm.install_breakers(self.breakers)
+        self.admission = _Admission(ladder, queue_limit, calibration_gain)
+
+    def _estimate(self, rung) -> float:
+        return soi_request_seconds(
+            rung.params, self.cluster.machine, nodes=self.cluster.n_ranks,
+            itemsize=rung.dtype.itemsize)
+
+    def _wait_out_cooldowns(self, deadline) -> None:
+        """Idle the cluster until every open breaker has cooled down.
+
+        Fast-failing forever never cools a breaker in simulated time —
+        the service must spend the wait.  The idle interval is traced
+        (``"other"``) on every live rank and charged to the request's
+        budget, so the latency accounting still sums.
+        """
+        cl = self.cluster
+        cooled = self.breakers.cooled_at()
+        if cooled is None or cooled <= cl.elapsed:
+            return
+        deadline.charge("breaker wait", cooled - cl.elapsed)
+        for r in cl.live_ranks:
+            start = cl.clocks[r]
+            if start < cooled:
+                cl.trace.record(r, "breaker cooldown wait", "other",
+                                start, cooled)
+                cl.clocks[r] = cooled
+
+    def submit(self, x: np.ndarray, *, deadline_seconds: float,
+               min_snr_db: float = 0.0,
+               arrival: float | None = None) -> ServeResult:
+        """Serve one distributed transform arriving at simulated time
+        *arrival* (default: now).  Exactly one of four things happens:
+        a ``ServeResult`` with outcome ``"ok"`` or ``"degraded"``
+        returns, or :class:`Overloaded` / :class:`DeadlineExceeded`
+        raises.
+        """
+        cl = self.cluster
+        now = cl.elapsed if arrival is None else float(arrival)
+        for r in cl.live_ranks:  # idle until the request arrives
+            if cl.clocks[r] < now:
+                cl.clocks[r] = now
+        idx, rung, projected = self.admission.admit(
+            now, deadline_seconds, min_snr_db, self._estimate)
+        if self.breakers.any_open(now) and idx == 0:
+            # Degrade preemptively: flapping fabric, ship fewer bytes.
+            self.admission.release(projected)
+            idx, rung = self.ladder.viable(min_snr_db)[-1]
+            projected = now + self.admission.scaled(self._estimate(rung))
+            reason = "open breaker"
+        else:
+            reason = "full quality" if idx == 0 else "deadline pressure"
+        raw = self._estimate(rung)
+        n_live_before = cl.n_live
+        deadline = Deadline.simulated(cl, deadline_seconds, start=now)
+        cl.comm.install_deadline(deadline)
+        attempts = 0
+        viable = self.ladder.viable(min_snr_db)
+        pos = next(i for i, (j, _) in enumerate(viable) if j == idx)
+        try:
+            while True:
+                attempts += 1
+                try:
+                    y = spmd_soi_fft(cl, rung.params, x, verify=self.verify,
+                                     hedge=self.hedge, deadline=deadline)
+                    break
+                except CollectiveFailure as exc:
+                    if attempts >= self.max_attempts:
+                        # Persistent fabric failure: shed rather than
+                        # leak a fifth outcome past the serving contract.
+                        self.admission.shed_count += 1
+                        raise Overloaded(
+                            f"shed after {attempts} failed attempt(s): "
+                            f"{exc}") from exc
+                    self._wait_out_cooldowns(deadline)
+                    deadline.check(f"after {type(exc).__name__}")
+                    if pos + 1 < len(viable):  # step down the ladder
+                        pos += 1
+                        idx, rung = viable[pos]
+                        reason = f"collective failure ({type(exc).__name__})"
+            deadline.check("completion")
+        finally:
+            cl.comm.clear_deadline()
+            self.admission.release(projected)
+        latency = cl.elapsed - now
+        if attempts == 1 and cl.n_live == n_live_before:
+            self.admission.calibrate(raw, latency)
+        self.admission.served_count += 1
+        if cl.n_live < n_live_before and reason == "full quality":
+            reason = "rank failure recovery"
+        report = DegradationReport(rung_index=idx, rung=rung, reason=reason,
+                                   attempts=attempts, min_snr_db=min_snr_db)
+        return ServeResult(y=y,
+                           outcome="degraded" if report.degraded else "ok",
+                           report=report, latency_seconds=latency,
+                           deadline_seconds=deadline_seconds)

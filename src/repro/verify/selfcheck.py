@@ -296,8 +296,15 @@ class DistVerifier:
 
     def _charge(self, cluster, rank: int, label: str, seconds: float,
                 category: str = "compute") -> None:
-        if cluster is not None:
-            cluster.charge_seconds(rank, label, seconds, category=category)
+        if cluster is None:
+            return
+        cluster.charge_seconds(rank, label, seconds, category=category)
+        # itemize verification/repair work in the per-request budget of
+        # an installed deadline, so serving-layer post-mortems see where
+        # the time went (the clocks already advanced either way)
+        deadline = getattr(cluster.comm, "deadline", None)
+        if deadline is not None:
+            deadline.charge(category, seconds)
 
     # -- per-rank conv + lane stage (before the wire) -----------------------
 

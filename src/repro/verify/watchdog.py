@@ -78,6 +78,9 @@ class HedgePolicy:
                 end = start + med
                 self.launched += 1
                 self.time_charged += med
+                deadline = getattr(cluster.comm, "deadline", None)
+                if deadline is not None:  # speculation bills the request
+                    deadline.charge("hedge", med)
                 cluster.trace.record(helper, f"hedge {label}", "hedge",
                                      start, end)
                 cluster.clocks[helper] = max(cluster.clocks[helper], end)

@@ -1,0 +1,497 @@
+"""Deadline-aware resilient serving: deadlines/budgets, circuit breakers,
+the degradation ladder, admission control, and the exception-chained
+escalation path of the verified communicator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.communicator import Communicator  # noqa: F401 (import cycle guard)
+from repro.cluster.faults import (
+    CorruptionDetected,
+    FaultPlan,
+    RankFailed,
+    RetriesExhausted,
+    RetryPolicy,
+)
+from repro.cluster.simcluster import SimCluster
+from repro.core.error_model import expected_snr_db
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.core.window import build_tables
+from repro.resilience import (
+    Budget,
+    BreakerBoard,
+    ClusterSoiService,
+    Deadline,
+    DeadlineExceeded,
+    DegradationLadder,
+    LinkBreaker,
+    Overloaded,
+    SoiService,
+)
+from repro.util.validate import spectral_snr
+from tests.conftest import random_complex
+
+
+class FakeClock:
+    """Deterministic injectable clock for wall-clock deadline tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def p4_params() -> SoiParams:
+    return SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
+                     n_mu=8, d_mu=7, b=48)
+
+
+# ---------------------------------------------------------------------------
+# deadlines and budgets
+# ---------------------------------------------------------------------------
+
+class TestDeadline:
+    def test_passes_before_expiry_then_raises(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check("early")  # no raise
+        clock.advance(0.5)
+        d.check("mid")
+        assert d.remaining() == pytest.approx(0.5)
+        clock.advance(0.6)
+        with pytest.raises(DeadlineExceeded) as ei:
+            d.check("late")
+        assert ei.value.stage == "late"
+        assert ei.value.elapsed == pytest.approx(1.1)
+        assert ei.value.deadline_seconds == 1.0
+        assert d.expired()
+
+    def test_rejects_nonpositive_seconds(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_budget_accounting(self):
+        b = Budget(2.0)
+        b.charge("mpi", 0.5)
+        b.charge("retry", 0.25)
+        b.charge("mpi", 0.5)
+        assert b.charges["mpi"] == pytest.approx(1.0)
+        assert b.spent == pytest.approx(1.25)
+        assert "retry" in b.describe()
+        with pytest.raises(ValueError):
+            b.charge("mpi", -1.0)
+
+    def test_simulated_deadline_records_trace_once(self):
+        cl = SimCluster(2)
+        d = Deadline.simulated(cl, 1e-3)
+        cl.charge_seconds(0, "work", 5e-3)
+        for _ in range(2):  # repeated checks must not double-record
+            with pytest.raises(DeadlineExceeded):
+                d.check("boundary")
+        deadline_events = [e for e in cl.trace.events
+                           if e.category == "deadline"]
+        assert len(deadline_events) == 1
+        ev = deadline_events[0]
+        assert ev.t_start == pytest.approx(d.expires_at)
+        assert ev.duration == pytest.approx(5e-3 - 1e-3)
+        assert d.budget.charges["deadline"] == pytest.approx(4e-3)
+
+
+class TestCommunicatorDeadline:
+    def test_collectives_charge_budget_and_check_at_entry(self):
+        cl = SimCluster(2)
+        d = Deadline.simulated(cl, 1.0)
+        cl.comm.install_deadline(d)
+        cl.comm.allgather([np.ones(64, dtype=np.complex128)
+                           for _ in range(2)])
+        assert d.budget.charges.get("mpi", 0.0) > 0.0
+        cl.charge_seconds(0, "slow kernel", 2.0)
+        with pytest.raises(DeadlineExceeded):
+            cl.comm.barrier()
+        assert cl.trace.total("deadline") > 0.0
+        cl.comm.clear_deadline()
+        assert cl.comm.deadline is None
+        cl.comm.barrier()  # no deadline, no raise
+
+    def test_retry_attempts_charged_to_budget(self):
+        cl = SimCluster(2)
+        cl.comm.install_faults(FaultPlan(timeout_messages={1}),
+                               RetryPolicy(max_retries=3))
+        d = Deadline.simulated(cl, 10.0)
+        cl.comm.install_deadline(d)
+        cl.comm.allgather([np.ones(32, dtype=np.complex128)
+                           for _ in range(2)])
+        assert d.budget.charges.get("retry", 0.0) > 0.0
+        assert d.budget.charges.get("mpi", 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers
+# ---------------------------------------------------------------------------
+
+class TestLinkBreaker:
+    def test_trips_after_threshold_and_cools_to_half_open(self):
+        brk = LinkBreaker(threshold=3, cooldown_seconds=1.0)
+        assert not brk.record_failure("timeout", now=0.0)
+        assert not brk.record_failure("timeout", now=0.0)
+        assert brk.record_failure("timeout", now=0.0)  # third trips
+        assert brk.state == "open" and brk.trips == 1
+        assert brk.blocking(0.5)
+        assert not brk.blocking(1.5)  # cooled: becomes the trial
+        assert brk.state == "half-open"
+        assert brk.record_success()
+        assert brk.state == "closed"
+
+    def test_half_open_failure_escalates_cooldown(self):
+        brk = LinkBreaker(threshold=1, cooldown_seconds=1.0, escalation=2.0)
+        brk.record_failure("corrupt", now=0.0)
+        assert not brk.blocking(1.5)  # half-open
+        assert brk.record_failure("corrupt", now=1.5)  # failed trial
+        assert brk.state == "open"
+        assert brk.cooldown == pytest.approx(2.0)
+        assert brk.blocking(3.0)  # 1.5 + 2.0 not yet reached
+        assert not brk.blocking(3.6)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            LinkBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            LinkBreaker(cooldown_seconds=0.0)
+        with pytest.raises(ValueError):
+            LinkBreaker(escalation=0.5)
+
+
+class TestBreakerBoard:
+    def test_transitions_and_blocking(self):
+        board = BreakerBoard(threshold=2, cooldown_seconds=1.0)
+        board.record_failure(0, 1, "timeout", now=0.0)
+        board.record_failure(0, 1, "timeout", now=0.0)
+        trs = board.drain_transitions()
+        assert [(t.src, t.dst, t.old, t.new) for t in trs] == \
+            [(0, 1, "closed", "open")]
+        assert board.open_links == [(0, 1)]
+        assert board.any_open(0.5)
+        assert not board.any_open(2.0)  # cooled
+        assert board.cooled_at() == pytest.approx(1.0)
+        blocked = board.blocking([0, 1, 2], 0.5)
+        assert [(s, d) for s, d, _ in blocked] == [(0, 1)]
+        assert board.blocking([2, 3], 0.5) == []  # link not among parts
+        board.record_success(0, 1, now=2.0)  # closes after implicit trial
+        board.blocking([0, 1], 2.0)  # transitions open -> half-open
+        board.record_success(0, 1, now=2.0)
+        assert board.link(0, 1).state == "closed"
+        board.reset()
+        assert board.open_links == [] and board.fast_failures == 0
+
+
+class TestCommunicatorBreakers:
+    def _armed_cluster(self, n=4):
+        cl = SimCluster(n)
+        cl.comm.install_faults(FaultPlan())  # clean plan, verified path on
+        board = BreakerBoard(threshold=3, cooldown_seconds=5e-3)
+        cl.comm.install_breakers(board)
+        return cl, board
+
+    def test_open_link_fails_fast_with_chained_cause(self):
+        cl, board = self._armed_cluster()
+        for _ in range(3):
+            board.record_failure(0, 1, "timeout", now=0.0)
+        with pytest.raises(RetriesExhausted) as ei:
+            cl.comm.barrier()
+        assert isinstance(ei.value.__cause__, TimeoutError)
+        assert board.fast_failures == 1
+        labels = [e.label for e in cl.trace.events]
+        assert any("breaker closed->open" in lb for lb in labels)
+
+    def test_open_unresponsive_link_declares_rank_dead(self):
+        cl, board = self._armed_cluster()
+        for _ in range(3):
+            board.record_failure(2, 1, "unresponsive", suspect=1, now=0.0)
+        with pytest.raises(RankFailed) as ei:
+            cl.comm.barrier()
+        assert ei.value.rank == 1
+        assert not cl.alive[1]
+        assert isinstance(ei.value.__cause__, TimeoutError)
+
+    def test_open_corrupt_link_raises_corruption(self):
+        cl, board = self._armed_cluster()
+        for _ in range(3):
+            board.record_failure(0, 3, "corrupt", now=0.0)
+        with pytest.raises(CorruptionDetected):
+            cl.comm.allgather([np.ones(8, dtype=np.complex128)
+                               for _ in range(4)])
+
+    def test_half_open_trial_closes_on_clean_traffic(self):
+        cl, board = self._armed_cluster()
+        for _ in range(3):
+            board.record_failure(0, 1, "timeout", now=0.0)
+        for r in range(cl.n_ranks):
+            cl.clocks[r] = 1.0  # past the cooldown
+        cl.comm.allgather([np.ones(8, dtype=np.complex128)
+                           for _ in range(4)])
+        assert board.link(0, 1).state == "closed"
+
+    def test_real_retry_path_trips_breaker_early(self):
+        cl = SimCluster(2)
+        cl.comm.install_faults(
+            FaultPlan(timeout_messages=range(1, 1000)),
+            RetryPolicy(max_retries=8))
+        board = BreakerBoard(threshold=3, cooldown_seconds=5e-3)
+        cl.comm.install_breakers(board)
+        with pytest.raises(RetriesExhausted) as ei:
+            cl.comm.allgather([np.ones(16, dtype=np.complex128)
+                               for _ in range(2)])
+        assert isinstance(ei.value.__cause__, TimeoutError)
+        # the breaker tripped at its threshold, well short of max_retries
+        assert cl.comm.retry_count == 2
+        assert board.tripped_links  # at least one directed link opened
+
+
+# ---------------------------------------------------------------------------
+# exception chaining on the plain retry path
+# ---------------------------------------------------------------------------
+
+class TestExceptionChaining:
+    def test_retries_exhausted_chains_timeout(self):
+        cl = SimCluster(2)
+        cl.comm.install_faults(FaultPlan(timeout_messages=range(1, 1000)),
+                               RetryPolicy(max_retries=2))
+        with pytest.raises(RetriesExhausted) as ei:
+            cl.comm.allgather([np.ones(16, dtype=np.complex128)
+                               for _ in range(2)])
+        assert isinstance(ei.value.__cause__, TimeoutError)
+
+    def test_rank_failed_chains_timeout(self):
+        cl = SimCluster(2)
+        cl.comm.install_faults(FaultPlan(rank_failures={1: 1}),
+                               RetryPolicy(max_retries=1))
+        with pytest.raises(RankFailed) as ei:
+            cl.comm.allgather([np.ones(16, dtype=np.complex128)
+                               for _ in range(2)])
+        assert ei.value.rank == 1
+        assert isinstance(ei.value.__cause__, TimeoutError)
+
+    def test_exhausted_recovery_chains_last_rank_failure(self, rng):
+        params = p4_params()
+        cl = SimCluster(4)
+        # every rank dies in sequence: recovery shrinks until nobody is left
+        cl.comm.install_faults(
+            FaultPlan(rank_failures={0: 1, 1: 2, 2: 3, 3: 4}),
+            RetryPolicy(max_retries=1))
+        soi = DistributedSoiFFT(cl, params)
+        x = random_complex(rng, params.n)
+        with pytest.raises(RankFailed) as ei:
+            soi(soi.scatter(x))
+        assert ei.value.rank == -1
+        assert isinstance(ei.value.__cause__, RankFailed)
+
+
+# ---------------------------------------------------------------------------
+# the degradation ladder
+# ---------------------------------------------------------------------------
+
+class TestLadder:
+    def test_standard_ladder_sorted_and_annotated(self):
+        lad = DegradationLadder.standard(8 * 1344)
+        assert len(lad) >= 5
+        snrs = [r.predicted_snr_db for r in lad]
+        assert snrs == sorted(snrs, reverse=True)
+        assert any(r.dtype == np.dtype(np.complex64) for r in lad)
+
+    def test_distributed_ladder_is_double_precision_only(self):
+        lad = DegradationLadder.standard(8 * 448, n_procs=4,
+                                         segments_per_process=2)
+        assert len(lad) >= 3
+        assert all(r.dtype == np.dtype(np.complex128) for r in lad)
+        assert all(r.params.n_procs == 4 for r in lad)
+
+    def test_viable_and_cheapest(self):
+        lad = DegradationLadder.standard(8 * 1344)
+        floor = lad[0].predicted_snr_db - 1.0
+        viable = lad.viable(floor)
+        assert viable and viable[0][0] == 0
+        idx, rung = lad.cheapest_viable(0.0)
+        assert idx == len(lad) - 1
+        assert lad.cheapest_viable(1e9) is None
+        with pytest.raises(ValueError):
+            DegradationLadder([])
+
+    def test_table_lists_every_rung(self):
+        lad = DegradationLadder.standard(8 * 1344)
+        table = lad.table()
+        assert table.count("\n") == len(lad) + 1
+        assert "predicted SNR" in table
+
+    def test_predicted_noise_stays_below_abft_output_threshold(self):
+        # A degraded rung must not trip its own verifier: the predicted
+        # noise floor has to sit inside the rung's calibrated ABFT
+        # output tolerance (which is derived from the same tables).
+        lad = DegradationLadder.standard(8 * 1344)
+        for rung in lad:
+            predicted_noise = 10.0 ** (-rung.predicted_snr_db / 20.0)
+            assert predicted_noise <= rung.thresholds.output_rtol
+
+    def test_expected_snr_is_conservative(self, rng):
+        # spot-check the model on one mid-ladder design point
+        p = SoiParams(n=8 * 1344, n_procs=1, segments_per_process=8,
+                      n_mu=8, d_mu=7, b=48)
+        tables = build_tables(p)
+        predicted = expected_snr_db(tables)
+        from repro.core.soi_single import SoiFFT
+        x = random_complex(rng, p.n)
+        y = SoiFFT(p)(x)
+        measured = spectral_snr(y, np.fft.fft(x))
+        assert predicted <= measured <= predicted + 3.0
+
+
+# ---------------------------------------------------------------------------
+# node-local serving
+# ---------------------------------------------------------------------------
+
+class TestSoiService:
+    @pytest.fixture(scope="class")
+    def ladder(self):
+        return DegradationLadder.standard(8 * 1344)
+
+    def test_serves_full_quality_with_loose_deadline(self, ladder, rng):
+        svc = SoiService(ladder, clock=FakeClock())
+        x = random_complex(rng, 8 * 1344)
+        res = svc.submit(x, deadline_seconds=60.0, min_snr_db=150.0)
+        assert res.outcome == "ok"
+        assert res.report.rung_index == 0
+        assert res.report.reason == "full quality"
+        snr = spectral_snr(res.y, np.fft.fft(x))
+        assert snr >= 150.0
+
+    def test_degrades_under_deadline_pressure(self, ladder, rng):
+        svc = SoiService(ladder, clock=FakeClock())
+        est = svc._estimate(1)
+        best = est(ladder[0])
+        cheapest = min(est(r) for r in ladder)
+        assert cheapest < best  # otherwise the ladder cannot help
+        x = random_complex(rng, 8 * 1344)
+        res = svc.submit(x, deadline_seconds=(cheapest + best) / 2,
+                         min_snr_db=70.0)
+        assert res.outcome == "degraded"
+        assert res.report.rung_index > 0
+        assert res.report.reason == "deadline pressure"
+        assert spectral_snr(res.y, np.fft.fft(x)) >= 70.0
+
+    def test_sheds_infeasible_deadline(self, ladder, rng):
+        svc = SoiService(ladder, clock=FakeClock())
+        x = random_complex(rng, 8 * 1344)
+        with pytest.raises(Overloaded) as ei:
+            svc.submit(x, deadline_seconds=1e-12, min_snr_db=70.0)
+        assert ei.value.projected_seconds is not None
+        assert svc.admission.shed_count == 1
+
+    def test_sheds_when_queue_full(self, ladder, rng):
+        clock = FakeClock()
+        svc = SoiService(ladder, clock=clock, queue_limit=1)
+        svc.admission._backlog.append(clock() + 100.0)  # a queued request
+        with pytest.raises(Overloaded) as ei:
+            svc.submit(random_complex(rng, 8 * 1344), deadline_seconds=60.0)
+        assert ei.value.queued == 1
+
+    def test_sheds_unreachable_accuracy_floor(self, ladder, rng):
+        svc = SoiService(ladder, clock=FakeClock())
+        with pytest.raises(Overloaded):
+            svc.submit(random_complex(rng, 8 * 1344), deadline_seconds=60.0,
+                       min_snr_db=1e9)
+
+    def test_calibration_tracks_observed_latency(self, ladder, rng):
+        clock = FakeClock()
+        svc = SoiService(ladder, clock=clock, calibration_gain=1.0)
+        real = SoiService(ladder).clock  # wall clock unused; keep FakeClock
+        del real
+        x = random_complex(rng, 8 * 1344)
+
+        # make the fake clock advance a fixed latency per submit
+        orig_batch = svc.plan(0).batch
+
+        def slow_batch(xs, out=None, deadline=None):
+            clock.advance(0.125)
+            return orig_batch(xs, out=out, deadline=deadline)
+
+        svc.plan(0).batch = slow_batch
+        svc.submit(x, deadline_seconds=60.0, min_snr_db=150.0)
+        raw = svc._estimate(1)(ladder[0])
+        assert svc.admission._scale == pytest.approx(0.125 / raw)
+
+    def test_stft_serving(self, ladder, rng):
+        svc = SoiService(ladder, clock=FakeClock())
+        frame = ladder[0].params.n
+        x = random_complex(rng, 2 * frame + 57)
+        res = svc.submit_stft(x, deadline_seconds=120.0, min_snr_db=70.0,
+                              pad_tail=True)
+        n_frames = res.y.shape[0]
+        assert res.y.shape[1] == frame
+        assert n_frames >= 3  # the padded tail frame is present
+
+
+# ---------------------------------------------------------------------------
+# cluster serving
+# ---------------------------------------------------------------------------
+
+def cluster_ladder():
+    return DegradationLadder.standard(8 * 448, n_procs=4,
+                                      segments_per_process=2)
+
+
+class TestClusterSoiService:
+    def test_clean_request_is_ok_and_exact(self, rng):
+        cl = SimCluster(4)
+        svc = ClusterSoiService(cl, cluster_ladder())
+        x = random_complex(rng, 8 * 448)
+        res = svc.submit(x, deadline_seconds=10.0, min_snr_db=70.0)
+        assert res.outcome == "ok"
+        assert res.latency_seconds > 0.0
+        assert spectral_snr(res.y, np.fft.fft(x)) >= 70.0
+        assert cl.comm.deadline is None  # uninstalled after the request
+
+    def test_rank_failure_recovery_reports_degraded(self, rng):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(rank_failures={3: 2}),
+                               RetryPolicy(max_retries=1))
+        svc = ClusterSoiService(cl, cluster_ladder())
+        x = random_complex(rng, 8 * 448)
+        res = svc.submit(x, deadline_seconds=10.0, min_snr_db=70.0)
+        assert res.outcome == "degraded"
+        assert res.report.reason == "rank failure recovery"
+        assert spectral_snr(res.y, np.fft.fft(x)) >= 70.0
+
+    def test_open_breaker_degrades_preemptively(self, rng):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan())
+        svc = ClusterSoiService(cl, cluster_ladder())
+        for _ in range(svc.breakers.threshold):
+            svc.breakers.record_failure(0, 1, "timeout", now=cl.elapsed)
+        x = random_complex(rng, 8 * 448)
+        res = svc.submit(x, deadline_seconds=10.0, min_snr_db=70.0)
+        assert res.outcome == "degraded"
+        assert res.report.reason == "open breaker"
+        cheapest_idx, _ = svc.ladder.cheapest_viable(70.0)
+        assert res.report.rung_index == cheapest_idx
+        assert spectral_snr(res.y, np.fft.fft(x)) >= 70.0
+
+    def test_deadline_exceeded_when_retries_eat_the_budget(self, rng):
+        cl = SimCluster(4)
+        cl.comm.install_faults(FaultPlan(timeout_messages=range(1, 60)),
+                               RetryPolicy(max_retries=16))
+        svc = ClusterSoiService(cl, cluster_ladder())
+        est = svc.admission.scaled(svc._estimate(svc.ladder[0]))
+        x = random_complex(rng, 8 * 448)
+        with pytest.raises(DeadlineExceeded):
+            svc.submit(x, deadline_seconds=est * 1.02, min_snr_db=150.0)
+        assert cl.trace.total("deadline") > 0.0
+        assert cl.comm.deadline is None
+
+    def test_mismatched_ladder_rejected(self):
+        cl = SimCluster(2)
+        with pytest.raises(ValueError):
+            ClusterSoiService(cl, cluster_ladder())

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.params import SoiParams
-from repro.core.streaming import SoiStft, hann_window
+from repro.core.streaming import SoiStft, _Frames, hann_window
 
 
 def frame_params(n=4 * 448, b=48):
@@ -104,3 +104,78 @@ class TestValidation:
         stft = SoiStft(frame_params())
         with pytest.raises(ValueError):
             stft.transform(rng.standard_normal((2, stft.frame_length)) + 0j)
+
+
+class TestFrameGeometry:
+    def test_rejects_hop_longer_than_frame(self):
+        # hop > frame would silently skip samples between frames
+        with pytest.raises(ValueError, match="drop samples"):
+            _Frames(frame=64, hop=65)
+        with pytest.raises(ValueError):
+            SoiStft(frame_params(), hop=frame_params().n + 1)
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            _Frames(frame=0, hop=1)
+        with pytest.raises(ValueError):
+            _Frames(frame=64, hop=0)
+
+    def test_count_with_and_without_tail(self):
+        g = _Frames(frame=8, hop=4)
+        assert g.count(7) == 0 and g.count(7, pad_tail=True) == 1
+        assert g.count(8) == g.count(8, pad_tail=True) == 1
+        assert g.count(11) == 1 and g.count(11, pad_tail=True) == 2
+        assert g.count(12) == g.count(12, pad_tail=True) == 2
+        assert g.count(13, pad_tail=True) == 3
+        assert g.count(0, pad_tail=True) == 0
+
+
+class TestPadTail:
+    def test_partial_final_frame_is_dropped_by_default(self, rng):
+        """Regression: a trailing partial frame used to vanish silently —
+        the default still drops it, but pad_tail=True must keep it."""
+        stft = SoiStft(frame_params())
+        n, hop = stft.frame_length, stft.hop
+        x = rng.standard_normal(n + hop + 100) + 0j  # 100-sample tail
+        assert stft.transform(x).shape[0] == 2
+        assert stft.transform(x, pad_tail=True).shape[0] == 3
+
+    def test_padded_tail_matches_zero_padded_fft(self, rng):
+        stft = SoiStft(frame_params(), analysis_window=None)
+        n, hop = stft.frame_length, stft.hop
+        tail_len = 100
+        x = rng.standard_normal(n + tail_len) + \
+            1j * rng.standard_normal(n + tail_len)
+        s = stft.transform(x, pad_tail=True)
+        assert s.shape == (2, n)
+        tail = np.zeros(n, dtype=np.complex128)
+        tail[:n - hop + tail_len] = x[hop:]
+        ref = np.fft.fft(tail)
+        err = np.linalg.norm(s[1] - ref) / np.linalg.norm(ref)
+        assert err < 1e-4
+
+    def test_signal_shorter_than_one_frame(self, rng):
+        stft = SoiStft(frame_params(), analysis_window=None)
+        n = stft.frame_length
+        x = rng.standard_normal(37) + 0j
+        s = stft.transform(x, pad_tail=True)
+        assert s.shape == (1, n)
+        ref = np.fft.fft(np.concatenate([x, np.zeros(n - 37)]))
+        err = np.linalg.norm(s[0] - ref) / np.linalg.norm(ref)
+        assert err < 1e-4
+
+    def test_empty_signal_rejected(self):
+        stft = SoiStft(frame_params())
+        with pytest.raises(ValueError):
+            stft.transform(np.zeros(0, dtype=np.complex128), pad_tail=True)
+
+    def test_windowed_tail(self, rng):
+        stft = SoiStft(frame_params())  # hann
+        n = stft.frame_length
+        x = rng.standard_normal(n + n // 4) + 0j
+        s = stft.transform(x, pad_tail=True)
+        tail = np.zeros(n, dtype=np.complex128)
+        tail[:n // 2 + n // 4] = x[n // 2:]
+        ref = np.fft.fft(tail * hann_window(n))
+        err = np.linalg.norm(s[-1] - ref) / np.linalg.norm(ref)
+        assert err < 1e-4
