@@ -13,6 +13,11 @@ Commands
                detection / localization / repair counts
 ``degrade-sweep``  measure every degradation-ladder rung against its
                predicted SNR (the serving layer's accuracy contract)
+``trace-export``  run a faulty 16-rank distributed SOI transform and
+               export its span tree as Chrome trace-event JSON
+               (validated against the flat trace totals)
+``metrics``    run an instrumented workload and print the Prometheus
+               text exposition of every registered metric
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -224,6 +229,115 @@ def _cmd_apidoc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.cluster.faults import FaultPlan, chaos_cluster
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+    from repro.telemetry import chrome_category_totals, chrome_trace_json
+    from repro.telemetry.metrics import MetricsRegistry
+
+    ranks = args.ranks
+    n = ranks * 2 * 448 if args.n is None else args.n
+    p = SoiParams(n=n, n_procs=ranks, segments_per_process=args.segments,
+                  n_mu=args.n_mu, d_mu=args.d_mu, b=args.b)
+    cluster = SimCluster(ranks, metrics=MetricsRegistry())
+    if not args.no_faults:
+        plan = FaultPlan.random(args.seed, ranks,
+                                corrupt_rate=args.corrupt_rate,
+                                timeout_rate=args.timeout_rate)
+        chaos_cluster(cluster, plan)
+        print(f"fault plan: {plan.describe()}")
+    soi = DistributedSoiFFT(cluster, p)
+    print(f"running {p.describe()} on {ranks} simulated ranks")
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(p.n) + 1j * rng.standard_normal(p.n)
+    soi(soi.scatter(x))
+
+    text = chrome_trace_json(cluster.recorder)
+    # round-trip through the parser before trusting the file
+    events = json.loads(text)["traceEvents"]
+    failures = 0
+
+    # per-category charge totals must match the flat trace's accounting
+    totals = chrome_category_totals(events)
+    for cat, chrome_s in sorted(totals.items()):
+        flat_s = cluster.trace.total(cat)
+        ok = abs(chrome_s - flat_s) <= 1e-9 * max(1.0, abs(flat_s))
+        failures += not ok
+        print(f"  {cat:10s} chrome={chrome_s:.6e}s "
+              f"trace={flat_s:.6e}s {'OK' if ok else 'MISMATCH'}")
+
+    # timestamps must be monotone non-decreasing within every row
+    last_ts: dict = {}
+    monotone = True
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        tid = ev["tid"]
+        if ev["ts"] < last_ts.get(tid, float("-inf")):
+            monotone = False
+        last_ts[tid] = ev["ts"]
+    failures += not monotone
+    print(f"  per-rank timestamp order: {'OK' if monotone else 'BROKEN'}")
+
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
+    n_x = sum(1 for ev in events if ev.get("ph") == "X")
+    print(f"wrote {path} ({n_x} events, {path.stat().st_size} bytes) — "
+          f"load in chrome://tracing or ui.perfetto.dev")
+    if args.profile:
+        from repro.telemetry import render_stage_profile, stage_profile
+
+        print()
+        print(render_stage_profile(stage_profile(soi)))
+    print("trace-export:", "PASS" if failures == 0 else "FAIL")
+    return 1 if failures else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.faults import FaultPlan, chaos_cluster
+    from repro.cluster.simcluster import SimCluster
+    from repro.core.params import SoiParams
+    from repro.core.soi_dist import DistributedSoiFFT
+    from repro.telemetry import prometheus_text, telemetry_snapshot
+    from repro.telemetry.metrics import MetricsRegistry
+
+    ranks = args.ranks
+    p = SoiParams(n=ranks * 2 * 448, n_procs=ranks,
+                  segments_per_process=2, n_mu=8, d_mu=7, b=48)
+    registry = MetricsRegistry()
+    cluster = SimCluster(ranks, metrics=registry)
+    chaos_cluster(cluster, FaultPlan.random(args.seed, ranks,
+                                            corrupt_rate=0.05))
+    soi = DistributedSoiFFT(cluster, p, verify=True)
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(p.n) + 1j * rng.standard_normal(p.n)
+    soi(soi.scatter(x))
+
+    text = prometheus_text(registry)
+    print(text, end="")
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if args.json:
+            snap = telemetry_snapshot(registry, cluster.recorder,
+                                      meta={"ranks": ranks, "n": p.n})
+            path.write_text(json.dumps(snap, indent=2) + "\n")
+        else:
+            path.write_text(text)
+        print(f"[saved to {path}]")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
@@ -292,6 +406,41 @@ def main(argv: list[str] | None = None) -> int:
                     default="benchmarks/results/degradation_ladder.txt",
                     help="save the exhibit here ('' to skip saving)")
 
+    te = sub.add_parser(
+        "trace-export",
+        help="run a distributed SOI transform and export a Chrome trace")
+    te.add_argument("--ranks", type=int, default=16)
+    te.add_argument("--n", type=int, default=None,
+                    help="problem size (default: ranks * 2 * 448)")
+    te.add_argument("--segments", type=int, default=2,
+                    help="segment slots per rank")
+    te.add_argument("--n-mu", dest="n_mu", type=int, default=8)
+    te.add_argument("--d-mu", dest="d_mu", type=int, default=7)
+    te.add_argument("--b", type=int, default=48)
+    te.add_argument("--seed", type=int, default=0)
+    te.add_argument("--no-faults", action="store_true",
+                    help="run on a clean fabric (default injects faults)")
+    te.add_argument("--corrupt-rate", dest="corrupt_rate", type=float,
+                    default=0.002,
+                    help="per-message corruption probability (a 16-rank "
+                         "all-to-all flies 240 payloads per attempt)")
+    te.add_argument("--timeout-rate", dest="timeout_rate", type=float,
+                    default=0.001, help="per-message timeout probability")
+    te.add_argument("--profile", action="store_true",
+                    help="also print the predicted-vs-measured stage table")
+    te.add_argument("--output",
+                    default="benchmarks/results/soi_trace_16rank.json")
+
+    me = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and print Prometheus metrics")
+    me.add_argument("--ranks", type=int, default=4)
+    me.add_argument("--seed", type=int, default=0)
+    me.add_argument("--output", default=None,
+                    help="also save the exposition (or snapshot) here")
+    me.add_argument("--json", action="store_true",
+                    help="save a versioned JSON snapshot instead of text")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -308,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
         "fault-sweep": _cmd_fault_sweep,
         "verify": _cmd_verify,
         "degrade-sweep": _cmd_degrade_sweep,
+        "trace-export": _cmd_trace_export,
+        "metrics": _cmd_metrics,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

@@ -48,6 +48,7 @@ from repro.cluster.faults import (
     RetryPolicy,
     checksum,
 )
+from repro.telemetry.metrics import NULL_REGISTRY
 
 __all__ = ["Communicator"]
 
@@ -81,6 +82,21 @@ class Communicator:
         self._policy = RetryPolicy()
         self._deadline = None  # duck-typed: .check(stage), .charge(k, s)
         self._breakers = None  # duck-typed: a BreakerBoard
+        # registry instruments (no-ops when the cluster's registry is
+        # disabled, so the hot collective path stays branch-free)
+        reg = getattr(cluster, "metrics", None) or NULL_REGISTRY
+        self._m_bytes = reg.counter(
+            "repro_cluster_wire_bytes_total",
+            "payload bytes that crossed the simulated wire")
+        self._m_messages = reg.counter(
+            "repro_cluster_wire_messages_total",
+            "point-to-point messages inside collectives")
+        self._m_retries = reg.counter(
+            "repro_cluster_retries_total",
+            "collective attempts re-flown after detected faults")
+        self._m_breaker_transitions = reg.counter(
+            "repro_cluster_breaker_transitions_total",
+            "circuit-breaker state changes on directed links")
 
     @property
     def size(self) -> int:
@@ -173,6 +189,8 @@ class Communicator:
         result, routes = execute()
         self.message_count += n_wire_messages
         self.bytes_moved += wire_bytes
+        self._m_messages.inc(n_wire_messages)
+        self._m_bytes.inc(wire_bytes)
         if plan is None:
             self._collective(label, duration, nbytes_by_rank, category,
                              participants)
@@ -238,6 +256,9 @@ class Communicator:
             self.retry_count += 1
             self.message_count += n_wire_messages
             self.bytes_moved += wire_bytes
+            self._m_retries.inc()
+            self._m_messages.inc(n_wire_messages)
+            self._m_bytes.inc(wire_bytes)
             result, routes = execute()  # the retry re-flies the data
             attempt += 1
 
@@ -284,6 +305,7 @@ class Communicator:
             self._cluster.trace.record(
                 tr.src, f"breaker {tr.old}->{tr.new} [{tr.src}->{tr.dst}]",
                 "other", tr.at, tr.at)
+            self._m_breaker_transitions.inc()
 
     def _record_on_board(self, routes, failures, dead: set[int],
                          participants: list[int]) -> bool:

@@ -8,12 +8,12 @@ so examples and benches can *show* overlap instead of asserting it.
 from __future__ import annotations
 
 from repro.cluster.schedule import Schedule
-from repro.cluster.trace import Trace
+from repro.cluster.trace import CATEGORIES, Trace
 
 __all__ = ["gantt_from_trace", "gantt_from_schedule"]
 
 _GLYPHS = {"compute": "#", "mpi": "=", "pcie": "~", "retry": "!",
-           "other": "."}
+           "hedge": "+", "other": ".", "deadline": "x"}
 
 
 def _render(lanes: dict[str, list[tuple[float, float, str]]], span: float,
@@ -27,11 +27,13 @@ def _render(lanes: dict[str, list[tuple[float, float, str]]], span: float,
         for t0, t1, cat in intervals:
             c0 = min(width - 1, int(round(t0 / span * width)))
             c1 = max(c0 + 1, int(round(t1 / span * width)))
-            glyph = _GLYPHS.get(cat, "#")  # unknown categories are compute
+            glyph = _GLYPHS.get(cat, "?")  # unmapped categories stand out
             for c in range(c0, min(c1, width)):
                 row[c] = glyph
         lines.append(f"{name.ljust(label_w)} |{''.join(row)}|")
-    legend = "  ".join(f"{g}={c}" for c, g in _GLYPHS.items())
+    # legend is sourced from the canonical category list so a category
+    # added to the trace cannot silently vanish from the key
+    legend = "  ".join(f"{_GLYPHS.get(c, '?')}={c}" for c in CATEGORIES)
     lines.append(f"{' ' * label_w}  0{' ' * (width - len(f'{span:.3g}') - 1)}"
                  f"{span:.3g}")
     lines.append(f"({legend})")

@@ -18,6 +18,7 @@ from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec
 from repro.cluster.trace import Trace
 from repro.machine.roofline import KernelCost, kernel_time
 from repro.machine.spec import XEON_PHI_SE10, MachineSpec
+from repro.telemetry.metrics import MetricsRegistry, get_registry
 
 __all__ = ["SimCluster"]
 
@@ -27,13 +28,17 @@ class SimCluster:
 
     ``machines`` optionally overrides the node type per rank (heterogeneous
     clusters, §6.1/§7 hybrid mode); ``machine`` remains the default type
-    and the value reported for homogeneous clusters.
+    and the value reported for homogeneous clusters.  ``metrics`` injects
+    a :class:`~repro.telemetry.metrics.MetricsRegistry` for the cluster's
+    instruments (wire bytes, retries, breaker transitions, rank
+    failures); by default they land in the process-wide registry.
     """
 
     def __init__(self, n_ranks: int, machine: MachineSpec = XEON_PHI_SE10,
                  transport=STAMPEDE_EFFECTIVE,
                  machines: list[MachineSpec] | None = None,
-                 pcie: PcieSpec = PCIE_GEN2_X16):
+                 pcie: PcieSpec = PCIE_GEN2_X16,
+                 metrics: MetricsRegistry | None = None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         if machines is not None and len(machines) != n_ranks:
@@ -44,6 +49,7 @@ class SimCluster:
             else [machine] * n_ranks
         self.transport = transport
         self.pcie = pcie
+        self.metrics = get_registry() if metrics is None else metrics
         self.clocks = [0.0] * n_ranks
         self.alive = [True] * n_ranks
         self.trace = Trace()
@@ -52,6 +58,11 @@ class SimCluster:
     def machine_of(self, rank: int) -> MachineSpec:
         """The node type of one rank."""
         return self.machines[rank]
+
+    @property
+    def recorder(self):
+        """The span recorder behind the trace (hierarchical view)."""
+        return self.trace.recorder
 
     # -- rank liveness -----------------------------------------------------
 
@@ -77,6 +88,8 @@ class SimCluster:
         self.alive[rank] = False
         t = self.clocks[rank]
         self.trace.record(rank, "rank failure", "other", t, t)
+        self.metrics.counter("repro_cluster_rank_failures_total",
+                             "ranks declared dead").inc()
 
     # -- time accounting ---------------------------------------------------
 

@@ -5,11 +5,25 @@ Every compute kernel and communication operation performed on a
 The benches aggregate these into the execution-time breakdowns of the
 paper's Fig 9 (local FFT / convolution / exposed MPI / etc.) and the
 timing diagrams of Fig 12.
+
+Since the telemetry subsystem landed, the flat event list is a
+*projection*: the source of truth is a hierarchical
+:class:`~repro.telemetry.spans.SpanRecorder` (``trace.recorder``), where
+each :meth:`Trace.record` call becomes a leaf "charge" span, parented
+under whatever scope span (a request, an SPMD step) is open on that
+rank.  Flat consumers — ``total``, ``breakdown_by_label``,
+``exposed_time``, the gantt renderer, every bench — keep working
+unchanged on ``trace.events``; hierarchical consumers (the Chrome trace
+export, per-request attribution) read ``trace.recorder`` directly.  By
+construction the flat projection and the span tree account the same
+seconds: scope spans carry no charged time of their own.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["Event", "Trace", "CATEGORIES"]
 
@@ -49,13 +63,33 @@ class Event:
 
 
 class Trace:
-    """Ordered collection of events with aggregation helpers."""
+    """Ordered collection of events with aggregation helpers.
 
-    def __init__(self) -> None:
-        self.events: list[Event] = []
+    ``recorder`` (a :class:`~repro.telemetry.spans.SpanRecorder`) holds
+    the span tree this flat view projects; pass one in to share a
+    recorder across traces, or let the trace own a fresh one.
+    """
+
+    def __init__(self, recorder: SpanRecorder | None = None) -> None:
+        self.recorder = SpanRecorder() if recorder is None else recorder
+        self._flat: list[Event] = []
+
+    @property
+    def events(self) -> list[Event]:
+        """Flat projection of the recorder's charge spans (cached)."""
+        charges = self.recorder.charges
+        if len(self._flat) != len(charges):
+            self._flat.extend(
+                Event(s.rank, s.name, s.category, s.t_start, s.t_end,
+                      s.nbytes)
+                for s in charges[len(self._flat):])
+        return self._flat
 
     def add(self, event: Event) -> None:
-        self.events.append(event)
+        self.recorder.record(event.rank, event.label, event.category,
+                             event.t_start, event.t_end, event.nbytes)
+        if len(self._flat) == len(self.recorder.charges) - 1:
+            self._flat.append(event)
 
     def record(self, rank: int, label: str, category: str, t_start: float,
                t_end: float, nbytes: int = 0) -> Event:
@@ -66,9 +100,10 @@ class Trace:
     @property
     def span(self) -> float:
         """Wall-clock extent of the trace (max end - min start)."""
-        if not self.events:
+        events = self.events
+        if not events:
             return 0.0
-        return max(e.t_end for e in self.events) - min(e.t_start for e in self.events)
+        return max(e.t_end for e in events) - min(e.t_start for e in events)
 
     def total(self, category: str | None = None, rank: int | None = None,
               label: str | None = None) -> float:
@@ -107,22 +142,48 @@ class Trace:
         """Duration of *category* intervals not overlapped by *against*.
 
         This is the paper's "exposed MPI": communication time that could
-        not be hidden behind computation on the same rank.
+        not be hidden behind computation on the same rank.  The
+        *against* intervals are merged into a disjoint union before
+        subtracting, so overlapping compute events (hedged duplicates,
+        re-executed stages) cannot cover one comm interval twice; the
+        subtraction then runs as a single two-pointer sweep over the
+        sorted interval lists instead of an O(n*m) cross scan.
         """
         comm = sorted(
             (e.t_start, e.t_end) for e in self.events
             if e.rank == rank and e.category == category
         )
-        comp = sorted(
+        if not comm:
+            return 0.0
+        cover = _merge_intervals(sorted(
             (e.t_start, e.t_end) for e in self.events
             if e.rank == rank and e.category == against
-        )
+        ))
         exposed = 0.0
+        i = 0
         for c0, c1 in comm:
+            # comm is sorted by start, so cover entirely left of this
+            # interval stays left of every later one too
+            while i < len(cover) and cover[i][1] <= c0:
+                i += 1
             covered = 0.0
-            for p0, p1 in comp:
-                lo, hi = max(c0, p0), min(c1, p1)
-                if hi > lo:
-                    covered += hi - lo
-            exposed += max(0.0, (c1 - c0) - covered)
+            j = i
+            while j < len(cover) and cover[j][0] < c1:
+                covered += min(c1, cover[j][1]) - max(c0, cover[j][0])
+                j += 1
+            exposed += (c1 - c0) - covered
         return exposed
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]
+                     ) -> list[tuple[float, float]]:
+    """Union of sorted (start, end) intervals as a disjoint sorted list."""
+    merged: list[tuple[float, float]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1]:
+            last_lo, last_hi = merged[-1]
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged

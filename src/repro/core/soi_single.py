@@ -88,6 +88,13 @@ class SoiFFT:
         corruption raises :class:`repro.verify.VerificationError`.
         Counters accumulate in ``self.verifier.report``.  Requires
         ``local_fft="direct"`` (the planned pipeline).
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry` bundle (duck-typed:
+        anything with ``clock``/``stage``/``transform_done``).  When
+        given, every planned stage records a charge span and a latency
+        histogram, and completed transforms count flops.  ``None``
+        (the default) keeps the pipeline instrumentation-free — no
+        telemetry code runs at all.
 
     Workspace contract
     ------------------
@@ -100,7 +107,7 @@ class SoiFFT:
 
     def __init__(self, params: SoiParams, window=None,
                  local_fft: str = "direct", dtype=np.complex128,
-                 conv_inner: str = "einsum", verify=False):
+                 conv_inner: str = "einsum", verify=False, telemetry=None):
         if local_fft not in LOCAL_FFT_CHOICES:
             raise ValueError(f"local_fft must be one of {LOCAL_FFT_CHOICES}")
         if conv_inner not in CONV_INNER_MODES:
@@ -136,6 +143,8 @@ class SoiFFT:
         self._conv_ws = ConvWorkspace()
         #: batch size -> dict of reused pipeline stage buffers.
         self._bufpool: dict[int, dict[str, np.ndarray]] = {}
+        #: optional instrument bundle (duck-typed Telemetry).
+        self.telemetry = telemetry
         #: armed ABFT verifier (None unless ``verify`` was requested).
         self.verifier = None
         policy = _coerce_verify(verify)
@@ -242,10 +251,18 @@ class SoiFFT:
         batch = xs.shape[0]
         bufs = self._buffers(batch)
         hook = self.verifier.stage_hook if self.verifier is not None else None
+        telem = self.telemetry
+        clk = telem.clock if telem is not None else None
+        t = clk() if clk else 0.0
         self._gather_extended(xs, bufs["x_ext"])
         convolve(bufs["x_ext"], self.tables, 0, mp, self._block_lo,
                  out=bufs["u"], workspace=self._conv_ws,
                  inner=self.conv_inner)
+        if telem is not None:
+            now = clk()
+            telem.stage("conv", t, now,
+                        nbytes=bufs["x_ext"].nbytes + bufs["u"].nbytes)
+            t = now
         if hook:
             hook("conv", bufs["u"])
         if self._lane_mat is not None:
@@ -257,17 +274,34 @@ class SoiFFT:
             z = bufs["z"]
         else:
             z = bufs["u"]
+        if telem is not None and z is not bufs["u"]:
+            now = clk()
+            telem.stage("lane", t, now, nbytes=2 * z.nbytes)
+            t = now
         if hook and z is not bufs["u"]:
             hook("lane", z)
         np.copyto(bufs["alpha"], z.transpose(0, 2, 1))  # stride permutation
+        if telem is not None:
+            now = clk()
+            telem.stage("permute", t, now, nbytes=2 * bufs["alpha"].nbytes)
+            t = now
         if hook:
             hook("permute", bufs["alpha"])
         self._seg_plan(bufs["alpha"].reshape(-1, mp),
                        out=bufs["beta"].reshape(-1, mp))
+        if telem is not None:
+            now = clk()
+            telem.stage("segment-fft", t, now, nbytes=2 * bufs["beta"].nbytes)
+            t = now
         if hook:
             hook("segment-fft", bufs["beta"])
         demodulate(bufs["beta"], self.tables,
                    out=res.reshape(batch, s, p.m))
+        if telem is not None:
+            telem.stage("demod", t, clk(),
+                        nbytes=bufs["beta"].nbytes + res.nbytes)
+            telem.transform_done(
+                batch, batch * (p.local_fft_flops + p.lane_fft_flops))
         if hook:
             hook("demod", res.reshape(batch, s, p.m))
         return res

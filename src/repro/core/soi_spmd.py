@@ -165,6 +165,12 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     prev_deadline = cluster.comm.deadline
     if deadline is not None:
         cluster.comm.install_deadline(deadline)
+    # one scope span per rank: every charge of the SPMD run — including
+    # retries and any recovery work — nests under its rank's request
+    rec = cluster.recorder
+    scopes = [rec.begin(r, "spmd soi request", "other", cluster.clocks[r],
+                        attributes={"n": params.n})
+              for r in range(cluster.n_ranks)]
     try:
         try:
             results = run_spmd(cluster, program, checkpoints=ckpts,
@@ -181,6 +187,9 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
         if deadline is not None:
             deadline.check("gather")
     finally:
+        for scope in scopes:
+            if not scope.closed:
+                rec.end(scope, cluster.clocks[scope.rank])
         if deadline is not None:
             cluster.comm.install_deadline(prev_deadline)
     return np.concatenate(results)

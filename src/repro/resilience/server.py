@@ -40,6 +40,7 @@ from repro.perfmodel.model import soi_request_seconds
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.deadline import Deadline, DeadlineExceeded, Overloaded
 from repro.resilience.ladder import DegradationLadder, DegradationReport
+from repro.telemetry.metrics import get_registry
 
 __all__ = ["ClusterSoiService", "ServeResult", "SoiService"]
 
@@ -59,7 +60,7 @@ class _Admission:
     """Shared queue/estimate logic (clock-agnostic)."""
 
     def __init__(self, ladder: DegradationLadder, queue_limit: int,
-                 calibration_gain: float):
+                 calibration_gain: float, metrics=None):
         if queue_limit < 1:
             raise ValueError("queue_limit must be at least 1")
         if not 0.0 < calibration_gain <= 1.0:
@@ -67,10 +68,40 @@ class _Admission:
         self.ladder = ladder
         self.queue_limit = queue_limit
         self.calibration_gain = calibration_gain
+        self.metrics = get_registry() if metrics is None else metrics
         self._scale = 1.0  # EWMA: observed seconds per modeled second
         self._backlog: list[float] = []  # projected finish times
         self.shed_count = 0
         self.served_count = 0
+
+    # -- metric publication (the plain counters stay authoritative) --------
+
+    def _gauge_depth(self) -> None:
+        self.metrics.gauge(
+            "repro_serve_queue_depth",
+            "admitted requests whose projected finish is still pending"
+        ).set(len(self._backlog))
+
+    def record_shed(self) -> None:
+        self.shed_count += 1
+        self.metrics.counter("repro_serve_shed_total",
+                             "requests shed by admission control").inc()
+
+    def record_served(self, rung_index: int,
+                      latency_seconds: float) -> None:
+        self.served_count += 1
+        m = self.metrics
+        m.counter("repro_serve_served_total",
+                  "requests served to completion").inc()
+        m.counter(f"repro_serve_rung_{rung_index}_served_total",
+                  f"requests served on ladder rung {rung_index}").inc()
+        m.histogram("repro_serve_latency_seconds",
+                    "end-to-end request latency").observe(latency_seconds)
+
+    def record_overrun(self) -> None:
+        self.metrics.counter(
+            "repro_serve_deadline_overruns_total",
+            "requests that ran but finished past their deadline").inc()
 
     def scaled(self, raw_seconds: float) -> float:
         return raw_seconds * self._scale
@@ -90,14 +121,15 @@ class _Admission:
         none fits.  Returns ``(rung_index, rung, projected_finish)``.
         """
         self._backlog = [t for t in self._backlog if t > now]
+        self._gauge_depth()
         if len(self._backlog) >= self.queue_limit:
-            self.shed_count += 1
+            self.record_shed()
             raise Overloaded(
                 f"request queue full ({len(self._backlog)} queued)",
                 queued=len(self._backlog))
         viable = self.ladder.viable(min_snr_db)
         if not viable:
-            self.shed_count += 1
+            self.record_shed()
             raise Overloaded(
                 f"no ladder rung meets min_snr_db={min_snr_db:.1f}",
                 queued=len(self._backlog))
@@ -108,8 +140,9 @@ class _Admission:
             cheapest_projection = projected
             if projected <= now + deadline_seconds:
                 self._backlog.append(projected)
+                self._gauge_depth()
                 return idx, rung, projected
-        self.shed_count += 1
+        self.record_shed()
         raise Overloaded(
             "no rung meeting the accuracy floor can finish in "
             f"{deadline_seconds:.4g}s (cheapest projects "
@@ -122,6 +155,7 @@ class _Admission:
             self._backlog.remove(projected_finish)
         except ValueError:
             pass
+        self._gauge_depth()
 
     @property
     def queued(self) -> int:
@@ -180,11 +214,14 @@ class SoiService:
             if x.ndim == 1:
                 y = y[0]
             deadline.check("completion")
+        except DeadlineExceeded:
+            self.admission.record_overrun()
+            raise
         finally:
             self.admission.release(projected)
         latency = float(self.clock()) - now
         self.admission.calibrate(raw, latency)
-        self.admission.served_count += 1
+        self.admission.record_served(idx, latency)
         reason = "full quality" if idx == 0 else "deadline pressure"
         report = DegradationReport(rung_index=idx, rung=rung, reason=reason,
                                    min_snr_db=min_snr_db)
@@ -222,11 +259,14 @@ class SoiService:
                 self._stfts[key] = stft
             y = stft.transform(x, pad_tail=pad_tail, deadline=deadline)
             deadline.check("completion")
+        except DeadlineExceeded:
+            self.admission.record_overrun()
+            raise
         finally:
             self.admission.release(projected)
         latency = float(self.clock()) - now
         self.admission.calibrate(raw, latency)
-        self.admission.served_count += 1
+        self.admission.record_served(idx, latency)
         reason = "full quality" if idx == 0 else "deadline pressure"
         report = DegradationReport(rung_index=idx, rung=rung, reason=reason,
                                    min_snr_db=min_snr_db)
@@ -269,7 +309,9 @@ class ClusterSoiService:
         self.hedge = hedge
         self.breakers = BreakerBoard() if breakers is None else breakers
         cluster.comm.install_breakers(self.breakers)
-        self.admission = _Admission(ladder, queue_limit, calibration_gain)
+        self.admission = _Admission(ladder, queue_limit, calibration_gain,
+                                    metrics=getattr(cluster, "metrics",
+                                                    None))
 
     def _estimate(self, rung) -> float:
         return soi_request_seconds(
@@ -338,7 +380,7 @@ class ClusterSoiService:
                     if attempts >= self.max_attempts:
                         # Persistent fabric failure: shed rather than
                         # leak a fifth outcome past the serving contract.
-                        self.admission.shed_count += 1
+                        self.admission.record_shed()
                         raise Overloaded(
                             f"shed after {attempts} failed attempt(s): "
                             f"{exc}") from exc
@@ -349,13 +391,16 @@ class ClusterSoiService:
                         idx, rung = viable[pos]
                         reason = f"collective failure ({type(exc).__name__})"
             deadline.check("completion")
+        except DeadlineExceeded:
+            self.admission.record_overrun()
+            raise
         finally:
             cl.comm.clear_deadline()
             self.admission.release(projected)
         latency = cl.elapsed - now
         if attempts == 1 and cl.n_live == n_live_before:
             self.admission.calibrate(raw, latency)
-        self.admission.served_count += 1
+        self.admission.record_served(idx, latency)
         if cl.n_live < n_live_before and reason == "full quality":
             reason = "rank failure recovery"
         report = DegradationReport(rung_index=idx, rung=rung, reason=reason,

@@ -1,0 +1,129 @@
+"""repro.telemetry — spans, metrics, and profile export for every layer.
+
+The observability subsystem the rest of the stack reports through:
+
+``repro.telemetry.spans``
+    Hierarchical, causally-linked spans (trace_id / span_id /
+    parent_id, per-rank) with a context-manager API.  The cluster's
+    flat :class:`~repro.cluster.trace.Trace` is a projection of a
+    :class:`SpanRecorder`.
+``repro.telemetry.metrics``
+    Counters, gauges, and fixed-bucket histograms (p50/p95/p99 without
+    storing samples) in an injectable :class:`MetricsRegistry`.
+    Instruments follow the ``repro_<layer>_<name>_<unit>`` convention.
+``repro.telemetry.export``
+    Chrome trace-event JSON (loads in ``chrome://tracing`` / Perfetto),
+    Prometheus text exposition, and a versioned JSON snapshot.
+``repro.telemetry.profile``
+    Joins an executed trace with the Section 4/5 performance model into
+    a predicted-vs-measured table per pipeline stage (the Fig 9
+    exhibit, generated from telemetry).
+
+Instrumentation is zero-cost when disabled: pipelines take
+``telemetry=None`` and guard every instrumented site on it, and
+:data:`NULL_RECORDER` / :data:`NULL_REGISTRY` are shared no-op
+implementations for code that wants an object either way.  Under the
+simulated cluster every span timestamp comes from the simulated per-rank
+clocks, so recordings are deterministic and seed-reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.export import (
+    SNAPSHOT_SCHEMA,
+    chrome_category_totals,
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_text,
+    telemetry_snapshot,
+)
+from repro.telemetry.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.telemetry.profile import StageProfile, render_stage_profile, stage_profile
+from repro.telemetry.spans import NULL_RECORDER, NullRecorder, Span, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NULL_REGISTRY",
+    "NullRecorder",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "StageProfile",
+    "Telemetry",
+    "chrome_category_totals",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "get_registry",
+    "prometheus_text",
+    "render_stage_profile",
+    "set_registry",
+    "stage_profile",
+    "telemetry_snapshot",
+]
+
+
+class Telemetry:
+    """One instrument bundle for node-local (wall-clock) pipelines.
+
+    Wraps a :class:`SpanRecorder`, a :class:`MetricsRegistry`, and a
+    clock so an instrumented pipeline (e.g.
+    :class:`~repro.core.soi_single.SoiFFT`) needs a single optional
+    dependency.  ``machine`` (a
+    :class:`~repro.machine.spec.MachineSpec`) enables the achieved-GB/s
+    gauges against the machine's roofline bandwidth ceiling; ``rank``
+    labels the spans (0 for node-local work).
+    """
+
+    def __init__(self, recorder: SpanRecorder | None = None,
+                 metrics: MetricsRegistry | None = None, clock=None,
+                 machine=None, rank: int = 0):
+        self.recorder = SpanRecorder() if recorder is None else recorder
+        self.metrics = get_registry() if metrics is None else metrics
+        self.clock = time.perf_counter if clock is None else clock
+        self.machine = machine
+        self.rank = rank
+
+    def stage(self, name: str, t_start: float, t_end: float,
+              nbytes: int = 0) -> None:
+        """Record one executed pipeline stage: a charge span plus a
+        per-stage latency histogram, and (with a machine attached) the
+        achieved GB/s gauge next to the roofline ceiling."""
+        self.recorder.record(self.rank, f"soi {name}", "compute",
+                             t_start, t_end, int(nbytes))
+        key = name.replace("-", "_")
+        m = self.metrics
+        seconds = t_end - t_start
+        m.histogram(f"repro_core_stage_{key}_seconds",
+                    f"wall seconds per {name} stage execution"
+                    ).observe(seconds)
+        if nbytes and seconds > 0.0 and self.machine is not None:
+            m.gauge(f"repro_core_stage_{key}_gbps",
+                    f"achieved {name} memory bandwidth").set(
+                        nbytes / seconds / 1e9)
+            m.gauge("repro_core_roofline_ceiling_gbps",
+                    "machine STREAM bandwidth ceiling").set(
+                        self.machine.stream_gbps)
+
+    def transform_done(self, batch: int, flops: float) -> None:
+        """Count one completed (possibly batched) transform."""
+        m = self.metrics
+        m.counter("repro_core_transforms_total",
+                  "transforms executed through instrumented plans"
+                  ).inc(batch)
+        m.counter("repro_core_flops_total",
+                  "algorithmic flops executed by instrumented plans"
+                  ).inc(flops)

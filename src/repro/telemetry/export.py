@@ -1,0 +1,160 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSON snapshots.
+
+``chrome_trace_events`` turns a :class:`~repro.telemetry.spans
+.SpanRecorder` (or anything carrying one, e.g. a
+:class:`~repro.cluster.trace.Trace`) into the Chrome trace-event format
+(the JSON ``chrome://tracing`` and Perfetto load): one row per rank
+(``tid``), complete ``"X"`` events with microsecond timestamps,
+categories preserved in ``cat``, span identity in ``args``.  Scope spans
+ride along as enclosing ``X`` events flagged ``args.kind == "scope"`` so
+per-category time accounting over the export counts each charged second
+exactly once (see :func:`chrome_category_totals`).
+
+``prometheus_text`` renders a :class:`~repro.telemetry.metrics
+.MetricsRegistry` in the Prometheus exposition format;
+``telemetry_snapshot`` bundles metrics and span summaries into one
+versioned JSON document (``schema`` = :data:`SNAPSHOT_SCHEMA`).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecorder
+
+__all__ = [
+    "SNAPSHOT_SCHEMA", "chrome_category_totals", "chrome_trace_events",
+    "chrome_trace_json", "prometheus_text", "telemetry_snapshot",
+]
+
+#: Version of the snapshot document layout.  Bump on breaking changes;
+#: consumers must check it before interpreting the payload.
+SNAPSHOT_SCHEMA = 1
+
+#: Simulated seconds are exported as microseconds (the unit Chrome's
+#: trace viewer assumes for ``ts``/``dur``).
+_US = 1e6
+
+
+def _recorder_of(source) -> SpanRecorder:
+    if isinstance(source, SpanRecorder):
+        return source
+    rec = getattr(source, "recorder", None)
+    if rec is None:
+        raise TypeError(f"cannot extract a SpanRecorder from {source!r}")
+    return rec
+
+
+def chrome_trace_events(source, process_name: str = "repro") -> list[dict]:
+    """Chrome trace-event list: metadata rows + one ``X`` event per span.
+
+    *source* is a :class:`SpanRecorder` or an object with a
+    ``.recorder`` (a :class:`~repro.cluster.trace.Trace`, a
+    :class:`~repro.cluster.simcluster.SimCluster`'s trace).  Events are
+    ordered by (row, ts), so ``ts`` is monotonically non-decreasing per
+    ``tid``.  Open scopes are exported closed at their start time
+    (zero duration) rather than dropped.
+    """
+    rec = _recorder_of(source)
+    ranks = sorted({s.rank for s in rec.spans})
+    events: list[dict] = [{
+        "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+        "name": "process_name", "args": {"name": process_name},
+    }]
+    for r in ranks:
+        events.append({
+            "ph": "M", "pid": 0, "tid": r, "ts": 0,
+            "name": "thread_name", "args": {"name": f"rank {r}"},
+        })
+    body: list[dict] = []
+    for s in rec.spans:
+        t_end = s.t_end if s.t_end is not None else s.t_start
+        args = {
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+            "parent_id": s.parent_id,
+            "kind": s.kind,
+        }
+        if s.nbytes:
+            args["nbytes"] = s.nbytes
+        if s.attributes:
+            args.update(s.attributes)
+        body.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": s.rank,
+            "ts": s.t_start * _US,
+            "dur": (t_end - s.t_start) * _US,
+            "name": s.name,
+            "cat": s.category,
+            "args": args,
+        })
+    body.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+    return events + body
+
+
+def chrome_trace_json(source, process_name: str = "repro",
+                      indent: int | None = None) -> str:
+    """The full Chrome trace JSON document (loadable as-is)."""
+    return json.dumps({
+        "traceEvents": chrome_trace_events(source, process_name),
+        "displayTimeUnit": "ms",
+    }, indent=indent)
+
+
+def chrome_category_totals(events: list[dict]) -> dict[str, float]:
+    """category -> summed charged seconds of an exported event list.
+
+    Counts complete (``"X"``) events whose ``args.kind`` is
+    ``"charge"`` — the exact flat projection — so the result matches
+    ``Trace.total(category)`` for the trace that produced the export.
+    """
+    out: dict[str, float] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        if e.get("args", {}).get("kind") != "charge":
+            continue
+        cat = e.get("cat", "other")
+        out[cat] = out.get(cat, 0.0) + e["dur"] / _US
+    return out
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (version 0.0.4) of a registry."""
+    lines: list[str] = []
+    for inst in registry.collect():
+        if inst.help:
+            lines.append(f"# HELP {inst.name} {inst.help}")
+        lines.append(f"# TYPE {inst.name} {inst.kind}")
+        if inst.kind == "histogram":
+            acc = 0
+            for bound, c in zip(inst.bounds, inst.counts):
+                acc += c
+                lines.append(f'{inst.name}_bucket{{le="{bound:g}"}} {acc}')
+            lines.append(f'{inst.name}_bucket{{le="+Inf"}} {inst.count}')
+            lines.append(f"{inst.name}_sum {inst.sum:g}")
+            lines.append(f"{inst.name}_count {inst.count}")
+        else:
+            lines.append(f"{inst.name} {inst.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def telemetry_snapshot(registry: MetricsRegistry | None = None,
+                       recorder: SpanRecorder | None = None,
+                       meta: dict | None = None) -> dict:
+    """One versioned JSON document bundling metrics and span summaries."""
+    doc: dict = {"schema": SNAPSHOT_SCHEMA}
+    if meta:
+        doc["meta"] = dict(meta)
+    if registry is not None:
+        doc["metrics"] = registry.snapshot()
+    if recorder is not None:
+        doc["spans"] = {
+            "trace_id": recorder.trace_id,
+            "count": len(recorder.spans),
+            "open": len(recorder.open_spans()),
+            "category_totals": recorder.category_totals(),
+        }
+    return doc

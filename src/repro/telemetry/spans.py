@@ -1,0 +1,227 @@
+"""Hierarchical, causally-linked spans (the trace substrate).
+
+A :class:`Span` is one timed activity with identity: it belongs to a
+trace (``trace_id``), has its own ``span_id``, and points at the span it
+ran *inside* (``parent_id``).  Spans come in two kinds:
+
+``"charge"``
+    A leaf that carries accounted time — exactly what the old flat
+    :class:`~repro.cluster.trace.Event` was.  Aggregations (category
+    totals, breakdowns, exposed time) sum charge spans only, so the
+    flat projection of a recorder equals its span-tree totals by
+    construction.
+``"scope"``
+    A structural interval (a request, a pipeline phase, an SPMD step)
+    that *contains* charges but carries no time of its own.  Scopes give
+    the Chrome-trace export its nesting and let a consumer answer "which
+    request paid for this retry".
+
+A :class:`SpanRecorder` hands out deterministic ids (a counter, no
+wall-clock or randomness) and maintains one open-scope stack per rank, so
+charges recorded while a scope is open are parented under it without the
+call sites knowing.  :data:`NULL_RECORDER` is the disabled instrument:
+every method is a no-op, so instrumented code guards with a single
+``is not None`` / identity check and pays nothing when telemetry is off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "Span", "SpanRecorder"]
+
+
+class Span:
+    """One timed activity with trace identity and optional attributes."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "rank", "name",
+                 "category", "t_start", "t_end", "nbytes", "kind",
+                 "attributes")
+
+    def __init__(self, trace_id: str, span_id: int, parent_id: int | None,
+                 rank: int, name: str, category: str, t_start: float,
+                 t_end: float | None, nbytes: int = 0, kind: str = "charge",
+                 attributes: dict | None = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.rank = rank
+        self.name = name
+        self.category = category
+        self.t_start = t_start
+        self.t_end = t_end
+        self.nbytes = nbytes
+        self.kind = kind
+        self.attributes = attributes
+
+    @property
+    def duration(self) -> float:
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    @property
+    def closed(self) -> bool:
+        return self.t_end is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.kind} #{self.span_id} parent={self.parent_id} "
+                f"rank={self.rank} {self.name!r}/{self.category} "
+                f"[{self.t_start}, {self.t_end}])")
+
+
+class SpanRecorder:
+    """Collects spans with deterministic ids and per-rank scope stacks.
+
+    The recorder never reads a clock itself: callers pass explicit
+    times (simulated-cluster instrumentation) or a ``clock`` callable
+    (:meth:`span`, for wall-clock instrumentation), so recordings under
+    the simulated clock are bit-reproducible.
+    """
+
+    def __init__(self, trace_id: str = "repro") -> None:
+        self.trace_id = trace_id
+        #: every span, in creation order (scopes appear at open time).
+        self.spans: list[Span] = []
+        #: charge spans only, in creation order — the flat projection.
+        self.charges: list[Span] = []
+        self._next_id = 1
+        self._stacks: dict[int, list[Span]] = {}
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- recording ---------------------------------------------------------
+
+    def _parent_id(self, rank: int) -> int | None:
+        stack = self._stacks.get(rank)
+        return stack[-1].span_id if stack else None
+
+    def record(self, rank: int, name: str, category: str, t_start: float,
+               t_end: float, nbytes: int = 0,
+               attributes: dict | None = None) -> Span:
+        """Record one closed charge span (leaf accounted time)."""
+        span = Span(self.trace_id, self._next_id, self._parent_id(rank),
+                    rank, name, category, t_start, t_end, nbytes,
+                    "charge", attributes)
+        self._next_id += 1
+        self.spans.append(span)
+        self.charges.append(span)
+        return span
+
+    def begin(self, rank: int, name: str, category: str = "other",
+              t_start: float = 0.0,
+              attributes: dict | None = None) -> Span:
+        """Open a scope span on *rank*; subsequent records nest under it."""
+        span = Span(self.trace_id, self._next_id, self._parent_id(rank),
+                    rank, name, category, t_start, None, 0, "scope",
+                    attributes)
+        self._next_id += 1
+        self.spans.append(span)
+        self._stacks.setdefault(rank, []).append(span)
+        return span
+
+    def end(self, span: Span, t_end: float) -> Span:
+        """Close a scope opened by :meth:`begin` (LIFO per rank; closing
+        an inner-nested scope out of order closes the scopes above it)."""
+        if span.kind != "scope":
+            raise ValueError("only scope spans are closed with end()")
+        if span.closed:
+            raise ValueError(f"span #{span.span_id} already closed")
+        if t_end < span.t_start:
+            raise ValueError("scope ends before it starts")
+        stack = self._stacks.get(span.rank, [])
+        while stack:
+            top = stack.pop()
+            top.t_end = max(t_end, top.t_start)
+            if top is span:
+                break
+        span.t_end = t_end
+        return span
+
+    @contextmanager
+    def span(self, rank: int, name: str, category: str = "other",
+             clock=None, attributes: dict | None = None):
+        """Context-manager scope; *clock* is any ``() -> float`` callable
+        (e.g. ``time.perf_counter`` or ``lambda: cluster.clocks[r]``)."""
+        if clock is None:
+            raise ValueError("span() needs a clock callable; use "
+                             "begin()/end() for explicit times")
+        s = self.begin(rank, name, category, float(clock()),
+                       attributes=attributes)
+        try:
+            yield s
+        finally:
+            self.end(s, float(clock()))
+
+    # -- structure queries --------------------------------------------------
+
+    def open_spans(self, rank: int | None = None) -> list[Span]:
+        """Scopes not yet closed (all ranks, or one)."""
+        if rank is not None:
+            return list(self._stacks.get(rank, []))
+        out: list[Span] = []
+        for r in sorted(self._stacks):
+            out.extend(self._stacks[r])
+        return out
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    # -- aggregation ---------------------------------------------------------
+
+    def category_totals(self) -> dict[str, float]:
+        """category -> summed charge duration (scope spans carry none)."""
+        out: dict[str, float] = {}
+        for s in self.charges:
+            out[s.category] = out.get(s.category, 0.0) + s.duration
+        return out
+
+    def subtree_total(self, span: Span, category: str | None = None) -> float:
+        """Summed charge duration under one span (inclusive)."""
+        ids = {span.span_id}
+        # spans are created parent-before-child, so one forward pass closes
+        # the descendant set
+        for s in self.spans:
+            if s.parent_id in ids:
+                ids.add(s.span_id)
+        return sum(s.duration for s in self.charges
+                   if s.span_id in ids
+                   and (category is None or s.category == category))
+
+
+class NullRecorder:
+    """The disabled instrument: accepts everything, stores nothing."""
+
+    trace_id = "null"
+    spans: list = []
+    charges: list = []
+
+    def __len__(self) -> int:
+        return 0
+
+    def record(self, *a, **k) -> None:
+        return None
+
+    def begin(self, *a, **k) -> None:
+        return None
+
+    def end(self, *a, **k) -> None:
+        return None
+
+    @contextmanager
+    def span(self, *a, **k):
+        yield None
+
+    def open_spans(self, rank=None) -> list:
+        return []
+
+    def category_totals(self) -> dict:
+        return {}
+
+
+#: Shared no-op recorder — identity-comparable (`rec is NULL_RECORDER`).
+NULL_RECORDER = NullRecorder()

@@ -38,6 +38,7 @@ from repro.fft.dft import dft_matrix
 from repro.fft.plan import get_plan
 from repro.verify.abft import ConvChecksum, checksum_weights
 from repro.verify.invariants import energy_cols, energy_rows, parseval_check
+from repro.telemetry.metrics import get_registry
 from repro.verify.policy import (
     VerificationError,
     VerificationReport,
@@ -47,6 +48,36 @@ from repro.verify.policy import (
 __all__ = ["DistVerifier", "PipelineVerifier"]
 
 _TINY = np.finfo(np.float64).tiny
+
+#: Report counters mirrored into ``repro_verify_<field>_total`` metrics.
+_REPORT_FIELDS = ("checks", "detections", "segment_repairs",
+                  "stage_repairs", "escalations")
+
+
+class _MetricsMirror:
+    """Publishes a report's counter *deltas* into a metric registry.
+
+    The verifiers bump plain integers on their report as they run; the
+    mirror remembers what it last published so each verification site
+    can flush at its exit without double-counting (and without the hot
+    invariant loops touching the registry)."""
+
+    def __init__(self) -> None:
+        self._last = dict.fromkeys(_REPORT_FIELDS, 0)
+
+    def reset(self) -> None:
+        self._last = dict.fromkeys(_REPORT_FIELDS, 0)
+
+    def publish(self, report: VerificationReport, registry) -> None:
+        for f in _REPORT_FIELDS:
+            val = getattr(report, f)
+            delta = val - self._last[f]
+            if delta > 0:
+                registry.counter(
+                    f"repro_verify_{f}_total",
+                    f"ABFT {f.replace('_', ' ')} across all verifiers"
+                ).inc(delta)
+                self._last[f] = val
 
 #: Largest S for which the lane transform's DFT matrix is materialized to
 #: repair single columns; beyond this, lane repair recomputes the rank's
@@ -73,6 +104,7 @@ class PipelineVerifier:
         self._vdemod = np.ascontiguousarray(
             (1.0 / soi.tables.demod).astype(soi.dtype))
         self._conv_chk: ConvChecksum | None = None
+        self._mirror = _MetricsMirror()
 
     # -- hooks called by SoiFFT._execute -----------------------------------
 
@@ -229,26 +261,33 @@ class PipelineVerifier:
         bufs = soi._bufpool[xs.shape[0]]
         res3 = res.reshape(xs.shape[0], p.n_segments, p.m)
         strike = 0
-        while True:
-            fail = self._first_failure(bufs, res3)
-            if fail is None:
-                return
-            stage, units = fail
-            strike += 1
-            self.report.record(stage, -1,
-                               sorted({int(t) for _, t in units}), strike)
-            if strike > self.policy.max_strikes:
-                raise VerificationError(
-                    f"stage '{stage}' failed verification after "
-                    f"{self.policy.max_strikes} repair attempts "
-                    f"(segments {sorted({int(t) for _, t in units})})")
-            if strike == 1:
-                self._repair(bufs, res3, stage, units)
-            else:
-                # escalation: re-execute the whole block from the input
-                self.report.escalations += 1
-                self.report.stage_repairs += 1
-                soi._execute(xs, res)
+        try:
+            while True:
+                fail = self._first_failure(bufs, res3)
+                if fail is None:
+                    return
+                stage, units = fail
+                strike += 1
+                self.report.record(stage, -1,
+                                   sorted({int(t) for _, t in units}),
+                                   strike)
+                if strike > self.policy.max_strikes:
+                    raise VerificationError(
+                        f"stage '{stage}' failed verification after "
+                        f"{self.policy.max_strikes} repair attempts "
+                        f"(segments {sorted({int(t) for _, t in units})})")
+                if strike == 1:
+                    self._repair(bufs, res3, stage, units)
+                else:
+                    # escalation: re-execute the whole block from the input
+                    self.report.escalations += 1
+                    self.report.stage_repairs += 1
+                    soi._execute(xs, res)
+        finally:
+            telem = soi.telemetry
+            self._mirror.publish(
+                self.report,
+                telem.metrics if telem is not None else get_registry())
 
 
 class DistVerifier:
@@ -279,11 +318,18 @@ class DistVerifier:
             self._lane_mat = dft_matrix(p.n_segments)
         self._vdemod = np.ascontiguousarray(1.0 / tables.demod)
         self._conv_chk: ConvChecksum | None = None
+        self._mirror = _MetricsMirror()
 
     def reset_report(self) -> VerificationReport:
         """Fresh counters for a new run; returns the new report."""
         self.report = VerificationReport()
+        self._mirror.reset()
         return self.report
+
+    def _publish(self, cluster) -> None:
+        self._mirror.publish(
+            self.report,
+            cluster.metrics if cluster is not None else get_registry())
 
     def _conv_checksum(self) -> ConvChecksum:
         if self._conv_chk is None:
@@ -334,35 +380,41 @@ class DistVerifier:
         else:
             c_pred = c_pred_u
         strike = 0
-        while True:
-            c_obs = np.matmul(self._w_rows, z)
-            e_z = energy_cols(z)
-            bad = _abs2(c_obs - c_pred) > th.checksum_rtol ** 2 * (
-                self._rows * e_z + _TINY)
-            if not bad.any():
-                return z
-            strike += 1
-            segs = np.nonzero(bad)[0]
-            self.report.record("conv", rank, segs, strike)
-            if strike > self.policy.max_strikes:
-                raise VerificationError(
-                    f"rank {rank}: conv stage failed verification after "
-                    f"{self.policy.max_strikes} repair attempts "
-                    f"(segments {segs.tolist()})")
-            if strike == 1 and self._lane_mat is not None:
-                # segment-level: re-derive only the corrupt z columns
-                z[:, segs] = np.matmul(u, self._lane_mat[:, segs])
-                self.report.segment_repairs += 1
-                self._charge(cluster, rank, "abft repair",
-                             lane_seconds * len(segs) / s, category="retry")
-            else:
-                u = convolve(x_ext, self.tables, j_start, self._rows,
-                             block_lo)
-                z = self._lane_plan(u) if self._lane_plan is not None else u
-                self.report.stage_repairs += 1
-                self.report.escalations += 1
-                self._charge(cluster, rank, "abft repair",
-                             conv_seconds + lane_seconds, category="retry")
+        try:
+            while True:
+                c_obs = np.matmul(self._w_rows, z)
+                e_z = energy_cols(z)
+                bad = _abs2(c_obs - c_pred) > th.checksum_rtol ** 2 * (
+                    self._rows * e_z + _TINY)
+                if not bad.any():
+                    return z
+                strike += 1
+                segs = np.nonzero(bad)[0]
+                self.report.record("conv", rank, segs, strike)
+                if strike > self.policy.max_strikes:
+                    raise VerificationError(
+                        f"rank {rank}: conv stage failed verification after "
+                        f"{self.policy.max_strikes} repair attempts "
+                        f"(segments {segs.tolist()})")
+                if strike == 1 and self._lane_mat is not None:
+                    # segment-level: re-derive only the corrupt z columns
+                    z[:, segs] = np.matmul(u, self._lane_mat[:, segs])
+                    self.report.segment_repairs += 1
+                    self._charge(cluster, rank, "abft repair",
+                                 lane_seconds * len(segs) / s,
+                                 category="retry")
+                else:
+                    u = convolve(x_ext, self.tables, j_start, self._rows,
+                                 block_lo)
+                    z = self._lane_plan(u) \
+                        if self._lane_plan is not None else u
+                    self.report.stage_repairs += 1
+                    self.report.escalations += 1
+                    self._charge(cluster, rank, "abft repair",
+                                 conv_seconds + lane_seconds,
+                                 category="retry")
+        finally:
+            self._publish(cluster)
 
     # -- per-destination segment FFTs (after the wire) ----------------------
 
@@ -391,37 +443,40 @@ class DistVerifier:
         e_a = energy_cols(alpha)  # (k,) per owned segment
         dc_pred = mp * alpha[0]  # the sum invariant, from the input side
         strike = 0
-        while True:
-            e_b = energy_rows(beta)
-            bad = parseval_check(e_a, e_b, mp, th.energy_rtol)
-            dc = beta.sum(axis=-1) - dc_pred
-            bad = bad | (_abs2(dc) > th.checksum_rtol ** 2 * (
-                mp * e_b + _TINY))
-            if not bad.any():
-                return beta
-            strike += 1
-            rows_bad = np.nonzero(bad)[0]
-            self.report.record("segment-fft", rank,
-                               [slot_ids[i] for i in rows_bad], strike)
-            if strike > self.policy.max_strikes:
-                raise VerificationError(
-                    f"rank {rank}: segment FFTs failed verification after "
-                    f"{self.policy.max_strikes} repair attempts (segments "
-                    f"{[slot_ids[i] for i in rows_bad]})")
-            if strike == 1:
-                beta[rows_bad] = self._seg_plan(
-                    np.ascontiguousarray(alpha.T[rows_bad]))
-                self.report.segment_repairs += 1
-                self._charge(cluster, rank, "abft repair",
-                             fft_seconds * len(rows_bad) / max(
-                                 beta.shape[0], 1),
-                             category="retry")
-            else:
-                beta = self._seg_plan(np.ascontiguousarray(alpha.T))
-                self.report.stage_repairs += 1
-                self.report.escalations += 1
-                self._charge(cluster, rank, "abft repair", fft_seconds,
-                             category="retry")
+        try:
+            while True:
+                e_b = energy_rows(beta)
+                bad = parseval_check(e_a, e_b, mp, th.energy_rtol)
+                dc = beta.sum(axis=-1) - dc_pred
+                bad = bad | (_abs2(dc) > th.checksum_rtol ** 2 * (
+                    mp * e_b + _TINY))
+                if not bad.any():
+                    return beta
+                strike += 1
+                rows_bad = np.nonzero(bad)[0]
+                self.report.record("segment-fft", rank,
+                                   [slot_ids[i] for i in rows_bad], strike)
+                if strike > self.policy.max_strikes:
+                    raise VerificationError(
+                        f"rank {rank}: segment FFTs failed verification "
+                        f"after {self.policy.max_strikes} repair attempts "
+                        f"(segments {[slot_ids[i] for i in rows_bad]})")
+                if strike == 1:
+                    beta[rows_bad] = self._seg_plan(
+                        np.ascontiguousarray(alpha.T[rows_bad]))
+                    self.report.segment_repairs += 1
+                    self._charge(cluster, rank, "abft repair",
+                                 fft_seconds * len(rows_bad) / max(
+                                     beta.shape[0], 1),
+                                 category="retry")
+                else:
+                    beta = self._seg_plan(np.ascontiguousarray(alpha.T))
+                    self.report.stage_repairs += 1
+                    self.report.escalations += 1
+                    self._charge(cluster, rank, "abft repair", fft_seconds,
+                                 category="retry")
+        finally:
+            self._publish(cluster)
 
     def check_demod(self, cluster, rank: int, beta: np.ndarray,
                     seg: np.ndarray, slot_ids) -> np.ndarray:
@@ -431,26 +486,29 @@ class DistVerifier:
         self.report.checks += 1
         slot_ids = list(slot_ids)
         strike = 0
-        while True:
-            lhs = seg.sum(axis=-1)
-            rhs = np.matmul(beta[:, :m], self._vdemod)
-            e_res = energy_rows(seg)
-            bad = _abs2(lhs - rhs) > th.checksum_rtol ** 2 * (
-                m * e_res + _TINY)
-            if not bad.any():
-                return seg
-            strike += 1
-            rows_bad = np.nonzero(bad)[0]
-            self.report.record("demod", rank,
-                               [slot_ids[i] for i in rows_bad], strike)
-            if strike > self.policy.max_strikes:
-                raise VerificationError(
-                    f"rank {rank}: demodulation failed verification after "
-                    f"{self.policy.max_strikes} repair attempts")
-            rows = rows_bad if strike == 1 else np.arange(seg.shape[0])
-            seg[rows] = demodulate(beta[rows], self.tables)
-            if strike == 1:
-                self.report.segment_repairs += 1
-            else:
-                self.report.stage_repairs += 1
-                self.report.escalations += 1
+        try:
+            while True:
+                lhs = seg.sum(axis=-1)
+                rhs = np.matmul(beta[:, :m], self._vdemod)
+                e_res = energy_rows(seg)
+                bad = _abs2(lhs - rhs) > th.checksum_rtol ** 2 * (
+                    m * e_res + _TINY)
+                if not bad.any():
+                    return seg
+                strike += 1
+                rows_bad = np.nonzero(bad)[0]
+                self.report.record("demod", rank,
+                                   [slot_ids[i] for i in rows_bad], strike)
+                if strike > self.policy.max_strikes:
+                    raise VerificationError(
+                        f"rank {rank}: demodulation failed verification "
+                        f"after {self.policy.max_strikes} repair attempts")
+                rows = rows_bad if strike == 1 else np.arange(seg.shape[0])
+                seg[rows] = demodulate(beta[rows], self.tables)
+                if strike == 1:
+                    self.report.segment_repairs += 1
+                else:
+                    self.report.stage_repairs += 1
+                    self.report.escalations += 1
+        finally:
+            self._publish(cluster)

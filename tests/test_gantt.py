@@ -2,7 +2,7 @@
 
 from repro.cluster.gantt import gantt_from_schedule, gantt_from_trace
 from repro.cluster.schedule import Schedule
-from repro.cluster.trace import Trace
+from repro.cluster.trace import CATEGORIES, Trace
 
 
 def sample_trace() -> Trace:
@@ -38,6 +38,23 @@ class TestTraceGantt:
         out = gantt_from_trace(sample_trace(), title="T")
         assert out.splitlines()[0] == "T"
         assert "compute" in out  # legend
+
+    def test_retry_hedge_deadline_glyphs_distinct(self):
+        t = Trace()
+        t.record(0, "a2a retry", "retry", 0.0, 2.0)
+        t.record(0, "hedge launch", "hedge", 2.0, 4.0)
+        t.record(0, "deadline slack", "deadline", 4.0, 6.0)
+        out = gantt_from_trace(t, width=18)
+        rank0 = next(l for l in out.splitlines() if l.startswith("rank 0"))
+        assert "!" in rank0 and "+" in rank0 and "x" in rank0
+        # three distinct glyphs, never sharing one symbol
+        assert len({g for g in rank0 if g in "!+x"}) == 3
+
+    def test_legend_covers_every_category(self):
+        out = gantt_from_trace(sample_trace())
+        legend = out.splitlines()[-1]
+        for cat in CATEGORIES:
+            assert cat in legend
 
 
 class TestScheduleGantt:

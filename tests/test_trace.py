@@ -74,3 +74,35 @@ class TestExposedTime:
         t.record(0, "a2a", "mpi", 0.0, 2.0)
         t.record(1, "fft", "compute", 0.0, 2.0)
         assert t.exposed_time(0) == pytest.approx(2.0)
+
+    def test_overlapping_compute_does_not_double_cover(self):
+        # regression: two compute events overlapping on [1, 2] must not
+        # subtract that second from the comm interval twice
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 3.0)
+        t.record(0, "fft", "compute", 0.0, 2.0)
+        t.record(0, "hedge copy", "compute", 1.0, 3.0)
+        assert t.exposed_time(0) == pytest.approx(0.0)
+
+    def test_duplicate_compute_events_cover_once(self):
+        # exact duplicates (a re-executed stage) are one covered second
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 3.0)
+        t.record(0, "fft", "compute", 0.0, 2.0)
+        t.record(0, "fft", "compute", 0.0, 2.0)
+        assert t.exposed_time(0) == pytest.approx(1.0)
+
+    def test_exposed_never_negative(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 1.0, 2.0)
+        t.record(0, "fft", "compute", 0.0, 3.0)
+        t.record(0, "fft2", "compute", 0.5, 2.5)
+        assert t.exposed_time(0) == 0.0
+
+    def test_disjoint_covers_sum(self):
+        t = Trace()
+        t.record(0, "a2a", "mpi", 0.0, 10.0)
+        t.record(0, "a", "compute", 1.0, 2.0)
+        t.record(0, "b", "compute", 4.0, 6.0)
+        t.record(0, "c", "compute", 5.0, 7.0)  # merges with b -> [4, 7]
+        assert t.exposed_time(0) == pytest.approx(10.0 - 1.0 - 3.0)
