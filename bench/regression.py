@@ -54,8 +54,10 @@ from repro.fft.stockham import StockhamPlan, _butterfly_matrix  # noqa: E402
 LARGE_ALLOC = 1 << 20  # 1 MiB
 SOI_SPEEDUP_FLOOR = 1.5
 STOCKHAM_REGRESSION_SLACK = 1.10  # after may be at most 10% slower than before
+STOCKHAM_BATCHED_FLOOR = 1.0  # planned batched path must not lose to the seed
 ABFT_OVERHEAD_SLACK = 1.10  # verified batch may cost at most 10% extra
 TELEMETRY_OVERHEAD_SLACK = 1.05  # instrumented batch: at most 5% extra
+PARALLEL_SPEEDUP_FLOOR = 1.5  # 4-worker process backend vs single process
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +367,28 @@ def run(quick: bool) -> dict:
           f"p99 {p99 * 1e3:9.3f} ms   shed {n_shed / n_requests:5.1%}   "
           f"missed {n_deadline}")
 
+    # -- 8. real-parallel SOI (process backend vs single process) ------
+    # the only workload here that uses real cores: the same distributed
+    # plan runs rank-serially in-process and on the ProcessBackend, with
+    # the Section 4 model's simulated elapsed time recorded alongside
+    from repro.bench.parallelbench import measure_parallel_soi
+
+    par_n = 2 ** 16 if quick else 2 ** 22
+    par_workers = (1, 2) if quick else (1, 2, 4, 8)
+    parallel = measure_parallel_soi(n=par_n, workers=par_workers,
+                                    reps=1 if quick else 2)
+    results["soi_parallel"] = parallel
+    for row in parallel["rows"]:
+        print(f"  {'soi_parallel':24s} P={row['workers']:<2d} serial "
+              f"{row['serial_s'] * 1e3:9.2f} ms   parallel "
+              f"{row['parallel_s'] * 1e3:9.2f} ms   "
+              f"speedup {row['speedup']:5.2f}x   model "
+              f"{row['model_predicted_speedup']:5.2f}x   "
+              f"{'ok' if row['bitwise_equal'] else 'MISMATCH'}")
+    if parallel["cpus"] < max(par_workers):
+        print(f"  (only {parallel['cpus']} cpu(s) visible: wall-clock "
+              f"scaling capped by the host, speedup floor not binding)")
+
     # -- allocation audit (planned paths, steady state) ----------------
     print("allocation audit (steady state, threshold 1 MiB):")
     for name, fn in [
@@ -402,6 +426,14 @@ def main(argv=None) -> int:
                       / wl["stockham_single"]["before_s"])
     allocs_ok = all(a["ok"] for a in results["allocations"].values())
     abft_overhead = results["abft"]["overhead"]
+    parallel = results["soi_parallel"]
+    parallel_bitwise = all(r["bitwise_equal"] for r in parallel["rows"])
+    speedup_4w = next((r["speedup"] for r in parallel["rows"]
+                       if r["workers"] == 4), None)
+    # the wall-clock floor only means something when the host can
+    # actually schedule 4 workers at once; on fewer cores the backend is
+    # still required to be bitwise-correct, just not faster
+    parallel_binding = parallel["cpus"] >= 4 and speedup_4w is not None
     criteria = {
         "batched_soi_speedup_min": SOI_SPEEDUP_FLOOR,
         "batched_soi_speedup": soi_speedup,
@@ -409,6 +441,17 @@ def main(argv=None) -> int:
         "stockham_single_after_over_before": round(stockham_ratio, 3),
         "stockham_no_regression": bool(
             stockham_ratio <= STOCKHAM_REGRESSION_SLACK),
+        "stockham_batched_speedup_min": STOCKHAM_BATCHED_FLOOR,
+        "stockham_batched_speedup": wl["stockham_batched"]["speedup"],
+        "stockham_batched_ok": bool(
+            wl["stockham_batched"]["speedup"] >= STOCKHAM_BATCHED_FLOOR),
+        "parallel_speedup_min": PARALLEL_SPEEDUP_FLOOR,
+        "parallel_speedup_4w": speedup_4w,
+        "parallel_cpus": parallel["cpus"],
+        "parallel_bitwise_ok": bool(parallel_bitwise),
+        "parallel_ok": bool(parallel_bitwise and (
+            not parallel_binding
+            or speedup_4w >= PARALLEL_SPEEDUP_FLOOR)),
         "abft_overhead_max": ABFT_OVERHEAD_SLACK,
         "abft_overhead": abft_overhead,
         "abft_ok": bool(abft_overhead is not None
@@ -450,7 +493,8 @@ def main(argv=None) -> int:
     # machine-independent) serving contract are binding there
     if args.quick:
         failed = [k for k in ("zero_alloc_ok", "serving_p99_bounded_ok",
-                              "serving_not_starved_ok", "telemetry_ok")
+                              "serving_not_starved_ok", "telemetry_ok",
+                              "parallel_bitwise_ok")
                   if not criteria[k]]
     if failed:
         print(f"FAILED criteria: {', '.join(failed)}")

@@ -16,6 +16,12 @@ from repro.bench.runner import (
 )
 from repro.bench.apidoc import build_apidoc, write_apidoc
 from repro.bench.degrade import degrade_sweep_rows, render_degrade_sweep
+from repro.bench.parallelbench import (
+    available_cpus,
+    measure_parallel_soi,
+    parallel_soi_params,
+    render_parallel_table,
+)
 from repro.bench.report import build_report, write_report
 from repro.bench.tables import fmt, render_bars, render_series, render_table
 from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_complex
@@ -23,6 +29,7 @@ from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_c
 __all__ = [
     "PAPER_NODES",
     "accuracy_rows",
+    "available_cpus",
     "build_apidoc",
     "build_report",
     "write_apidoc",
@@ -39,11 +46,14 @@ __all__ = [
     "fmt",
     "headline_numbers",
     "impulse",
+    "measure_parallel_soi",
     "multi_tone",
     "paper_scale_model",
+    "parallel_soi_params",
     "random_complex",
     "render_bars",
     "render_degrade_sweep",
+    "render_parallel_table",
     "render_series",
     "render_table",
     "segments_for_nodes",

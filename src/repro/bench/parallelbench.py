@@ -1,0 +1,141 @@
+"""Real-core SOI scaling bench: process backend vs single-process wall clock.
+
+Measures what the simulator can only predict: actual wall-clock speedup
+of the distributed SOI transform when its ranks run on real cores
+(:class:`~repro.cluster.backends.ProcessBackend`) instead of
+rank-serially inside one process.  For each worker count P the *same*
+plan (same ``SoiParams``, same numerics, outputs asserted bitwise equal)
+is timed both ways, and the Section 4 performance model's simulated
+elapsed time is reported alongside, so measured scaling can be compared
+against the paper's prediction.
+
+Speedups on a machine with fewer cores than workers are physically
+capped near 1.0 — results carry the visible CPU count so downstream
+gates (``bench/regression.py``) can tell "backend is slow" from "host
+has one core".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.cluster.backends import ProcessBackend
+from repro.cluster.simcluster import SimCluster
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+
+__all__ = ["available_cpus", "measure_parallel_soi", "parallel_soi_params",
+           "render_parallel_table"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually schedule on (cgroup-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def parallel_soi_params(n: int, workers: int,
+                        segments_per_process: int = 2) -> SoiParams:
+    """A valid power-of-two-friendly parameter set for the scaling bench.
+
+    ``mu = 5/4`` keeps every divisibility rule satisfied for any
+    power-of-two *n* and power-of-two worker count (M' = 5·2^k stays
+    (2,5)-smooth, so the per-segment FFT needs no Bluestein fallback).
+    """
+    return SoiParams(n=n, n_procs=workers,
+                     segments_per_process=segments_per_process,
+                     n_mu=5, d_mu=4, b=48)
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_parallel_soi(n: int = 2 ** 22, workers=(1, 2, 4, 8),
+                         reps: int = 2, segments_per_process: int = 2,
+                         start_method: str = "fork", seed: int = 2013) -> dict:
+    """Time serial vs process-backend SOI for each worker count.
+
+    Returns a dict with one row per worker count: measured single-process
+    and parallel wall seconds, measured speedup, the perf model's
+    simulated elapsed seconds, and a bitwise-equality flag between the
+    two backends' outputs.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    rows = []
+    for p in workers:
+        params = parallel_soi_params(n, p, segments_per_process)
+        soi = DistributedSoiFFT(SimCluster(p), params)
+        parts = soi.scatter(x)
+        ref = soi(parts)  # warm plans + pooled workspaces
+        serial_s = _best_of(lambda: soi(parts), reps)
+
+        model_cl = SimCluster(p)
+        model_soi = DistributedSoiFFT(model_cl, params)
+        t0 = model_cl.elapsed
+        model_soi(parts)
+        model_s = model_cl.elapsed - t0
+
+        with ProcessBackend(p, start_method=start_method) as backend:
+            par_soi = DistributedSoiFFT(SimCluster(p), params,
+                                        backend=backend)
+            out = par_soi(parts)  # spawns workers, warms their plan caches
+            equal = all(np.array_equal(a, b) for a, b in zip(ref, out))
+            parallel_s = _best_of(lambda: par_soi(parts), reps)
+
+        rows.append({
+            "workers": p,
+            "serial_s": round(serial_s, 6),
+            "parallel_s": round(parallel_s, 6),
+            "speedup": round(serial_s / parallel_s, 3),
+            "model_s": round(model_s, 6),
+            "bitwise_equal": bool(equal),
+        })
+    base_model = rows[0]["model_s"] if rows else None
+    for row in rows:
+        # the §4 model's predicted scaling of the same plan vs the first
+        # (reference) worker count — measured speedup's yardstick
+        row["model_predicted_speedup"] = (
+            round(base_model / row["model_s"], 3) if base_model else None)
+    return {
+        "n": n,
+        "segments_per_process": segments_per_process,
+        "start_method": start_method,
+        "cpus": available_cpus(),
+        "reps": reps,
+        "rows": rows,
+    }
+
+
+def render_parallel_table(result: dict) -> str:
+    """Fixed-width table of the scaling rows (CLI / artifact output)."""
+    lines = [
+        f"real-parallel SOI scaling — n=2^{int(np.log2(result['n']))} "
+        f"({result['n']}), {result['cpus']} cpu(s) visible, "
+        f"start method {result['start_method']}",
+        f"{'workers':>8} {'serial':>12} {'parallel':>12} {'speedup':>9} "
+        f"{'model':>12} {'model x':>9} {'bitwise':>8}",
+    ]
+    for r in result["rows"]:
+        lines.append(
+            f"{r['workers']:>8d} {r['serial_s'] * 1e3:>10.1f} ms "
+            f"{r['parallel_s'] * 1e3:>10.1f} ms {r['speedup']:>8.2f}x "
+            f"{r['model_s'] * 1e3:>10.3f} ms "
+            f"{(r['model_predicted_speedup'] or 0):>8.2f}x "
+            f"{'ok' if r['bitwise_equal'] else 'MISMATCH':>8}")
+    if result["cpus"] < max(r["workers"] for r in result["rows"]):
+        lines.append(f"note: only {result['cpus']} cpu(s) visible — "
+                     f"wall-clock speedup is capped by the host, not the "
+                     f"backend")
+    return "\n".join(lines)

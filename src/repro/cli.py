@@ -18,6 +18,9 @@ Commands
                (validated against the flat trace totals)
 ``metrics``    run an instrumented workload and print the Prometheus
                text exposition of every registered metric
+``parallel-bench``  measure real wall-clock SOI speedup with the
+               process backend (worker processes + shared-memory
+               all-to-all) against the single-process run
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -338,6 +341,48 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_parallel_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.parallelbench import (
+        available_cpus,
+        measure_parallel_soi,
+        render_parallel_table,
+    )
+
+    workers = tuple(int(w) for w in args.workers.split(","))
+    n = args.n if args.n is not None else (2 ** 18 if args.quick else 2 ** 22)
+    reps = args.reps if args.reps is not None else (1 if args.quick else 2)
+    print(f"parallel-bench: n={n}, workers={workers}, "
+          f"{available_cpus()} cpu(s) visible")
+    result = measure_parallel_soi(
+        n=n, workers=workers, reps=reps,
+        segments_per_process=args.segments,
+        start_method=args.start_method, seed=args.seed)
+    table = render_parallel_table(result)
+    print(table)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(table + "\n")
+        print(f"[saved to {path}]")
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[json to {path}]")
+    mismatched = [r for r in result["rows"] if not r["bitwise_equal"]]
+    if mismatched:
+        print("parallel-bench: FAIL (backend outputs diverge)")
+        return 1
+    print("parallel-bench: PASS (all backends bitwise equal)")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
@@ -441,6 +486,28 @@ def main(argv: list[str] | None = None) -> int:
     me.add_argument("--json", action="store_true",
                     help="save a versioned JSON snapshot instead of text")
 
+    pb = sub.add_parser(
+        "parallel-bench",
+        help="measure real-core SOI speedup (process backend vs serial)")
+    pb.add_argument("--n", type=int, default=None,
+                    help="problem size (default: 2^22, or 2^18 with --quick)")
+    pb.add_argument("--workers", default="1,2,4,8",
+                    help="comma-separated worker counts")
+    pb.add_argument("--segments", type=int, default=2,
+                    help="segment slots per rank")
+    pb.add_argument("--reps", type=int, default=None,
+                    help="timing repetitions (best-of)")
+    pb.add_argument("--seed", type=int, default=2013)
+    pb.add_argument("--start-method", dest="start_method", default="fork",
+                    choices=["fork", "spawn"])
+    pb.add_argument("--quick", action="store_true",
+                    help="CI smoke sizes (n=2^18, 1 rep)")
+    pb.add_argument("--output",
+                    default="benchmarks/results/parallel_speedup.txt",
+                    help="save the table here ('' to skip saving)")
+    pb.add_argument("--json", default=None,
+                    help="also save the raw result dict as JSON here")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -459,6 +526,7 @@ def main(argv: list[str] | None = None) -> int:
         "degrade-sweep": _cmd_degrade_sweep,
         "trace-export": _cmd_trace_export,
         "metrics": _cmd_metrics,
+        "parallel-bench": _cmd_parallel_bench,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

@@ -1,5 +1,10 @@
 """Simulated-cluster substrate: transports, communicator, clocks, schedules."""
 
+from repro.cluster.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SimulatedBackend,
+)
 from repro.cluster.collectives import (
     alltoall_bruck,
     alltoall_pairwise,
@@ -30,6 +35,7 @@ from repro.cluster.network import FDR_INFINIBAND, STAMPEDE_EFFECTIVE, NetworkSpe
 from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec, pipeline_makespan
 from repro.cluster.proxy import ReverseProxy
 from repro.cluster.schedule import Schedule, ScheduledTask, Task
+from repro.cluster.shm import ShmPool, ShmView
 from repro.cluster.simcluster import SimCluster
 from repro.cluster.spmd import (
     AllToAll,
@@ -38,6 +44,7 @@ from repro.cluster.spmd import (
     Compute,
     RankContext,
     SendRecvRing,
+    SpmdError,
     run_spmd,
 )
 from repro.cluster.topology import FatTree, Torus, alltoall_contention
@@ -52,11 +59,17 @@ __all__ = [
     "Communicator",
     "Compute",
     "CorruptionDetected",
+    "ExecutionBackend",
     "FaultInjector",
     "FaultPlan",
+    "ProcessBackend",
     "RankFailed",
     "RetriesExhausted",
     "RetryPolicy",
+    "ShmPool",
+    "ShmView",
+    "SimulatedBackend",
+    "SpmdError",
     "chaos_cluster",
     "checksum",
     "checksummed_cluster",

@@ -1,0 +1,724 @@
+"""Execution backends: one SPMD program, simulated clocks or real cores.
+
+The :mod:`repro.cluster.spmd` runtime established the programming model
+— rank-local generators yielding :class:`AllToAll` / :class:`SendRecvRing`
+/ :class:`Bcast` / :class:`Barrier` / :class:`Compute` requests.  This
+module makes the *executor* pluggable:
+
+* :class:`SimulatedBackend` — the existing engine: all ranks stepped
+  rank-serially inside one process against a
+  :class:`~repro.cluster.simcluster.SimCluster`'s simulated clocks, with
+  byte-accurate charging through the verified
+  :class:`~repro.cluster.communicator.Communicator` path.  Default,
+  semantics unchanged.
+* :class:`ProcessBackend` — every rank is a persistent OS worker process
+  and collectives move bytes through ``multiprocessing.shared_memory``
+  segments: the all-to-all between the conv and local-FFT stages is a
+  zero-copy exchange of :class:`~repro.cluster.shm.ShmView` slice
+  descriptors, not pickled arrays.  ``Compute`` requests become no-ops
+  (wall clock is the truth) and their real durations are measured per
+  rank and folded into a parent-side :class:`~repro.cluster.trace.Trace`
+  plus the metrics registry, so the telemetry stack sees real timings
+  under the same labels the simulator charges.
+
+Exchange protocol (per collective, per worker):
+
+1. ``barrier.wait()`` — guarantees every peer has finished *reading* the
+   views of the previous collective, so outbox segments can be reused;
+2. pack outgoing slices into the rank-owned outbox segment and post one
+   descriptor per destination mailbox queue (queue transfer gives the
+   happens-before edge between the memcpy and the peer's read);
+3. drain the own mailbox and resolve descriptors into read-only numpy
+   views over the peers' segments — the resume payload.
+
+Resumed views are valid until the rank's next yielded request (the
+standard MPI receive-buffer contract); programs that need the data
+longer must copy.  A worker that raises floods abort markers and breaks
+the barrier so every peer unwinds; the parent then rebuilds the worker
+set and re-raises the original exception.
+
+SPMD discipline (matching collective kinds/labels across ranks) is
+checked per message: descriptors carry the collective index, and a
+mismatch raises instead of deadlocking — the same guarantee
+``run_spmd``'s ``_check_uniform`` gives the simulated path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import threading
+import time
+import traceback
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.shm import ShmPool, ShmView
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.spmd import (
+    AllToAll,
+    Barrier,
+    Bcast,
+    Checkpoint,
+    Compute,
+    RankContext,
+    SendRecvRing,
+    SpmdError,
+    run_spmd,
+)
+from repro.cluster.trace import Trace
+from repro.telemetry.metrics import NULL_REGISTRY, get_registry
+
+__all__ = ["ExecutionBackend", "ProcessBackend", "SimulatedBackend"]
+
+_MAILBOX_TIMEOUT_S = 120.0
+
+
+class ExecutionBackend:
+    """Runs an SPMD rank program on every rank; returns per-rank results.
+
+    ``run(program, per_rank_args, common=...)`` calls
+    ``program(ctx, *per_rank_args[rank], *common)`` as a generator on
+    each rank.  ``is_real`` distinguishes wall-clock executors from the
+    simulator (callers use it to decide whether ``Compute`` seconds are
+    models or measurements).
+    """
+
+    is_real = False
+
+    def run(self, program: Callable, per_rank_args: list[tuple], *,
+            common: tuple = (), **kwargs) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release workers/segments (no-op for the simulator)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The rank-serial simulated engine behind a backend interface."""
+
+    is_real = False
+
+    def __init__(self, cluster: SimCluster):
+        self.cluster = cluster
+
+    @property
+    def size(self) -> int:
+        return self.cluster.n_ranks
+
+    def run(self, program: Callable, per_rank_args: list[tuple], *,
+            common: tuple = (), checkpoints: dict | None = None,
+            hedge=None, **_ignored) -> list:
+        if len(per_rank_args) != self.cluster.n_ranks:
+            raise ValueError("need one args tuple per rank")
+
+        def prog(ctx: RankContext):
+            return (yield from program(ctx, *per_rank_args[ctx.rank],
+                                       *common))
+
+        return run_spmd(self.cluster, prog, checkpoints=checkpoints,
+                        hedge=hedge)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side pieces (must be module-level: shipped to spawn children)
+# ---------------------------------------------------------------------------
+
+class _Aborted(RuntimeError):
+    """A peer failed; this rank unwound without completing the job."""
+
+
+class _StridedSdc:
+    """Reproduce the simulator's global SDC ordering on real ranks.
+
+    ``FaultPlan.apply_sdc`` keys events off a single monotone counter.
+    The simulated engine steps ranks 0..P-1 in order each round, so the
+    k-th stage-boundary call on rank r is globally call ``k*P + r + 1``.
+    Workers run concurrently and each holds its own plan copy, so this
+    wrapper pins the counter to that global index before delegating —
+    bit-for-bit the same strikes as the simulated backend.
+    """
+
+    def __init__(self, plan, rank: int, size: int):
+        self._plan = plan
+        self._rank = rank
+        self._size = size
+        self._calls = 0
+
+    @property
+    def has_sdc(self) -> bool:
+        return self._plan.has_sdc
+
+    def apply_sdc(self, data, *, rank: int = -1, stage: str = ""):
+        self._plan.sdc_seen = self._calls * self._size + self._rank
+        self._calls += 1
+        return self._plan.apply_sdc(data, rank=rank, stage=stage)
+
+
+class _WorkerComm:
+    """Just enough Communicator surface for rank programs/verifiers."""
+
+    def __init__(self, fault_plan):
+        self.fault_plan = fault_plan
+        self.deadline = None
+
+
+class _WorkerCluster:
+    """SimCluster stand-in inside a worker: real time, no charging."""
+
+    def __init__(self, machine, fault_plan, size: int):
+        self.machine = machine
+        self.machines = [machine] * size
+        self.n_ranks = size
+        self.comm = _WorkerComm(fault_plan)
+        self.metrics = NULL_REGISTRY
+
+    def machine_of(self, rank: int):
+        return self.machines[rank]
+
+    def charge_seconds(self, rank: int, label: str, seconds: float,
+                       category: str = "compute") -> None:
+        pass  # wall time is measured by the engine, not modeled
+
+
+@dataclass(frozen=True)
+class _Job:
+    """Everything a worker needs to run one rank of one program."""
+
+    job_id: int
+    program: Callable  # pickled by reference; must be module-level
+    args: tuple  # per-rank args; ShmView entries resolve to views
+    common: tuple = ()
+    machine: Any = None
+    fault_plan: Any = None  # SDC-only FaultPlan (or None)
+    result_slot: ShmView | None = None
+    staging_prefix: str = ""
+
+
+@dataclass
+class _RankSteps:
+    """Measured wall-clock intervals of one rank's job."""
+
+    steps: list = field(default_factory=list)  # (label, category, t0, t1)
+    _mark: float = 0.0
+
+    def open(self) -> None:
+        self._mark = time.monotonic()
+
+    def close(self, label: str, category: str) -> float:
+        now = time.monotonic()
+        if now - self._mark > 1e-7:
+            self.steps.append((label, category, self._mark, now))
+        self._mark = now
+        return now
+
+
+def _recv(mailbox, job_id: int, coll_idx: int, timeout: float):
+    """One descriptor message off the mailbox, with abort handling."""
+    try:
+        msg = mailbox.get(timeout=timeout)
+    except queue.Empty:
+        raise _Aborted(f"no message within {timeout:.0f}s "
+                       f"(collective {coll_idx})") from None
+    if msg[0] == "abort":
+        raise _Aborted(f"rank {msg[2]} aborted job {msg[1]}: {msg[3]}")
+    jid, cidx, src, payload = msg
+    if jid != job_id or cidx != coll_idx:
+        raise SpmdError(
+            f"collective mismatch: got (job {jid}, collective {cidx}) "
+            f"while serving (job {job_id}, collective {coll_idx}) — "
+            f"ranks disagree on the collective sequence")
+    return src, payload
+
+
+class _Outbox:
+    """The rank-owned segment outgoing collective slices are packed into.
+
+    Grown geometrically by generation; an old generation is unlinked at
+    the next pack, which the entry barrier has made safe (every peer
+    finished reading views of the previous collective before any rank
+    reaches its own pack).
+    """
+
+    def __init__(self, prefix: str, pool: ShmPool):
+        self._prefix = prefix
+        self._pool = pool
+        self._gen = -1
+        self._name: str | None = None
+        self._shm = None
+        self._capacity = 0
+
+    def pack(self, arrays: list[np.ndarray]) -> list[ShmView]:
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        total = sum(a.nbytes for a in arrays)
+        if self._shm is None or total > self._capacity:
+            cap = 1 << max(6, int(total - 1).bit_length() if total else 6)
+            self._gen += 1
+            name = f"{self._prefix}g{self._gen}"
+            shm = self._pool.create(name, cap)
+            if self._name is not None:
+                self._pool.detach(self._name)  # peers keep their mappings
+            self._shm, self._name, self._capacity = shm, name, cap
+        views, off = [], 0
+        for a in arrays:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=self._shm.buf,
+                             offset=off)
+            np.copyto(dst, a)
+            views.append(ShmView(self._name, off, tuple(a.shape),
+                                 a.dtype.name))
+            off += a.nbytes
+        return views
+
+
+def _serve_collective(req, coll_idx: int, rank: int, size: int, barrier,
+                      mailboxes, pool: ShmPool, outbox: _Outbox,
+                      timeout: float, job_id: int):
+    """Run one collective for this rank; returns the resume payload."""
+    try:
+        barrier.wait(timeout)
+    except threading.BrokenBarrierError:
+        raise _Aborted("a peer broke the collective barrier") from None
+
+    def post(dest: int, payload) -> None:
+        mailboxes[dest].put((job_id, coll_idx, rank, payload))
+
+    if isinstance(req, Barrier):
+        return None
+
+    if isinstance(req, AllToAll):
+        per_dest = [np.ascontiguousarray(np.asarray(b))
+                    for b in req.per_dest]
+        if len(per_dest) != size:
+            raise SpmdError("AllToAll needs one buffer per rank")
+        descs = outbox.pack([per_dest[d] for d in range(size) if d != rank])
+        it = iter(descs)
+        for d in range(size):
+            if d != rank:
+                post(d, next(it))
+        pieces: list = [None] * size
+        pieces[rank] = per_dest[rank]
+        for _ in range(size - 1):
+            src, view = _recv(mailboxes[rank], job_id, coll_idx, timeout)
+            pieces[src] = view.resolve(pool)
+        return pieces
+
+    if isinstance(req, SendRecvRing):
+        to_left = np.ascontiguousarray(np.asarray(req.to_left))
+        to_right = np.ascontiguousarray(np.asarray(req.to_right))
+        if size == 1:
+            return to_right, to_left
+        d_left, d_right = outbox.pack([to_left, to_right])
+        # tag with the direction the payload traveled: my to_right
+        # arrives at rank+1 as its from_left ("R"), and vice versa
+        post((rank - 1) % size, ("L", d_left))
+        post((rank + 1) % size, ("R", d_right))
+        from_left = from_right = None
+        for _ in range(2):
+            src, (tag, view) = _recv(mailboxes[rank], job_id, coll_idx,
+                                     timeout)
+            if tag == "R":
+                from_left = view.resolve(pool)
+            else:
+                from_right = view.resolve(pool)
+        return from_left, from_right
+
+    if isinstance(req, Bcast):
+        root = req.root
+        if rank == root:
+            if req.buf is None:
+                raise SpmdError("bcast root provided no buffer")
+            buf = np.ascontiguousarray(np.asarray(req.buf))
+            if size > 1:
+                (desc,) = outbox.pack([buf])
+                for d in range(size):
+                    if d != rank:
+                        post(d, desc)
+            return buf
+        _, view = _recv(mailboxes[rank], job_id, coll_idx, timeout)
+        return view.resolve(pool)
+
+    raise SpmdError(f"unknown request type {type(req).__name__}")
+
+
+def _run_rank(job: _Job, rank: int, size: int, barrier, mailboxes,
+              pool: ShmPool, outbox: _Outbox, timeout: float):
+    """Drive the rank generator to completion; returns (result, steps)."""
+    args = tuple(a.resolve(pool) if isinstance(a, ShmView) else a
+                 for a in job.args)
+    fault_plan = job.fault_plan
+    if fault_plan is not None:
+        fault_plan = _StridedSdc(fault_plan, rank, size)
+    cluster = _WorkerCluster(job.machine, fault_plan, size)
+    gen = job.program(RankContext(rank, size, cluster), *args, *job.common)
+    if not hasattr(gen, "send"):
+        raise TypeError("program must be a generator function "
+                        "(use 'yield' for collectives)")
+    steps = _RankSteps()
+    steps.open()
+    coll_idx = 0
+    payload = None
+    try:
+        while True:
+            try:
+                req = gen.send(payload)
+            except StopIteration as stop:
+                steps.close("epilogue", "compute")
+                return stop.value, steps.steps
+            payload = None
+            if isinstance(req, Compute):
+                # the simulator charges modeled seconds here; we record
+                # the measured wall time of the work that preceded it
+                steps.close(req.label, "compute")
+                continue
+            if isinstance(req, Checkpoint):
+                # no parent-side stash: the process backend has no
+                # simulated rank deaths to recover from
+                steps.close("checkpoint", "compute")
+                continue
+            steps.close(f"{req.label} prep", "compute")
+            payload = _serve_collective(req, coll_idx, rank, size, barrier,
+                                        mailboxes, pool, outbox, timeout,
+                                        job.job_id)
+            coll_idx += 1
+            steps.close(req.label, "mpi")
+    finally:
+        gen.close()
+
+
+def _ship_result(result, slot: ShmView | None, pool: ShmPool):
+    """Write array results into the parent's slot; pickle the rest."""
+    if slot is not None and isinstance(result, np.ndarray) \
+            and tuple(result.shape) == slot.shape \
+            and result.dtype.name == slot.dtype:
+        np.copyto(slot.resolve(pool, writeable=True), result)
+        return "slot", None
+    if slot is not None and isinstance(result, tuple) and result \
+            and isinstance(result[0], np.ndarray) \
+            and tuple(result[0].shape) == slot.shape \
+            and result[0].dtype.name == slot.dtype:
+        np.copyto(slot.resolve(pool, writeable=True), result[0])
+        return "slot+rest", result[1:]
+    return "pickle", result
+
+
+def _worker_main(rank: int, size: int, token: str, job_q, result_q,
+                 barrier, mailboxes, timeout: float) -> None:
+    """Persistent worker loop: one process, one rank, many jobs."""
+    pool = ShmPool()
+    outbox = _Outbox(f"{token}o{rank}", pool)
+    try:
+        while True:
+            raw = job_q.get()
+            if raw is None:
+                return
+            job = pickle.loads(raw)
+            try:
+                result, steps = _run_rank(job, rank, size, barrier,
+                                          mailboxes, pool, outbox, timeout)
+                kind, rest = _ship_result(result, job.result_slot, pool)
+                result_q.put((job.job_id, rank, "ok", kind, rest, steps))
+            except _Aborted as exc:
+                result_q.put((job.job_id, rank, "aborted", str(exc),
+                              None, None))
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                barrier.abort()
+                for d in range(size):
+                    if d != rank:
+                        mailboxes[d].put(("abort", job.job_id, rank,
+                                          repr(exc)))
+                try:
+                    payload = pickle.dumps(exc)
+                except Exception:
+                    payload = pickle.dumps(RuntimeError(repr(exc)))
+                result_q.put((job.job_id, rank, "error", payload,
+                              traceback.format_exc(), None))
+            finally:
+                if job.staging_prefix:
+                    pool.detach_prefix(job.staging_prefix)
+    finally:
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side backend
+# ---------------------------------------------------------------------------
+
+class ProcessBackend(ExecutionBackend):
+    """Real-parallel executor: one persistent worker process per rank.
+
+    Parameters
+    ----------
+    n_workers:
+        SPMD size = number of worker processes (defaults to the CPUs
+        this process may schedule on).
+    start_method:
+        ``"fork"`` (default on Linux: instant, shares planned tables
+        copy-on-write) or ``"spawn"``.
+    mailbox_timeout:
+        Seconds a rank waits on a collective before declaring the job
+        wedged; also bounds how long the parent waits for results.
+    trace, metrics:
+        Destinations for the measured per-rank wall-clock intervals.
+        Defaults: a backend-owned :class:`~repro.cluster.trace.Trace`
+        and the process-wide metrics registry.
+
+    Use as a context manager (or call :meth:`close`) to release the
+    workers and shared segments deterministically.
+    """
+
+    is_real = True
+
+    def __init__(self, n_workers: int | None = None, *,
+                 start_method: str = "fork",
+                 mailbox_timeout: float = _MAILBOX_TIMEOUT_S,
+                 trace: Trace | None = None, metrics=None):
+        if n_workers is None:
+            try:
+                n_workers = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.size = int(n_workers)
+        self.start_method = start_method
+        self.mailbox_timeout = float(mailbox_timeout)
+        self.trace = Trace() if trace is None else trace
+        self.metrics = get_registry() if metrics is None else metrics
+        self._token = f"rpb{os.getpid():x}{id(self) & 0xffff:x}"
+        self._ctx = mp.get_context(start_method)
+        self._procs: list = []
+        self._job_qs: list = []
+        self._result_q = None
+        self._pool = ShmPool()
+        self._job_counter = 0
+        self._t_cursor = 0.0  # trace offset so successive jobs don't overlap
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._procs and all(p.is_alive() for p in self._procs):
+            return
+        if self._procs:
+            self._teardown_workers()
+        ctx = self._ctx
+        barrier = ctx.Barrier(self.size)
+        mailboxes = [ctx.Queue() for _ in range(self.size)]
+        self._job_qs = [ctx.Queue() for _ in range(self.size)]
+        self._result_q = ctx.Queue()
+        self._procs = []
+        for r in range(self.size):
+            p = ctx.Process(
+                target=_worker_main,
+                args=(r, self.size, self._token, self._job_qs[r],
+                      self._result_q, barrier, mailboxes,
+                      self.mailbox_timeout),
+                daemon=True, name=f"repro-rank-{r}")
+            p.start()
+            self._procs.append(p)
+        self.metrics.gauge(
+            "repro_backend_workers_count",
+            "live worker processes of the ProcessBackend").set(self.size)
+
+    def _teardown_workers(self) -> None:
+        for q in self._job_qs:
+            try:
+                q.put(None)
+            except Exception:
+                pass
+        for p in self._procs:
+            p.join(timeout=2.0)
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+        for q in [*self._job_qs,
+                  *( [self._result_q] if self._result_q is not None else [])]:
+            q.close()
+        self._procs, self._job_qs, self._result_q = [], [], None
+
+    def close(self) -> None:
+        self._teardown_workers()
+        self._pool.close()
+        try:
+            self.metrics.gauge("repro_backend_workers_count").set(0)
+        except Exception:
+            pass
+
+    # -- job execution -------------------------------------------------
+
+    def run(self, program: Callable, per_rank_args: list[tuple], *,
+            common: tuple = (), machine=None, fault_plan=None,
+            result_spec: tuple | None = None, label: str = "spmd job",
+            checkpoints: dict | None = None, hedge=None, **_ignored) -> list:
+        """Run *program* on every rank; returns per-rank results.
+
+        ``per_rank_args[r]`` may contain ndarrays — they are staged
+        through shared memory, and the rank receives zero-copy views.
+        ``result_spec=(shape, dtype)`` pre-allocates a shared result
+        slot per rank for array(-first) results, avoiding a pickle of
+        the output.  ``fault_plan`` must be SDC-only (wire faults are a
+        property of the simulated fabric).  ``hedge`` is unsupported
+        here (real stragglers are measured, not modeled); ``checkpoints``
+        is accepted but stays empty — there are no simulated rank deaths
+        to restart from.
+        """
+        if len(per_rank_args) != self.size:
+            raise ValueError(f"need one args tuple per rank "
+                             f"(got {len(per_rank_args)}, size {self.size})")
+        if hedge is not None:
+            raise ValueError("ProcessBackend does not support hedging: "
+                             "stragglers are real, not modeled")
+        if fault_plan is not None and not _sdc_only(fault_plan):
+            raise ValueError("ProcessBackend supports SDC-only fault "
+                             "plans; wire faults belong to the simulator")
+        self._ensure_workers()
+        self._job_counter += 1
+        jid = self._job_counter
+        staging_prefix = f"{self._token}j{jid}"
+
+        # stage per-rank ndarray args zero-copy through one segment
+        arrays, slots = [], []
+        for r, args in enumerate(per_rank_args):
+            for i, a in enumerate(args):
+                if isinstance(a, np.ndarray):
+                    arrays.append(a)
+                    slots.append((r, i))
+        staged = [list(args) for args in per_rank_args]
+        if arrays:
+            views = self._pool.place(staging_prefix + "i", arrays)
+            for (r, i), v in zip(slots, views):
+                staged[r][i] = v
+
+        result_views: list[ShmView | None] = [None] * self.size
+        result_arrays: list[np.ndarray | None] = [None] * self.size
+        if result_spec is not None:
+            shape, dtype = result_spec
+            # per-rank slots inside one segment; workers write, we copy out
+            dt = np.dtype(dtype)
+            per = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+            shm = self._pool.create(staging_prefix + "r",
+                                    max(1, per * self.size))
+            for r in range(self.size):
+                result_views[r] = ShmView(staging_prefix + "r", r * per,
+                                          tuple(shape), dt.name)
+                result_arrays[r] = np.ndarray(tuple(shape), dtype=dt,
+                                              buffer=shm.buf,
+                                              offset=r * per)
+
+        try:
+            # pickle eagerly: a queue feeder thread swallows pickling
+            # errors, turning an unpicklable program into a silent hang
+            try:
+                payloads = [pickle.dumps(_Job(
+                    job_id=jid, program=program, args=tuple(staged[r]),
+                    common=common, machine=machine, fault_plan=fault_plan,
+                    result_slot=result_views[r],
+                    staging_prefix=staging_prefix))
+                    for r in range(self.size)]
+            except Exception as exc:
+                raise ValueError(
+                    "job does not pickle — the program must be a "
+                    "module-level generator function and every argument "
+                    "picklable (closures and lambdas are not)") from exc
+            for r in range(self.size):
+                self._job_qs[r].put(payloads[r])
+
+            outcomes: dict[int, tuple] = {}
+            errors: list[tuple] = []
+            deadline = time.monotonic() + self.mailbox_timeout + 30.0
+            try:
+                while len(outcomes) < self.size:
+                    try:
+                        msg = self._result_q.get(
+                            timeout=max(0.1, deadline - time.monotonic()))
+                    except queue.Empty:
+                        raise RuntimeError(
+                            f"workers unresponsive after "
+                            f"{self.mailbox_timeout:.0f}s (job {jid}: ranks "
+                            f"{sorted(set(range(self.size)) - set(outcomes))} "
+                            f"missing)") from None
+                    mjid, rank, status, *rest = msg
+                    if mjid != jid:
+                        continue  # residue of a previously failed job
+                    outcomes[rank] = (status, *rest)
+                    if status == "error":
+                        errors.append((rank, rest[0], rest[1]))
+            except BaseException:
+                self._teardown_workers()
+                raise
+            if errors:
+                self._teardown_workers()
+                rank, payload, tb = min(errors, key=lambda e: e[0])
+                exc = pickle.loads(payload)
+                raise exc from RuntimeError(
+                    f"rank {rank} failed; worker traceback:\n{tb}")
+            if any(status != "ok" for status, *_ in outcomes.values()):
+                self._teardown_workers()
+                bad = {r: o[0] for r, o in outcomes.items() if o[0] != "ok"}
+                raise RuntimeError(f"job aborted without a root error: {bad}")
+
+            results: list = [None] * self.size
+            for r, (status, kind, rest, steps) in sorted(outcomes.items()):
+                if kind == "slot":
+                    results[r] = result_arrays[r].copy()
+                elif kind == "slot+rest":
+                    results[r] = (result_arrays[r].copy(), *rest)
+                else:
+                    results[r] = rest
+            self._fold_telemetry(jid, label,
+                                 {r: o[3] for r, o in outcomes.items()})
+            return results
+        finally:
+            del result_arrays  # views die before their segment unlinks
+            self._pool.detach_prefix(staging_prefix)
+
+    # -- telemetry -----------------------------------------------------
+
+    def _fold_telemetry(self, jid: int, label: str,
+                        steps_by_rank: dict[int, list]) -> None:
+        all_steps = [s for steps in steps_by_rank.values() for s in steps]
+        if not all_steps:
+            return
+        t0 = min(s[2] for s in all_steps)
+        t1 = max(s[3] for s in all_steps)
+        base = self._t_cursor - t0
+        rec = self.trace.recorder
+        for rank, steps in sorted(steps_by_rank.items()):
+            lo = min(s[2] for s in steps) if steps else t0
+            hi = max(s[3] for s in steps) if steps else t0
+            scope = rec.begin(rank, label, "other", base + lo,
+                              attributes={"job": jid, "measured": True})
+            for slabel, category, s0, s1 in steps:
+                self.trace.record(rank, slabel, category,
+                                  base + s0, base + s1)
+            rec.end(scope, base + hi)
+        self._t_cursor = base + t1
+        m = self.metrics
+        m.counter("repro_backend_jobs_total",
+                  "jobs completed by the process backend").inc()
+        m.counter("repro_backend_wall_seconds_total",
+                  "max-over-ranks measured job wall seconds").inc(t1 - t0)
+        for cat, metric in (("compute", "repro_backend_compute_seconds_total"),
+                            ("mpi", "repro_backend_exchange_seconds_total")):
+            secs = sum(s[3] - s[2] for s in all_steps if s[1] == cat)
+            m.counter(metric,
+                      f"summed per-rank measured {cat} seconds").inc(secs)
+
+
+def _sdc_only(plan) -> bool:
+    """True when a FaultPlan carries nothing the real fabric can't do."""
+    return (not getattr(plan, "corrupt_messages", ())
+            and not getattr(plan, "timeout_messages", ())
+            and not getattr(plan, "rank_failures", {})
+            and not getattr(plan, "stragglers", {})
+            and not getattr(plan, "jitter", 0.0))

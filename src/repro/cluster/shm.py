@@ -1,0 +1,152 @@
+"""Shared-memory segment pool and zero-copy slice descriptors.
+
+The process backend's all-to-all does not pickle arrays through pipes:
+each worker packs its outgoing slices into a POSIX shared-memory segment
+it owns and sends peers a tiny :class:`ShmView` *descriptor* (segment
+name, offset, shape, dtype).  The receiver resolves the descriptor into
+a numpy view over the mapped segment — the payload bytes cross the
+process boundary zero-copy, exactly like the paper's one all-to-all
+moves data without intermediate staging buffers.
+
+Two pieces:
+
+* :class:`ShmView` — a picklable descriptor resolving to an ndarray view;
+* :class:`ShmPool` — per-process cache of created/attached segments, so
+  a segment is mapped at most once per process no matter how many
+  descriptors point into it.
+
+CPython wart handled here: on 3.8-3.12 merely *attaching* to a segment
+registers it with the ``resource_tracker``, which then unlinks it when
+the attaching process exits — destroying a segment the creator still
+owns.  :meth:`ShmPool.attach` suppresses that registration while
+mapping, so only the creator's tracker entry ever exists (the creator
+unlinks explicitly).  Sending ``unregister`` after the fact instead
+would race: under fork every process shares one tracker, and N
+attachers plus the creator's unlink would send N+1 removals for one
+registration, spraying KeyError tracebacks at exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmPool", "ShmView"]
+
+
+@dataclass(frozen=True)
+class ShmView:
+    """Picklable pointer to an ndarray living inside a shared segment."""
+
+    segment: str
+    offset: int
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+    def resolve(self, pool: "ShmPool", *, writeable: bool = False) -> np.ndarray:
+        """A numpy view over the segment's bytes (no copy).
+
+        Views are handed out read-only by default: the bytes belong to
+        the sending rank's outbox and will be reused for its next
+        collective, so a receiver that wants to mutate must copy (the
+        same contract as an MPI receive buffer it does not own).
+        """
+        shm = pool.attach(self.segment)
+        arr = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                         buffer=shm.buf, offset=self.offset)
+        arr.flags.writeable = writeable
+        return arr
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without a resource_tracker registration."""
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmPool:
+    """Per-process registry of shared-memory segments.
+
+    Segments *created* through the pool are owned by it: ``close()``
+    (and therefore interpreter exit of the creator) unlinks them.
+    Segments *attached* are only mapped; closing the pool unmaps but
+    never unlinks them.
+    """
+
+    def __init__(self) -> None:
+        self._created: dict[str, shared_memory.SharedMemory] = {}
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+
+    def create(self, name: str, nbytes: int) -> shared_memory.SharedMemory:
+        if name in self._created:
+            raise ValueError(f"segment {name!r} already created by this pool")
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(1, int(nbytes)))
+        self._created[name] = shm
+        return shm
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        shm = self._created.get(name) or self._attached.get(name)
+        if shm is None:
+            shm = _attach_untracked(name)
+            self._attached[name] = shm
+        return shm
+
+    def place(self, name: str, arrays: list[np.ndarray]) -> list[ShmView]:
+        """Create segment *name* sized for *arrays*, copy them in, and
+        return one descriptor per array (creator-side packing)."""
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        total = sum(a.nbytes for a in arrays)
+        shm = self.create(name, total)
+        views, off = [], 0
+        for a in arrays:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=off)
+            np.copyto(dst, a)
+            views.append(ShmView(name, off, tuple(a.shape), a.dtype.name))
+            off += a.nbytes
+        return views
+
+    def detach(self, name: str) -> None:
+        """Unmap an attached (or unlink a created) segment by name."""
+        shm = self._attached.pop(name, None)
+        if shm is not None:
+            shm.close()
+            return
+        shm = self._created.pop(name, None)
+        if shm is not None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def detach_prefix(self, prefix: str) -> None:
+        """Drop every mapping whose segment name starts with *prefix*
+        (job-scoped staging segments at job end)."""
+        for name in [n for n in self._attached if n.startswith(prefix)]:
+            self.detach(name)
+        for name in [n for n in self._created if n.startswith(prefix)]:
+            self.detach(name)
+
+    def close(self) -> None:
+        """Unmap everything; unlink every segment this pool created."""
+        for name in list(self._attached):
+            self.detach(name)
+        for name in list(self._created):
+            self.detach(name)
+
+    def __enter__(self) -> "ShmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -30,7 +30,7 @@ import numpy as np
 from repro.cluster.simcluster import SimCluster
 
 __all__ = ["AllToAll", "Barrier", "Bcast", "Checkpoint", "Compute",
-           "RankContext", "SendRecvRing", "run_spmd"]
+           "RankContext", "SendRecvRing", "SpmdError", "run_spmd"]
 
 
 @dataclass(frozen=True)

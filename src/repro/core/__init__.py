@@ -19,7 +19,11 @@ from repro.core.soi_dist import (
 from repro.core.soi_hetero import HeterogeneousSoiFFT
 from repro.core.soi_offload import OffloadSoiFFT
 from repro.core.soi_single import LOCAL_FFT_CHOICES, SoiFFT, soi_fft, soi_ifft
-from repro.core.soi_spmd import soi_rank_program, spmd_soi_fft
+from repro.core.soi_spmd import (
+    run_parallel_soi,
+    soi_rank_program,
+    spmd_soi_fft,
+)
 from repro.core.streaming import SoiStft, hann_window
 from repro.core.window import (
     GaussianSincWindow,
@@ -64,5 +68,6 @@ __all__ = [
     "soi_fft",
     "soi_ifft",
     "soi_rank_program",
+    "run_parallel_soi",
     "spmd_soi_fft",
 ]

@@ -71,7 +71,7 @@ class DistributedSoiFFT:
                  conv_strategy: ConvStrategy = ConvStrategy.BUFFERED,
                  fuse_demodulation: bool = True,
                  segment_exchanges: bool = False,
-                 verify=False):
+                 verify=False, backend=None):
         if params.n_procs != cluster.n_ranks:
             raise ValueError(f"params expect {params.n_procs} ranks, "
                              f"cluster has {cluster.n_ranks}")
@@ -85,6 +85,7 @@ class DistributedSoiFFT:
         self.cluster = cluster
         self.params = params
         self.tables: SoiTables = build_tables(params, window)
+        self._window = window  # kept: worker processes rebuild from spec
         self.fft_efficiency = fft_efficiency
         self.conv_efficiency = conv_efficiency
         self.conv_strategy = conv_strategy
@@ -116,6 +117,18 @@ class DistributedSoiFFT:
             from repro.verify.selfcheck import DistVerifier
             self.verifier = DistVerifier(self.tables,
                                          VerifyPolicy.coerce(verify))
+        #: Execution backend.  ``None`` keeps the phase-structured
+        #: simulated driver; a real backend
+        #: (:class:`~repro.cluster.backends.ProcessBackend`) runs the
+        #: numerically-identical SPMD program on worker processes with
+        #: shared-memory collectives — *cluster* still supplies the
+        #: machine model and the (SDC-only) fault plan.
+        self.backend = backend
+        if backend is not None and backend.is_real \
+                and getattr(backend, "size", None) != params.n_procs:
+            raise ValueError(f"params expect {params.n_procs} ranks, "
+                             f"backend has {getattr(backend, 'size', None)} "
+                             f"workers")
         self._lane_plan = get_plan(p.n_segments, -1) if p.n_segments > 1 else None
         self._seg_plan = get_plan(p.m_oversampled, -1)
         # every rank's convolution has identical geometry, so one reused
@@ -166,6 +179,8 @@ class DistributedSoiFFT:
         folded into the cluster's metric registry on exit, even when
         the call raises.
         """
+        if self.backend is not None and self.backend.is_real:
+            return self._transform_parallel(x_parts, deadline)
         cl = self.cluster
         rec = cl.recorder
         first = len(cl.trace.events)
@@ -179,6 +194,31 @@ class DistributedSoiFFT:
                 if not scope.closed:
                     rec.end(scope, cl.clocks[scope.rank])
             self._publish_metrics(first)
+
+    def _transform_parallel(self, x_parts: list[np.ndarray],
+                            deadline=None) -> list[np.ndarray]:
+        """Run the numerically-identical SPMD program on the real backend.
+
+        The phase-structured simulated driver and the SPMD program are
+        asserted equal in the test suite, so delegating here preserves
+        the plan's outputs exactly; measured (not simulated) timings
+        land in the backend's trace/metrics.
+        """
+        if deadline is not None:
+            raise ValueError("deadlines are enforced by the simulated "
+                             "communicator; not available on a real backend")
+        from repro.core.soi_spmd import run_parallel_soi  # circular import
+        self.last_recovery = None
+        policy = self.verifier.policy if self.verifier is not None else None
+        parts, report = run_parallel_soi(
+            self.backend, self.params, x_parts,
+            machine=self.cluster.machine, window=self._window,
+            policy=policy, fault_plan=self.cluster.comm.fault_plan)
+        if self.verifier is not None:
+            self.last_verification = self.verifier.reset_report()
+            if report is not None:
+                self.last_verification.merge(report)
+        return parts
 
     def _publish_metrics(self, first: int) -> None:
         """Fold one call's trace events into the cluster's registry."""

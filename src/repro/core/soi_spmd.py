@@ -7,12 +7,21 @@ runs its own program and yields collectives to the
 phase-structured implementation (asserted in tests) — it exists both as a
 realism check on the runtime and as the template users would port to
 mpi4py on a real cluster.
+
+Since the execution-backend split (:mod:`repro.cluster.backends`), the
+same program also runs on *real cores*: pass a
+:class:`~repro.cluster.backends.ProcessBackend` as ``backend=`` and each
+rank becomes a worker process, the all-to-all a zero-copy shared-memory
+descriptor exchange.  Outputs are bit-for-bit identical to the simulated
+backend (asserted across the chaos seed matrix), including the
+:class:`~repro.verify.VerificationReport` under injected SDC.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cluster.backends import ExecutionBackend, SimulatedBackend
 from repro.cluster.faults import RankFailed
 from repro.cluster.simcluster import SimCluster
 from repro.cluster.spmd import (
@@ -21,7 +30,6 @@ from repro.cluster.spmd import (
     Compute,
     RankContext,
     SendRecvRing,
-    run_spmd,
 )
 from repro.core.convolution import conv_time_model, convolve
 from repro.core.demodulate import demodulate
@@ -34,7 +42,7 @@ from repro.core.soi_dist import (
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
 
-__all__ = ["soi_rank_program", "spmd_soi_fft"]
+__all__ = ["run_parallel_soi", "soi_rank_program", "spmd_soi_fft"]
 
 
 def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
@@ -112,9 +120,107 @@ def soi_rank_program(ctx: RankContext, x_local: np.ndarray,
     return seg.reshape(-1)
 
 
+# -- real-parallel execution -------------------------------------------
+
+#: Worker-side cache: every job of the same geometry reuses the tables
+#: (and their planned FFTs) instead of re-deriving the window per call.
+_WORKER_TABLES: dict = {}
+_WORKER_VERIFIERS: dict = {}
+
+
+def _parallel_soi_program(ctx: RankContext, x_local: np.ndarray,
+                          params: SoiParams, window, policy):
+    """Module-level rank program shipped to ProcessBackend workers.
+
+    Closures do not pickle, so instead of shipping ``SoiTables`` (the
+    demodulation table alone is M complex words) every worker builds —
+    and caches — its own tables from the tiny ``(params, window)`` spec;
+    ``build_tables`` is deterministic, so all ranks agree bitwise.
+    Returns ``(spectrum_chunk, verification_report_or_None)``.
+    """
+    if window is None:
+        tables = _WORKER_TABLES.get(params)
+        if tables is None:
+            tables = _WORKER_TABLES.setdefault(params,
+                                               build_tables(params, None))
+    else:
+        tables = build_tables(params, window)
+    verifier = None
+    if policy is not None:
+        from repro.verify.selfcheck import DistVerifier
+        key = None
+        if window is None and policy.inject is None:
+            key = (params, policy.safety, policy.max_strikes,
+                   policy.use_alias)
+            verifier = _WORKER_VERIFIERS.get(key)
+        if verifier is None:
+            verifier = DistVerifier(tables, policy)
+            if key is not None:
+                _WORKER_VERIFIERS[key] = verifier
+        verifier.reset_report()
+    seg = yield from soi_rank_program(ctx, x_local, tables, verifier)
+    return seg, (verifier.report if verifier is not None else None)
+
+
+def _merge_reports(reports):
+    """Fold per-rank reports into one, in the simulated engine's order.
+
+    The rank-serial engine sees every rank's pre-wire (conv/lane) events
+    first, then every rank's post-all-to-all events — reproduce that so
+    the merged report compares equal to a simulated run's.
+    """
+    from repro.verify.policy import VerificationReport
+    merged = VerificationReport()
+    for rep in reports:
+        merged.merge(rep)
+    pre = [e for e in merged.events if e.stage in ("conv", "lane")]
+    post = [e for e in merged.events if e.stage not in ("conv", "lane")]
+    merged.events = pre + post
+    return merged
+
+
+def run_parallel_soi(backend: ExecutionBackend, params: SoiParams,
+                     x_parts: list[np.ndarray], *, machine, window=None,
+                     policy=None, fault_plan=None):
+    """Run the SOI SPMD program on a real backend; block-distributed I/O.
+
+    Returns ``(parts, report)``: the per-rank natural-order spectrum
+    chunks and the merged :class:`~repro.verify.VerificationReport`
+    (``None`` when *policy* is).  *fault_plan* must be SDC-only; strikes
+    land on the same global stage boundaries as under the simulator, so
+    reports match bit-for-bit.  *window*, if given, must be picklable.
+    """
+    if len(x_parts) != params.n_procs:
+        raise ValueError(f"expected {params.n_procs} input parts")
+    size = getattr(backend, "size", None)
+    if size != params.n_procs:
+        raise ValueError(f"params expect {params.n_procs} ranks, "
+                         f"backend has {size} workers")
+    chunk = params.elements_per_process
+    parts = [np.ascontiguousarray(p, dtype=np.complex128) for p in x_parts]
+    for p in parts:
+        if p.shape != (chunk,):
+            raise ValueError("each part must hold N/P elements")
+    if fault_plan is not None and not fault_plan.has_sdc:
+        fault_plan = None
+    results = backend.run(
+        _parallel_soi_program, [(p,) for p in parts],
+        common=(params, window, policy), machine=machine,
+        fault_plan=fault_plan, result_spec=((chunk,), np.complex128),
+        label="parallel soi request")
+    out_parts = [seg for seg, _rep in results]
+    report = None
+    if policy is not None:
+        report = _merge_reports([rep for _seg, rep in results])
+        from repro.verify.selfcheck import _MetricsMirror
+        _MetricsMirror().publish(report, backend.metrics)
+    return out_parts, report
+
+
 def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
                  window=None, resilient: bool = True, verify=False,
-                 hedge=None, deadline=None) -> np.ndarray:
+                 hedge=None, deadline=None,
+                 backend: ExecutionBackend | None = None) -> np.ndarray:
     """Scatter, run the SPMD program on every rank, gather the spectrum.
 
     With ``resilient=True`` (the default) a collective that declares a
@@ -137,12 +243,54 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     and recovery transfers to its budget — and checked again before
     recovery and at the gather.  Any previously installed deadline is
     restored on exit.
+
+    *backend* selects the executor: ``None`` (or a
+    :class:`~repro.cluster.backends.SimulatedBackend` over *cluster*)
+    runs rank-serially against the simulated clocks; a
+    :class:`~repro.cluster.backends.ProcessBackend` runs every rank as a
+    real worker process with shared-memory collectives — bit-for-bit the
+    same result.  The real path rejects *hedge*/*deadline* (stragglers
+    and time budgets are properties of the simulated fabric) and
+    supports SDC-only fault plans.
     """
     x = np.asarray(x, dtype=np.complex128)
     if x.shape != (params.n,):
         raise ValueError(f"expected input of shape ({params.n},)")
     if params.n_procs != cluster.n_ranks:
         raise ValueError("params/cluster rank mismatch")
+    chunk = params.elements_per_process
+    parts = [x[r * chunk:(r + 1) * chunk].copy()
+             for r in range(params.n_procs)]
+    if backend is not None and backend.is_real:
+        if hedge is not None:
+            raise ValueError("hedging duplicates simulated stragglers; "
+                             "a real backend measures them instead")
+        if deadline is not None:
+            raise ValueError("deadlines are enforced by the simulated "
+                             "communicator; not available on a real backend")
+        policy = None
+        ext_verifier = None
+        if verify is not None and verify is not False:
+            from repro.verify.policy import VerifyPolicy
+            from repro.verify.selfcheck import DistVerifier
+            if isinstance(verify, DistVerifier):
+                ext_verifier = verify
+                policy = verify.policy
+            else:
+                policy = VerifyPolicy.coerce(verify)
+        out_parts, report = run_parallel_soi(
+            backend, params, parts, machine=cluster.machine, window=window,
+            policy=policy, fault_plan=cluster.comm.fault_plan)
+        if ext_verifier is not None and report is not None:
+            ext_verifier.reset_report()
+            ext_verifier.report.merge(report)
+        return np.concatenate(out_parts)
+    if backend is None:
+        backend = SimulatedBackend(cluster)
+    elif not isinstance(backend, SimulatedBackend) \
+            or backend.cluster is not cluster:
+        raise ValueError("backend must be a ProcessBackend or a "
+                         "SimulatedBackend over this cluster")
     tables = build_tables(params, window)
     verifier = None
     if verify is not None and verify is not False:
@@ -153,14 +301,6 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
             verifier.reset_report()
         else:
             verifier = DistVerifier(tables, VerifyPolicy.coerce(verify))
-    chunk = params.elements_per_process
-    parts = [x[r * chunk:(r + 1) * chunk].copy()
-             for r in range(params.n_procs)]
-
-    def program(ctx: RankContext):
-        return (yield from soi_rank_program(ctx, parts[ctx.rank], tables,
-                                            verifier))
-
     ckpts: dict = {}
     prev_deadline = cluster.comm.deadline
     if deadline is not None:
@@ -173,8 +313,10 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
               for r in range(cluster.n_ranks)]
     try:
         try:
-            results = run_spmd(cluster, program, checkpoints=ckpts,
-                               hedge=hedge)
+            results = backend.run(
+                soi_rank_program,
+                [(parts[r],) for r in range(params.n_procs)],
+                common=(tables, verifier), checkpoints=ckpts, hedge=hedge)
         except RankFailed:
             if not resilient:
                 raise

@@ -14,11 +14,21 @@ it, so a plan's pooled workspaces (see ``StockhamPlan``) are reused no
 matter which entry point reached it.  ``cache_clear()`` releases every
 cached plan (and with them the workspace pools); ``cache_info()`` exposes
 the LRU counters for tests and diagnostics.
+
+The cache is fork/spawn-safe: get-or-create is serialized behind a lock
+(two threads planning the same size build it once), and a per-process
+guard empties the cache and replaces the lock the first time a forked
+worker touches it — a child must never share plan workspaces (or a
+possibly-locked lock) inherited from its parent.  The
+:class:`~repro.cluster.backends.ProcessBackend` workers rely on this.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import os
+import threading
+from collections import OrderedDict
+from functools import _CacheInfo
 
 import numpy as np
 
@@ -28,9 +38,27 @@ from repro.fft.stockham import StockhamPlan
 
 __all__ = ["fft", "ifft", "get_plan", "cache_clear", "cache_info"]
 
+_MAXSIZE = 256
+_cache: OrderedDict = OrderedDict()
+_lock = threading.RLock()
+_pid = os.getpid()
+_hits = 0
+_misses = 0
 
-@lru_cache(maxsize=256)
-def _cached_plan(n: int, sign: int, dtype_str: str):
+
+def _ensure_this_process() -> None:
+    """Reset inherited cache state after a fork (call with no lock held)."""
+    global _cache, _lock, _pid, _hits, _misses
+    if _pid != os.getpid():
+        # the lock object may have been captured mid-acquire in the
+        # parent; a fresh one is the only safe option in the child
+        _lock = threading.RLock()
+        _cache = OrderedDict()
+        _hits = _misses = 0
+        _pid = os.getpid()
+
+
+def _build_plan(n: int, sign: int, dtype_str: str):
     if mixed_radix_factors(n) is not None:
         return StockhamPlan(n, sign, dtype=np.dtype(dtype_str).type)
     if dtype_str != "complex128":
@@ -42,19 +70,43 @@ def _cached_plan(n: int, sign: int, dtype_str: str):
 
 def get_plan(n: int, sign: int = -1, dtype=np.complex128):
     """Return a cached callable plan for length, direction, and precision."""
+    global _hits, _misses
     if n <= 0:
         raise ValueError("n must be positive")
-    return _cached_plan(n, sign, np.dtype(dtype).name)
+    key = (n, sign, np.dtype(dtype).name)
+    _ensure_this_process()
+    with _lock:
+        plan = _cache.get(key)
+        if plan is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return plan
+        _misses += 1
+    # build outside the lock: planning is slow (twiddle tables) and must
+    # not serialize unrelated sizes; a racing duplicate is discarded below
+    plan = _build_plan(*key)
+    with _lock:
+        winner = _cache.setdefault(key, plan)
+        _cache.move_to_end(key)
+        while len(_cache) > _MAXSIZE:
+            _cache.popitem(last=False)
+        return winner
 
 
 def cache_clear() -> None:
     """Drop every cached plan (and its pooled workspaces)."""
-    _cached_plan.cache_clear()
+    global _hits, _misses
+    _ensure_this_process()
+    with _lock:
+        _cache.clear()
+        _hits = _misses = 0
 
 
 def cache_info():
     """LRU statistics of the unified plan cache (hits/misses/currsize)."""
-    return _cached_plan.cache_info()
+    _ensure_this_process()
+    with _lock:
+        return _CacheInfo(_hits, _misses, _MAXSIZE, len(_cache))
 
 
 def _transform(x: np.ndarray, axis: int, sign: int) -> np.ndarray:

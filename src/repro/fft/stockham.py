@@ -83,8 +83,8 @@ class StockhamPlan:
 
     Workspace contract
     ------------------
-    The plan lazily allocates one pair of ping-pong buffers (plus a small
-    radix-4 scratch) per distinct flattened batch size and reuses them for
+    The plan lazily allocates one pair of ping-pong buffers (plus a
+    butterfly scratch) per distinct flattened batch size and reuses them for
     every subsequent call — calling a plan twice never re-allocates and the
     two calls return independent arrays.  ``plan(x, out=buf)`` writes the
     result into a caller-owned, C-contiguous array of the plan dtype; the
@@ -126,9 +126,18 @@ class StockhamPlan:
             cur_s *= r
         self._rot90 = self.dtype.type(1j * sign)  # i*sign in working precision
         self._inv_n = self.dtype.type(1.0 / n)
-        # Radix-4 stages need one (batch, n/4) scratch; radix-2 and the
-        # generic butterfly write straight into the ping-pong destination.
-        self._scratch_elems = n // 4 if any(st.r == 4 for st in self._stages) else 0
+        # Radix-2/4 butterflies stage their intermediates in contiguous
+        # scratch blocks and pay exactly one strided write per output
+        # quarter/half — writing intermediates straight into the strided
+        # (batch, m, r, s) destination views costs several extra strided
+        # passes.  Radix-4 needs four (batch, n/4) blocks, radix-2 one
+        # (batch, n/2) block; the generic butterfly needs none.
+        if any(st.r == 4 for st in self._stages):
+            self._scratch_elems = n
+        elif any(st.r == 2 for st in self._stages):
+            self._scratch_elems = n // 2
+        else:
+            self._scratch_elems = 0
         #: batch size -> (ping, pong, scratch) reused across calls.
         self._pool: dict[int, tuple] = {}
 
@@ -222,25 +231,29 @@ class StockhamPlan:
         o = out.reshape(batch, m, r, s)
         if r == 2:
             a, b = c[:, 0], c[:, 1]
-            np.add(a, b, out=o[:, :, 0, :])
-            np.subtract(a, b, out=o[:, :, 1, :])
-            np.multiply(o[:, :, 1, :], st.tw[None, :, 1, None], out=o[:, :, 1, :])
-        elif r == 4:
-            c0, c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
-            o0, o1, o2, o3 = o[:, :, 0, :], o[:, :, 1, :], o[:, :, 2, :], o[:, :, 3, :]
             sc = scratch[: batch * m * s].reshape(batch, m, s)
-            np.add(c0, c2, out=o0)          # ap
-            np.subtract(c0, c2, out=o1)     # am
-            np.add(c1, c3, out=o2)          # bp
-            np.subtract(c1, c3, out=sc)     # bm
-            np.multiply(sc, self._rot90, out=sc)   # i*sign*bm
-            np.subtract(o1, sc, out=o3)     # am - jbm
-            np.add(o1, sc, out=o1)          # am + jbm
-            np.subtract(o0, o2, out=sc)     # ap - bp
-            np.add(o0, o2, out=o0)          # ap + bp (tw[:, 0] == 1)
-            np.multiply(o1, st.tw[None, :, 1, None], out=o1)
-            np.multiply(sc, st.tw[None, :, 2, None], out=o2)
-            np.multiply(o3, st.tw[None, :, 3, None], out=o3)
+            np.add(a, b, out=o[:, :, 0, :])
+            np.subtract(a, b, out=sc)
+            np.multiply(sc, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+        elif r == 4:
+            blk = batch * m * s
+            sc0 = scratch[0 * blk:1 * blk].reshape(batch, m, s)
+            sc1 = scratch[1 * blk:2 * blk].reshape(batch, m, s)
+            sc2 = scratch[2 * blk:3 * blk].reshape(batch, m, s)
+            sc3 = scratch[3 * blk:4 * blk].reshape(batch, m, s)
+            c0, c1, c2, c3 = c[:, 0], c[:, 1], c[:, 2], c[:, 3]
+            np.add(c0, c2, out=sc0)                 # ap
+            np.subtract(c0, c2, out=sc1)            # am
+            np.add(c1, c3, out=sc2)                 # bp
+            np.subtract(c1, c3, out=sc3)            # bm
+            np.multiply(sc3, self._rot90, out=sc3)  # i*sign*bm
+            np.add(sc0, sc2, out=o[:, :, 0, :])     # ap + bp (tw[:, 0] == 1)
+            np.subtract(sc0, sc2, out=sc2)          # ap - bp
+            np.multiply(sc2, st.tw[None, :, 2, None], out=o[:, :, 2, :])
+            np.add(sc1, sc3, out=sc0)               # am + jbm
+            np.multiply(sc0, st.tw[None, :, 1, None], out=o[:, :, 1, :])
+            np.subtract(sc1, sc3, out=sc1)          # am - jbm
+            np.multiply(sc1, st.tw[None, :, 3, None], out=o[:, :, 3, :])
         else:
             omega = _butterfly_matrix(r, self.sign).astype(self.dtype)
             # o[b, p, u, s] = sum_j omega[u, j] * c[b, j, p, s]

@@ -13,6 +13,8 @@ the machine.  This module makes that choice measurable and persistent:
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 
 import numpy as np
@@ -81,10 +83,34 @@ def tune(n: int, sign: int = -1, batch: int = 4, reps: int = 3,
 
 
 class Wisdom:
-    """Persistent map from (n, sign) to the tuned radix decomposition."""
+    """Persistent map from (n, sign) to the tuned radix decomposition.
+
+    Thread- and fork-safe: ``learn``'s get-or-create is serialized behind
+    a per-instance lock, and the lock is replaced (never shared) when the
+    instance crosses a fork or a pickle boundary."""
 
     def __init__(self) -> None:
         self._best: dict[tuple[int, int], list[int]] = {}
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+
+    def _guard(self) -> threading.Lock:
+        # a forked child may inherit the lock in a locked state; give
+        # each process its own
+        if self._pid != os.getpid():
+            self._lock = threading.Lock()
+            self._pid = os.getpid()
+        return self._lock
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
 
     def __len__(self) -> int:
         return len(self._best)
@@ -95,10 +121,11 @@ class Wisdom:
     def learn(self, n: int, sign: int = -1, **tune_kwargs) -> list[int]:
         """Tune size *n* (if unknown) and remember the winner."""
         key = (n, sign)
-        if key not in self._best:
-            best, _ = tune(n, sign, **tune_kwargs)
-            self._best[key] = best
-        return self._best[key]
+        with self._guard():
+            if key not in self._best:
+                best, _ = tune(n, sign, **tune_kwargs)
+                self._best[key] = best
+            return self._best[key]
 
     def plan(self, n: int, sign: int = -1) -> StockhamPlan:
         """A plan using the remembered (or freshly tuned) decomposition."""

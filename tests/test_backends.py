@@ -1,0 +1,318 @@
+"""Execution-backend suite: simulated vs real worker processes.
+
+The contract under test is the tentpole one: a ``ProcessBackend`` run —
+real cores, shared-memory zero-copy all-to-all — must be *bit-for-bit*
+identical to the rank-serial ``SimulatedBackend``, including the merged
+``VerificationReport`` under injected silent data corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.backends import ProcessBackend, SimulatedBackend
+from repro.cluster.faults import FaultPlan
+from repro.cluster.shm import ShmPool
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.spmd import (
+    AllToAll,
+    Barrier,
+    Bcast,
+    SendRecvRing,
+    run_spmd,
+)
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from repro.core.soi_spmd import run_parallel_soi, spmd_soi_fft
+from repro.verify.policy import VerifyPolicy
+
+pytestmark = pytest.mark.parallel
+
+P = 4  # worker count shared by the whole module (one spawn, many tests)
+
+
+@pytest.fixture(scope="module")
+def backend():
+    with ProcessBackend(P) as b:
+        yield b
+
+
+def soi_params(n, spp=2, n_procs=P):
+    return SoiParams(n=n, n_procs=n_procs, segments_per_process=spp,
+                     n_mu=5, d_mu=4, b=48)
+
+
+def signal(n, seed=2013):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+# -- module-level rank programs (workers unpickle them by reference) ----
+
+def alltoall_prog(ctx, base):
+    per_dest = [np.full(3, base + ctx.rank * 10 + d, dtype=np.float64)
+                for d in range(ctx.size)]
+    pieces = yield AllToAll(per_dest)
+    return np.concatenate([np.asarray(p) for p in pieces])
+
+
+def ring_prog(ctx, x_local):
+    halo = yield SendRecvRing(to_left=x_local[:2], to_right=x_local[-2:])
+    from_left, from_right = halo
+    return np.concatenate([from_left, x_local, from_right])
+
+
+def bcast_prog(ctx, payload):
+    got = yield Bcast(payload if ctx.rank == 1 else None, root=1)
+    return np.asarray(got) + ctx.rank
+
+
+def typed_alltoall_prog(ctx, x_local):
+    per_dest = [x_local[d::ctx.size].copy() for d in range(ctx.size)]
+    pieces = yield AllToAll(per_dest)
+    return np.concatenate([np.asarray(p) for p in pieces])
+
+
+def boom_prog(ctx):
+    yield Barrier()
+    if ctx.rank == 2:
+        raise RuntimeError("kaboom on rank two")
+    yield Barrier()
+    return ctx.rank
+
+
+# -- shared-memory pool ------------------------------------------------
+
+class TestShmPool:
+    def test_place_and_resolve_roundtrip(self):
+        with ShmPool() as pool:
+            a = np.arange(12, dtype=np.complex128).reshape(3, 4)
+            b = np.arange(5, dtype=np.float32)
+            va, vb = pool.place("t-seg", [a, b])
+            assert np.array_equal(va.resolve(pool), a)
+            assert np.array_equal(vb.resolve(pool), b)
+            assert va.nbytes == a.nbytes and vb.nbytes == b.nbytes
+
+    def test_views_are_read_only_by_default(self):
+        with ShmPool() as pool:
+            (view,) = pool.place("t-ro", [np.zeros(4)])
+            arr = view.resolve(pool)
+            with pytest.raises(ValueError):
+                arr[0] = 1.0
+            arr_w = view.resolve(pool, writeable=True)
+            arr_w[0] = 1.0
+            assert view.resolve(pool)[0] == 1.0
+
+    def test_attach_is_cached_per_pool(self):
+        with ShmPool() as pool:
+            pool.create("t-cache", 64)
+            assert pool.attach("t-cache") is pool.attach("t-cache")
+
+    def test_duplicate_create_rejected(self):
+        with ShmPool() as pool:
+            pool.create("t-dup", 16)
+            with pytest.raises(ValueError, match="already created"):
+                pool.create("t-dup", 16)
+
+    def test_detach_prefix_drops_job_segments(self):
+        with ShmPool() as pool:
+            pool.place("job1-in", [np.zeros(4)])
+            pool.place("job1-out", [np.zeros(4)])
+            pool.place("job2-in", [np.zeros(4)])
+            pool.detach_prefix("job1-")
+            assert "job1-in" not in pool._created
+            assert "job2-in" in pool._created
+
+
+# -- simulated backend routing -----------------------------------------
+
+class TestSimulatedBackend:
+    def test_matches_run_spmd(self):
+        cl = SimCluster(3)
+        sim = SimulatedBackend(cl)
+        got = sim.run(alltoall_prog, [(0.0,)] * 3)
+        want = run_spmd(SimCluster(3), lambda ctx: alltoall_prog(ctx, 0.0))
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+        assert not sim.is_real and sim.size == 3
+
+    def test_spmd_soi_fft_default_backend_unchanged(self):
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        plain = spmd_soi_fft(SimCluster(P), params, x)
+        cl = SimCluster(P)
+        routed = spmd_soi_fft(cl, params, x, backend=SimulatedBackend(cl))
+        assert np.array_equal(plain, routed)
+
+    def test_foreign_cluster_rejected(self):
+        params = soi_params(2 ** 12)
+        with pytest.raises(ValueError, match="over this cluster"):
+            spmd_soi_fft(SimCluster(P), params, signal(params.n),
+                         backend=SimulatedBackend(SimCluster(P)))
+
+
+# -- real process backend ----------------------------------------------
+
+class TestProcessBackendCollectives:
+    def test_alltoall_matches_simulated(self, backend):
+        want = run_spmd(SimCluster(P), lambda ctx: alltoall_prog(ctx, 5.0))
+        got = backend.run(alltoall_prog, [(5.0,)] * P)
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+    def test_ring_matches_simulated(self, backend):
+        xs = [signal(8, seed=r) for r in range(P)]
+        want = run_spmd(SimCluster(P), lambda ctx: ring_prog(ctx, xs[ctx.rank]))
+        got = backend.run(ring_prog, [(x,) for x in xs])
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+    def test_bcast_matches_simulated(self, backend):
+        payload = signal(16, seed=9)
+        want = run_spmd(SimCluster(P),
+                        lambda ctx: bcast_prog(ctx, payload))
+        got = backend.run(bcast_prog, [(payload,)] * P)
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64,
+                                       np.complex64, np.complex128,
+                                       np.int32])
+    def test_alltoall_preserves_dtype_bitwise(self, backend, dtype):
+        rng = np.random.default_rng(17)
+        xs = [(rng.standard_normal(16) * 100).astype(dtype)
+              for _ in range(P)]
+        want = run_spmd(SimCluster(P),
+                        lambda ctx: typed_alltoall_prog(ctx, xs[ctx.rank]))
+        got = backend.run(typed_alltoall_prog, [(x,) for x in xs])
+        for a, b in zip(want, got):
+            assert b.dtype == np.dtype(dtype)
+            assert np.array_equal(a, b)
+
+    def test_worker_error_propagates_and_backend_survives(self, backend):
+        with pytest.raises(RuntimeError, match="kaboom on rank two"):
+            backend.run(boom_prog, [()] * P)
+        # the pool respawns dead workers: the next job must still run
+        got = backend.run(alltoall_prog, [(1.0,)] * P)
+        assert len(got) == P
+
+    def test_unpicklable_program_rejected_eagerly(self, backend):
+        def local_prog(ctx):
+            yield Barrier()
+            return ctx.rank
+
+        with pytest.raises(ValueError, match="pickle"):
+            backend.run(local_prog, [()] * P)
+
+    def test_hedge_rejected(self, backend):
+        with pytest.raises(ValueError, match="stragglers are real"):
+            backend.run(alltoall_prog, [(0.0,)] * P, hedge=object())
+
+    def test_wrong_rank_count_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.run(alltoall_prog, [(0.0,)] * (P + 1))
+
+
+class TestProcessBackendSoi:
+    @pytest.mark.parametrize("n,spp", [(2 ** 12, 1), (2 ** 12, 2),
+                                       (2 ** 14, 2)])
+    def test_bit_for_bit_across_geometries(self, backend, n, spp):
+        params = soi_params(n, spp)
+        x = signal(n)
+        want = spmd_soi_fft(SimCluster(P), params, x)
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=backend)
+        assert np.array_equal(want, got)  # bitwise, not allclose
+
+    def test_distributed_soi_fft_front_end(self, backend):
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        serial = DistributedSoiFFT(SimCluster(P), params)
+        real = DistributedSoiFFT(SimCluster(P), params, backend=backend)
+        parts = serial.scatter(x)
+        want, got = serial(parts), real(parts)
+        assert all(np.array_equal(a, b) for a, b in zip(want, got))
+        assert np.array_equal(np.concatenate(want), np.concatenate(got))
+
+    def test_verified_run_reports_clean(self, backend):
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        cl = SimCluster(P)
+        soi = DistributedSoiFFT(cl, params, verify=True, backend=backend)
+        out = soi(soi.scatter(x))
+        assert soi.last_verification is not None
+        assert soi.last_verification.detections == 0
+        assert soi.last_verification.checks > 0
+        np.testing.assert_allclose(
+            np.concatenate(out), np.fft.fft(x), rtol=0,
+            atol=1e-6 * params.n)
+
+    @pytest.mark.parametrize("seed", [5, 11, 16])
+    def test_identical_reports_under_sdc(self, backend, seed):
+        """Chaos equivalence: same SDC plan, same detections, same events."""
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+
+        cl_sim = SimCluster(P)
+        cl_sim.comm.install_faults(FaultPlan.random(
+            seed, P, sdc_rate=0.3, sdc_amplitude=50.0))
+        from repro.verify.selfcheck import DistVerifier
+        from repro.core.window import build_tables
+        ver_sim = DistVerifier(build_tables(params, None), VerifyPolicy())
+        want = spmd_soi_fft(cl_sim, params, x, verify=ver_sim)
+
+        cl_real = SimCluster(P)
+        cl_real.comm.install_faults(FaultPlan.random(
+            seed, P, sdc_rate=0.3, sdc_amplitude=50.0))
+        ver_real = DistVerifier(build_tables(params, None), VerifyPolicy())
+        got = spmd_soi_fft(cl_real, params, x, verify=ver_real,
+                           backend=backend)
+
+        assert np.array_equal(want, got)
+        assert ver_sim.report == ver_real.report
+        assert ver_sim.report.detections > 0  # the plan actually struck
+
+    def test_wire_faults_rejected_sdc_only_allowed(self, backend):
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        # a pure wire plan is simply dropped (nothing for real ranks to do)
+        cl = SimCluster(P)
+        cl.comm.install_faults(FaultPlan.random(3, P, corrupt_rate=0.1))
+        want = spmd_soi_fft(SimCluster(P), params, x)
+        assert np.array_equal(want, spmd_soi_fft(cl, params, x,
+                                                 backend=backend))
+        # a mixed plan (wire + SDC) cannot be honored and must refuse
+        cl2 = SimCluster(P)
+        cl2.comm.install_faults(FaultPlan.random(
+            3, P, corrupt_rate=0.1, sdc_rate=0.2))
+        with pytest.raises(ValueError, match="SDC-only"):
+            spmd_soi_fft(cl2, params, x, backend=backend)
+
+    def test_hedge_and_deadline_rejected_on_real_backend(self, backend):
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        with pytest.raises(ValueError, match="hedg"):
+            spmd_soi_fft(SimCluster(P), params, x, backend=backend,
+                         hedge=object())
+        with pytest.raises(ValueError, match="deadline"):
+            spmd_soi_fft(SimCluster(P), params, x, backend=backend,
+                         deadline=object())
+
+    def test_part_count_validated(self, backend):
+        params = soi_params(2 ** 12)
+        chunk = params.elements_per_process
+        with pytest.raises(ValueError, match="parts"):
+            run_parallel_soi(backend, params,
+                             [np.zeros(chunk, complex)] * (P - 1),
+                             machine=SimCluster(P).machine)
+
+
+class TestProcessBackendTelemetry:
+    def test_wall_clock_lands_in_trace_and_metrics(self, backend):
+        jobs = backend.metrics.counter("repro_backend_jobs_total")
+        wall = backend.metrics.counter("repro_backend_wall_seconds_total")
+        jobs_before, wall_before = jobs.value, wall.value
+        n_events = len(backend.trace.events)
+        params = soi_params(2 ** 12)
+        spmd_soi_fft(SimCluster(P), params, signal(params.n),
+                     backend=backend)
+        assert jobs.value == jobs_before + 1
+        assert wall.value > wall_before
+        new = backend.trace.events[n_events:]
+        assert {e.rank for e in new} == set(range(P))
+        assert any(e.category == "mpi" for e in new)
+        assert any(e.category == "compute" for e in new)

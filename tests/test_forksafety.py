@@ -1,0 +1,118 @@
+"""Fork/spawn safety of the process-wide caches (plan cache, wisdom).
+
+The process backend forks workers that immediately hammer ``get_plan``
+and the wisdom store.  A lock or cache object inherited from the parent
+in a surprising state (held lock, parent's hit counters) must not leak
+into the child: both caches detect the PID change and start fresh.
+"""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.fft import plan as plan_mod
+from repro.fft.plan import fft, get_plan
+from repro.fft.wisdom import Wisdom
+
+pytestmark = pytest.mark.parallel
+
+
+def _child_probe(q):
+    """Runs in a forked child: report the inherited cache's view."""
+    info = plan_mod.cache_info()  # first touch runs the PID guard
+    p = get_plan(64, -1)
+    x = np.arange(64, dtype=np.complex128)
+    q.put({
+        "currsize_at_entry": info.currsize,
+        "fft_ok": bool(np.allclose(p(x), np.fft.fft(x))),
+    })
+
+
+def _wisdom_child(q, wisdom):
+    q.put(wisdom.learn(64))
+
+
+class TestPlanCacheForkSafety:
+    def test_child_starts_with_fresh_cache(self):
+        plan_mod.cache_clear()
+        get_plan(256, -1)
+        get_plan(512, -1)
+        assert plan_mod.cache_info().currsize == 2
+        ctx = multiprocessing.get_context("fork")
+        q = ctx.Queue()
+        proc = ctx.Process(target=_child_probe, args=(q,))
+        proc.start()
+        child = q.get(timeout=30)
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+        # the PID guard dropped the parent's entries on first touch
+        assert child["currsize_at_entry"] == 0
+        assert child["fft_ok"]
+        # and the parent's cache is untouched by the child's activity
+        assert plan_mod.cache_info().currsize == 2
+
+    def test_cache_info_is_functools_compatible(self):
+        plan_mod.cache_clear()
+        info0 = plan_mod.cache_info()
+        assert (info0.hits, info0.misses, info0.currsize) == (0, 0, 0)
+        get_plan(128, -1)
+        get_plan(128, -1)
+        info = plan_mod.cache_info()
+        assert info.misses == 1 and info.hits == 1
+        assert info.currsize == 1 and info.maxsize >= info.currsize
+
+    def test_cache_reuse_and_eviction_bound(self):
+        plan_mod.cache_clear()
+        assert get_plan(64, -1) is get_plan(64, -1)
+        for k in range(plan_mod._MAXSIZE + 8):
+            get_plan(16 + 2 * k, -1)
+        assert plan_mod.cache_info().currsize <= plan_mod._MAXSIZE
+
+    def test_threaded_hammer_returns_consistent_plans(self):
+        import threading
+        plan_mod.cache_clear()
+        got = [None] * 8
+
+        def worker(i):
+            got[i] = get_plan(1024, -1)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(g is got[0] for g in got)
+        x = np.random.default_rng(0).standard_normal(1024).astype(complex)
+        assert np.allclose(got[0](x), np.fft.fft(x))
+
+
+class TestWisdomForkSafety:
+    def test_wisdom_pickles_without_its_lock(self):
+        w = Wisdom()
+        radices = w.learn(64, reps=1, batch=1)
+        clone = pickle.loads(pickle.dumps(w))
+        assert clone.learn(64) == radices  # cached entry survived the trip
+        # the clone got a working lock of its own
+        with clone._guard():
+            pass
+
+    def test_wisdom_usable_after_fork(self):
+        w = Wisdom()
+        radices = w.learn(64, reps=1, batch=1)
+        ctx = multiprocessing.get_context("fork")
+        q = ctx.Queue()
+        proc = ctx.Process(target=_wisdom_child, args=(q, w))
+        proc.start()
+        assert q.get(timeout=30) == radices
+        proc.join(timeout=30)
+        assert proc.exitcode == 0
+
+
+class TestFftStillCorrectAfterClear:
+    def test_fft_after_cache_clear(self):
+        plan_mod.cache_clear()
+        x = np.random.default_rng(1).standard_normal(96) * 1j
+        assert np.allclose(fft(x), np.fft.fft(x))
