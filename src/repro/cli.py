@@ -383,6 +383,83 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.fft.autotune import TuneBudget, autotune, render_speedup_table
+    from repro.fft.plan import cache_clear, get_plan, set_active_wisdom
+    from repro.fft.wisdom import Wisdom, machine_fingerprint
+
+    if args.smoke:
+        sizes = [256, 1008]
+        soi_sizes = [2048]
+        budget = TuneBudget(seconds=min(args.budget, 20.0), max_trials=60)
+        reps, batch = 2, 2
+    else:
+        sizes = ([int(s) for s in args.sizes.split(",")] if args.sizes
+                 else [1024, 4096, 2 ** 14, 3 * 2 ** 12, 2 ** 16])
+        soi_sizes = ([int(s) for s in args.soi_sizes.split(",")]
+                     if args.soi_sizes else [8 * 448, 2 ** 13])
+        budget = TuneBudget(seconds=args.budget)
+        reps, batch = 3, 4
+
+    machine = machine_fingerprint()
+    wisdom_path = Path(args.wisdom)
+    wisdom = Wisdom.load(wisdom_path)
+    print(f"autotune: machine {machine}, sizes {sizes}, "
+          f"soi {soi_sizes}, budget {budget.seconds:.0f}s")
+    report = autotune(sizes=sizes, soi_sizes=soi_sizes, budget=budget,
+                      wisdom=wisdom, machine=machine, reps=reps,
+                      batch=batch, rng_seed=2013)
+    table = render_speedup_table(report)
+    print(table)
+
+    wisdom_path.parent.mkdir(parents=True, exist_ok=True)
+    wisdom.save(wisdom_path)
+    print(f"[wisdom ({len(wisdom)} entries) to {wisdom_path}]")
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(table + "\n")
+        print(f"[table to {out}]")
+
+    # differential check: every tuned kernel plan must agree with the
+    # default plan (the autotuner may only change speed, never answers)
+    rng = np.random.default_rng(2013)
+    worst = 0.0
+    prev = set_active_wisdom(None)
+    try:
+        for res in report.kernel_results:
+            x = (rng.standard_normal(res.n)
+                 + 1j * rng.standard_normal(res.n)).astype(res.dtype)
+            cache_clear()
+            baseline = get_plan(res.n, res.sign, res.dtype)(x[None, :])[0]
+            set_active_wisdom(wisdom, machine)
+            tuned = get_plan(res.n, res.sign, res.dtype)(x[None, :])[0]
+            set_active_wisdom(None)
+            scale = float(np.max(np.abs(baseline))) or 1.0
+            worst = max(worst, float(np.max(np.abs(tuned - baseline)))
+                        / scale)
+    finally:
+        set_active_wisdom(prev)
+    tol = 1e-5 if any(r.dtype == "complex64"
+                      for r in report.kernel_results) else 1e-12
+    print(f"differential check: worst |tuned - default| = {worst:.2e} "
+          f"(tol {tol:g})")
+    regressed = [r for r in report.rows() if r["speedup"] < 0.999]
+    if worst > tol:
+        print("autotune: FAIL (tuned plan diverges from default)")
+        return 1
+    if regressed:
+        print(f"autotune: FAIL ({len(regressed)} tuned size(s) slower "
+              f"than default)")
+        return 1
+    print("autotune: PASS")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
@@ -508,6 +585,24 @@ def main(argv: list[str] | None = None) -> int:
     pb.add_argument("--json", default=None,
                     help="also save the raw result dict as JSON here")
 
+    at = sub.add_parser(
+        "autotune",
+        help="search plan space, persist wisdom, verify tuned == default")
+    at.add_argument("--smoke", action="store_true",
+                    help="CI smoke: two kernel sizes + one SOI size, "
+                         "capped budget")
+    at.add_argument("--budget", type=float, default=60.0,
+                    help="tuning budget in seconds")
+    at.add_argument("--sizes", default=None,
+                    help="comma-separated kernel FFT sizes to tune")
+    at.add_argument("--soi-sizes", dest="soi_sizes", default=None,
+                    help="comma-separated SOI pipeline sizes to tune")
+    at.add_argument("--wisdom", default="benchmarks/results/wisdom.json",
+                    help="wisdom store to load, merge into, and save")
+    at.add_argument("--output",
+                    default="benchmarks/results/autotune_speedup.txt",
+                    help="save the speedup table here ('' to skip)")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -527,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace-export": _cmd_trace_export,
         "metrics": _cmd_metrics,
         "parallel-bench": _cmd_parallel_bench,
+        "autotune": _cmd_autotune,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

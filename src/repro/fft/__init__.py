@@ -23,13 +23,18 @@ All plans follow one workspace contract:
 * ``plan.release_workspaces()`` drops the pooled buffers.
 """
 
+from repro.fft.autotune import (AutotuneReport, KernelResult, SoiResult,
+                                TuneBudget, autotune, kernel_candidates,
+                                render_speedup_table, soi_candidates,
+                                tune_kernel, tune_soi)
 from repro.fft.bluestein import BluesteinPlan, bluestein_fft
 from repro.fft.codelet import CODELET_SIZES, generate_codelet_source, get_codelet
 from repro.fft.convolve import fft_convolve, fft_correlate
 from repro.fft.dft import dft, dft_matrix, idft
 from repro.fft.layout import SoAView, from_aos, packet_lengths, to_aos
 from repro.fft.multistep import multistep_fft, multistep_sweeps
-from repro.fft.plan import cache_clear, cache_info, fft, get_plan, ifft
+from repro.fft.plan import (cache_clear, cache_info, fft, get_active_wisdom,
+                            get_plan, ifft, set_active_wisdom)
 from repro.fft.prime_factor import PrimeFactorPlan, crt_maps, pfa_fft
 from repro.fft.rader import RaderPlan, primitive_root, rader_fft
 from repro.fft.real import irfft, rfft, rfft_pair
@@ -37,11 +42,18 @@ from repro.fft.sixstep import SixStepResult, sixstep_fft
 from repro.fft.stockham import StockhamPlan, fft_flops, fft_stockham
 from repro.fft.transpose import blocked_transpose, stride_permutation_indices
 from repro.fft.twiddle import SplitTwiddle, twiddle_table
-from repro.fft.wisdom import Wisdom, candidate_radix_plans, tune
+from repro.fft.wisdom import (WISDOM_VERSION, Wisdom, candidate_radix_plans,
+                              machine_fingerprint, tune)
 
 __all__ = [
+    "AutotuneReport",
     "BluesteinPlan",
     "CODELET_SIZES",
+    "KernelResult",
+    "SoiResult",
+    "TuneBudget",
+    "WISDOM_VERSION",
+    "autotune",
     "PrimeFactorPlan",
     "RaderPlan",
     "crt_maps",
@@ -68,18 +80,26 @@ __all__ = [
     "fft_flops",
     "fft_stockham",
     "from_aos",
+    "get_active_wisdom",
     "get_plan",
     "idft",
     "ifft",
     "irfft",
+    "kernel_candidates",
+    "machine_fingerprint",
     "multistep_fft",
     "multistep_sweeps",
     "packet_lengths",
+    "render_speedup_table",
     "rfft",
     "rfft_pair",
+    "set_active_wisdom",
     "sixstep_fft",
+    "soi_candidates",
     "stride_permutation_indices",
     "to_aos",
     "tune",
+    "tune_kernel",
+    "tune_soi",
     "twiddle_table",
 ]

@@ -15,7 +15,14 @@ from repro.perfmodel.model import (
     PAPER_SECTION4_EXAMPLE,
     FftModel,
     ModelBreakdown,
+    soi_request_breakdown,
     soi_request_seconds,
+)
+from repro.perfmodel.qerror import (
+    CostCalibration,
+    fit_calibration,
+    q_error,
+    stage_q_errors,
 )
 from repro.perfmodel.modes import MODES, ModeModel
 from repro.perfmodel.multicard import MultiCardModel
@@ -37,9 +44,14 @@ __all__ = [
     "SensitivityRow",
     "fit_efficiencies",
     "tornado",
+    "CostCalibration",
+    "fit_calibration",
     "implied_efficiency",
     "implied_fft_efficiency",
+    "q_error",
     "segmented_breakdown",
+    "soi_request_breakdown",
     "soi_request_seconds",
     "soi_segment_schedule",
+    "stage_q_errors",
 ]

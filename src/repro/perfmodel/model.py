@@ -175,16 +175,39 @@ def soi_request_seconds(params, machine: MachineSpec = XEON_PHI_SE10, *,
     calibrates them against observed latency with an EWMA scale, so only
     the *relative* cost of ladder rungs matters here.
     """
+    return sum(soi_request_breakdown(
+        params, machine, nodes=nodes, itemsize=itemsize,
+        efficiency_fft=efficiency_fft, efficiency_conv=efficiency_conv,
+        network=network, batch=batch).values())
+
+
+def soi_request_breakdown(params, machine: MachineSpec = XEON_PHI_SE10, *,
+                          nodes: int = 1, itemsize: int = 16,
+                          efficiency_fft: float = 0.12,
+                          efficiency_conv: float = 0.40,
+                          network: NetworkSpec = STAMPEDE_EFFECTIVE,
+                          batch: int = 1) -> dict[str, float]:
+    """Per-stage modeled seconds for one SOI request.
+
+    Same model as :func:`soi_request_seconds` but keyed by stage, using
+    the stage labels the telemetry layer emits ("local FFT",
+    "convolution", "all-to-all") so fitted
+    :class:`~repro.perfmodel.qerror.CostCalibration` factors from
+    :func:`~repro.telemetry.profile.stage_profile` observations apply
+    directly.  The all-to-all term appears only for multi-node requests.
+    """
     model = FftModel(n_total=params.n, nodes=max(1, nodes), b=params.b,
                      n_mu=params.n_mu, d_mu=params.d_mu,
                      efficiency_fft=efficiency_fft,
                      efficiency_conv=efficiency_conv, network=network,
                      segments_per_process=params.segments_per_process)
     br = model.soi_breakdown(machine)
-    seconds = br.local_fft + br.convolution
+    scale = batch * (itemsize / 16.0)
+    out = {"local FFT": br.local_fft * scale,
+           "convolution": br.convolution * scale}
     if nodes > 1:
-        seconds += br.mpi
-    return seconds * batch * (itemsize / 16.0)
+        out["all-to-all"] = br.mpi * scale
+    return out
 
 
 #: The §4 worked example: 32 nodes, N = 2^27 * 32, mu = 5/4, 3 GB/s/node.

@@ -36,7 +36,7 @@ from repro.core.soi_single import SoiFFT
 from repro.core.soi_spmd import spmd_soi_fft
 from repro.core.streaming import SoiStft
 from repro.machine.spec import XEON_PHI_SE10, MachineSpec
-from repro.perfmodel.model import soi_request_seconds
+from repro.perfmodel.model import soi_request_breakdown
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.deadline import Deadline, DeadlineExceeded, Overloaded
 from repro.resilience.ladder import DegradationLadder, DegradationReport
@@ -173,13 +173,27 @@ class SoiService:
 
     def __init__(self, ladder: DegradationLadder, *,
                  machine: MachineSpec = XEON_PHI_SE10, queue_limit: int = 8,
-                 clock=time.monotonic, calibration_gain: float = 0.3):
+                 clock=time.monotonic, calibration_gain: float = 0.3,
+                 calibration=None):
         self.ladder = ladder
         self.machine = machine
         self.clock = clock
+        # optional per-stage CostCalibration (repro.perfmodel.qerror)
+        # applied to the model breakdown before admission projects a
+        # completion time; the EWMA calibration_gain then only has to
+        # absorb drift, not the model's systematic per-stage bias
+        self.calibration = calibration
         self.admission = _Admission(ladder, queue_limit, calibration_gain)
         self._plans: dict[int, SoiFFT] = {}
         self._stfts: dict[tuple[int, int], SoiStft] = {}
+
+    def _project(self, rung, batch: int) -> float:
+        br = soi_request_breakdown(rung.params, self.machine,
+                                   itemsize=rung.dtype.itemsize,
+                                   batch=batch)
+        if self.calibration is not None:
+            return self.calibration.total(br)
+        return sum(br.values())
 
     def plan(self, rung_index: int) -> SoiFFT:
         plan = self._plans.get(rung_index)
@@ -191,9 +205,7 @@ class SoiService:
 
     def _estimate(self, batch: int):
         def est(rung):
-            return soi_request_seconds(rung.params, self.machine,
-                                       itemsize=rung.dtype.itemsize,
-                                       batch=batch)
+            return self._project(rung, batch)
         return est
 
     def submit(self, x: np.ndarray, *, deadline_seconds: float,
@@ -243,9 +255,7 @@ class SoiService:
             frame = rung.params.n
             h = frame // 2 if hop is None else hop
             n_frames = max(1, 1 + max(0, x.size - frame) // max(1, h))
-            return soi_request_seconds(rung.params, self.machine,
-                                       itemsize=rung.dtype.itemsize,
-                                       batch=n_frames)
+            return self._project(rung, n_frames)
 
         idx, rung, projected = self.admission.admit(
             now, deadline_seconds, min_snr_db, est)
@@ -295,7 +305,8 @@ class ClusterSoiService:
     def __init__(self, cluster, ladder: DegradationLadder, *,
                  queue_limit: int = 8, max_attempts: int = 3,
                  breakers: BreakerBoard | None = None,
-                 calibration_gain: float = 0.3, verify=False, hedge=None):
+                 calibration_gain: float = 0.3, calibration=None,
+                 verify=False, hedge=None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         for rung in ladder:
@@ -308,15 +319,19 @@ class ClusterSoiService:
         self.verify = verify
         self.hedge = hedge
         self.breakers = BreakerBoard() if breakers is None else breakers
+        self.calibration = calibration
         cluster.comm.install_breakers(self.breakers)
         self.admission = _Admission(ladder, queue_limit, calibration_gain,
                                     metrics=getattr(cluster, "metrics",
                                                     None))
 
     def _estimate(self, rung) -> float:
-        return soi_request_seconds(
+        br = soi_request_breakdown(
             rung.params, self.cluster.machine, nodes=self.cluster.n_ranks,
             itemsize=rung.dtype.itemsize)
+        if self.calibration is not None:
+            return self.calibration.total(br)
+        return sum(br.values())
 
     def _wait_out_cooldowns(self, deadline) -> None:
         """Idle the cluster until every open breaker has cooled down.

@@ -48,7 +48,8 @@ from repro.telemetry.metrics import (
     get_registry,
     set_registry,
 )
-from repro.telemetry.profile import StageProfile, render_stage_profile, stage_profile
+from repro.telemetry.profile import (StageProfile, render_stage_profile,
+                                     stage_observations, stage_profile)
 from repro.telemetry.spans import NULL_RECORDER, NullRecorder, Span, SpanRecorder
 
 __all__ = [
@@ -71,6 +72,7 @@ __all__ = [
     "prometheus_text",
     "render_stage_profile",
     "set_registry",
+    "stage_observations",
     "stage_profile",
     "telemetry_snapshot",
 ]

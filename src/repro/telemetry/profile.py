@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["StageProfile", "render_stage_profile", "stage_profile"]
+__all__ = ["StageProfile", "render_stage_profile", "stage_observations",
+           "stage_profile"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,25 @@ def stage_profile(soi, trace=None) -> list[StageProfile]:
     if backoff > 0.0:
         out.append(StageProfile("fault backoff", 0.0, backoff / n_procs,
                                 backoff / n_procs))
+    return out
+
+
+def stage_observations(profiles: list[StageProfile],
+                       *, drop_retry: bool = True):
+    """``(stage, predicted, actual)`` triples for q-error calibration.
+
+    This is the join between the profiler and
+    :func:`repro.perfmodel.qerror.fit_calibration`: measured time minus
+    the retry share (fault inflation is noise, not model error) against
+    the model's prediction.  Stages where either side is non-positive
+    (never ran, or the model predicts zero — e.g. single-rank
+    all-to-all) carry no calibration signal and are dropped.
+    """
+    out = []
+    for pr in profiles:
+        actual = pr.measured_s - (pr.retry_s if drop_retry else 0.0)
+        if pr.predicted_s > 0.0 and actual > 0.0:
+            out.append((pr.stage, pr.predicted_s, actual))
     return out
 
 

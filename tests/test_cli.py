@@ -77,3 +77,28 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.mark.autotune
+class TestAutotune:
+    def test_smoke_run_passes_and_persists_wisdom(self, tmp_path, capsys):
+        import json
+
+        wisdom_path = tmp_path / "wisdom.json"
+        table_path = tmp_path / "speedup.txt"
+        assert main(["autotune", "--smoke", "--budget", "10",
+                     "--wisdom", str(wisdom_path),
+                     "--output", str(table_path)]) == 0
+        out = capsys.readouterr().out
+        assert "autotune: PASS" in out
+        assert "speedup" in out
+
+        store = json.loads(wisdom_path.read_text())
+        assert store["version"] == 2
+        assert store["entries"]
+
+        from repro.fft.wisdom import Wisdom
+        wisdom = Wisdom.load(wisdom_path, strict=True)
+        assert wisdom.lookup_kernel(256, -1, "complex128") is not None
+
+        assert "tuned" in table_path.read_text()
