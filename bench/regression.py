@@ -58,6 +58,8 @@ STOCKHAM_BATCHED_FLOOR = 1.0  # planned batched path must not lose to the seed
 ABFT_OVERHEAD_SLACK = 1.10  # verified batch may cost at most 10% extra
 TELEMETRY_OVERHEAD_SLACK = 1.05  # instrumented batch: at most 5% extra
 PARALLEL_SPEEDUP_FLOOR = 1.5  # 4-worker process backend vs single process
+RECOVERY_MTTR_CEILING_S = 5.0  # failure detection -> recovered result
+RECOVERY_THROUGHPUT_FLOOR = 0.5  # post-recovery / pre-failure throughput
 AUTOTUNE_SPEEDUP_FLOOR = 1.05  # best tuned size must beat default by >= 5%
 QERROR_CEILING = 2.0  # held-out per-stage q-error after calibration
 
@@ -391,6 +393,22 @@ def run(quick: bool) -> dict:
         print(f"  (only {parallel['cpus']} cpu(s) visible: wall-clock "
               f"scaling capped by the host, speedup floor not binding)")
 
+    # -- 8b. elastic recovery (SIGKILL mid-all-to-all, shrink + heal) ---
+    # one backend lives through the whole story: clean runs timed, one
+    # worker killed mid-collective (recovery must stay bit-identical),
+    # then clean runs timed again on the healed pool — MTTR and the
+    # post-recovery throughput ratio are the recorded contract
+    from repro.bench.chaosparallel import measure_parallel_recovery
+
+    rec = measure_parallel_recovery(n=2 ** 14 if quick else 2 ** 16,
+                                    workers=4, reps=1 if quick else 2)
+    results["parallel_recovery"] = rec
+    print(f"  {'parallel_recovery':24s} mttr "
+          f"{(rec['mttr_s'] or 0) * 1e3:9.2f} ms   throughput "
+          f"{rec['throughput_ratio']:5.2f}x   "
+          f"{'ok' if rec['bitwise_equal'] else 'MISMATCH'}   "
+          f"leaks {rec['leaked_segments']}")
+
     # -- 9. plan autotuner (measured search + parity re-arbitration) ----
     # the autotuner runs under a budget, winners are re-measured against
     # the default with interleaved best-of timing, and any winner that
@@ -588,6 +606,34 @@ def main(argv=None) -> int:
         "parallel_ok": bool(parallel_bitwise and (
             not parallel_binding
             or speedup_4w >= PARALLEL_SPEEDUP_FLOOR)),
+        # the elasticity contract: a SIGKILL mid-collective must recover
+        # bit-identically, leak nothing, repair within the MTTR ceiling,
+        # and leave the healed pool's throughput essentially intact
+        "recovery_mttr_ceiling_s": RECOVERY_MTTR_CEILING_S,
+        "recovery_mttr_s": results["parallel_recovery"]["mttr_s"],
+        "recovery_throughput_min": RECOVERY_THROUGHPUT_FLOOR,
+        "recovery_throughput_ratio":
+            results["parallel_recovery"]["throughput_ratio"],
+        "recovery_bitwise_ok": bool(
+            results["parallel_recovery"]["bitwise_equal"]
+            and results["parallel_recovery"]["recovered"]
+            and results["parallel_recovery"]["leaked_segments"] == 0),
+        # the throughput floor binds only when the host can schedule the
+        # workers concurrently (same rule as the parallel speedup floor):
+        # on an oversubscribed box the ratio measures the scheduler
+        "recovery_ok": bool(
+            results["parallel_recovery"]["bitwise_equal"]
+            and results["parallel_recovery"]["recovered"]
+            and results["parallel_recovery"]["leaked_segments"] == 0
+            and results["parallel_recovery"]["mttr_s"] is not None
+            and results["parallel_recovery"]["mttr_s"]
+            <= RECOVERY_MTTR_CEILING_S
+            and (results["parallel_recovery"]["cpus"]
+                 < results["parallel_recovery"]["workers"]
+                 or (results["parallel_recovery"]["throughput_ratio"]
+                     is not None
+                     and results["parallel_recovery"]["throughput_ratio"]
+                     >= RECOVERY_THROUGHPUT_FLOOR))),
         "abft_overhead_max": ABFT_OVERHEAD_SLACK,
         "abft_overhead": abft_overhead,
         "abft_ok": bool(abft_overhead is not None
@@ -657,7 +703,8 @@ def main(argv=None) -> int:
     if args.quick:
         failed = [k for k in ("zero_alloc_ok", "serving_p99_bounded_ok",
                               "serving_not_starved_ok", "telemetry_ok",
-                              "parallel_bitwise_ok", "autotune_parity_ok",
+                              "parallel_bitwise_ok", "recovery_bitwise_ok",
+                              "autotune_parity_ok",
                               "wisdom_consumed_ok", "qerror_ok",
                               "qerror_improves_ok")
                   if not criteria[k]]

@@ -15,6 +15,11 @@ from repro.bench.runner import (
     table2_rows,
 )
 from repro.bench.apidoc import build_apidoc, write_apidoc
+from repro.bench.chaosparallel import (
+    measure_parallel_recovery,
+    render_chaos_exhibit,
+    run_chaos_exhibit,
+)
 from repro.bench.degrade import degrade_sweep_rows, render_degrade_sweep
 from repro.bench.parallelbench import (
     available_cpus,
@@ -46,16 +51,19 @@ __all__ = [
     "fmt",
     "headline_numbers",
     "impulse",
+    "measure_parallel_recovery",
     "measure_parallel_soi",
     "multi_tone",
     "paper_scale_model",
     "parallel_soi_params",
     "random_complex",
     "render_bars",
+    "render_chaos_exhibit",
     "render_degrade_sweep",
     "render_parallel_table",
     "render_series",
     "render_table",
+    "run_chaos_exhibit",
     "segments_for_nodes",
     "table2_rows",
 ]

@@ -1,0 +1,243 @@
+"""Process-level chaos exhibit: elastic recovery on real worker processes.
+
+Runs a fixed campaign of chaos scenarios against the
+:class:`~repro.cluster.backends.ProcessBackend` — SIGKILL mid-all-to-all,
+SIGKILL at the halo ring, a double kill, a SIGSTOP hang caught by the
+heartbeat watchdog, a transient stall that resumes, a starved job
+delivery, a hedged straggler, and a tripped wall-clock deadline — and
+verifies for each that the parallel SOI transform ends *bit-for-bit*
+identical to the fault-free run (or raises exactly the declared
+exception), that MTTR is recorded, and that not one shared-memory
+segment leaks.
+
+Two consumers:
+
+* ``python -m repro chaos-parallel`` renders the scenario table and
+  writes it to ``benchmarks/results/chaos_parallel.txt`` (the CI
+  artifact), exiting non-zero unless every scenario passes;
+* ``bench/regression.py``'s ``parallel_recovery`` workload calls
+  :func:`measure_parallel_recovery` to gate MTTR and the post-recovery
+  throughput ratio in ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.cluster.backends import ProcessBackend
+from repro.cluster.faults import ProcessFault, ProcessFaultPlan
+from repro.cluster.shm import list_segments
+from repro.cluster.simcluster import SimCluster
+from repro.core.soi_spmd import spmd_soi_fft
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.verify import HedgePolicy
+
+from repro.bench.parallelbench import available_cpus, parallel_soi_params
+
+__all__ = ["measure_parallel_recovery", "render_chaos_exhibit",
+           "run_chaos_exhibit"]
+
+
+def _signal(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+def _scenarios(workers: int) -> list[dict]:
+    """The chaos campaign: name, injected plan, expected outcome."""
+    mid = workers // 2
+    rows = [
+        {"name": "kill @ all-to-all",
+         "plan": ProcessFaultPlan([ProcessFault("kill", rank=mid,
+                                                collective=1)]),
+         "expect": "recovered"},
+        {"name": "kill @ halo ring",
+         "plan": ProcessFaultPlan([ProcessFault("kill", rank=1 % workers,
+                                                collective=0)]),
+         "expect": "recovered"},
+        {"name": "hang (SIGSTOP, watchdog)",
+         "plan": ProcessFaultPlan([ProcessFault("stall", rank=workers - 1,
+                                                collective=1)]),
+         "expect": "recovered"},
+        {"name": "stall + SIGCONT resume",
+         "plan": ProcessFaultPlan([ProcessFault("stall", rank=workers - 1,
+                                                collective=1,
+                                                resume_s=0.3)]),
+         "expect": "transparent"},
+        {"name": "starved job delivery",
+         "plan": ProcessFaultPlan([ProcessFault("delay", rank=mid,
+                                                after_s=0.3)]),
+         "expect": "transparent"},
+        {"name": "hedged straggler",
+         "plan": ProcessFaultPlan([ProcessFault("delay", rank=0,
+                                                after_s=60.0)]),
+         "expect": "hedged"},
+        {"name": "deadline trip",
+         "plan": None,
+         "expect": "deadline"},
+    ]
+    if workers >= 4:
+        rows.insert(2, {
+            "name": "double kill",
+            "plan": ProcessFaultPlan([
+                ProcessFault("kill", rank=0, collective=1),
+                ProcessFault("kill", rank=workers - 1, collective=1)]),
+            "expect": "recovered"})
+    return rows
+
+
+def _run_scenario(scn: dict, params, x, want, workers: int,
+                  hang_timeout: float) -> dict:
+    be = ProcessBackend(workers, hang_timeout=hang_timeout)
+    token = be._token
+    row = {"name": scn["name"], "expect": scn["expect"], "mttr_s": None,
+           "dead": (), "bitwise": False, "wall_s": None, "leaks": -1,
+           "ok": False}
+    try:
+        cl = SimCluster(workers)
+        t0 = time.perf_counter()
+        if scn["expect"] == "deadline":
+            try:
+                spmd_soi_fft(cl, params, x, backend=be,
+                             deadline=Deadline(1e-9))
+            except DeadlineExceeded:
+                # the budget tripped cleanly; the backend must still serve
+                got = spmd_soi_fft(SimCluster(workers), params, x,
+                                   backend=be)
+                row["bitwise"] = bool(np.array_equal(want, got))
+                row["ok"] = row["bitwise"]
+        elif scn["expect"] == "hedged":
+            spmd_soi_fft(cl, params, x, backend=be)  # teach it the label
+            be.inject(scn["plan"])
+            hedge = HedgePolicy(threshold=2.0, min_ranks=2)
+            got = spmd_soi_fft(SimCluster(workers), params, x, backend=be,
+                               hedge=hedge)
+            row["bitwise"] = bool(np.array_equal(want, got))
+            row["ok"] = row["bitwise"] and hedge.launched >= 1
+        else:
+            be.inject(scn["plan"])
+            got = spmd_soi_fft(cl, params, x, backend=be)
+            row["bitwise"] = bool(np.array_equal(want, got))
+            recovered = be.last_recovery is not None
+            row["mttr_s"] = be.last_mttr_s
+            if recovered:
+                row["dead"] = tuple(be.last_recovery.dead_ranks)
+            row["ok"] = row["bitwise"] and (
+                recovered if scn["expect"] == "recovered" else not recovered)
+        row["wall_s"] = round(time.perf_counter() - t0, 4)
+    finally:
+        be.close()
+    leaks = list_segments(token)
+    row["leaks"] = len(leaks)
+    row["ok"] = row["ok"] and not leaks
+    return row
+
+
+def run_chaos_exhibit(n: int = 2 ** 14, workers: int = 4, seed: int = 2013,
+                      hang_timeout: float = 1.5) -> dict:
+    """Run the whole chaos campaign; returns the scenario table."""
+    params = parallel_soi_params(n, workers)
+    x = _signal(n, seed)
+    want = spmd_soi_fft(SimCluster(workers), params, x)
+    rows = [_run_scenario(scn, params, x, want, workers, hang_timeout)
+            for scn in _scenarios(workers)]
+    return {
+        "n": n,
+        "workers": workers,
+        "seed": seed,
+        "hang_timeout_s": hang_timeout,
+        "cpus": available_cpus(),
+        "rows": rows,
+        "passed": all(r["ok"] for r in rows),
+    }
+
+
+def render_chaos_exhibit(result: dict) -> str:
+    """Fixed-width scenario table (CLI / CI artifact output)."""
+    lines = [
+        f"process-level chaos on the real-parallel backend — "
+        f"n=2^{int(np.log2(result['n']))} ({result['n']}), "
+        f"{result['workers']} workers, {result['cpus']} cpu(s) visible, "
+        f"hang timeout {result['hang_timeout_s']:.1f}s",
+        f"{'scenario':<26} {'expected':<12} {'dead':<8} {'mttr':>9} "
+        f"{'wall':>9} {'bitwise':>8} {'leaks':>6} {'verdict':>8}",
+    ]
+    for r in result["rows"]:
+        mttr = f"{r['mttr_s'] * 1e3:7.1f} ms" if r["mttr_s"] is not None \
+            else "      —  "
+        dead = ",".join(map(str, r["dead"])) if r["dead"] else "—"
+        lines.append(
+            f"{r['name']:<26} {r['expect']:<12} {dead:<8} {mttr:>9} "
+            f"{r['wall_s']:>7.2f} s "
+            f"{'ok' if r['bitwise'] else 'MISMATCH':>8} {r['leaks']:>6d} "
+            f"{'PASS' if r['ok'] else 'FAIL':>8}")
+    lines.append(f"exhibit: {'PASS' if result['passed'] else 'FAIL'} "
+                 f"(every scenario bit-identical after chaos, zero leaked "
+                 f"segments)" if result["passed"] else
+                 "exhibit: FAIL — see the verdict column")
+    return "\n".join(lines)
+
+
+def measure_parallel_recovery(n: int = 2 ** 16, workers: int = 4,
+                              reps: int = 2, seed: int = 2013) -> dict:
+    """MTTR and post-recovery throughput for the regression gate.
+
+    One backend lives through the whole measurement: clean runs are
+    timed, a worker is SIGKILLed mid-all-to-all (shrink-and-redistribute
+    completes the transform), then clean runs are timed again on the
+    healed pool.  The throughput ratio (post-recovery / before) answers
+    the elasticity question: does a crash leave permanent damage?
+    """
+    params = parallel_soi_params(n, workers)
+    x = _signal(n, seed)
+    want = spmd_soi_fft(SimCluster(workers), params, x)
+    be = ProcessBackend(workers, hang_timeout=1.5)
+    token = be._token
+    try:
+        def one_run():
+            return spmd_soi_fft(SimCluster(workers), params, x, backend=be)
+
+        got = one_run()  # spawn + warm plan caches
+        bitwise = bool(np.array_equal(want, got))
+        before = min(_timed(one_run)[0] for _ in range(max(1, reps)))
+
+        be.inject(ProcessFaultPlan([ProcessFault(
+            "kill", rank=workers // 2, collective=1)]))
+        faulted_s, got = _timed(one_run)
+        bitwise &= bool(np.array_equal(want, got))
+        recovered = be.last_recovery is not None
+        mttr_s = be.last_mttr_s
+
+        be.inject(None)
+        got = one_run()  # heal: respawn the dead slot, warm its caches
+        bitwise &= bool(np.array_equal(want, got))
+        after_runs = []
+        for _ in range(max(1, reps)):
+            dt, got = _timed(one_run)
+            after_runs.append(dt)
+            bitwise &= bool(np.array_equal(want, got))
+        after = min(after_runs)
+    finally:
+        be.close()
+    leaks = list_segments(token)
+    return {
+        "n": n,
+        "workers": workers,
+        "cpus": available_cpus(),
+        "clean_s": round(before, 6),
+        "faulted_s": round(faulted_s, 6),
+        "post_recovery_s": round(after, 6),
+        "throughput_ratio": round(before / after, 3) if after else None,
+        "mttr_s": round(mttr_s, 6) if mttr_s is not None else None,
+        "recovered": bool(recovered),
+        "bitwise_equal": bool(bitwise),
+        "leaked_segments": len(leaks),
+    }
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out

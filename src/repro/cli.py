@@ -383,6 +383,31 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_parallel(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench.chaosparallel import (
+        render_chaos_exhibit,
+        run_chaos_exhibit,
+    )
+
+    n = args.n if args.n is not None else (2 ** 13 if args.quick else 2 ** 14)
+    result = run_chaos_exhibit(n=n, workers=args.workers, seed=args.seed,
+                               hang_timeout=args.hang_timeout)
+    text = render_chaos_exhibit(result)
+    print(text)
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"[saved to {path}]")
+    if not result["passed"]:
+        print("chaos-parallel: FAIL")
+        return 1
+    print("chaos-parallel: PASS")
+    return 0
+
+
 def _cmd_autotune(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -585,6 +610,23 @@ def main(argv: list[str] | None = None) -> int:
     pb.add_argument("--json", default=None,
                     help="also save the raw result dict as JSON here")
 
+    cp = sub.add_parser(
+        "chaos-parallel",
+        help="kill/stall/starve real workers; verify elastic recovery")
+    cp.add_argument("--n", type=int, default=None,
+                    help="problem size (default: 2^14, or 2^13 with --quick)")
+    cp.add_argument("--workers", type=int, default=4)
+    cp.add_argument("--seed", type=int, default=2013)
+    cp.add_argument("--hang-timeout", dest="hang_timeout", type=float,
+                    default=1.5,
+                    help="seconds of stale heartbeat before a worker is "
+                         "declared hung")
+    cp.add_argument("--quick", action="store_true",
+                    help="CI smoke size (n=2^13)")
+    cp.add_argument("--output",
+                    default="benchmarks/results/chaos_parallel.txt",
+                    help="save the scenario table here ('' to skip saving)")
+
     at = sub.add_parser(
         "autotune",
         help="search plan space, persist wisdom, verify tuned == default")
@@ -622,6 +664,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace-export": _cmd_trace_export,
         "metrics": _cmd_metrics,
         "parallel-bench": _cmd_parallel_bench,
+        "chaos-parallel": _cmd_chaos_parallel,
         "autotune": _cmd_autotune,
         "info": _cmd_info,
         "report": _cmd_report,

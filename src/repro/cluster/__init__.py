@@ -4,6 +4,7 @@ from repro.cluster.backends import (
     ExecutionBackend,
     ProcessBackend,
     SimulatedBackend,
+    WorkerFailure,
 )
 from repro.cluster.collectives import (
     alltoall_bruck,
@@ -17,6 +18,8 @@ from repro.cluster.faults import (
     CollectiveFailure,
     CorruptionDetected,
     FaultPlan,
+    ProcessFault,
+    ProcessFaultPlan,
     RankFailed,
     RetriesExhausted,
     RetryPolicy,
@@ -35,7 +38,13 @@ from repro.cluster.network import FDR_INFINIBAND, STAMPEDE_EFFECTIVE, NetworkSpe
 from repro.cluster.pcie import PCIE_GEN2_X16, PcieSpec, pipeline_makespan
 from repro.cluster.proxy import ReverseProxy
 from repro.cluster.schedule import Schedule, ScheduledTask, Task
-from repro.cluster.shm import ShmPool, ShmView
+from repro.cluster.shm import (
+    ShmJanitor,
+    ShmPool,
+    ShmView,
+    list_segments,
+    unlink_segment,
+)
 from repro.cluster.simcluster import SimCluster
 from repro.cluster.spmd import (
     AllToAll,
@@ -63,13 +72,17 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "ProcessBackend",
+    "ProcessFault",
+    "ProcessFaultPlan",
     "RankFailed",
     "RetriesExhausted",
     "RetryPolicy",
+    "ShmJanitor",
     "ShmPool",
     "ShmView",
     "SimulatedBackend",
     "SpmdError",
+    "WorkerFailure",
     "chaos_cluster",
     "checksum",
     "checksummed_cluster",
@@ -81,6 +94,8 @@ __all__ = [
     "pairwise_time",
     "recommend_algorithm",
     "run_spmd",
+    "list_segments",
+    "unlink_segment",
     "Event",
     "FDR_INFINIBAND",
     "FatTree",

@@ -23,8 +23,13 @@ module makes the *executor* pluggable:
 
 Exchange protocol (per collective, per worker):
 
-1. ``barrier.wait()`` — guarantees every peer has finished *reading* the
-   views of the previous collective, so outbox segments can be reused;
+1. entry barrier — each group member posts one ``__barrier__`` token per
+   peer mailbox and collects one from every peer.  A rank posts its
+   tokens only after it has stopped reading the previous collective's
+   views (the yield is the release point), so collecting all tokens
+   proves every peer is done with the old views and outbox segments can
+   be reused.  Unlike an OS barrier, the token round works over any
+   subset of workers — the property elastic recovery runs on;
 2. pack outgoing slices into the rank-owned outbox segment and post one
    descriptor per destination mailbox queue (queue transfer gives the
    happens-before edge between the memcpy and the peer's read);
@@ -33,9 +38,40 @@ Exchange protocol (per collective, per worker):
 
 Resumed views are valid until the rank's next yielded request (the
 standard MPI receive-buffer contract); programs that need the data
-longer must copy.  A worker that raises floods abort markers and breaks
-the barrier so every peer unwinds; the parent then rebuilds the worker
-set and re-raises the original exception.
+longer must copy.
+
+Elastic fault tolerance (the parent is the watchdog):
+
+* every worker writes a heartbeat timestamp and a progress counter (the
+  collective index it reached) into a tiny shared segment ~20x/s;
+* while a job is in flight the parent polls liveness: an exited worker
+  (SIGKILL, OOM) is *dead*; a worker whose heartbeat goes stale past
+  ``hang_timeout`` (SIGSTOP, livelock) is *hung* and is escalated to
+  SIGKILL — both flood abort markers so the survivors unwind, then
+  surface as :class:`~repro.cluster.faults.RankFailed` carrying the
+  dead rank ids, the job label, and the surviving worker set.  Shipped
+  ``Checkpoint`` data stays available to the caller
+  (:meth:`ProcessBackend.take_checkpoints`), so the SOI layer completes
+  the transform on the survivors via shrink-and-redistribute instead of
+  tearing the world down;
+* dead workers are respawned lazily (next job) and every segment a
+  crashed worker left behind is reclaimed by a
+  :class:`~repro.cluster.shm.ShmJanitor`, so repeated failures cannot
+  leak ``/dev/shm``;
+* *deadline* budgets run off the wall clock: checked at dispatch and on
+  every watchdog tick, an expired job is aborted cleanly and
+  :class:`~repro.resilience.deadline.DeadlineExceeded` raised at the
+  boundary; *hedge* policies re-dispatch straggling jobs — when some
+  worker falls behind the group's progress for longer than
+  ``threshold x`` the label's last known duration, the laggard is
+  killed, respawned, and the whole job re-dispatched once to the fresh
+  worker set.
+
+Process-level chaos (:class:`~repro.cluster.faults.ProcessFaultPlan`,
+installed via :meth:`ProcessBackend.inject`) drives all of the above
+deterministically: seeded kill -9 and SIGSTOP at collective entry
+(worker-side, exact), timed kills/stalls and job-delivery delays
+(parent-side), delayed SIGCONT resumes, and worker-side SDC.
 
 SPMD discipline (matching collective kinds/labels across ranks) is
 checked per message: descriptors carry the collective index, and a
@@ -48,16 +84,19 @@ from __future__ import annotations
 import os
 import pickle
 import queue
+import signal
 import threading
 import time
 import traceback
 import multiprocessing as mp
+from multiprocessing import connection as mp_connection
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.cluster.shm import ShmPool, ShmView
+from repro.cluster.faults import RankFailed
+from repro.cluster.shm import ShmJanitor, ShmPool, ShmView
 from repro.cluster.simcluster import SimCluster
 from repro.cluster.spmd import (
     AllToAll,
@@ -73,9 +112,14 @@ from repro.cluster.spmd import (
 from repro.cluster.trace import Trace
 from repro.telemetry.metrics import NULL_REGISTRY, get_registry
 
-__all__ = ["ExecutionBackend", "ProcessBackend", "SimulatedBackend"]
+__all__ = ["ExecutionBackend", "ProcessBackend", "SimulatedBackend",
+           "WorkerFailure"]
 
 _MAILBOX_TIMEOUT_S = 120.0
+_HANG_TIMEOUT_S = 10.0
+_HEARTBEAT_PERIOD_S = 0.05
+_WATCHDOG_TICK_S = 0.05
+_BAR = "__barrier__"
 
 
 class ExecutionBackend:
@@ -136,6 +180,72 @@ class SimulatedBackend(ExecutionBackend):
 
 class _Aborted(RuntimeError):
     """A peer failed; this rank unwound without completing the job."""
+
+
+#: Largest pickled mailbox message; must stay under ``PIPE_BUF`` (4096
+#: on Linux) minus the 4-byte frame header so multi-writer pipe writes
+#: are atomic without a lock (CPython sends header+payload as one
+#: ``write`` for messages below 16 KiB).
+_ATOMIC_MSG_BYTES = 3600
+
+
+class _PipeChannel:
+    """One-directional message channel over an OS pipe — no feeder
+    thread, no locks.
+
+    ``mp.Queue`` is lethal under chaos, twice over: (a) its background
+    *feeder* thread holds the pipe write-lock while sending, so forking
+    a replacement worker at that instant copies a held lock whose owner
+    does not exist in the child, which then deadlocks on its first send
+    — and elastic respawn forks right after abort-flood traffic, exactly
+    that window; (b) a reader parked in ``get()`` holds the shared
+    read-lock, so SIGKILLing an idle worker poisons the lock and wedges
+    its respawned replacement forever.
+
+    This channel therefore uses a bare pipe with *no* locks: reads have
+    a single owner per channel by construction (each worker drains only
+    its own mailbox/job pipe, the parent its result pipes), and the one
+    multi-writer case — mailboxes, written by every peer plus the parent
+    — relies on POSIX atomicity of pipe writes ``<= PIPE_BUF``; every
+    mailbox message is a tiny token/descriptor, enforced at send via
+    ``atomic=True``.  With no locks there is nothing a SIGKILL can
+    poison.
+    """
+
+    def __init__(self, ctx, *, atomic: bool = False):
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._atomic = atomic
+
+    def put(self, obj) -> None:
+        data = pickle.dumps(obj)
+        if self._atomic and len(data) > _ATOMIC_MSG_BYTES:
+            raise ValueError(
+                f"mailbox message of {len(data)} bytes exceeds the "
+                f"atomic pipe-write limit ({_ATOMIC_MSG_BYTES})")
+        self._writer.send_bytes(data)
+
+    def get(self, timeout: float | None = None):
+        """Next message; raises queue.Empty on timeout (or closed pipe)."""
+        try:
+            if timeout is not None and not self._reader.poll(timeout):
+                raise queue.Empty
+            return pickle.loads(self._reader.recv_bytes())
+        except (EOFError, OSError):
+            raise queue.Empty from None
+
+    def get_nowait(self):
+        return self.get(timeout=0)
+
+    @property
+    def reader(self):
+        return self._reader
+
+    def close(self) -> None:
+        for end in (self._reader, self._writer):
+            try:
+                end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 class _StridedSdc:
@@ -203,6 +313,29 @@ class _Job:
     fault_plan: Any = None  # SDC-only FaultPlan (or None)
     result_slot: ShmView | None = None
     staging_prefix: str = ""
+    ranks: tuple = ()  # worker ids forming the group ((), = all workers)
+    faults: tuple = ()  # ((kind, collective), ...) for THIS worker
+    ckpt_prefix: str = ""  # ship Checkpoint data to the parent when set
+
+
+@dataclass
+class WorkerFailure:
+    """What the watchdog knew when it declared worker(s) dead.
+
+    Stored as :attr:`ProcessBackend.last_failure` and mirrored onto the
+    raised :class:`~repro.cluster.faults.RankFailed` (``dead_ranks``,
+    ``survivors``, ``job_label``, ``detected_at``), so chaos-soak
+    failures are attributable from the exception alone and recovery can
+    run against the exact survivor set of the moment of failure.
+    """
+
+    job_id: int
+    job_label: str
+    dead: tuple  # worker ids declared dead, ascending
+    survivors: tuple  # worker ids alive when the failure was declared
+    detected_at: float  # time.monotonic() of the first detection
+    reason: str
+    hung: tuple = ()  # subset of ``dead`` that was hung, then killed
 
 
 @dataclass
@@ -223,22 +356,56 @@ class _RankSteps:
         return now
 
 
-def _recv(mailbox, job_id: int, coll_idx: int, timeout: float):
-    """One descriptor message off the mailbox, with abort handling."""
-    try:
-        msg = mailbox.get(timeout=timeout)
-    except queue.Empty:
-        raise _Aborted(f"no message within {timeout:.0f}s "
-                       f"(collective {coll_idx})") from None
-    if msg[0] == "abort":
-        raise _Aborted(f"rank {msg[2]} aborted job {msg[1]}: {msg[3]}")
-    jid, cidx, src, payload = msg
+def _matches(msg, job_id: int, coll_idx: int, want_bar: bool) -> bool:
+    jid, cidx, _src, payload = msg
     if jid != job_id or cidx != coll_idx:
-        raise SpmdError(
-            f"collective mismatch: got (job {jid}, collective {cidx}) "
-            f"while serving (job {job_id}, collective {coll_idx}) — "
-            f"ranks disagree on the collective sequence")
-    return src, payload
+        return False
+    is_bar = isinstance(payload, str) and payload == _BAR
+    return is_bar if want_bar else not is_bar
+
+
+def _next_msg(mailbox, job_id: int, coll_idx: int, timeout: float,
+              pending: list, *, want_bar: bool):
+    """One matching message off the mailbox; stashes out-of-phase ones.
+
+    With the entry barrier running through the same mailboxes as the
+    data, a fast peer's *next*-collective token can arrive while this
+    rank is still collecting the current collective's payloads (and
+    vice versa).  Messages ahead of the current (job, collective, phase)
+    point are stashed in *pending* — a per-worker list that survives
+    across jobs; stale messages from older jobs are dropped.
+    """
+    for i, msg in enumerate(pending):
+        if _matches(msg, job_id, coll_idx, want_bar):
+            pending.pop(i)
+            return msg[2], msg[3]
+    deadline = time.monotonic() + timeout
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise _Aborted(f"no message within {timeout:.0f}s "
+                           f"(collective {coll_idx})")
+        try:
+            msg = mailbox.get(timeout=remaining)
+        except queue.Empty:
+            raise _Aborted(f"no message within {timeout:.0f}s "
+                           f"(collective {coll_idx})") from None
+        if msg[0] == "abort":
+            if msg[1] == job_id:
+                raise _Aborted(
+                    f"rank {msg[2]} aborted job {msg[1]}: {msg[3]}")
+            continue  # stale abort of an older job
+        jid, cidx, _src, _payload = msg
+        if jid < job_id:
+            continue  # residue of an aborted older job
+        if jid == job_id and cidx < coll_idx:
+            raise SpmdError(
+                f"collective mismatch: got (job {jid}, collective {cidx}) "
+                f"while serving (job {job_id}, collective {coll_idx}) — "
+                f"ranks disagree on the collective sequence")
+        if _matches(msg, job_id, coll_idx, want_bar):
+            return msg[2], msg[3]
+        pending.append(msg)
 
 
 class _Outbox:
@@ -280,17 +447,39 @@ class _Outbox:
         return views
 
 
-def _serve_collective(req, coll_idx: int, rank: int, size: int, barrier,
+def _serve_collective(req, coll_idx: int, rank: int, group: tuple,
                       mailboxes, pool: ShmPool, outbox: _Outbox,
-                      timeout: float, job_id: int):
-    """Run one collective for this rank; returns the resume payload."""
-    try:
-        barrier.wait(timeout)
-    except threading.BrokenBarrierError:
-        raise _Aborted("a peer broke the collective barrier") from None
+                      timeout: float, job_id: int, pending: list,
+                      hb, me: int, faults: tuple):
+    """Run one collective for this rank; returns the resume payload.
+
+    *rank* is the logical rank (index into *group*); *me* the physical
+    worker id.  Scheduled worker-side faults fire at entry — after the
+    progress counter is written, so the parent sees how far a victim
+    got — and the entry barrier is a token round over the group's
+    mailboxes (works for any subset of the worker set).
+    """
+    size = len(group)
+    if hb is not None:
+        hb[me, 1] = float(coll_idx)  # progress: collective reached
+    for kind, coll in faults:
+        if coll == coll_idx:
+            if kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif kind == "stall":
+                os.kill(os.getpid(), signal.SIGSTOP)
 
     def post(dest: int, payload) -> None:
-        mailboxes[dest].put((job_id, coll_idx, rank, payload))
+        mailboxes[group[dest]].put((job_id, coll_idx, rank, payload))
+
+    # entry barrier: one token to every peer, one collected from each
+    if size > 1:
+        for d in range(size):
+            if d != rank:
+                post(d, _BAR)
+        for _ in range(size - 1):
+            _next_msg(mailboxes[me], job_id, coll_idx, timeout, pending,
+                      want_bar=True)
 
     if isinstance(req, Barrier):
         return None
@@ -308,7 +497,8 @@ def _serve_collective(req, coll_idx: int, rank: int, size: int, barrier,
         pieces: list = [None] * size
         pieces[rank] = per_dest[rank]
         for _ in range(size - 1):
-            src, view = _recv(mailboxes[rank], job_id, coll_idx, timeout)
+            src, view = _next_msg(mailboxes[me], job_id, coll_idx, timeout,
+                                  pending, want_bar=False)
             pieces[src] = view.resolve(pool)
         return pieces
 
@@ -324,8 +514,8 @@ def _serve_collective(req, coll_idx: int, rank: int, size: int, barrier,
         post((rank + 1) % size, ("R", d_right))
         from_left = from_right = None
         for _ in range(2):
-            src, (tag, view) = _recv(mailboxes[rank], job_id, coll_idx,
-                                     timeout)
+            src, (tag, view) = _next_msg(mailboxes[me], job_id, coll_idx,
+                                         timeout, pending, want_bar=False)
             if tag == "R":
                 from_left = view.resolve(pool)
             else:
@@ -344,28 +534,39 @@ def _serve_collective(req, coll_idx: int, rank: int, size: int, barrier,
                     if d != rank:
                         post(d, desc)
             return buf
-        _, view = _recv(mailboxes[rank], job_id, coll_idx, timeout)
+        _, view = _next_msg(mailboxes[me], job_id, coll_idx, timeout,
+                            pending, want_bar=False)
         return view.resolve(pool)
 
     raise SpmdError(f"unknown request type {type(req).__name__}")
 
 
-def _run_rank(job: _Job, rank: int, size: int, barrier, mailboxes,
-              pool: ShmPool, outbox: _Outbox, timeout: float):
+def _resolve_args(args: tuple, pool: ShmPool) -> tuple:
+    return tuple(a.resolve(pool) if isinstance(a, ShmView) else a
+                 for a in args)
+
+
+def _run_rank(job: _Job, me: int, n_workers: int, mailboxes,
+              pool: ShmPool, outbox: _Outbox, timeout: float,
+              pending: list, hb, post_ckpt):
     """Drive the rank generator to completion; returns (result, steps)."""
-    args = tuple(a.resolve(pool) if isinstance(a, ShmView) else a
-                 for a in job.args)
+    group = job.ranks if job.ranks else tuple(range(n_workers))
+    rank = group.index(me)
+    size = len(group)
+    args = _resolve_args(job.args, pool)
+    common = _resolve_args(job.common, pool)
     fault_plan = job.fault_plan
     if fault_plan is not None:
         fault_plan = _StridedSdc(fault_plan, rank, size)
     cluster = _WorkerCluster(job.machine, fault_plan, size)
-    gen = job.program(RankContext(rank, size, cluster), *args, *job.common)
+    gen = job.program(RankContext(rank, size, cluster), *args, *common)
     if not hasattr(gen, "send"):
         raise TypeError("program must be a generator function "
                         "(use 'yield' for collectives)")
     steps = _RankSteps()
     steps.open()
     coll_idx = 0
+    n_ckpts = 0
     payload = None
     try:
         while True:
@@ -381,14 +582,27 @@ def _run_rank(job: _Job, rank: int, size: int, barrier, mailboxes,
                 steps.close(req.label, "compute")
                 continue
             if isinstance(req, Checkpoint):
-                # no parent-side stash: the process backend has no
-                # simulated rank deaths to recover from
+                if job.ckpt_prefix:
+                    # ship the stage data to the parent through a
+                    # dedicated segment: survivors' checkpoints seed
+                    # shrink-and-redistribute recovery after a crash
+                    data = np.ascontiguousarray(np.asarray(req.data))
+                    name = f"{job.ckpt_prefix}r{me}n{n_ckpts}"
+                    n_ckpts += 1
+                    shm = pool.create(name, data.nbytes)
+                    dst = np.ndarray(data.shape, dtype=data.dtype,
+                                     buffer=shm.buf)
+                    np.copyto(dst, data)
+                    del dst
+                    post_ckpt(req.tag, ShmView(name, 0, tuple(data.shape),
+                                               data.dtype.name))
                 steps.close("checkpoint", "compute")
                 continue
             steps.close(f"{req.label} prep", "compute")
-            payload = _serve_collective(req, coll_idx, rank, size, barrier,
+            payload = _serve_collective(req, coll_idx, rank, group,
                                         mailboxes, pool, outbox, timeout,
-                                        job.job_id)
+                                        job.job_id, pending, hb, me,
+                                        job.faults)
             coll_idx += 1
             steps.close(req.label, "mpi")
     finally:
@@ -411,47 +625,159 @@ def _ship_result(result, slot: ShmView | None, pool: ShmPool):
     return "pickle", result
 
 
-def _worker_main(rank: int, size: int, token: str, job_q, result_q,
-                 barrier, mailboxes, timeout: float) -> None:
-    """Persistent worker loop: one process, one rank, many jobs."""
+def _worker_main(me: int, n_workers: int, token: str, job_q, result_q,
+                 mailboxes, timeout: float, hb_name: str,
+                 epoch: int) -> None:
+    """Persistent worker loop: one process, one rank, many jobs.
+
+    *epoch* is this worker slot's spawn count: it keys the outbox
+    segment names so a respawned worker never reuses a name its peers
+    may still hold a cached (stale, unlinked) mapping of.
+    """
     pool = ShmPool()
-    outbox = _Outbox(f"{token}o{rank}", pool)
+    outbox = _Outbox(f"{token}o{me}e{epoch}", pool)
+    pending: list = []  # out-of-phase mailbox messages (see _next_msg)
+    hb = None
+    stop_beat = threading.Event()
     try:
+        try:
+            hb = np.ndarray((n_workers, 2), dtype=np.float64,
+                            buffer=pool.attach(hb_name).buf)
+        except FileNotFoundError:  # pragma: no cover - parent raced close
+            hb = None
+        if hb is not None:
+            def _beat() -> None:
+                while not stop_beat.wait(_HEARTBEAT_PERIOD_S):
+                    hb[me, 0] = time.monotonic()
+            threading.Thread(target=_beat, daemon=True,
+                             name=f"repro-heartbeat-{me}").start()
+        def post_result(msg) -> None:
+            try:
+                result_q.put(msg)
+            except OSError:  # pragma: no cover - parent tore down mid-job
+                pass
+
         while True:
-            raw = job_q.get()
+            try:
+                raw = job_q.get()
+            except queue.Empty:  # pipe closed: parent is gone
+                return
             if raw is None:
                 return
             job = pickle.loads(raw)
+            pending[:] = [m for m in pending if m[0] >= job.job_id]
+            ckpt_names: list[str] = []
+
+            def post_ckpt(tag, view, _jid=job.job_id):
+                ckpt_names.append(view.segment)
+                post_result((_jid, me, "ckpt", tag, view, None))
+
             try:
-                result, steps = _run_rank(job, rank, size, barrier,
-                                          mailboxes, pool, outbox, timeout)
+                result, steps = _run_rank(job, me, n_workers, mailboxes,
+                                          pool, outbox, timeout, pending,
+                                          hb, post_ckpt)
                 kind, rest = _ship_result(result, job.result_slot, pool)
-                result_q.put((job.job_id, rank, "ok", kind, rest, steps))
+                post_result((job.job_id, me, "ok", kind, rest, steps))
             except _Aborted as exc:
-                result_q.put((job.job_id, rank, "aborted", str(exc),
-                              None, None))
+                post_result((job.job_id, me, "aborted", str(exc),
+                             None, None))
             except BaseException as exc:  # noqa: BLE001 - forwarded
-                barrier.abort()
-                for d in range(size):
-                    if d != rank:
-                        mailboxes[d].put(("abort", job.job_id, rank,
-                                          repr(exc)))
+                group = job.ranks if job.ranks else tuple(range(n_workers))
+                for d in group:
+                    if d != me:
+                        try:
+                            mailboxes[d].put(("abort", job.job_id, me,
+                                              repr(exc)[:1000]))
+                        except OSError:  # pragma: no cover - teardown race
+                            pass
                 try:
                     payload = pickle.dumps(exc)
                 except Exception:
                     payload = pickle.dumps(RuntimeError(repr(exc)))
-                result_q.put((job.job_id, rank, "error", payload,
-                              traceback.format_exc(), None))
+                post_result((job.job_id, me, "error", payload,
+                             traceback.format_exc(), None))
             finally:
                 if job.staging_prefix:
                     pool.detach_prefix(job.staging_prefix)
+                for name in ckpt_names:
+                    # ownership handoff: the parent unlinks checkpoint
+                    # segments once recovery (or the job) is done
+                    pool.release(name)
     finally:
+        stop_beat.set()
+        hb = None
         pool.close()
 
 
 # ---------------------------------------------------------------------------
 # Parent-side backend
 # ---------------------------------------------------------------------------
+
+class _FaultTimeline:
+    """Parent-side schedule of one job's injected fault actions.
+
+    Holds back delayed job payloads, fires timed kills/stalls, and sends
+    the scheduled SIGCONT resumes — all relative to the dispatch time,
+    ticked from the watchdog loop.
+    """
+
+    def __init__(self, backend: "ProcessBackend", t0: float):
+        self._backend = backend
+        self.t0 = t0
+        self.held: dict[int, tuple[float, bytes]] = {}  # wid -> (due, raw)
+        self.timers: list[tuple[float, str, int]] = []  # (due, kind, wid)
+
+    def hold(self, wid: int, delay_s: float, payload: bytes) -> None:
+        self.held[wid] = (self.t0 + delay_s, payload)
+
+    def at(self, kind: str, wid: int, after_s: float) -> None:
+        self.timers.append((self.t0 + after_s, kind, wid))
+
+    def cancel(self, wid: int) -> None:
+        self.held.pop(wid, None)
+        self.timers = [t for t in self.timers if t[2] != wid]
+
+    def undelivered(self) -> tuple[int, ...]:
+        return tuple(sorted(self.held))
+
+    def tick(self, now: float) -> None:
+        b = self._backend
+        for wid, (due, payload) in list(self.held.items()):
+            if now >= due:
+                del self.held[wid]
+                b._job_qs[wid].put(payload)
+        still = []
+        for due, kind, wid in self.timers:
+            if now < due:
+                still.append((due, kind, wid))
+                continue
+            proc = b._procs[wid] if wid < len(b._procs) else None
+            if proc is None or proc.pid is None:
+                continue
+            try:
+                if kind == "kill":
+                    os.kill(proc.pid, signal.SIGKILL)
+                elif kind == "stall":
+                    os.kill(proc.pid, signal.SIGSTOP)
+                elif kind == "resume":
+                    os.kill(proc.pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        self.timers = still
+
+
+@dataclass
+class _JobOutcome:
+    """What the watchdog collected for one dispatch attempt."""
+
+    outcomes: dict  # wid -> (status, *rest)
+    errors: list  # (wid, pickled exc, traceback)
+    deaths: list  # wids that actually died (not hedge kills)
+    hung: list  # subset of deaths first detected as stale heartbeats
+    hedged: list  # wids killed by the hedge (job must be re-dispatched)
+    detected_at: float | None
+    deadline_tripped: bool
+
 
 class ProcessBackend(ExecutionBackend):
     """Real-parallel executor: one persistent worker process per rank.
@@ -467,6 +793,11 @@ class ProcessBackend(ExecutionBackend):
     mailbox_timeout:
         Seconds a rank waits on a collective before declaring the job
         wedged; also bounds how long the parent waits for results.
+    hang_timeout:
+        Seconds a worker's heartbeat may go stale while it has a job in
+        flight before the watchdog declares it hung and escalates to
+        SIGKILL (the dead-worker path: abort flood, ``RankFailed``,
+        lazy respawn).
     trace, metrics:
         Destinations for the measured per-rank wall-clock intervals.
         Defaults: a backend-owned :class:`~repro.cluster.trace.Trace`
@@ -481,6 +812,7 @@ class ProcessBackend(ExecutionBackend):
     def __init__(self, n_workers: int | None = None, *,
                  start_method: str = "fork",
                  mailbox_timeout: float = _MAILBOX_TIMEOUT_S,
+                 hang_timeout: float = _HANG_TIMEOUT_S,
                  trace: Trace | None = None, metrics=None):
         if n_workers is None:
             try:
@@ -492,42 +824,89 @@ class ProcessBackend(ExecutionBackend):
         self.size = int(n_workers)
         self.start_method = start_method
         self.mailbox_timeout = float(mailbox_timeout)
+        self.hang_timeout = float(hang_timeout)
         self.trace = Trace() if trace is None else trace
         self.metrics = get_registry() if metrics is None else metrics
         self._token = f"rpb{os.getpid():x}{id(self) & 0xffff:x}"
         self._ctx = mp.get_context(start_method)
         self._procs: list = []
+        self._epochs: list[int] = [0] * self.size  # per-slot spawn count
         self._job_qs: list = []
-        self._result_q = None
+        self._mailboxes: list = []
+        self._result_chans: list = []  # one result pipe per worker
         self._pool = ShmPool()
+        self._hb: np.ndarray | None = None
+        self.janitor = ShmJanitor(self._token)
         self._job_counter = 0
         self._t_cursor = 0.0  # trace offset so successive jobs don't overlap
+        #: Installed process-level chaos schedule (see :meth:`inject`).
+        self.fault_plan: Any = None
+        #: Watchdog's view of the most recent worker failure.
+        self.last_failure: WorkerFailure | None = None
+        #: RecoveryReport of the most recent shrink-and-redistribute.
+        self.last_recovery = None
+        #: Detection-to-recovered seconds of the most recent recovery.
+        self.last_mttr_s: float | None = None
+        self._ckpts: dict[tuple[int, str], ShmView] = {}
+        self._label_est: dict[str, float] = {}  # label -> last wall seconds
 
     # -- worker lifecycle ----------------------------------------------
 
     def _ensure_workers(self) -> None:
-        if self._procs and all(p.is_alive() for p in self._procs):
-            return
-        if self._procs:
-            self._teardown_workers()
-        ctx = self._ctx
-        barrier = ctx.Barrier(self.size)
-        mailboxes = [ctx.Queue() for _ in range(self.size)]
-        self._job_qs = [ctx.Queue() for _ in range(self.size)]
-        self._result_q = ctx.Queue()
-        self._procs = []
-        for r in range(self.size):
-            p = ctx.Process(
-                target=_worker_main,
-                args=(r, self.size, self._token, self._job_qs[r],
-                      self._result_q, barrier, mailboxes,
-                      self.mailbox_timeout),
-                daemon=True, name=f"repro-rank-{r}")
-            p.start()
-            self._procs.append(p)
+        if not self._mailboxes:
+            ctx = self._ctx
+            self._mailboxes = [_PipeChannel(ctx, atomic=True)
+                               for _ in range(self.size)]
+            self._job_qs = [_PipeChannel(ctx) for _ in range(self.size)]
+            self._result_chans = [_PipeChannel(ctx)
+                                  for _ in range(self.size)]
+            self._procs = [None] * self.size
+            hb = self._pool.create(f"{self._token}hb", self.size * 2 * 8)
+            self._hb = np.ndarray((self.size, 2), dtype=np.float64,
+                                  buffer=hb.buf)
+            self._hb[:, 0] = time.monotonic()
+            self._hb[:, 1] = -1.0
+        for wid in range(self.size):
+            p = self._procs[wid]
+            if p is None or not p.is_alive():
+                self._spawn_worker(wid)
         self.metrics.gauge(
             "repro_backend_workers_count",
             "live worker processes of the ProcessBackend").set(self.size)
+
+    def _spawn_worker(self, wid: int) -> None:
+        old = self._procs[wid]
+        if old is not None:
+            old.join(timeout=0.5)
+            # a crashed worker leaves its queues and segments dirty:
+            # drain stale payloads/messages, reclaim its outbox
+            self._drain(self._job_qs[wid])
+            self._drain(self._mailboxes[wid])
+            self._drain(self._result_chans[wid])
+            self.janitor.sweep(f"o{wid}e")
+            self._epochs[wid] += 1
+            self.metrics.counter(
+                "repro_backend_worker_respawns_total",
+                "worker processes respawned after a death").inc()
+        self._hb[wid, 0] = time.monotonic()
+        self._hb[wid, 1] = -1.0
+        p = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, self.size, self._token, self._job_qs[wid],
+                  self._result_chans[wid], self._mailboxes,
+                  self.mailbox_timeout, f"{self._token}hb",
+                  self._epochs[wid]),
+            daemon=True, name=f"repro-rank-{wid}")
+        p.start()
+        self._procs[wid] = p
+
+    @staticmethod
+    def _drain(q) -> None:
+        while True:
+            try:
+                q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                return
 
     def _teardown_workers(self) -> None:
         for q in self._job_qs:
@@ -536,157 +915,548 @@ class ProcessBackend(ExecutionBackend):
             except Exception:
                 pass
         for p in self._procs:
-            p.join(timeout=2.0)
+            if p is not None:
+                # a SIGSTOPped worker cannot run its shutdown path (and
+                # holds SIGTERM pending); resume it first, then escalate
+                try:
+                    os.kill(p.pid, signal.SIGCONT)
+                except (ProcessLookupError, TypeError):
+                    pass
+                p.join(timeout=2.0)
         for p in self._procs:
-            if p.is_alive():
+            if p is not None and p.is_alive():
                 p.terminate()
                 p.join(timeout=2.0)
-        for q in [*self._job_qs,
-                  *( [self._result_q] if self._result_q is not None else [])]:
-            q.close()
-        self._procs, self._job_qs, self._result_q = [], [], None
+        for p in self._procs:
+            if p is not None and p.is_alive():  # pragma: no cover - stuck
+                p.kill()
+                p.join(timeout=2.0)
+        for ch in [*self._job_qs, *self._mailboxes, *self._result_chans]:
+            ch.close()
+        self._procs, self._job_qs, self._mailboxes = [], [], []
+        self._result_chans = []
+        self._hb = None
 
     def close(self) -> None:
         self._teardown_workers()
+        self._ckpts.clear()
         self._pool.close()
+        reclaimed = self.janitor.sweep("")
+        if reclaimed:
+            self.metrics.counter(
+                "repro_backend_shm_reclaimed_total",
+                "orphaned shared-memory segments reclaimed"
+                ).inc(len(reclaimed))
         try:
             self.metrics.gauge("repro_backend_workers_count").set(0)
         except Exception:
             pass
+
+    # -- elasticity surface --------------------------------------------
+
+    def inject(self, plan) -> None:
+        """Install a :class:`~repro.cluster.faults.ProcessFaultPlan`.
+
+        Faults fire on the *job*-th :meth:`run` after installation
+        (the plan's counters are reset here).  ``None`` disarms.
+        """
+        if plan is not None:
+            plan.reset()
+        self.fault_plan = plan
+
+    def live_workers(self) -> list[int]:
+        """Worker ids currently alive (dead ones respawn on the next run)."""
+        return [wid for wid, p in enumerate(self._procs)
+                if p is not None and p.is_alive()]
+
+    def take_checkpoints(self) -> dict[tuple[int, str], np.ndarray]:
+        """Copy out all shipped checkpoint data; reclaims the segments.
+
+        Keyed ``(worker_id, tag)``.  Called by the recovery driver right
+        after a :class:`~repro.cluster.faults.RankFailed`: the copies
+        survive the sweep, so recovery jobs can re-stage them.
+        """
+        out: dict[tuple[int, str], np.ndarray] = {}
+        for key, view in self._ckpts.items():
+            try:
+                out[key] = np.array(view.resolve(self._pool), copy=True)
+            except FileNotFoundError:  # pragma: no cover - creator died
+                continue
+            finally:
+                self._pool.detach(view.segment)
+        self._ckpts.clear()
+        self.janitor.sweep("k")
+        return out
+
+    def note_recovery(self, report, detected_at: float | None) -> None:
+        """Record a completed shrink-and-redistribute recovery.
+
+        Sets :attr:`last_recovery`, stamps the MTTR histogram and the
+        recovery counter, and drops a zero-width ``"shrink recovery"``
+        trace marker on every dead rank's lane.
+        """
+        self.last_recovery = report
+        mttr = (time.monotonic() - detected_at
+                if detected_at is not None else 0.0)
+        self.last_mttr_s = mttr
+        m = self.metrics
+        m.counter("repro_backend_recoveries_total",
+                  "jobs completed via shrink-and-redistribute after "
+                  "worker deaths").inc()
+        m.histogram("repro_backend_mttr_seconds",
+                    "failure detection to recovered result, seconds"
+                    ).observe(mttr)
+        for r in getattr(report, "dead_ranks", ()):
+            self.trace.record(r, "shrink recovery", "retry",
+                              self._t_cursor, self._t_cursor)
+        self._sweep_checkpoints()
+
+    def _sweep_checkpoints(self) -> None:
+        for view in self._ckpts.values():
+            self._pool.detach(view.segment)
+        self._ckpts.clear()
+        reclaimed = self.janitor.sweep("k")
+        if reclaimed:
+            self.metrics.counter(
+                "repro_backend_shm_reclaimed_total",
+                "orphaned shared-memory segments reclaimed"
+                ).inc(len(reclaimed))
 
     # -- job execution -------------------------------------------------
 
     def run(self, program: Callable, per_rank_args: list[tuple], *,
             common: tuple = (), machine=None, fault_plan=None,
             result_spec: tuple | None = None, label: str = "spmd job",
-            checkpoints: dict | None = None, hedge=None, **_ignored) -> list:
-        """Run *program* on every rank; returns per-rank results.
+            checkpoints: dict | None = None, hedge=None, deadline=None,
+            ranks: tuple | None = None, **_ignored) -> list:
+        """Run *program* on a group of workers; returns per-rank results.
 
-        ``per_rank_args[r]`` may contain ndarrays — they are staged
-        through shared memory, and the rank receives zero-copy views.
+        ``per_rank_args[i]`` may contain ndarrays — they are staged
+        through shared memory, and the rank receives zero-copy views
+        (``common`` ndarrays are staged once, shared by all ranks).
         ``result_spec=(shape, dtype)`` pre-allocates a shared result
         slot per rank for array(-first) results, avoiding a pickle of
         the output.  ``fault_plan`` must be SDC-only (wire faults are a
-        property of the simulated fabric).  ``hedge`` is unsupported
-        here (real stragglers are measured, not modeled); ``checkpoints``
-        is accepted but stays empty — there are no simulated rank deaths
-        to restart from.
+        property of the simulated fabric).
+
+        ``ranks`` selects a subset of the workers as the SPMD group
+        (default: all of them) — recovery jobs run on the survivors this
+        way.  ``checkpoints``, when a dict is passed, arms checkpoint
+        shipping: workers post their ``Checkpoint`` stage data through
+        shared segments, available via :meth:`take_checkpoints` after a
+        failure.  ``deadline`` (wall-clock
+        :class:`~repro.resilience.Deadline`) is checked at dispatch and
+        on every watchdog tick; ``hedge`` (a
+        :class:`~repro.verify.HedgePolicy`) arms straggler re-dispatch:
+        a worker lagging the group's progress past ``threshold x`` the
+        label's last duration is killed, respawned, and the job re-run
+        once on the fresh worker set.
+
+        A worker that dies (or hangs past ``hang_timeout``) mid-job
+        raises :class:`~repro.cluster.faults.RankFailed` carrying the
+        dead ids and survivor set; the surviving workers stay up and the
+        dead are respawned on the next call.
         """
-        if len(per_rank_args) != self.size:
+        group = tuple(ranks) if ranks else tuple(range(self.size))
+        if len(per_rank_args) != len(group):
             raise ValueError(f"need one args tuple per rank "
-                             f"(got {len(per_rank_args)}, size {self.size})")
-        if hedge is not None:
-            raise ValueError("ProcessBackend does not support hedging: "
-                             "stragglers are real, not modeled")
+                             f"(got {len(per_rank_args)}, group "
+                             f"{len(group)})")
+        if sorted(set(group)) != sorted(group) \
+                or any(not 0 <= w < self.size for w in group):
+            raise ValueError(f"invalid worker group {group!r}")
+        plan = self.fault_plan
+        if fault_plan is None and plan is not None:
+            fault_plan = plan.sdc
         if fault_plan is not None and not _sdc_only(fault_plan):
             raise ValueError("ProcessBackend supports SDC-only fault "
                              "plans; wire faults belong to the simulator")
+        if deadline is not None:
+            deadline.check(f"dispatch ({label})")
         self._ensure_workers()
         self._job_counter += 1
         jid = self._job_counter
         staging_prefix = f"{self._token}j{jid}"
+        actions = plan.next_job() if plan is not None else ()
 
-        # stage per-rank ndarray args zero-copy through one segment
+        # stage per-rank and common ndarray args through shared segments
         arrays, slots = [], []
-        for r, args in enumerate(per_rank_args):
-            for i, a in enumerate(args):
+        for i, args in enumerate(per_rank_args):
+            for k, a in enumerate(args):
                 if isinstance(a, np.ndarray):
                     arrays.append(a)
-                    slots.append((r, i))
+                    slots.append(("a", i, k))
+        for k, c in enumerate(common):
+            if isinstance(c, np.ndarray):
+                arrays.append(c)
+                slots.append(("c", 0, k))
         staged = [list(args) for args in per_rank_args]
+        staged_common = list(common)
         if arrays:
             views = self._pool.place(staging_prefix + "i", arrays)
-            for (r, i), v in zip(slots, views):
-                staged[r][i] = v
+            for (kind, i, k), v in zip(slots, views):
+                if kind == "a":
+                    staged[i][k] = v
+                else:
+                    staged_common[k] = v
 
-        result_views: list[ShmView | None] = [None] * self.size
-        result_arrays: list[np.ndarray | None] = [None] * self.size
+        q = len(group)
+        result_views: list[ShmView | None] = [None] * q
+        result_arrays: list[np.ndarray | None] = [None] * q
         if result_spec is not None:
             shape, dtype = result_spec
             # per-rank slots inside one segment; workers write, we copy out
             dt = np.dtype(dtype)
             per = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
-            shm = self._pool.create(staging_prefix + "r",
-                                    max(1, per * self.size))
-            for r in range(self.size):
-                result_views[r] = ShmView(staging_prefix + "r", r * per,
+            shm = self._pool.create(staging_prefix + "r", max(1, per * q))
+            for i in range(q):
+                result_views[i] = ShmView(staging_prefix + "r", i * per,
                                           tuple(shape), dt.name)
-                result_arrays[r] = np.ndarray(tuple(shape), dtype=dt,
+                result_arrays[i] = np.ndarray(tuple(shape), dtype=dt,
                                               buffer=shm.buf,
-                                              offset=r * per)
+                                              offset=i * per)
 
         try:
-            # pickle eagerly: a queue feeder thread swallows pickling
-            # errors, turning an unpicklable program into a silent hang
-            try:
-                payloads = [pickle.dumps(_Job(
-                    job_id=jid, program=program, args=tuple(staged[r]),
-                    common=common, machine=machine, fault_plan=fault_plan,
-                    result_slot=result_views[r],
-                    staging_prefix=staging_prefix))
-                    for r in range(self.size)]
-            except Exception as exc:
-                raise ValueError(
-                    "job does not pickle — the program must be a "
-                    "module-level generator function and every argument "
-                    "picklable (closures and lambdas are not)") from exc
-            for r in range(self.size):
-                self._job_qs[r].put(payloads[r])
+            attempt = 0
+            while True:
+                attempt += 1
+                ckpt_prefix = (f"{self._token}k{jid}"
+                               if checkpoints is not None else "")
+                # pickle eagerly: surfaces an unpicklable program as a
+                # clean error here, and delayed/held deliveries plus the
+                # hedge retry reuse the bytes verbatim
+                try:
+                    payloads = {wid: pickle.dumps(_Job(
+                        job_id=jid, program=program,
+                        args=tuple(staged[i]), common=tuple(staged_common),
+                        machine=machine, fault_plan=fault_plan,
+                        result_slot=result_views[i],
+                        staging_prefix=staging_prefix, ranks=group,
+                        faults=tuple(
+                            (f.kind, f.collective) for f in actions
+                            if f.rank == wid and f.collective is not None
+                            and f.kind in ("kill", "stall")),
+                        ckpt_prefix=ckpt_prefix))
+                        for i, wid in enumerate(group)}
+                except Exception as exc:
+                    raise ValueError(
+                        "job does not pickle — the program must be a "
+                        "module-level generator function and every argument "
+                        "picklable (closures and lambdas are not)") from exc
 
-            outcomes: dict[int, tuple] = {}
-            errors: list[tuple] = []
-            deadline = time.monotonic() + self.mailbox_timeout + 30.0
-            try:
-                while len(outcomes) < self.size:
-                    try:
-                        msg = self._result_q.get(
-                            timeout=max(0.1, deadline - time.monotonic()))
-                    except queue.Empty:
-                        raise RuntimeError(
-                            f"workers unresponsive after "
-                            f"{self.mailbox_timeout:.0f}s (job {jid}: ranks "
-                            f"{sorted(set(range(self.size)) - set(outcomes))} "
-                            f"missing)") from None
-                    mjid, rank, status, *rest = msg
-                    if mjid != jid:
-                        continue  # residue of a previously failed job
-                    outcomes[rank] = (status, *rest)
-                    if status == "error":
-                        errors.append((rank, rest[0], rest[1]))
-            except BaseException:
-                self._teardown_workers()
-                raise
-            if errors:
-                self._teardown_workers()
-                rank, payload, tb = min(errors, key=lambda e: e[0])
+                t0 = time.monotonic()
+                timeline = _FaultTimeline(self, t0)
+                for f in actions:
+                    if f.kind == "delay" and f.rank in group:
+                        timeline.hold(f.rank, f.after_s, payloads[f.rank])
+                        plan.note_injected("delay")
+                    elif f.collective is None and f.kind in ("kill", "stall"):
+                        timeline.at(f.kind, f.rank, f.after_s)
+                        plan.note_injected(f.kind)
+                    elif f.kind in ("kill", "stall") and f.rank in group:
+                        plan.note_injected(f.kind)
+                    if f.kind == "stall" and f.resume_s is not None:
+                        timeline.at("resume", f.rank, f.resume_s)
+                for wid in group:
+                    self._hb[wid, 1] = -1.0
+                    if wid not in timeline.held:
+                        self._job_qs[wid].put(payloads[wid])
+
+                est = self._label_est.get(label)
+                out = self._await_job(jid, group, label, deadline, timeline,
+                                      t0, hedge if attempt == 1 else None,
+                                      est)
+                if deadline is not None:
+                    deadline.charge("compute" if attempt == 1 else "hedge",
+                                    time.monotonic() - t0)
+                if out.deadline_tripped:
+                    deadline.check(label)  # raises DeadlineExceeded
+                if out.hedged:
+                    # straggler re-dispatch: replace the laggards, retry
+                    # the whole job once on the fresh worker set
+                    if hedge is not None:
+                        hedge.launched += len(out.hedged)
+                    self.metrics.counter(
+                        "repro_backend_hedge_retries_total",
+                        "jobs re-dispatched after killing stragglers"
+                        ).inc()
+                    for wid in out.hedged:
+                        self._spawn_worker(wid)
+                    self._sweep_checkpoints()
+                    self._drain_stale()
+                    self._job_counter += 1
+                    jid = self._job_counter
+                    actions = ()
+                    continue
+                break
+
+            if out.deaths:
+                self._handle_deaths(jid, label, group, out)
+            if out.errors:
+                wid, payload, tb = min(out.errors, key=lambda e: e[0])
                 exc = pickle.loads(payload)
                 raise exc from RuntimeError(
-                    f"rank {rank} failed; worker traceback:\n{tb}")
-            if any(status != "ok" for status, *_ in outcomes.values()):
-                self._teardown_workers()
-                bad = {r: o[0] for r, o in outcomes.items() if o[0] != "ok"}
+                    f"rank {wid} failed; worker traceback:\n{tb}")
+            if any(status != "ok" for status, *_ in out.outcomes.values()):
+                bad = {w: o[0] for w, o in out.outcomes.items()
+                       if o[0] != "ok"}
                 raise RuntimeError(f"job aborted without a root error: {bad}")
 
-            results: list = [None] * self.size
-            for r, (status, kind, rest, steps) in sorted(outcomes.items()):
+            if hedge is not None and attempt > 1:
+                hedge.won += 1
+            results: list = [None] * q
+            for i, wid in enumerate(group):
+                status, kind, rest, steps = out.outcomes[wid]
                 if kind == "slot":
-                    results[r] = result_arrays[r].copy()
+                    results[i] = result_arrays[i].copy()
                 elif kind == "slot+rest":
-                    results[r] = (result_arrays[r].copy(), *rest)
+                    results[i] = (result_arrays[i].copy(), *rest)
                 else:
-                    results[r] = rest
+                    results[i] = rest
             self._fold_telemetry(jid, label,
-                                 {r: o[3] for r, o in outcomes.items()})
+                                 {w: o[3] for w, o in out.outcomes.items()})
+            self._label_est[label] = time.monotonic() - t0
+            if checkpoints is not None:
+                self._sweep_checkpoints()
             return results
         finally:
             del result_arrays  # views die before their segment unlinks
             self._pool.detach_prefix(staging_prefix)
 
+    # -- the watchdog --------------------------------------------------
+
+    def _await_job(self, jid: int, group: tuple, label: str, deadline,
+                   timeline: _FaultTimeline, t0: float, hedge,
+                   est: float | None) -> _JobOutcome:
+        """Collect one dispatch attempt's outcomes, watching liveness.
+
+        The parent *is* the heartbeat watchdog: each ~50ms tick it
+        drains the result queue, fires scheduled fault actions, checks
+        every in-flight worker's process state and heartbeat, enforces
+        the deadline, and evaluates the hedge policy.
+        """
+        need = set(group)
+        outcomes: dict[int, tuple] = {}
+        errors: list[tuple] = []
+        deaths: list[int] = []
+        hung: list[int] = []
+        hedged: list[int] = []
+        detected_at: float | None = None
+        deadline_tripped = False
+        flooded = False
+        grace_until: float | None = None
+        hard_deadline = t0 + self.mailbox_timeout + 30.0
+
+        def settled(wid: int) -> bool:
+            return wid in outcomes or wid in deaths or wid in hedged
+
+        readers = [self._result_chans[w].reader for w in group]
+        while not all(settled(w) for w in need):
+            now = time.monotonic()
+            timeline.tick(now)
+            try:
+                mp_connection.wait(readers, timeout=_WATCHDOG_TICK_S)
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            got_msg = False
+            for w in group:
+                while True:
+                    try:
+                        msg = self._result_chans[w].get_nowait()
+                    except queue.Empty:
+                        break
+                    got_msg = True
+                    mjid, wid, status, a, b, _c = msg
+                    if status == "ckpt":
+                        if mjid == jid:
+                            self._ckpts[(wid, a)] = b
+                        continue
+                    if mjid != jid:
+                        continue  # residue of a previously failed job
+                    outcomes[wid] = (status, a, b, _c)
+                    if status == "error":
+                        errors.append((wid, a, b))
+            if got_msg:
+                continue  # drain fast; liveness re-checked next empty tick
+
+            for wid in sorted(need):
+                if settled(wid):
+                    continue
+                p = self._procs[wid]
+                alive = p is not None and p.is_alive()
+                if alive and now - float(self._hb[wid, 0]) \
+                        > self.hang_timeout:
+                    # hung (SIGSTOP/livelock): escalate to SIGKILL; the
+                    # next branch turns it into a detected death
+                    self.metrics.counter(
+                        "repro_backend_worker_hangs_total",
+                        "workers whose heartbeat went stale in-flight"
+                        ).inc()
+                    hung.append(wid)
+                    try:
+                        os.kill(p.pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                    p.join(timeout=1.0)
+                    alive = p.is_alive()
+                if not alive:
+                    deaths.append(wid)
+                    timeline.cancel(wid)
+                    if detected_at is None:
+                        detected_at = time.monotonic()
+                    self.metrics.counter(
+                        "repro_backend_worker_deaths_total",
+                        "worker processes that died with a job in flight"
+                        ).inc()
+                    if not flooded:
+                        flooded = True
+                        self._flood_abort(jid, group, wid,
+                                          "worker process died")
+                        grace_until = now + max(5.0, 2 * self.hang_timeout)
+
+            if deadline is not None and not deadline_tripped \
+                    and deadline.expired():
+                deadline_tripped = True
+                if not flooded:
+                    flooded = True
+                    self._flood_abort(jid, group, -1, "deadline expired")
+                grace_until = now + 5.0
+
+            if hedge is not None and est is not None and not hedged \
+                    and not deaths and len(group) >= hedge.min_ranks \
+                    and now - t0 > max(hedge.threshold * est, 0.05):
+                laggards = self._find_laggards(group, outcomes, timeline,
+                                               now)
+                if laggards:
+                    hedged.extend(laggards)
+                    if not flooded:
+                        flooded = True
+                        self._flood_abort(jid, group, laggards[0],
+                                          "straggler hedged")
+                    grace_until = now + max(5.0, 2 * self.hang_timeout)
+                    for wid in laggards:
+                        timeline.cancel(wid)
+                        p = self._procs[wid]
+                        try:
+                            os.kill(p.pid, signal.SIGKILL)
+                        except (ProcessLookupError, TypeError):
+                            pass
+                        p.join(timeout=1.0)
+
+            if grace_until is not None and now > grace_until:
+                for wid in sorted(need):
+                    if not settled(wid):
+                        outcomes[wid] = ("aborted",
+                                         "no outcome within the grace "
+                                         "period", None, None)
+                break
+            if now > hard_deadline:
+                missing = sorted(w for w in need if not settled(w))
+                self._teardown_workers()
+                raise RuntimeError(
+                    f"workers unresponsive after "
+                    f"{self.mailbox_timeout:.0f}s (job {jid}: ranks "
+                    f"{missing} missing)")
+
+        # deaths among hedge victims are intentional, not failures
+        deaths = [w for w in deaths if w not in hedged]
+        return _JobOutcome(outcomes=outcomes, errors=errors, deaths=deaths,
+                           hung=[w for w in hung if w in deaths],
+                           hedged=hedged, detected_at=detected_at,
+                           deadline_tripped=deadline_tripped)
+
+    def _find_laggards(self, group: tuple, outcomes: dict,
+                       timeline: _FaultTimeline, now: float) -> list[int]:
+        """Workers behind the group's progress front but not hung.
+
+        Progress is the collective index each worker last entered
+        (written next to its heartbeat); a rank still waiting for its
+        delayed job payload sits at -1.  Hung workers are the hang
+        watchdog's business, not the hedge's.
+        """
+        prog = {wid: float(self._hb[wid, 1]) for wid in group}
+        front = max(prog.values())
+        undelivered = set(timeline.undelivered())
+        laggards = []
+        for wid in group:
+            if wid in outcomes:
+                continue
+            p = self._procs[wid]
+            if p is None or not p.is_alive():
+                continue
+            if now - float(self._hb[wid, 0]) > self.hang_timeout:
+                continue
+            if prog[wid] < front or wid in undelivered:
+                laggards.append(wid)
+        return laggards
+
+    def _flood_abort(self, jid: int, group: tuple, culprit: int,
+                     reason: str) -> None:
+        """Unblock every live group member waiting in a collective."""
+        for wid in group:
+            p = self._procs[wid]
+            if p is not None and p.is_alive():
+                try:
+                    self._mailboxes[wid].put(("abort", jid, culprit,
+                                              reason))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+
+    def _drain_stale(self) -> None:
+        """Drop result-pipe residue of an abandoned dispatch attempt."""
+        for chan in self._result_chans:
+            self._drain(chan)
+
+    def _handle_deaths(self, jid: int, label: str, group: tuple,
+                       out: _JobOutcome) -> None:
+        """Turn detected worker deaths into a recoverable RankFailed."""
+        dead = tuple(sorted(out.deaths))
+        survivors = tuple(w for w in group if w not in dead
+                          and self._procs[w] is not None
+                          and self._procs[w].is_alive())
+        exitcodes = {w: (self._procs[w].exitcode
+                         if self._procs[w] is not None else None)
+                     for w in dead}
+        reason = ", ".join(
+            f"worker {w} "
+            + ("hung (heartbeat stale), killed" if w in out.hung else
+               f"died (exitcode {exitcodes[w]})")
+            for w in dead)
+        self.last_failure = WorkerFailure(
+            job_id=jid, job_label=label, dead=dead, survivors=survivors,
+            detected_at=out.detected_at or time.monotonic(),
+            reason=reason, hung=tuple(out.hung))
+        # reclaim what the dead left behind (their outbox generations);
+        # survivors' mappings of the segments stay valid until job end
+        reclaimed = []
+        for w in dead:
+            reclaimed += self.janitor.sweep(f"o{w}e")
+        if reclaimed:
+            self.metrics.counter(
+                "repro_backend_shm_reclaimed_total",
+                "orphaned shared-memory segments reclaimed"
+                ).inc(len(reclaimed))
+        self.metrics.gauge(
+            "repro_backend_workers_count",
+            "live worker processes of the ProcessBackend"
+            ).set(len(self.live_workers()))
+        exc = RankFailed(
+            dead[0],
+            f"{reason} during job {jid} ({label!r}); "
+            f"survivors: {list(survivors)}")
+        exc.dead_ranks = dead
+        exc.survivors = survivors
+        exc.job_label = label
+        exc.detected_at = self.last_failure.detected_at
+        raise exc from RuntimeError(
+            f"job {jid} ({label!r}) lost workers {list(dead)}: {reason}")
+
     # -- telemetry -----------------------------------------------------
 
     def _fold_telemetry(self, jid: int, label: str,
                         steps_by_rank: dict[int, list]) -> None:
-        all_steps = [s for steps in steps_by_rank.values() for s in steps]
+        all_steps = [s for steps in steps_by_rank.values()
+                     for s in (steps or ())]
         if not all_steps:
             return
         t0 = min(s[2] for s in all_steps)
@@ -694,6 +1464,7 @@ class ProcessBackend(ExecutionBackend):
         base = self._t_cursor - t0
         rec = self.trace.recorder
         for rank, steps in sorted(steps_by_rank.items()):
+            steps = steps or []
             lo = min(s[2] for s in steps) if steps else t0
             hi = max(s[3] for s in steps) if steps else t0
             scope = rec.begin(rank, label, "other", base + lo,

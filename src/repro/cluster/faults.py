@@ -36,6 +36,8 @@ __all__ = [
     "CollectiveFailure",
     "CorruptionDetected",
     "FaultPlan",
+    "ProcessFault",
+    "ProcessFaultPlan",
     "RankFailed",
     "RetriesExhausted",
     "RetryPolicy",
@@ -316,6 +318,143 @@ class FaultPlan:
                 f"rank_failures={dict(sorted(self.rank_failures.items()))}, "
                 f"stragglers={len(self.stragglers)}, jitter={self.jitter}, "
                 f"sdc={len(self.sdc_events)})")
+
+
+@dataclass(frozen=True)
+class ProcessFault:
+    """One scheduled misbehavior of a real worker process.
+
+    ``kind``:
+
+    * ``"kill"`` — SIGKILL: worker-side self-kill at the entry of
+      collective *collective* when set, else a parent-side kill
+      *after_s* seconds into the job (crash at an arbitrary point);
+    * ``"stall"`` — SIGSTOP at the same trigger points; *resume_s*
+      seconds after dispatch the parent sends SIGCONT.  Without a
+      resume the worker stays frozen until the heartbeat watchdog
+      declares it hung and escalates to SIGKILL;
+    * ``"delay"`` — the parent holds the rank's job payload back for
+      *after_s* seconds (a starved job queue: the worker is alive and
+      idle while its peers block in the first collective).
+
+    ``job`` is the 1-based job sequence number counted from the plan's
+    installation; ``rank`` the worker id the fault targets.
+    """
+
+    kind: str  # "kill" | "stall" | "delay"
+    rank: int
+    job: int = 1
+    collective: int | None = None  # 0-based trigger at collective entry
+    after_s: float = 0.0  # parent-side trigger/holdback, seconds from dispatch
+    resume_s: float | None = None  # SIGCONT delay for "stall"
+
+    def __post_init__(self):
+        if self.kind not in ("kill", "stall", "delay"):
+            raise ValueError(f"unknown process fault kind {self.kind!r}")
+        if self.rank < 0:
+            raise ValueError("rank must be a non-negative worker id")
+        if self.job < 1:
+            raise ValueError("job sequence numbers are 1-based")
+        if self.kind == "delay" and self.collective is not None:
+            raise ValueError("a delivery delay has no collective trigger")
+
+
+class ProcessFaultPlan:
+    """A deterministic schedule of *process-level* chaos for a real backend.
+
+    The wire-fault :class:`FaultPlan` describes a simulated fabric; this
+    plan describes what can actually happen to OS worker processes:
+    kill -9, SIGSTOP stalls (with or without a delayed SIGCONT), job
+    delivery delays, and worker-side silent data corruption (an
+    SDC-only :class:`FaultPlan` applied inside the workers).  Install it
+    with :meth:`repro.cluster.backends.ProcessBackend.inject`; faults
+    fire on the *job*-th run() after installation.
+
+    The schedule is immutable; ``injected`` counts fired faults by kind
+    at runtime (:meth:`reset` re-arms the plan).
+    """
+
+    def __init__(self, faults=(), *, sdc: FaultPlan | None = None,
+                 seed: int = 0):
+        self.faults = tuple(faults)
+        if any(not isinstance(f, ProcessFault) for f in self.faults):
+            raise TypeError("faults must be ProcessFault instances")
+        if sdc is not None and not sdc.is_clean:
+            raise ValueError("the embedded FaultPlan must be SDC-only: "
+                             "wire faults belong to the simulator")
+        self.sdc = sdc
+        self.seed = int(seed)
+        self.reset()
+
+    @classmethod
+    def random(cls, seed: int, n_ranks: int, *, n_kills: int = 0,
+               n_stalls: int = 0, n_delays: int = 0,
+               max_collective: int = 2, min_survivors: int = 1,
+               stall_resume_s: float | None = 0.5,
+               delay_s: float = 0.25, jobs: int = 1,
+               sdc_rate: float = 0.0,
+               sdc_amplitude: float = 1.0) -> "ProcessFaultPlan":
+        """Draw a seeded schedule over distinct victim ranks.
+
+        Victims are drawn without replacement so at least
+        *min_survivors* ranks never get a kill/stall; each fault lands
+        on a uniform job in ``1..jobs`` and a uniform collective entry
+        in ``0..max_collective``.
+        """
+        rng = np.random.default_rng(seed)
+        n_lethal = min(n_kills + n_stalls,
+                       max(0, n_ranks - min_survivors))
+        n_kills = min(n_kills, n_lethal)
+        n_stalls = min(n_stalls, n_lethal - n_kills)
+        victims = list(rng.choice(n_ranks, size=n_lethal, replace=False))
+        faults = []
+        for i in range(n_kills + n_stalls):
+            kind = "kill" if i < n_kills else "stall"
+            faults.append(ProcessFault(
+                kind=kind, rank=int(victims[i]),
+                job=int(rng.integers(1, jobs + 1)),
+                collective=int(rng.integers(0, max_collective + 1)),
+                resume_s=(stall_resume_s if kind == "stall" else None)))
+        for _ in range(n_delays):
+            faults.append(ProcessFault(
+                kind="delay", rank=int(rng.integers(n_ranks)),
+                job=int(rng.integers(1, jobs + 1)), after_s=delay_s))
+        sdc = None
+        if sdc_rate:
+            sdc = FaultPlan.random(seed, n_ranks, sdc_rate=sdc_rate,
+                                   sdc_amplitude=sdc_amplitude)
+        return cls(faults, sdc=sdc, seed=seed)
+
+    # -- runtime interface (driven by ProcessBackend) -----------------------
+
+    def reset(self) -> None:
+        """Zero the runtime counters so the schedule can be replayed."""
+        self.jobs_seen = 0
+        self.injected: dict[str, int] = {}
+
+    def next_job(self) -> tuple[ProcessFault, ...]:
+        """Advance the job counter; faults scheduled for this job."""
+        self.jobs_seen += 1
+        return self.actions_for(self.jobs_seen)
+
+    def actions_for(self, job_seq: int) -> tuple[ProcessFault, ...]:
+        """Faults scheduled for the *job_seq*-th job since installation."""
+        return tuple(f for f in self.faults if f.job == job_seq)
+
+    def note_injected(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    @property
+    def has_sdc(self) -> bool:
+        return self.sdc is not None and self.sdc.has_sdc
+
+    def describe(self) -> str:
+        by_kind: dict[str, int] = {}
+        for f in self.faults:
+            by_kind[f.kind] = by_kind.get(f.kind, 0) + 1
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+        return (f"ProcessFaultPlan(seed={self.seed}, {parts or 'clean'}, "
+                f"sdc={len(self.sdc.sdc_events) if self.sdc else 0})")
 
 
 def chaos_cluster(cluster, plan: FaultPlan,

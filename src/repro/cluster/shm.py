@@ -24,16 +24,33 @@ unlinks explicitly).  Sending ``unregister`` after the fact instead
 would race: under fork every process shares one tracker, and N
 attachers plus the creator's unlink would send N+1 removals for one
 registration, spraying KeyError tracebacks at exit.
+
+Crash hygiene: a SIGKILL'd worker never runs its pool's ``close()``, so
+the segments it created (outbox generations, checkpoint stashes) would
+outlive it in ``/dev/shm``.  :class:`ShmJanitor` is the parent-side
+reclaimer: it enumerates live segments by name prefix
+(:func:`list_segments`) and force-unlinks the orphans
+(:func:`unlink_segment`), so repeated worker crashes cannot leak
+shared memory.  As a second line of defense every :class:`ShmPool`
+carries a ``weakref.finalize`` hook that unlinks its created segments at
+interpreter exit — guarded by PID so a forked child exiting never
+destroys segments its parent still owns.
 """
 
 from __future__ import annotations
 
+import os
+import weakref
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
-__all__ = ["ShmPool", "ShmView"]
+__all__ = ["ShmJanitor", "ShmPool", "ShmView", "list_segments",
+           "unlink_segment"]
+
+#: Where the kernel exposes POSIX shared-memory segments as files.
+_SHM_DIR = "/dev/shm"
 
 
 @dataclass(frozen=True)
@@ -74,6 +91,96 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
+def list_segments(prefix: str) -> list[str]:
+    """Names of live shared-memory segments starting with *prefix*.
+
+    Reads the kernel's view (``/dev/shm``), not any pool's — so it sees
+    segments created by crashed processes that no live pool remembers.
+    Returns ``[]`` on platforms without a tmpfs segment directory.
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in names if n.startswith(prefix))
+
+
+def unlink_segment(name: str) -> bool:
+    """Force-unlink a segment by name; True if it existed.
+
+    Used by the janitor on segments whose creator is gone: mapping
+    processes keep valid views (POSIX unlink semantics), but the name is
+    freed and the memory dies with the last mapping.
+    """
+    try:
+        shm = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost the race
+        return False
+    except Exception:  # pragma: no cover - tracker bookkeeping noise
+        pass
+    return True
+
+
+class ShmJanitor:
+    """Reclaims shared-memory segments orphaned by crashed processes.
+
+    Scoped to a name *prefix* (one backend instance's token): anything
+    under the prefix that is not in the ``keep`` set is fair game.  The
+    process backend sweeps after worker deaths (a SIGKILL'd worker's
+    outbox/checkpoint segments) and on ``close()``, so repeated failures
+    cannot leak ``/dev/shm``.
+    """
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.reclaimed = 0
+
+    def orphans(self, keep=()) -> list[str]:
+        """Live segments under the prefix not owned by anyone in *keep*."""
+        keep = set(keep)
+        return [n for n in list_segments(self.prefix) if n not in keep]
+
+    def sweep(self, sub: str = "", keep=()) -> list[str]:
+        """Unlink every orphan under ``prefix + sub``; returns the names."""
+        keep = set(keep)
+        gone = []
+        for name in list_segments(self.prefix + sub):
+            if name in keep:
+                continue
+            if unlink_segment(name):
+                gone.append(name)
+        self.reclaimed += len(gone)
+        return gone
+
+
+def _finalize_pool(pid: int, created: dict, attached: dict) -> None:
+    """atexit backstop: unlink what this pool created, unmap the rest.
+
+    PID-guarded: under fork a child inherits the parent's pool object,
+    and its exit must not destroy segments the parent still owns.
+    """
+    if os.getpid() != pid:
+        return
+    for shm in attached.values():
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - exit-path best effort
+            pass
+    attached.clear()
+    for shm in created.values():
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - exit-path best effort
+            pass
+    created.clear()
+
+
 class ShmPool:
     """Per-process registry of shared-memory segments.
 
@@ -86,6 +193,10 @@ class ShmPool:
     def __init__(self) -> None:
         self._created: dict[str, shared_memory.SharedMemory] = {}
         self._attached: dict[str, shared_memory.SharedMemory] = {}
+        # abnormal-exit backstop: unlink created segments at interpreter
+        # exit even when close() never ran (see _finalize_pool)
+        self._finalizer = weakref.finalize(
+            self, _finalize_pool, os.getpid(), self._created, self._attached)
 
     def create(self, name: str, nbytes: int) -> shared_memory.SharedMemory:
         if name in self._created:
@@ -129,6 +240,20 @@ class ShmPool:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+
+    def release(self, name: str) -> None:
+        """Unmap a *created* segment without unlinking it.
+
+        Ownership handoff: a worker that created a checkpoint segment
+        releases it at job end so the parent (who holds the descriptor)
+        controls its lifetime; the parent's janitor unlinks it later.
+        Attached segments are simply unmapped (same as :meth:`detach`).
+        """
+        shm = self._created.pop(name, None)
+        if shm is None:
+            shm = self._attached.pop(name, None)
+        if shm is not None:
+            shm.close()
 
     def detach_prefix(self, prefix: str) -> None:
         """Drop every mapping whose segment name starts with *prefix*

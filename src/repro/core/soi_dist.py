@@ -38,8 +38,8 @@ from repro.core.params import SoiParams
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
 
-__all__ = ["DistributedSoiFFT", "RecoveryReport", "DEFAULT_FFT_EFFICIENCY",
-           "DEFAULT_CONV_EFFICIENCY"]
+__all__ = ["DistributedSoiFFT", "RecoveryReport", "balanced_row_slices",
+           "DEFAULT_FFT_EFFICIENCY", "DEFAULT_CONV_EFFICIENCY"]
 
 #: Paper §4/§6: measured compute efficiencies on both Xeon and Xeon Phi.
 DEFAULT_FFT_EFFICIENCY = 0.12
@@ -60,6 +60,29 @@ class RecoveryReport:
     n_live: int  # survivors that finished the transform
     slot_owners: dict[int, int]  # global segment slot -> surviving owner
     recomputed_rows: int  # convolution rows recomputed from checkpoints
+
+
+def balanced_row_slices(params: SoiParams, start: int, count: int,
+                        parts: int) -> list[tuple[int, int]]:
+    """Split [start, start+count) into <= *parts* contiguous slices,
+    each a whole number of convolution chunks (multiples of n_mu — the
+    chunked convolution's row granularity).
+
+    The adoption schedule of shrink-and-redistribute recovery, shared by
+    the simulated path and the real-backend recovery driver so both
+    recompute identical row ranges (bitwise-identical outputs).
+    """
+    n_mu = params.n_mu
+    chunks = count // n_mu
+    base, extra = divmod(chunks, parts)
+    out = []
+    j = start
+    for i in range(parts):
+        n = (base + (1 if i < extra else 0)) * n_mu
+        if n:
+            out.append((j, n))
+            j += n
+    return out
 
 
 class DistributedSoiFFT:
@@ -202,18 +225,21 @@ class DistributedSoiFFT:
         The phase-structured simulated driver and the SPMD program are
         asserted equal in the test suite, so delegating here preserves
         the plan's outputs exactly; measured (not simulated) timings
-        land in the backend's trace/metrics.
+        land in the backend's trace/metrics.  *deadline* runs off the
+        wall clock (checked at dispatch and on every watchdog tick);
+        worker deaths recover via the backend's elastic
+        shrink-and-redistribute path, and the resulting
+        :class:`RecoveryReport` lands in :attr:`last_recovery`.
         """
-        if deadline is not None:
-            raise ValueError("deadlines are enforced by the simulated "
-                             "communicator; not available on a real backend")
         from repro.core.soi_spmd import run_parallel_soi  # circular import
         self.last_recovery = None
         policy = self.verifier.policy if self.verifier is not None else None
         parts, report = run_parallel_soi(
             self.backend, self.params, x_parts,
             machine=self.cluster.machine, window=self._window,
-            policy=policy, fault_plan=self.cluster.comm.fault_plan)
+            policy=policy, fault_plan=self.cluster.comm.fault_plan,
+            deadline=deadline)
+        self.last_recovery = getattr(self.backend, "last_recovery", None)
         if self.verifier is not None:
             self.last_verification = self.verifier.reset_report()
             if report is not None:
@@ -436,20 +462,7 @@ class DistributedSoiFFT:
 
     def _balanced_slices(self, start: int, count: int, parts: int
                          ) -> list[tuple[int, int]]:
-        """Split [start, start+count) into <= parts contiguous slices,
-        each a whole number of convolution chunks (multiples of n_mu —
-        the chunked convolution's row granularity)."""
-        n_mu = self.params.n_mu
-        chunks = count // n_mu
-        base, extra = divmod(chunks, parts)
-        out = []
-        j = start
-        for i in range(parts):
-            n = (base + (1 if i < extra else 0)) * n_mu
-            if n:
-                out.append((j, n))
-                j += n
-        return out
+        return balanced_row_slices(self.params, start, count, parts)
 
     def _finish_on_survivors(self, live: list[int],
                              x_parts: list[np.ndarray],

@@ -31,13 +31,19 @@ from repro.cluster.spmd import (
     RankContext,
     SendRecvRing,
 )
-from repro.core.convolution import conv_time_model, convolve
+from repro.core.convolution import (
+    block_range_for_rows,
+    conv_time_model,
+    convolve,
+)
 from repro.core.demodulate import demodulate
 from repro.core.params import SoiParams
 from repro.core.soi_dist import (
     DEFAULT_CONV_EFFICIENCY,
     DEFAULT_FFT_EFFICIENCY,
     DistributedSoiFFT,
+    RecoveryReport,
+    balanced_row_slices,
 )
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
@@ -128,6 +134,17 @@ _WORKER_TABLES: dict = {}
 _WORKER_VERIFIERS: dict = {}
 
 
+def _tables_for(params: SoiParams, window):
+    """Worker-side tables, cached per geometry when derivable."""
+    if window is None:
+        tables = _WORKER_TABLES.get(params)
+        if tables is None:
+            tables = _WORKER_TABLES.setdefault(params,
+                                               build_tables(params, None))
+        return tables
+    return build_tables(params, window)
+
+
 def _parallel_soi_program(ctx: RankContext, x_local: np.ndarray,
                           params: SoiParams, window, policy):
     """Module-level rank program shipped to ProcessBackend workers.
@@ -138,13 +155,7 @@ def _parallel_soi_program(ctx: RankContext, x_local: np.ndarray,
     ``build_tables`` is deterministic, so all ranks agree bitwise.
     Returns ``(spectrum_chunk, verification_report_or_None)``.
     """
-    if window is None:
-        tables = _WORKER_TABLES.get(params)
-        if tables is None:
-            tables = _WORKER_TABLES.setdefault(params,
-                                               build_tables(params, None))
-    else:
-        tables = build_tables(params, window)
+    tables = _tables_for(params, window)
     verifier = None
     if policy is not None:
         from repro.verify.selfcheck import DistVerifier
@@ -179,9 +190,172 @@ def _merge_reports(reports):
     return merged
 
 
+def _recovery_rows(x_global: np.ndarray, tables: SoiTables, j_start: int,
+                   n_rows: int) -> np.ndarray:
+    """Convolution + lane FFT for an arbitrary global row range.
+
+    The worker-side mirror of
+    :meth:`~repro.core.soi_dist.DistributedSoiFFT._compute_rows` —
+    identical call sequence, so recomputed rows are bit-for-bit the rows
+    the dead rank would have produced.
+    """
+    p = tables.params
+    s = p.n_segments
+    lo, hi = block_range_for_rows(p, j_start, n_rows)
+    n_blocks = p.n // s
+    idx = np.arange(lo, hi) % n_blocks
+    x_ext = np.ascontiguousarray(
+        x_global.reshape(n_blocks, s)[idx].reshape(-1))
+    u = convolve(x_ext, tables, j_start, n_rows, lo)
+    return get_plan(s, -1)(u) if s > 1 else u
+
+
+def _parallel_recovery_program(ctx: RankContext, z_ckpt,
+                               x_global: np.ndarray, params: SoiParams,
+                               window, all_rows: tuple, all_slots: tuple):
+    """Shrink-and-redistribute recovery as an SPMD program on survivors.
+
+    Runs on the surviving worker subset after a crash: each survivor
+    covers its own convolution rows (from its shipped post-conv
+    checkpoint *z_ckpt* when available, recomputed from the staged
+    global input otherwise) plus its adopted slices of the dead ranks'
+    rows, then one all-to-all over the shrunken group routes every row
+    to its slot owner for the per-segment FFT + demodulation.
+
+    ``all_rows[i]`` is logical rank *i*'s ordered row coverage
+    ``((j_start, n_rows, from_ckpt), ...)``; ``all_slots[i]`` its owned
+    global segment slots.  Returns ``(all_slots[rank], seg)`` with one
+    demodulated M-point row per owned slot.
+    """
+    p = params
+    rank, size = ctx.rank, ctx.size
+    tables = _tables_for(params, window)
+    chunks: list[tuple[int, np.ndarray]] = []
+    for j0, nr, from_ckpt in all_rows[rank]:
+        if from_ckpt:
+            z = np.asarray(z_ckpt)
+        else:
+            z = _recovery_rows(x_global, tables, j0, nr)
+        chunks.append((j0, z))
+    yield Compute(0.0, label="recovery recompute")
+
+    per_dest = [np.ascontiguousarray(np.concatenate(
+        [z[:, list(all_slots[d])] for _j0, z in chunks], axis=0))
+        for d in range(size)]
+    pieces = yield AllToAll(per_dest)
+
+    my_slots = all_slots[rank]
+    alpha = np.empty((p.m_oversampled, len(my_slots)), dtype=np.complex128)
+    for spos in range(size):
+        piece, off = pieces[spos], 0
+        for j0, nr, _from_ckpt in all_rows[spos]:
+            alpha[j0:j0 + nr] = piece[off:off + nr]
+            off += nr
+    beta = get_plan(p.m_oversampled, -1)(alpha.T)
+    seg = demodulate(beta, tables)
+    yield Compute(0.0, label="recovery fft+demod")
+    return my_slots, np.ascontiguousarray(seg)
+
+
+def _recover_parallel(backend, params: SoiParams, parts: list[np.ndarray],
+                      window, machine, failure, deadline=None):
+    """Complete a crashed parallel transform on the surviving workers.
+
+    The real-backend port of
+    :meth:`~repro.core.soi_dist.DistributedSoiFFT.recover`: takes the
+    checkpoints the dead job shipped, plans the same adoption schedule
+    (:func:`~repro.core.soi_dist.balanced_row_slices`, round-robin slot
+    re-assignment) as the simulated path, and dispatches
+    :func:`_parallel_recovery_program` to the survivor group.  Further
+    failures during recovery shrink again; only an empty survivor set
+    aborts.  Returns the block-distributed output parts for *all*
+    original ranks (dead ranks' parts hosted by their adopters) and
+    records the :class:`~repro.core.soi_dist.RecoveryReport` + MTTR on
+    the backend (:meth:`~repro.cluster.backends.ProcessBackend.note_recovery`).
+    """
+    p = params
+    rows = p.rows_per_process
+    s, spp = p.n_segments, p.segments_per_process
+    x_global = np.concatenate(parts)
+    ckpts = backend.take_checkpoints()
+    detected_at = getattr(failure, "detected_at", None)
+    survivors = tuple(sorted(getattr(failure, "survivors", ())))
+    last = failure
+    while True:
+        if deadline is not None:
+            deadline.check("recovery round")
+        if not survivors:
+            raise RankFailed(
+                -1, "no surviving workers to recover on") from last
+        q = len(survivors)
+        live_set = set(survivors)
+        dead = [r for r in range(p.n_procs) if r not in live_set]
+
+        # row coverage: own rows (checkpoint when shipped) + adopted
+        # slices of every dead rank's rows — the simulator's schedule
+        rows_of: dict[int, list[tuple[int, int, bool]]] = \
+            {w: [] for w in survivors}
+        recomputed = 0
+        for w in survivors:
+            has_ckpt = (w, "post-conv") in ckpts
+            rows_of[w].append((w * rows, rows, has_ckpt))
+            if not has_ckpt:
+                recomputed += rows
+        for k, f in enumerate(dead):
+            for i, (j0, nr) in enumerate(
+                    balanced_row_slices(p, f * rows, rows, q)):
+                adopter = survivors[(i + k) % q]
+                rows_of[adopter].append((j0, nr, False))
+                recomputed += nr
+        for w in survivors:
+            rows_of[w].sort(key=lambda c: c[0])
+
+        # re-assign the dead ranks' segment slots round-robin
+        owner: dict[int, int] = {}
+        orphan = 0
+        for t in range(s):
+            orig = t // spp
+            if orig in live_set:
+                owner[t] = orig
+            else:
+                owner[t] = survivors[orphan % q]
+                orphan += 1
+        all_slots = tuple(tuple(t for t in range(s) if owner[t] == w)
+                          for w in survivors)
+        all_rows = tuple(tuple(rows_of[w]) for w in survivors)
+
+        try:
+            results = backend.run(
+                _parallel_recovery_program,
+                [(ckpts.get((w, "post-conv")),) for w in survivors],
+                common=(x_global, params, window, all_rows, all_slots),
+                machine=machine, ranks=survivors, deadline=deadline,
+                label="parallel soi recovery")
+        except RankFailed as exc:
+            last = exc
+            survivors = tuple(sorted(getattr(exc, "survivors", ())))
+            continue
+
+        y_by_slot: dict[int, np.ndarray] = {}
+        for slots, seg in results:
+            for i, t in enumerate(slots):
+                y_by_slot[t] = seg[i]
+        out_parts = [np.concatenate([y_by_slot[t]
+                                     for t in range(r * spp, (r + 1) * spp)])
+                     for r in range(p.n_procs)]
+        report = RecoveryReport(dead_ranks=tuple(dead), n_live=q,
+                                slot_owners=owner,
+                                recomputed_rows=recomputed)
+        backend.note_recovery(report, detected_at)
+        if deadline is not None:
+            deadline.charge("recovery", 0.0)  # purpose visible in budget
+        return out_parts
+
+
 def run_parallel_soi(backend: ExecutionBackend, params: SoiParams,
                      x_parts: list[np.ndarray], *, machine, window=None,
-                     policy=None, fault_plan=None):
+                     policy=None, fault_plan=None, deadline=None,
+                     hedge=None, resilient: bool = True):
     """Run the SOI SPMD program on a real backend; block-distributed I/O.
 
     Returns ``(parts, report)``: the per-rank natural-order spectrum
@@ -189,6 +363,16 @@ def run_parallel_soi(backend: ExecutionBackend, params: SoiParams,
     (``None`` when *policy* is).  *fault_plan* must be SDC-only; strikes
     land on the same global stage boundaries as under the simulator, so
     reports match bit-for-bit.  *window*, if given, must be picklable.
+
+    With ``resilient=True`` (the default) on a real backend, the job
+    ships post-conv checkpoints and a worker death mid-transform is
+    recovered elastically: the survivors finish via
+    shrink-and-redistribute (:func:`_parallel_recovery_program`), the
+    :class:`~repro.core.soi_dist.RecoveryReport` lands in
+    ``backend.last_recovery``, and the output stays bit-identical to
+    the fault-free run.  *deadline* runs off the wall clock; *hedge*
+    arms straggler re-dispatch (see
+    :meth:`~repro.cluster.backends.ProcessBackend.run`).
     """
     if len(x_parts) != params.n_procs:
         raise ValueError(f"expected {params.n_procs} input parts")
@@ -203,11 +387,29 @@ def run_parallel_soi(backend: ExecutionBackend, params: SoiParams,
             raise ValueError("each part must hold N/P elements")
     if fault_plan is not None and not fault_plan.has_sdc:
         fault_plan = None
-    results = backend.run(
-        _parallel_soi_program, [(p,) for p in parts],
-        common=(params, window, policy), machine=machine,
-        fault_plan=fault_plan, result_spec=((chunk,), np.complex128),
-        label="parallel soi request")
+    real = bool(getattr(backend, "is_real", False))
+    if real:
+        backend.last_recovery = None
+    try:
+        results = backend.run(
+            _parallel_soi_program, [(p,) for p in parts],
+            common=(params, window, policy), machine=machine,
+            fault_plan=fault_plan, result_spec=((chunk,), np.complex128),
+            label="parallel soi request",
+            checkpoints={} if (real and resilient) else None,
+            deadline=deadline, hedge=hedge)
+    except RankFailed as exc:
+        if not (real and resilient):
+            raise
+        out_parts = _recover_parallel(backend, params, parts, window,
+                                      machine, exc, deadline=deadline)
+        report = None
+        if policy is not None:
+            # the crashed job's per-rank reports died with it; recovery
+            # runs clean, so an empty report is the truthful merge
+            from repro.verify.policy import VerificationReport
+            report = VerificationReport()
+        return out_parts, report
     out_parts = [seg for seg, _rep in results]
     report = None
     if policy is not None:
@@ -249,9 +451,14 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     runs rank-serially against the simulated clocks; a
     :class:`~repro.cluster.backends.ProcessBackend` runs every rank as a
     real worker process with shared-memory collectives — bit-for-bit the
-    same result.  The real path rejects *hedge*/*deadline* (stragglers
-    and time budgets are properties of the simulated fabric) and
-    supports SDC-only fault plans.
+    same result.  On the real path, *resilient* recovery, *hedge*, and
+    *deadline* all operate on actual processes: worker deaths recover
+    via the elastic shrink-and-redistribute driver
+    (:func:`_recover_parallel`), deadlines run off the wall clock, and
+    hedging kills + re-dispatches real stragglers.  Fault plans must be
+    SDC-only (wire faults stay a simulator property; process-level chaos
+    goes through
+    :meth:`~repro.cluster.backends.ProcessBackend.inject`).
     """
     x = np.asarray(x, dtype=np.complex128)
     if x.shape != (params.n,):
@@ -262,12 +469,6 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
     parts = [x[r * chunk:(r + 1) * chunk].copy()
              for r in range(params.n_procs)]
     if backend is not None and backend.is_real:
-        if hedge is not None:
-            raise ValueError("hedging duplicates simulated stragglers; "
-                             "a real backend measures them instead")
-        if deadline is not None:
-            raise ValueError("deadlines are enforced by the simulated "
-                             "communicator; not available on a real backend")
         policy = None
         ext_verifier = None
         if verify is not None and verify is not False:
@@ -280,7 +481,8 @@ def spmd_soi_fft(cluster: SimCluster, params: SoiParams, x: np.ndarray,
                 policy = VerifyPolicy.coerce(verify)
         out_parts, report = run_parallel_soi(
             backend, params, parts, machine=cluster.machine, window=window,
-            policy=policy, fault_plan=cluster.comm.fault_plan)
+            policy=policy, fault_plan=cluster.comm.fault_plan,
+            deadline=deadline, hedge=hedge, resilient=resilient)
         if ext_verifier is not None and report is not None:
             ext_verifier.reset_report()
             ext_verifier.report.merge(report)

@@ -10,8 +10,13 @@ import numpy as np
 import pytest
 
 from repro.cluster.backends import ProcessBackend, SimulatedBackend
-from repro.cluster.faults import FaultPlan
-from repro.cluster.shm import ShmPool
+from repro.cluster.faults import (
+    FaultPlan,
+    ProcessFault,
+    ProcessFaultPlan,
+    RankFailed,
+)
+from repro.cluster.shm import ShmPool, list_segments
 from repro.cluster.simcluster import SimCluster
 from repro.cluster.spmd import (
     AllToAll,
@@ -23,6 +28,8 @@ from repro.cluster.spmd import (
 from repro.core.params import SoiParams
 from repro.core.soi_dist import DistributedSoiFFT
 from repro.core.soi_spmd import run_parallel_soi, spmd_soi_fft
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.verify import HedgePolicy
 from repro.verify.policy import VerifyPolicy
 
 pytestmark = pytest.mark.parallel
@@ -199,13 +206,17 @@ class TestProcessBackendCollectives:
         with pytest.raises(ValueError, match="pickle"):
             backend.run(local_prog, [()] * P)
 
-    def test_hedge_rejected(self, backend):
-        with pytest.raises(ValueError, match="stragglers are real"):
-            backend.run(alltoall_prog, [(0.0,)] * P, hedge=object())
-
     def test_wrong_rank_count_rejected(self, backend):
         with pytest.raises(ValueError):
             backend.run(alltoall_prog, [(0.0,)] * (P + 1))
+
+    def test_subset_group_runs_on_survivors(self, backend):
+        """A job may target any subset of the worker set (recovery path)."""
+        group = (0, 1, 3)
+        want = run_spmd(SimCluster(len(group)),
+                        lambda ctx: alltoall_prog(ctx, 2.0))
+        got = backend.run(alltoall_prog, [(2.0,)] * len(group), ranks=group)
+        assert all(np.array_equal(a, b) for a, b in zip(got, want))
 
 
 class TestProcessBackendSoi:
@@ -282,15 +293,31 @@ class TestProcessBackendSoi:
         with pytest.raises(ValueError, match="SDC-only"):
             spmd_soi_fft(cl2, params, x, backend=backend)
 
-    def test_hedge_and_deadline_rejected_on_real_backend(self, backend):
+    def test_deadline_accepted_on_real_backend(self, backend):
+        """A generous wall-clock budget changes nothing; an expired one
+        raises cleanly and the backend keeps serving."""
         params = soi_params(2 ** 12)
         x = signal(params.n)
-        with pytest.raises(ValueError, match="hedg"):
+        want = spmd_soi_fft(SimCluster(P), params, x)
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=backend,
+                           deadline=Deadline(60.0))
+        assert np.array_equal(want, got)
+        with pytest.raises(DeadlineExceeded):
             spmd_soi_fft(SimCluster(P), params, x, backend=backend,
-                         hedge=object())
-        with pytest.raises(ValueError, match="deadline"):
-            spmd_soi_fft(SimCluster(P), params, x, backend=backend,
-                         deadline=object())
+                         deadline=Deadline(1e-9))
+        after = spmd_soi_fft(SimCluster(P), params, x, backend=backend)
+        assert np.array_equal(want, after)
+
+    def test_hedge_accepted_on_real_backend(self, backend):
+        """With no stragglers a hedge policy is a no-op pass-through."""
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        hedge = HedgePolicy(threshold=50.0, min_ranks=2)
+        want = spmd_soi_fft(SimCluster(P), params, x)
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=backend,
+                           hedge=hedge)
+        assert np.array_equal(want, got)
+        assert hedge.launched == 0
 
     def test_part_count_validated(self, backend):
         params = soi_params(2 ** 12)
@@ -299,6 +326,176 @@ class TestProcessBackendSoi:
             run_parallel_soi(backend, params,
                              [np.zeros(chunk, complex)] * (P - 1),
                              machine=SimCluster(P).machine)
+
+
+# -- elastic recovery and process-level chaos ---------------------------
+
+@pytest.fixture()
+def chaos_backend():
+    """Function-scoped backend for tests that kill/stall workers."""
+    b = ProcessBackend(P, hang_timeout=1.5)
+    yield b
+    token = b._token
+    b.close()
+    assert list_segments(token) == []  # no /dev/shm leak, ever
+
+
+class TestProcessFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ProcessFault("explode", rank=0)
+        with pytest.raises(ValueError, match="rank"):
+            ProcessFault("kill", rank=-1)
+        with pytest.raises(ValueError, match="SDC-only"):
+            ProcessFaultPlan(sdc=FaultPlan.random(1, P, corrupt_rate=0.1))
+
+    def test_seeded_plan_is_reproducible(self):
+        a = ProcessFaultPlan.random(7, P, n_kills=1, n_stalls=1, n_delays=1)
+        b = ProcessFaultPlan.random(7, P, n_kills=1, n_stalls=1, n_delays=1)
+        assert a.faults == b.faults
+        assert a.describe() == b.describe()
+
+    def test_min_survivors_respected(self):
+        for seed in range(20):
+            plan = ProcessFaultPlan.random(seed, P, n_kills=P - 1,
+                                           min_survivors=2)
+            kills = [f for f in plan.faults if f.kind == "kill"]
+            assert len(kills) <= P - 2
+
+    def test_job_sequencing(self):
+        plan = ProcessFaultPlan([ProcessFault("kill", rank=1, job=2,
+                                              collective=0)])
+        plan.reset()
+        assert plan.next_job() == ()  # job 1: nothing scheduled
+        assert len(plan.next_job()) == 1  # job 2: the kill fires
+
+
+class TestElasticRecovery:
+    def test_rank_failed_carries_failure_context(self, chaos_backend):
+        """Satellite: RankFailed chains the watchdog's evidence — dead
+        rank ids, job label, survivors — and a causal RuntimeError."""
+        be = chaos_backend
+        be.inject(ProcessFaultPlan([ProcessFault("kill", rank=2,
+                                                 collective=0)]))
+        with pytest.raises(RankFailed, match="worker 2 died") as ei:
+            be.run(alltoall_prog, [(0.0,)] * P, label="doomed job")
+        exc = ei.value
+        assert exc.rank == 2
+        assert exc.dead_ranks == (2,)
+        assert set(exc.survivors) == {0, 1, 3}
+        assert exc.job_label == "doomed job"
+        assert isinstance(exc.__cause__, RuntimeError)
+        assert "doomed job" in str(exc.__cause__)
+        assert be.last_failure is not None
+        assert be.last_failure.dead == (2,)
+        # the backend survives: dead worker respawns on the next run
+        got = be.run(alltoall_prog, [(3.0,)] * P)
+        assert len(got) == P and be.live_workers() == list(range(P))
+
+    def test_kill_mid_alltoall_recovers_bitwise(self, chaos_backend):
+        """The acceptance scenario: SIGKILL one worker mid-all-to-all;
+        shrink-and-redistribute completes on the survivors and the
+        output is bit-identical to the fault-free run."""
+        be = chaos_backend
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        want = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        be.inject(ProcessFaultPlan([ProcessFault("kill", rank=2,
+                                                 collective=1)]))
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        assert np.array_equal(want, got)
+        report = be.last_recovery
+        assert report is not None
+        assert report.dead_ranks == (2,)
+        assert report.n_live == P - 1
+        assert report.recomputed_rows > 0
+        assert len(report.slot_owners) == params.n_procs * \
+            params.segments_per_process
+        assert be.last_mttr_s is not None and be.last_mttr_s >= 0.0
+
+    def test_kill_before_checkpoint_recovers_bitwise(self, chaos_backend):
+        """Death at the first collective (pre-checkpoint): every dead
+        row is recomputed from the input, still bit-identical."""
+        be = chaos_backend
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        want = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        be.inject(ProcessFaultPlan([ProcessFault("kill", rank=1,
+                                                 collective=0)]))
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        assert np.array_equal(want, got)
+        assert be.last_recovery.dead_ranks == (1,)
+
+    def test_hang_detected_and_recovered(self, chaos_backend):
+        """SIGSTOP without resume: the heartbeat watchdog escalates the
+        hung worker to SIGKILL and recovery completes bit-identically."""
+        be = chaos_backend
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        want = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        be.inject(ProcessFaultPlan([ProcessFault("stall", rank=3,
+                                                 collective=1)]))
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        assert np.array_equal(want, got)
+        assert be.last_failure.hung == (3,)
+        assert be.last_recovery.dead_ranks == (3,)
+
+    def test_transient_stall_and_delay_are_transparent(self, chaos_backend):
+        """A stall that resumes (SIGCONT) and a delayed job delivery
+        finish without any recovery at all."""
+        be = chaos_backend
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        want = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        be.inject(ProcessFaultPlan([ProcessFault("stall", rank=3,
+                                                 collective=1,
+                                                 resume_s=0.3)]))
+        assert np.array_equal(want, spmd_soi_fft(SimCluster(P), params, x,
+                                                 backend=be))
+        assert be.last_recovery is None
+        be.inject(ProcessFaultPlan([ProcessFault("delay", rank=2,
+                                                 after_s=0.2)]))
+        assert np.array_equal(want, spmd_soi_fft(SimCluster(P), params, x,
+                                                 backend=be))
+        assert be.last_recovery is None
+
+    def test_hedge_redispatches_straggler(self, chaos_backend):
+        """A worker whose job delivery stalls far past the label's known
+        duration is killed and the job re-dispatched to its replacement
+        — the run completes long before the fault's delay elapses."""
+        be = chaos_backend
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        want = spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        be.inject(ProcessFaultPlan([ProcessFault("delay", rank=0,
+                                                 after_s=30.0)]))
+        hedge = HedgePolicy(threshold=2.0, min_ranks=2)
+        got = spmd_soi_fft(SimCluster(P), params, x, backend=be,
+                           hedge=hedge)
+        assert np.array_equal(want, got)
+        assert hedge.launched >= 1 and hedge.won >= 1
+        # and the respawned worker serves the next job normally
+        be.inject(None)
+        assert np.array_equal(want, spmd_soi_fft(SimCluster(P), params, x,
+                                                 backend=be))
+
+    def test_recovery_metrics_and_no_leaks(self, chaos_backend):
+        be = chaos_backend
+        recoveries = be.metrics.counter("repro_backend_recoveries_total")
+        deaths = be.metrics.counter("repro_backend_worker_deaths_total")
+        r0, d0 = recoveries.value, deaths.value
+        params = soi_params(2 ** 12)
+        x = signal(params.n)
+        be.inject(ProcessFaultPlan([ProcessFault("kill", rank=0,
+                                                 collective=1)]))
+        spmd_soi_fft(SimCluster(P), params, x, backend=be)
+        assert recoveries.value == r0 + 1
+        assert deaths.value == d0 + 1
+        # mid-life hygiene: only live infrastructure segments remain
+        # (heartbeat + live outboxes); checkpoint/staging segments and
+        # the dead worker's outbox were reclaimed by the janitor
+        kinds = {n[len(be._token):][:1] for n in list_segments(be._token)}
+        assert kinds <= {"h", "o"}
 
 
 class TestProcessBackendTelemetry:
