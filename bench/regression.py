@@ -62,6 +62,8 @@ RECOVERY_MTTR_CEILING_S = 5.0  # failure detection -> recovered result
 RECOVERY_THROUGHPUT_FLOOR = 0.5  # post-recovery / pre-failure throughput
 AUTOTUNE_SPEEDUP_FLOOR = 1.05  # best tuned size must beat default by >= 5%
 QERROR_CEILING = 2.0  # held-out per-stage q-error after calibration
+SCALE_HIER_EFFICIENCY_FLOOR = 0.5  # flat/hier simulated time at 1024 ranks
+SCALE_MTTR_CEILING_S = 1.0  # simulated per-domain repair time, SOI recovery
 
 
 # ---------------------------------------------------------------------------
@@ -543,6 +545,33 @@ def run(quick: bool) -> dict:
           f"-> {max(q_after.values()):5.2f} after calibration "
           f"(ceiling {QERROR_CEILING})")
 
+    # -- 10. scale chaos: two-level exchange + domain recovery ----------
+    # both legs are fully simulated and seeded, so the numbers are
+    # deterministic on any machine and the gates bind in quick mode too.
+    # the 1024-rank exchange pair is the tentpole contract: the
+    # hierarchical (intra-leaf, inter-leaf) all-to-all must not lose to
+    # the flat exchange in simulated time, bit-identically.
+    from repro.bench.scalechaos import exchange_rows, soi_domain_recovery
+
+    sc_row = exchange_rows((1024,), seed=2013)[0]
+    sc_rec = soi_domain_recovery(64, seed=2013)
+    sc_mttr = (max(sc_rec["mttr_by_domain"].values())
+               if sc_rec["mttr_by_domain"] else None)
+    results["scale_chaos"] = {
+        "exchange": sc_row,
+        "domain_recovery": {**sc_rec,
+                            "mttr_sim_s": sc_mttr},
+    }
+    print(f"  {'scale_chaos':24s} P={sc_row['ranks']} flat "
+          f"{sc_row['flat_sim_s'] * 1e3:9.3f} ms   hier "
+          f"{sc_row['hier_sim_s'] * 1e3:9.3f} ms   "
+          f"efficiency {sc_row['speedup']:5.2f}x   "
+          f"{'ok' if sc_row['bitwise_equal'] else 'MISMATCH'}")
+    print(f"  {'domain_recovery':24s} P={sc_rec['ranks']} dead "
+          f"{len(sc_rec['dead'])} ({sc_rec['domain_kind']})   mttr "
+          f"{(sc_mttr or 0) * 1e3:9.3f} ms   "
+          f"{'ok' if sc_rec['bitwise_equal'] else 'MISMATCH'}")
+
     # -- allocation audit (planned paths, steady state) ----------------
     print("allocation audit (steady state, threshold 1 MiB):")
     for name, fn in [
@@ -681,6 +710,26 @@ def main(argv=None) -> int:
         "qerror_improves_ok": bool(
             results["qerror"]["after_max"]
             <= results["qerror"]["before_max"]),
+        # the 10^3-rank fabric contract: the two-level all-to-all must
+        # not regress simulated time vs the flat exchange at 1024 ranks
+        # (bit-identically), and domain-aware SOI recovery must repair a
+        # dead leaf switch inside the simulated MTTR ceiling
+        "scale_hier_efficiency_min": SCALE_HIER_EFFICIENCY_FLOOR,
+        "scale_hier_efficiency": round(
+            results["scale_chaos"]["exchange"]["speedup"], 3),
+        "scale_hier_ok": bool(
+            results["scale_chaos"]["exchange"]["bitwise_equal"]
+            and results["scale_chaos"]["exchange"]["speedup"]
+            >= SCALE_HIER_EFFICIENCY_FLOOR),
+        "scale_mttr_ceiling_s": SCALE_MTTR_CEILING_S,
+        "scale_mttr_s": results["scale_chaos"]["domain_recovery"][
+            "mttr_sim_s"],
+        "scale_recovery_ok": bool(
+            results["scale_chaos"]["domain_recovery"]["bitwise_equal"]
+            and results["scale_chaos"]["domain_recovery"]["mttr_sim_s"]
+            is not None
+            and results["scale_chaos"]["domain_recovery"]["mttr_sim_s"]
+            <= SCALE_MTTR_CEILING_S),
     }
     payload = {
         "schema": 1,
@@ -706,7 +755,8 @@ def main(argv=None) -> int:
                               "parallel_bitwise_ok", "recovery_bitwise_ok",
                               "autotune_parity_ok",
                               "wisdom_consumed_ok", "qerror_ok",
-                              "qerror_improves_ok")
+                              "qerror_improves_ok", "scale_hier_ok",
+                              "scale_recovery_ok")
                   if not criteria[k]]
     if failed:
         print(f"FAILED criteria: {', '.join(failed)}")

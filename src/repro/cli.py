@@ -21,6 +21,9 @@ Commands
 ``parallel-bench``  measure real wall-clock SOI speedup with the
                process backend (worker processes + shared-memory
                all-to-all) against the single-process run
+``scale-chaos``  correlated-failure exhibit on 10^3-10^4-rank fabrics:
+               flat vs two-level all-to-all, degraded uplinks, switch
+               failures, and partitions with quorum semantics
 ``info``       print machine presets, version, and parameter rules
 """
 
@@ -148,6 +151,21 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     rates = (0.0, 0.002, 0.01) if args.quick else DEFAULT_RATES
     seeds = DEFAULT_SEEDS[:2] if args.quick else DEFAULT_SEEDS
     text = render_fault_sweep(rates, seeds, p=args.ranks)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"[saved to {path}]")
+    return 0
+
+
+def _cmd_scale_chaos(args: argparse.Namespace) -> int:
+    from repro.bench.scalechaos import render_scale_chaos
+
+    text = render_scale_chaos(quick=args.quick, seed=args.seed)
     print(text)
     if args.output:
         from pathlib import Path
@@ -527,6 +545,16 @@ def main(argv: list[str] | None = None) -> int:
     fs.add_argument("--output", default=None,
                     help="also save the exhibit to this path")
 
+    sch = sub.add_parser(
+        "scale-chaos",
+        help="correlated failures and partitions at 10^3-10^4 ranks")
+    sch.add_argument("--quick", action="store_true",
+                     help="stop at 1024 ranks (full mode adds 4096 and "
+                          "the 1024-rank end-to-end SOI recovery)")
+    sch.add_argument("--seed", type=int, default=2013)
+    sch.add_argument("--output", default=None,
+                     help="also save the exhibit to this path")
+
     v = sub.add_parser(
         "verify",
         help="self-verifying distributed transform under seeded SDC")
@@ -659,6 +687,7 @@ def main(argv: list[str] | None = None) -> int:
         "transform": _cmd_transform,
         "figures": _cmd_figures,
         "fault-sweep": _cmd_fault_sweep,
+        "scale-chaos": _cmd_scale_chaos,
         "verify": _cmd_verify,
         "degrade-sweep": _cmd_degrade_sweep,
         "trace-export": _cmd_trace_export,

@@ -18,6 +18,10 @@ from repro.cluster.faults import (
     CollectiveFailure,
     CorruptionDetected,
     FaultPlan,
+    FlappingLink,
+    LinkDegradation,
+    PartitionDetected,
+    PartitionEvent,
     ProcessFault,
     ProcessFaultPlan,
     RankFailed,
@@ -27,10 +31,6 @@ from repro.cluster.faults import (
     checksum,
 )
 from repro.cluster.gantt import gantt_from_schedule, gantt_from_trace
-from repro.cluster.integrity import (
-    FaultInjector,
-    checksummed_cluster,
-)
 from repro.cluster.mpi_compat import LoopbackComm, MpiCommunicator
 from repro.cluster.noise import NoiseModel, expected_bsp_slowdown, noisy_cluster
 from repro.cluster.replay import OverlapReplay, replay_with_overlap
@@ -56,7 +56,12 @@ from repro.cluster.spmd import (
     SpmdError,
     run_spmd,
 )
-from repro.cluster.topology import FatTree, Torus, alltoall_contention
+from repro.cluster.topology import (
+    FatTree,
+    FaultDomains,
+    Torus,
+    alltoall_contention,
+)
 from repro.cluster.trace import CATEGORIES, Event, Trace
 
 __all__ = [
@@ -69,8 +74,12 @@ __all__ = [
     "Compute",
     "CorruptionDetected",
     "ExecutionBackend",
-    "FaultInjector",
+    "FaultDomains",
     "FaultPlan",
+    "FlappingLink",
+    "LinkDegradation",
+    "PartitionDetected",
+    "PartitionEvent",
     "ProcessBackend",
     "ProcessFault",
     "ProcessFaultPlan",
@@ -85,7 +94,6 @@ __all__ = [
     "WorkerFailure",
     "chaos_cluster",
     "checksum",
-    "checksummed_cluster",
     "RankContext",
     "SendRecvRing",
     "alltoall_bruck",

@@ -43,6 +43,7 @@ import numpy as np
 from repro.cluster.faults import (
     CorruptionDetected,
     FaultPlan,
+    PartitionDetected,
     RankFailed,
     RetriesExhausted,
     RetryPolicy,
@@ -97,6 +98,12 @@ class Communicator:
         self._m_breaker_transitions = reg.counter(
             "repro_cluster_breaker_transitions_total",
             "circuit-breaker state changes on directed links")
+        self._m_link_faults = reg.counter(
+            "repro_cluster_link_faults_total",
+            "payloads lost to degraded or flapping links")
+        self._m_partition_stalls = reg.counter(
+            "repro_cluster_partition_stalls_total",
+            "collective attempts stalled on a fabric partition")
 
     @property
     def size(self) -> int:
@@ -198,10 +205,16 @@ class Communicator:
                 deadline.charge(category, duration)
             return result
 
+        slowdown = 1.0
+        if plan.degraded_links:
+            # a synchronized collective runs at its slowest link's pace
+            slowdown = plan.link_slowdown(
+                {(r.src, r.dst) for r in routes})
         attempt = 0
         while True:
             dead = plan.begin_transfer() & set(participants)
             failures: list[tuple[int, int, str]] = []
+            check_links = plan.has_link_faults
             for route in routes:
                 payload = route.get()
                 ref = checksum(payload)  # sender-side checksum
@@ -212,6 +225,14 @@ class Communicator:
                 if fault == "timeout":
                     failures.append((route.src, route.dst, "timeout"))
                     continue
+                if check_links and fault is None:
+                    # correlated link behavior: partitions, flaps, loss
+                    fault = plan.link_fault(route.src, route.dst)
+                    if fault is not None:
+                        if fault != "partitioned":
+                            self._m_link_faults.inc()
+                        failures.append((route.src, route.dst, fault))
+                        continue
                 if tampered is not payload:
                     route.set(tampered)
                     payload = tampered
@@ -222,9 +243,16 @@ class Communicator:
                 failures = [(r, r, "unresponsive") for r in sorted(dead)]
 
             stalled = any(kind != "corrupt" for _, _, kind in failures)
-            att_duration = duration + (policy.timeout_seconds if stalled
-                                       else 0.0)
+            partitioned = any(kind == "partitioned"
+                              for _, _, kind in failures)
+            att_duration = duration * slowdown + \
+                (policy.timeout_seconds if stalled else 0.0)
             att_category = category if attempt == 0 else "retry"
+            if partitioned:
+                # a cut fabric is a different beast from a flaky link:
+                # stall time is charged to its own trace category
+                att_category = "partition"
+                self._m_partition_stalls.inc()
             self._collective(label, att_duration, nbytes_by_rank,
                              att_category, participants)
             if deadline is not None:
@@ -240,17 +268,19 @@ class Communicator:
                 # A link just tripped open (stop burning retries on it)
                 # or the policy's retry budget is spent: escalate.
                 exc, cause = self._escalate(label, failures, dead,
-                                            attempt + 1, plan)
+                                            attempt + 1, plan,
+                                            participants)
                 if cause is not None:
                     raise exc from cause
                 raise exc
 
             backoff = policy.backoff(attempt)
             if backoff > 0:
+                wait_cat = "partition" if partitioned else "retry"
                 self._collective(f"{label} (backoff)", backoff, {},
-                                 "retry", participants)
+                                 wait_cat, participants)
                 if deadline is not None:
-                    deadline.charge("retry", backoff)
+                    deadline.charge(wait_cat, backoff)
             if deadline is not None:
                 deadline.check(f"{label} (retry)")
             self.retry_count += 1
@@ -263,7 +293,8 @@ class Communicator:
             attempt += 1
 
     def _escalate(self, label: str, failures: list[tuple[int, int, str]],
-                  dead: set[int], attempts: int, plan: FaultPlan | None
+                  dead: set[int], attempts: int, plan: FaultPlan | None,
+                  participants: list[int] | None = None
                   ) -> tuple[Exception, Exception | None]:
         """Map persistent route failures to the exception to raise.
 
@@ -271,6 +302,21 @@ class Communicator:
         or checksum mismatch) is chained with ``raise ... from`` so the
         algorithm layer sees *why* the collective was given up on.
         """
+        partitioned = [(s, d) for s, d, kind in failures
+                       if kind == "partitioned"]
+        if partitioned:
+            # liveness signal: the persistent failures are exactly the
+            # cross-component routes of an active partition event
+            comps = plan.partition_components(participants) \
+                if plan is not None else ()
+            src, dst = partitioned[0]
+            sizes = "+".join(str(len(c)) for c in comps)
+            return PartitionDetected(
+                f"fabric partitioned ({sizes}) in '{label}': "
+                f"{len(partitioned)} route(s) (first {src}->{dst}) "
+                f"dead across the cut after {attempts} attempt(s)",
+                components=comps), TimeoutError(
+                    f"route {src}->{dst} crosses the partition cut")
         unresponsive = sorted(
             r for s, d, kind in failures if kind == "unresponsive"
             for r in (s, d) if r in dead)
@@ -354,6 +400,18 @@ class Communicator:
         board.fast_failures += 1
         src, dst, brk = blocked[0]
         kind = brk.last_kind or "timeout"
+        if kind == "partitioned":
+            # breaker signal: links that tripped on cross-cut routes fail
+            # the collective fast with the same census the retry path
+            # would eventually produce
+            comps = plan.partition_components(participants) \
+                if plan is not None else ()
+            sizes = "+".join(str(len(c)) for c in comps)
+            raise PartitionDetected(
+                f"open breaker on link {src}->{dst}: fabric partitioned "
+                f"({sizes}), failing '{label}' fast",
+                components=comps) from TimeoutError(
+                    f"link {src}->{dst} tripped across the partition cut")
         if kind == "unresponsive":
             rank = brk.suspect_rank if brk.suspect_rank is not None else src
             self._cluster.fail_rank(rank)
@@ -389,7 +447,9 @@ class Communicator:
 
     def alltoall(self, sendbufs: list[list[np.ndarray]],
                  label: str = "alltoall",
-                 ranks: list[int] | None = None) -> list[list[np.ndarray]]:
+                 ranks: list[int] | None = None,
+                 groups: list[list[int]] | None = None
+                 ) -> list[list[np.ndarray]]:
         """Personalized all-to-all: ``recv[dst][src] = send[src][dst]``.
 
         *sendbufs* is a q-by-q nested list of arrays (row = source rank)
@@ -397,11 +457,27 @@ class Communicator:
         the subset *ranks* (a shrunken communicator, MPI
         ``Comm_shrink``-style, indexed in participant order).  Self-
         messages are local copies and do not count toward wire traffic.
+
+        *groups*, a partition of the participants into equal-size groups
+        by topology distance (e.g. the fabric's fault domains), selects
+        the **hierarchical two-level exchange**: an intra-group
+        all-to-all aggregating each member's blocks by destination local
+        index, then one inter-group exchange per local index moving the
+        aggregates between groups.  Each rank sends ``(m-1) + (G-1)``
+        messages instead of ``q-1`` — the latency collapse that keeps
+        10^3–10^4-rank exchanges tractable — and a failing group maps
+        onto exactly one intra-group collective.  Results are bitwise
+        identical to the flat exchange.
         """
         parts = self._resolve(ranks, self.size)
         q = len(parts)
         if len(sendbufs) != q or any(len(row) != q for row in sendbufs):
             raise ValueError(f"sendbufs must be {q}x{q}")
+        if groups is not None:
+            checked = self._check_groups(groups, parts)
+            if checked is not None:
+                return self._alltoall_two_level(sendbufs, label, parts,
+                                                checked)
         wire_by_rank = {
             parts[src]: sum(_nbytes(sendbufs[src][dst]) for dst in range(q)
                             if dst != src)
@@ -427,6 +503,93 @@ class Communicator:
                              participants=parts,
                              n_wire_messages=q * (q - 1),
                              wire_bytes=sum(wire_by_rank.values()))
+
+    @staticmethod
+    def _check_groups(groups: list[list[int]],
+                      parts: list[int]) -> list[list[int]] | None:
+        """Validate a two-level grouping; None selects the flat path.
+
+        Groups must partition the participants exactly; unequal sizes
+        raise (the inter-group phase pairs members at matching local
+        indices, so a ragged grouping has no well-defined schedule).
+        A single group, or groups of one, degenerate to the flat
+        exchange.
+        """
+        flat = [r for g in groups for r in g]
+        if len(flat) != len(set(flat)) or set(flat) != set(parts):
+            raise ValueError("groups must partition the participants")
+        if len(groups) < 2 or any(len(g) < 2 for g in groups):
+            return None
+        if len({len(g) for g in groups}) != 1:
+            raise ValueError("two-level all-to-all needs equal-size "
+                             "groups; regroup or use the flat exchange")
+        return [list(g) for g in groups]
+
+    def _alltoall_two_level(self, sendbufs: list[list[np.ndarray]],
+                            label: str, parts: list[int],
+                            groups: list[list[int]]
+                            ) -> list[list[np.ndarray]]:
+        """Intra-group aggregation, then inter-group exchange.
+
+        Phase 1 runs one all-to-all *inside* each group: member i ships
+        member j everything it holds for local index j of any group
+        (blocks raveled and concatenated in group order).  Phase 2 runs
+        one all-to-all per local index j across the groups, moving the
+        aggregated per-group payloads.  Groups are disjoint rank sets,
+        so the per-group (and per-index) collectives overlap in
+        simulated time exactly as they would on disjoint switches.
+        """
+        pos = {r: i for i, r in enumerate(parts)}
+        gpos = [[pos[r] for r in grp] for grp in groups]
+        n_groups, m = len(groups), len(groups[0])
+        sizes = [[blk.size for blk in row] for row in sendbufs]
+
+        # ---- phase 1: aggregate by destination local index ----
+        recv1 = []
+        for gi in range(n_groups):
+            bufs = [[np.concatenate(
+                [np.ravel(sendbufs[gpos[gi][i]][gpos[h][j]])
+                 for h in range(n_groups)])
+                for j in range(m)] for i in range(m)]
+            recv1.append(self.alltoall(bufs, ranks=groups[gi],
+                                       label=f"{label} [intra]"))
+
+        # ---- phase 2: exchange aggregates between groups ----
+        recv2 = []
+        for j in range(m):
+            bufs2 = []
+            for gi in range(n_groups):
+                # recv1[gi][j][i] holds source (gi, i)'s blocks for local
+                # index j, ordered by destination group; regroup h-major
+                offs = np.zeros((m, n_groups + 1), dtype=np.int64)
+                for i in range(m):
+                    np.cumsum([sizes[gpos[gi][i]][gpos[h][j]]
+                               for h in range(n_groups)],
+                              out=offs[i, 1:])
+                bufs2.append([np.concatenate(
+                    [recv1[gi][j][i][offs[i, h]:offs[i, h + 1]]
+                     for i in range(m)])
+                    for h in range(n_groups)])
+            recv2.append(self.alltoall(
+                bufs2, ranks=[groups[h][j] for h in range(n_groups)],
+                label=f"{label} [inter]"))
+
+        # ---- unpack into the flat recv[dst][src] contract ----
+        recv: list[list[np.ndarray]] = [[None] * len(parts)
+                                        for _ in range(len(parts))]
+        for h in range(n_groups):
+            for j in range(m):
+                d = gpos[h][j]
+                for gi in range(n_groups):
+                    pay = recv2[j][h][gi]
+                    off = 0
+                    for i in range(m):
+                        s = gpos[gi][i]
+                        n = sizes[s][d]
+                        recv[d][s] = pay[off:off + n].reshape(
+                            sendbufs[s][d].shape)
+                        off += n
+        return recv
 
     def ring_exchange(self, to_left: list[np.ndarray],
                       to_right: list[np.ndarray],

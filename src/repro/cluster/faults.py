@@ -7,10 +7,12 @@ This module is the single source of truth for *when* the simulated fabric
 misbehaves:
 
 * :class:`FaultPlan` — a deterministic (seeded) schedule of in-flight
-  corruption, message timeouts, whole-rank failures, and compute noise
-  (stragglers/jitter).  It supersedes the ad-hoc
-  :class:`~repro.cluster.integrity.FaultInjector`, which survives only as
-  a deprecation shim built on top of a plan.
+  corruption, message timeouts, whole-rank failures, compute noise
+  (stragglers/jitter), and — because at 10^3-10^4 ranks failures are
+  *correlated* — degraded links (:class:`LinkDegradation`), flapping
+  links (:class:`FlappingLink`), whole fault domains dying together
+  (:meth:`FaultPlan.fail_domain`), and fabric partitions
+  (:class:`PartitionEvent`).
 * :class:`RetryPolicy` — how hard the
   :class:`~repro.cluster.communicator.Communicator` fights back: retries
   with exponential backoff, a detection timeout, and the retry budget
@@ -36,6 +38,10 @@ __all__ = [
     "CollectiveFailure",
     "CorruptionDetected",
     "FaultPlan",
+    "FlappingLink",
+    "LinkDegradation",
+    "PartitionDetected",
+    "PartitionEvent",
     "ProcessFault",
     "ProcessFaultPlan",
     "RankFailed",
@@ -71,6 +77,129 @@ class RankFailed(CollectiveFailure):
     def __init__(self, rank: int, message: str):
         super().__init__(message)
         self.rank = rank
+
+
+class PartitionDetected(CollectiveFailure):
+    """The fabric split into disconnected components mid-collective.
+
+    Raised by the verified path when cross-component routes stay dead
+    past the retry budget (liveness signal) or when their breakers trip
+    (fast path).  Carries the **component census**: ``components`` is
+    the full partition of the participating ranks, ``component`` the
+    component from whose perspective the error is raised — the majority
+    side catches this and shrinks onto its own component
+    (quorum-checked); minority components abort with it.
+    """
+
+    def __init__(self, message: str,
+                 components: tuple[tuple[int, ...], ...] = (),
+                 component: tuple[int, ...] = ()):
+        super().__init__(message)
+        self.components = tuple(tuple(sorted(c)) for c in components)
+        self.component = tuple(sorted(component))
+
+    @property
+    def census(self) -> dict[int, int]:
+        """rank -> component id, for every rank named in the census."""
+        return {r: i for i, comp in enumerate(self.components)
+                for r in comp}
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """One directed link running below spec without being down.
+
+    ``bandwidth_factor`` scales the link's realized bandwidth (0.25 =
+    the link runs at a quarter rate, so collectives crossing it take
+    4x the modeled wire time); ``loss_rate`` is the per-attempt
+    probability that a payload on the link is dropped (surfacing as a
+    timeout the verified path retries through).
+    """
+
+    bandwidth_factor: float = 1.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError("loss_rate must be a probability")
+
+
+@dataclass(frozen=True)
+class FlappingLink:
+    """A directed link driven by a deterministic on/off process.
+
+    The link is *up* for the first ``round(duty * period)`` transfer
+    slots of every ``period``-transfer cycle (shifted by ``phase``) and
+    down for the rest.  Payloads attempted while it is down time out;
+    a retry that lands after the link flaps back up heals the
+    collective, so short flaps cost backoff time while long ones
+    escalate through the normal taxonomy.
+    """
+
+    period: int
+    duty: float = 0.5
+    phase: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 2:
+            raise ValueError("flap period must span at least 2 transfers")
+        if not 0.0 < self.duty < 1.0:
+            raise ValueError("duty must be in (0, 1) — always-up/down "
+                             "links are not flapping")
+        if self.phase < 0:
+            raise ValueError("phase must be non-negative")
+
+    def up_at(self, transfer: int) -> bool:
+        """Is the link up during 1-based transfer slot *transfer*?"""
+        up_slots = max(1, min(self.period - 1,
+                              int(round(self.duty * self.period))))
+        return (transfer + self.phase) % self.period < up_slots
+
+
+@dataclass(frozen=True)
+class PartitionEvent:
+    """A seeded fabric split: from transfer ``at_transfer`` onward every
+    route crossing component boundaries is dead.
+
+    ``components`` partitions the rank ids into connected islands.
+    Ranks not named in any component are isolated (they can reach no
+    one).  ``heal_at``, if set, restores full connectivity from that
+    transfer onward — a transient partition the retry path can ride
+    out when it is shorter than the retry budget.
+    """
+
+    at_transfer: int
+    components: tuple[tuple[int, ...], ...]
+    heal_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_transfer < 1:
+            raise ValueError("transfer indices are 1-based")
+        if len(self.components) < 2:
+            raise ValueError("a partition needs at least two components")
+        seen: set[int] = set()
+        for comp in self.components:
+            if not comp:
+                raise ValueError("empty partition component")
+            if seen & set(comp):
+                raise ValueError("partition components must be disjoint")
+            seen |= set(comp)
+        if self.heal_at is not None and self.heal_at <= self.at_transfer:
+            raise ValueError("heal_at must come after at_transfer")
+
+    def active_at(self, transfer: int) -> bool:
+        if transfer < self.at_transfer:
+            return False
+        return self.heal_at is None or transfer < self.heal_at
+
+    def component_of(self, rank: int) -> int:
+        """Component id of *rank*; -1 for ranks outside every component."""
+        for i, comp in enumerate(self.components):
+            if rank in comp:
+                return i
+        return -1
 
 
 @dataclass(frozen=True)
@@ -146,7 +275,12 @@ class FaultPlan:
                  rank_failures: dict[int, int] | None = None,
                  stragglers: dict[int, float] | None = None,
                  jitter: float = 0.0, seed: int = 0,
-                 sdc_events: dict[int, float] | None = None):
+                 sdc_events: dict[int, float] | None = None,
+                 degraded_links: dict[tuple[int, int],
+                                      LinkDegradation] | None = None,
+                 flapping_links: dict[tuple[int, int],
+                                      FlappingLink] | None = None,
+                 partition: PartitionEvent | None = None):
         self.corrupt_messages = frozenset(int(i) for i in corrupt_messages)
         self.timeout_messages = frozenset(int(i) for i in timeout_messages)
         self.rank_failures = {int(r): int(t)
@@ -156,6 +290,13 @@ class FaultPlan:
         self.seed = int(seed)
         self.sdc_events = {int(i): float(a)
                            for i, a in (sdc_events or {}).items()}
+        self.degraded_links = {(int(s), int(d)): deg
+                               for (s, d), deg in
+                               (degraded_links or {}).items()}
+        self.flapping_links = {(int(s), int(d)): fl
+                               for (s, d), fl in
+                               (flapping_links or {}).items()}
+        self.partition = partition
         if any(i < 1 for i in self.corrupt_messages | self.timeout_messages):
             raise ValueError("message indices are 1-based")
         if self.corrupt_messages & self.timeout_messages:
@@ -168,6 +309,15 @@ class FaultPlan:
             raise ValueError("SDC indices are 1-based")
         if any(a <= 0 for a in self.sdc_events.values()):
             raise ValueError("SDC amplitudes must be positive")
+        if any(not isinstance(d, LinkDegradation)
+               for d in self.degraded_links.values()):
+            raise TypeError("degraded_links values must be LinkDegradation")
+        if any(not isinstance(f, FlappingLink)
+               for f in self.flapping_links.values()):
+            raise TypeError("flapping_links values must be FlappingLink")
+        if partition is not None \
+                and not isinstance(partition, PartitionEvent):
+            raise TypeError("partition must be a PartitionEvent")
         self.reset()
 
     # -- construction -------------------------------------------------------
@@ -191,7 +341,15 @@ class FaultPlan:
         checksums, the ABFT layer's problem to catch)."""
         if not 0 <= corrupt_rate <= 1 or not 0 <= timeout_rate <= 1 \
                 or not 0 <= sdc_rate <= 1:
-            raise ValueError("rates must be probabilities")
+            raise ValueError("rates must be probabilities (in [0, 1])")
+        if n_rank_failures < 0 or n_stragglers < 0:
+            raise ValueError("fault counts must be non-negative")
+        if min_survivors < 0:
+            raise ValueError("min_survivors must be non-negative")
+        if horizon_messages < 0 or horizon_transfers < 0 or horizon_sdc < 0:
+            raise ValueError("horizons must be non-negative")
+        if straggler_slowdown < 0:
+            raise ValueError("straggler_slowdown must be non-negative")
         rng = np.random.default_rng(seed)
         draws = rng.random(horizon_messages)
         corrupt = {i + 1 for i in range(horizon_messages)
@@ -221,6 +379,30 @@ class FaultPlan:
                    rank_failures=failures, stragglers=stragglers,
                    jitter=jitter, seed=seed, sdc_events=sdc)
 
+    @classmethod
+    def fail_domain(cls, domains, domain: int, *, at_transfer: int = 1,
+                    seed: int = 0, jitter: float = 0.0) -> "FaultPlan":
+        """Correlated failure: every rank behind one fault domain dies.
+
+        *domains* is a :class:`~repro.cluster.topology.FaultDomains`
+        (derived from the fabric topology); all members of ``domain`` —
+        the ranks behind one leaf switch, one torus axis slab — become
+        unresponsive at the same collective entry (*at_transfer*), the
+        way a switch power loss or an uplink cut actually presents.
+        """
+        members = domains.members(domain)
+        return cls(rank_failures={r: at_transfer for r in members},
+                   seed=seed, jitter=jitter)
+
+    @classmethod
+    def degrade_links(cls, links, *, bandwidth_factor: float = 1.0,
+                      loss_rate: float = 0.0, seed: int = 0) -> "FaultPlan":
+        """Uniform degradation over directed *links* ((src, dst) pairs)."""
+        deg = LinkDegradation(bandwidth_factor=bandwidth_factor,
+                              loss_rate=loss_rate)
+        return cls(degraded_links={(s, d): deg for s, d in links},
+                   seed=seed)
+
     # -- runtime interface (driven by the Communicator) ---------------------
 
     def reset(self) -> None:
@@ -233,12 +415,85 @@ class FaultPlan:
         self.sdc_seen = 0
         self.sdc_injected = 0
         self.sdc_log: list[SdcEvent] = []
+        self.losses_injected = 0
+        self.flap_timeouts_injected = 0
+        self.partition_blocks = 0
+        # dedicated stream for per-link loss draws: re-created on reset so
+        # a replayed schedule reproduces the same drop sequence
+        self._loss_rng = np.random.default_rng((self.seed << 8) ^ 0x10553)
 
     def begin_transfer(self) -> frozenset[int]:
         """Advance the transfer counter; returns the ranks dead during it."""
         self.transfers_seen += 1
         return frozenset(r for r, t in self.rank_failures.items()
                          if self.transfers_seen >= t)
+
+    # -- correlated link faults (queried per route per attempt) -------------
+
+    def link_fault(self, src: int, dst: int) -> str | None:
+        """Fault verdict for one (src, dst) payload of the current transfer.
+
+        Checked in severity order: an active partition blocks every
+        cross-component route (``"partitioned"``), a flapping link in
+        its off-window times the payload out, and a degraded link drops
+        it with its loss rate (a seeded draw).  ``None`` means the link
+        carried the payload.
+        """
+        if self.partition is not None \
+                and self.partition.active_at(self.transfers_seen):
+            cs = self.partition.component_of(src)
+            cd = self.partition.component_of(dst)
+            if cs != cd or cs == -1:
+                self.partition_blocks += 1
+                return "partitioned"
+        flap = self.flapping_links.get((src, dst))
+        if flap is not None and not flap.up_at(self.transfers_seen):
+            self.flap_timeouts_injected += 1
+            return "timeout"
+        deg = self.degraded_links.get((src, dst))
+        if deg is not None and deg.loss_rate > 0.0 \
+                and self._loss_rng.random() < deg.loss_rate:
+            self.losses_injected += 1
+            return "timeout"
+        return None
+
+    def link_slowdown(self, links) -> float:
+        """Duration multiplier for a collective touching *links*.
+
+        A synchronized collective runs at the pace of its slowest
+        member, so the worst degraded link's inverse bandwidth factor
+        dictates the attempt duration (1.0 when nothing is degraded).
+        """
+        if not self.degraded_links:
+            return 1.0
+        worst = 1.0
+        for key in links:
+            deg = self.degraded_links.get(key)
+            if deg is not None:
+                worst = max(worst, 1.0 / deg.bandwidth_factor)
+        return worst
+
+    def partition_components(self, ranks) -> tuple[tuple[int, ...], ...]:
+        """The census of *ranks* under the (possibly inactive) partition:
+        one tuple per component, isolated ranks as singletons."""
+        if self.partition is None:
+            return (tuple(sorted(ranks)),)
+        by_comp: dict[int, list[int]] = {}
+        isolated: list[tuple[int, ...]] = []
+        for r in sorted(ranks):
+            c = self.partition.component_of(r)
+            if c < 0:
+                isolated.append((r,))
+            else:
+                by_comp.setdefault(c, []).append(r)
+        comps = [tuple(by_comp[c]) for c in sorted(by_comp)]
+        return tuple(comps) + tuple(isolated)
+
+    @property
+    def has_link_faults(self) -> bool:
+        """True if any correlated link behavior is scheduled."""
+        return bool(self.degraded_links or self.flapping_links
+                    or self.partition is not None)
 
     def apply(self, payload: np.ndarray) -> tuple[np.ndarray, str | None]:
         """Consume one wire-message slot; returns ``(payload, fault)``.
@@ -304,7 +559,7 @@ class FaultPlan:
         Compute-side silent corruption is tracked separately (see
         :attr:`has_sdc`): wire checksums neither see nor heal it."""
         return not (self.corrupt_messages or self.timeout_messages
-                    or self.rank_failures)
+                    or self.rank_failures or self.has_link_faults)
 
     @property
     def has_sdc(self) -> bool:
@@ -312,12 +567,22 @@ class FaultPlan:
         return bool(self.sdc_events)
 
     def describe(self) -> str:
+        extra = ""
+        if self.degraded_links:
+            extra += f", degraded_links={len(self.degraded_links)}"
+        if self.flapping_links:
+            extra += f", flapping_links={len(self.flapping_links)}"
+        if self.partition is not None:
+            sizes = "+".join(str(len(c))
+                             for c in self.partition.components)
+            extra += (f", partition={sizes}"
+                      f"@t{self.partition.at_transfer}")
         return (f"FaultPlan(seed={self.seed}, "
                 f"corrupt={len(self.corrupt_messages)}, "
                 f"timeout={len(self.timeout_messages)}, "
                 f"rank_failures={dict(sorted(self.rank_failures.items()))}, "
                 f"stragglers={len(self.stragglers)}, jitter={self.jitter}, "
-                f"sdc={len(self.sdc_events)})")
+                f"sdc={len(self.sdc_events)}{extra})")
 
 
 @dataclass(frozen=True)

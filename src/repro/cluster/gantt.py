@@ -13,7 +13,7 @@ from repro.cluster.trace import CATEGORIES, Trace
 __all__ = ["gantt_from_trace", "gantt_from_schedule"]
 
 _GLYPHS = {"compute": "#", "mpi": "=", "pcie": "~", "retry": "!",
-           "hedge": "+", "other": ".", "deadline": "x"}
+           "hedge": "+", "other": ".", "deadline": "x", "partition": "%"}
 
 
 def _render(lanes: dict[str, list[tuple[float, float, str]]], span: float,

@@ -6,6 +6,13 @@ for Xeon nodes, :class:`~repro.cluster.proxy.ReverseProxy` for Xeon Phi
 nodes in symmetric mode).  Compute kernels charge roofline time against a
 rank's clock; collectives go through :class:`Communicator`.  The resulting
 :class:`~repro.cluster.trace.Trace` feeds the Fig 8/9 benches.
+
+An optional ``topology`` (a :class:`~repro.cluster.topology.FatTree` or
+:class:`~repro.cluster.topology.Torus`) gives the cluster a physical
+shape: its :attr:`SimCluster.domains` are the correlated-failure groups
+consumed by :meth:`repro.cluster.faults.FaultPlan.fail_domain`,
+domain-aware recovery placement, and the hierarchical two-level
+all-to-all.
 """
 
 from __future__ import annotations
@@ -38,7 +45,8 @@ class SimCluster:
                  transport=STAMPEDE_EFFECTIVE,
                  machines: list[MachineSpec] | None = None,
                  pcie: PcieSpec = PCIE_GEN2_X16,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 topology=None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         if machines is not None and len(machines) != n_ranks:
@@ -50,6 +58,8 @@ class SimCluster:
         self.transport = transport
         self.pcie = pcie
         self.metrics = get_registry() if metrics is None else metrics
+        self.topology = topology
+        self._domains = None
         self.clocks = [0.0] * n_ranks
         self.alive = [True] * n_ranks
         self.trace = Trace()
@@ -58,6 +68,19 @@ class SimCluster:
     def machine_of(self, rank: int) -> MachineSpec:
         """The node type of one rank."""
         return self.machines[rank]
+
+    @property
+    def domains(self):
+        """Correlated-failure domains derived from ``topology`` (lazy).
+
+        ``None`` when the cluster has no topology — callers then fall
+        back to independent-failure assumptions and the flat all-to-all.
+        """
+        if self.topology is None:
+            return None
+        if self._domains is None:
+            self._domains = self.topology.domains(self.n_ranks)
+        return self._domains
 
     @property
     def recorder(self):

@@ -6,6 +6,16 @@ binding constraint beyond node injection bandwidth is the bisection — half
 the traffic of every node crosses it.  A two-level fat tree (Stampede) has
 a configurable oversubscription ratio; a k-ary torus (the K computer
 comparison in §6.1/§8.2) has a bisection that grows only as P^{(d-1)/d}.
+
+At 10^3–10^4 ranks failures stop being independent: the shared hardware
+behind a group of ranks (a leaf switch, a torus axis slab) fails as one
+unit.  :class:`FaultDomains` derives that group structure from a topology
+— every rank behind FatTree leaf *i*, every rank in the slab with a given
+coordinate along a torus's longest axis — and is consumed by correlated
+fault injection (:meth:`repro.cluster.faults.FaultPlan.fail_domain`),
+domain-aware recovery placement (:mod:`repro.core.soi_dist`), and the
+hierarchical two-level all-to-all, whose intra-group phase is grouped by
+exactly these domains.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-__all__ = ["FatTree", "Torus", "alltoall_contention"]
+__all__ = ["FatTree", "FaultDomains", "Torus", "alltoall_contention"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +65,20 @@ class FatTree:
             g.add_edge(node, f"leaf{node // down}")
         return g
 
+    def domains(self, nodes: int) -> "FaultDomains":
+        """Fault domains: one per leaf switch (ranks sharing the uplink).
+
+        Nodes attach to leaves in contiguous blocks of ``radix // 2``
+        (the same numbering :meth:`graph` uses), so losing leaf *i* —
+        switch power, uplink cable — takes out exactly the ranks of
+        group *i*.
+        """
+        down = max(1, self.radix // 2)
+        groups = [list(range(lo, min(lo + down, nodes)))
+                  for lo in range(0, nodes, down)]
+        return FaultDomains(kind="fat-tree leaf", groups=tuple(
+            tuple(g) for g in groups))
+
 
 @dataclass(frozen=True)
 class Torus:
@@ -90,6 +114,101 @@ class Torus:
         """
         n = self.nodes if nodes is None else nodes
         return min(1.0, 2.0 * self.bisection_links() / n)
+
+    def domains(self, nodes: int | None = None) -> "FaultDomains":
+        """Fault domains: slabs perpendicular to the longest axis.
+
+        Ranks are numbered in C order over ``dims``; the slab with
+        coordinate *c* along the longest dimension is what a failed
+        axis link/router plane takes out together.
+        """
+        n = self.nodes if nodes is None else nodes
+        if n != self.nodes:
+            raise ValueError(f"torus has {self.nodes} nodes, not {n}")
+        axis = max(range(len(self.dims)), key=lambda i: self.dims[i])
+        stride_after = math.prod(self.dims[axis + 1:], start=1)
+        extent = self.dims[axis]
+        groups: list[list[int]] = [[] for _ in range(extent)]
+        for r in range(n):
+            coord = (r // stride_after) % extent
+            groups[coord].append(r)
+        return FaultDomains(kind=f"torus axis-{axis} slab", groups=tuple(
+            tuple(g) for g in groups))
+
+
+@dataclass(frozen=True)
+class FaultDomains:
+    """Correlated-failure structure of a fabric: ranks grouped by the
+    shared hardware whose loss takes them all out at once."""
+
+    kind: str  # human-readable domain flavor ("fat-tree leaf", ...)
+    groups: tuple[tuple[int, ...], ...]  # domain id -> member ranks
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for g in self.groups:
+            if not g:
+                raise ValueError("empty fault domain")
+            if seen & set(g):
+                raise ValueError("fault domains must be disjoint")
+            seen |= set(g)
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.groups)
+
+    def members(self, domain: int) -> tuple[int, ...]:
+        """Ranks behind one domain (a leaf switch, an axis slab)."""
+        return self.groups[domain]
+
+    def domain_of(self, rank: int) -> int:
+        """Domain id of one rank (-1 for ranks outside every domain)."""
+        for i, g in enumerate(self.groups):
+            if rank in g:
+                return i
+        return -1
+
+    def spread_order(self, ranks: list[int]) -> list[int]:
+        """*ranks* reordered to cycle across domains round-robin.
+
+        Walking this order places consecutive adopted work units on
+        *different* surviving domains, so recovery never piles a dead
+        switch's whole load onto one other switch (or back onto a
+        domain that is itself suspect).  Ranks outside every domain
+        sort into a trailing pseudo-domain; order within a domain is
+        preserved, so the result is deterministic.
+        """
+        by_dom: dict[int, list[int]] = {}
+        for r in ranks:
+            by_dom.setdefault(self.domain_of(r), []).append(r)
+        queues = [by_dom[d] for d in sorted(by_dom,
+                                            key=lambda d: (d < 0, d))]
+        out: list[int] = []
+        i = 0
+        while len(out) < len(ranks):
+            q = queues[i % len(queues)]
+            if q:
+                out.append(q.pop(0))
+            i += 1
+            if all(not q for q in queues):
+                break
+        return out
+
+    def equal_groups(self, ranks: list[int]) -> list[list[int]] | None:
+        """*ranks* partitioned by domain, if the partition is balanced.
+
+        The hierarchical all-to-all needs equal-size groups (its
+        inter-group phase pairs members at matching local indices);
+        returns ``None`` when the surviving membership is ragged, so
+        callers can fall back to the flat exchange.
+        """
+        by_dom: dict[int, list[int]] = {}
+        for r in ranks:
+            by_dom.setdefault(self.domain_of(r), []).append(r)
+        groups = [by_dom[d] for d in sorted(by_dom)]
+        if len(groups) < 2 or len({len(g) for g in groups}) != 1:
+            return None
+        return groups
 
 
 def alltoall_contention(topology, nodes: int) -> float:

@@ -36,8 +36,11 @@ __all__ = ["Event", "Trace", "CATEGORIES"]
 #: spent racing a slow rank's task.  ``"deadline"`` holds simulated time
 #: a request ran *past* its per-request deadline before the overrun was
 #: detected at a stage boundary (see :mod:`repro.resilience`).
+#: ``"partition"`` holds time stalled on (and ranks cut off by) a fabric
+#: partition — visually distinct from ordinary retries so a network
+#: split reads differently from a flaky link in the Gantt lanes.
 CATEGORIES = ("compute", "mpi", "pcie", "retry", "hedge", "other",
-              "deadline")
+              "deadline", "partition")
 
 
 @dataclass(frozen=True)

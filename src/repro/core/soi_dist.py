@@ -20,11 +20,11 @@ tested equal to the single-process pipeline and to ``numpy.fft``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cluster.faults import RankFailed
+from repro.cluster.faults import PartitionDetected, RankFailed
 from repro.cluster.simcluster import SimCluster
 from repro.core.convolution import (
     ConvStrategy,
@@ -38,7 +38,8 @@ from repro.core.params import SoiParams
 from repro.core.window import SoiTables, build_tables
 from repro.fft.plan import get_plan
 
-__all__ = ["DistributedSoiFFT", "RecoveryReport", "balanced_row_slices",
+__all__ = ["DistributedSoiFFT", "PartitionReport", "RecoveryReport",
+           "balanced_row_slices",
            "DEFAULT_FFT_EFFICIENCY", "DEFAULT_CONV_EFFICIENCY"]
 
 #: Paper §4/§6: measured compute efficiencies on both Xeon and Xeon Phi.
@@ -60,6 +61,35 @@ class RecoveryReport:
     n_live: int  # survivors that finished the transform
     slot_owners: dict[int, int]  # global segment slot -> surviving owner
     recomputed_rows: int  # convolution rows recomputed from checkpoints
+    #: Fault-domain flavor of the cluster's topology ("fat-tree leaf",
+    #: "torus axis-N slab"), None on topology-less clusters.
+    domain_kind: str | None = None
+    #: Simulated mean-time-to-repair per *affected* domain: seconds from
+    #: the first member failure of that domain to recovery completion.
+    mttr_by_domain: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """How a fabric partition was adjudicated (quorum semantics).
+
+    Stamped into :attr:`DistributedSoiFFT.last_partition` whenever a
+    collective surfaces :class:`~repro.cluster.faults.PartitionDetected`.
+    With a quorum, ``majority`` names the component that kept the
+    request and ``aborted`` the ranks cut off from it — each of those,
+    on a real fabric, would raise ``minority_error`` (a deterministic
+    :class:`PartitionDetected` carrying the same census, so every
+    island reaches the same verdict from its own side of the split).
+    Without a strict majority of the live ranks, ``quorum`` is False
+    and the whole request aborts.
+    """
+
+    components: tuple[tuple[int, ...], ...]  # census: the full partition
+    census: dict[int, int]  # rank -> component id
+    quorum: bool  # did any component hold a strict majority?
+    majority: tuple[int, ...]  # the surviving component (empty w/o quorum)
+    aborted: tuple[int, ...]  # ranks that abort with minority_error
+    minority_error: PartitionDetected | None = None
 
 
 def balanced_row_slices(params: SoiParams, start: int, count: int,
@@ -122,6 +152,15 @@ class DistributedSoiFFT:
         self.segment_exchanges = segment_exchanges
         #: Set by :meth:`recover` after a run that survived rank failures.
         self.last_recovery: RecoveryReport | None = None
+        #: Set whenever a collective surfaced a fabric partition
+        #: (whether or not a quorum survived it).
+        self.last_partition: PartitionReport | None = None
+        #: Participant count from which the all-to-all switches to the
+        #: hierarchical two-level exchange (needs a cluster topology
+        #: whose fault domains partition the participants evenly).  At
+        #: 10^3-10^4 ranks the flat exchange's q-1 messages per rank
+        #: dominate; two levels cut that to (m-1) + (G-1).
+        self.hier_threshold = 64
         #: ABFT verifier (``verify=True`` or a VerifyPolicy arms it): every
         #: rank's post-conv segments are checksum-verified *before* they are
         #: checkpointed or cross the wire, every destination's segment
@@ -283,6 +322,7 @@ class DistributedSoiFFT:
         if deadline is not None:
             deadline.check("distributed entry")
         self.last_recovery = None
+        self.last_partition = None
         fault_plan = cl.comm.fault_plan
         sdc = fault_plan if (fault_plan is not None
                              and fault_plan.has_sdc) else None
@@ -300,6 +340,9 @@ class DistributedSoiFFT:
             except RankFailed:
                 # pre-convolution failure: only the input checkpoint exists
                 return self.recover(x_parts, None, deadline=deadline)
+            except PartitionDetected as exc:
+                return self._handle_partition(exc, x_parts, None,
+                                              deadline=deadline)
             x_ext = [np.concatenate([from_left[r], x_parts[r], from_right[r]])
                      for r in range(n_procs)]
         else:
@@ -348,15 +391,20 @@ class DistributedSoiFFT:
 
         if deadline is not None:
             deadline.check("pre all-to-all")
+        groups = self._groups_for(list(range(n_procs)))
         if not self.segment_exchanges:
             # ---- the ONE all-to-all: stride permutation P^{S,N'}_erm ----
             sendbufs = [[np.ascontiguousarray(
                 z_parts[src][:, dst * spp:(dst + 1) * spp])
                 for dst in range(n_procs)] for src in range(n_procs)]
             try:
-                recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+                recv = cl.comm.alltoall(sendbufs, label="all-to-all",
+                                        groups=groups)
             except RankFailed:
                 return self.recover(x_parts, z_parts, deadline=deadline)
+            except PartitionDetected as exc:
+                return self._handle_partition(exc, x_parts, z_parts,
+                                              deadline=deadline)
             y_parts: list[np.ndarray] = []
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst], axis=0)  # (M', spp), rows
@@ -384,11 +432,15 @@ class DistributedSoiFFT:
                 z_parts[src][:, dst * spp + slot])
                 for dst in range(n_procs)] for src in range(n_procs)]
             try:
-                recv = cl.comm.alltoall(sendbufs, label="all-to-all")
+                recv = cl.comm.alltoall(sendbufs, label="all-to-all",
+                                        groups=groups)
             except RankFailed:
                 # restart the exchange phase from the z checkpoint on the
                 # survivors (slots finished before the failure are redone)
                 return self.recover(x_parts, z_parts, deadline=deadline)
+            except PartitionDetected as exc:
+                return self._handle_partition(exc, x_parts, z_parts,
+                                              deadline=deadline)
             for dst in range(n_procs):
                 alpha = np.concatenate(recv[dst])  # (M',) for this segment
                 beta = self._seg_plan(alpha)
@@ -408,7 +460,65 @@ class DistributedSoiFFT:
                 seg_chunks[dst].append(seg)
         return [np.concatenate(chunks) for chunks in seg_chunks]
 
+    # -- topology-aware scheduling helpers ------------------------------------
+
+    def _groups_for(self, parts: list[int]) -> list[list[int]] | None:
+        """Two-level grouping for an all-to-all over *parts*, or None.
+
+        Uses the cluster topology's fault domains when the exchange is
+        large enough (>= :attr:`hier_threshold` participants) and the
+        participants split evenly across their domains; otherwise the
+        flat exchange runs (small runs, ragged post-failure membership,
+        topology-less clusters).
+        """
+        dom = getattr(self.cluster, "domains", None)
+        if dom is None or len(parts) < self.hier_threshold:
+            return None
+        return dom.equal_groups(parts)
+
     # -- fault recovery: shrink-and-redistribute ------------------------------
+
+    def _handle_partition(self, exc: PartitionDetected,
+                          x_parts: list[np.ndarray],
+                          z_parts: list[np.ndarray | None] | None,
+                          deadline=None) -> list[np.ndarray]:
+        """Quorum-checked response to a fabric partition.
+
+        Every component adjudicates from the same census, so every
+        island reaches the same verdict without communicating: the
+        component holding a **strict majority** of the live ranks keeps
+        the request — ranks outside it are stamped with a ``"partition"``
+        trace event, declared dead, and shrink-and-redistribute
+        completes on the majority.  Minority components abort
+        deterministically with a :class:`PartitionDetected` carrying the
+        census (recorded as ``minority_error`` in
+        :attr:`last_partition`).  Without a strict majority — an even
+        split, a shattered fabric — no component may continue, and the
+        original error re-raises.
+        """
+        cl = self.cluster
+        live = cl.live_ranks
+        comps = exc.components
+        ranked = sorted(comps, key=lambda c: (-len(c), c))
+        majority = [r for r in ranked[0] if cl.alive[r]] if ranked else []
+        quorum = 2 * len(majority) > len(live)
+        minority = [r for r in live if r not in set(majority)] if quorum \
+            else list(live)
+        minority_error = PartitionDetected(
+            f"minority component ({len(minority)} rank(s)) lost quorum "
+            f"({len(majority)}/{len(live)} live ranks on the other side)",
+            components=comps, component=tuple(minority)) if quorum else None
+        self.last_partition = PartitionReport(
+            components=comps, census=exc.census, quorum=quorum,
+            majority=tuple(majority) if quorum else (),
+            aborted=tuple(minority), minority_error=minority_error)
+        if not quorum:
+            raise exc
+        for r in minority:
+            t = cl.clocks[r]
+            cl.trace.record(r, "partition cut", "partition", t, t)
+            cl.fail_rank(r)
+        return self.recover(x_parts, z_parts, deadline=deadline)
 
     def recover(self, x_parts: list[np.ndarray],
                 z_parts: list[np.ndarray | None] | None,
@@ -475,6 +585,20 @@ class DistributedSoiFFT:
         q = len(live)
         live_set = set(live)
         dead = [r for r in range(n_procs) if r not in live_set]
+        # domain-aware placement: adopted rows and orphaned slots walk the
+        # survivors in an order that cycles across fault domains, so a dead
+        # switch's whole load never lands behind one other switch.  On
+        # topology-less clusters this degenerates to plain rank order.
+        dom = getattr(cl, "domains", None)
+        placement = dom.spread_order(live) if dom is not None else live
+        # MTTR clock zero per affected domain: its first member's failure
+        # time (dead clocks froze where the rank died)
+        fail_t: dict[int, float] = {}
+        if dom is not None:
+            for f in dead:
+                d = dom.domain_of(f)
+                t = cl.clocks[f]
+                fail_t[d] = min(fail_t.get(d, t), t)
 
         conv_seconds = conv_time_model(p, cl.machine, self.conv_strategy,
                                        self.conv_efficiency)
@@ -515,7 +639,7 @@ class DistributedSoiFFT:
         for k, f in enumerate(dead):
             for i, (j0, nr) in enumerate(
                     self._balanced_slices(f * rows, rows, q)):
-                adopter = live[(i + k) % q]
+                adopter = placement[(i + k) % q]
                 z = self._compute_rows(x_global, j0, nr)
                 seconds = (conv_seconds + lane_seconds) * nr / rows
                 cl.charge_seconds(adopter, "recovery recompute", seconds)
@@ -534,7 +658,7 @@ class DistributedSoiFFT:
             if orig in live_set:
                 owner[t] = orig
             else:
-                owner[t] = live[orphan % q]
+                owner[t] = placement[orphan % q]
                 orphan += 1
         slots_of = {r: [t for t in range(s) if owner[t] == r] for r in live}
 
@@ -542,7 +666,8 @@ class DistributedSoiFFT:
         sendbufs = [[np.ascontiguousarray(np.concatenate(
             [z[:, slots_of[d]] for _, z in row_chunks[src]], axis=0))
             for d in live] for src in live]
-        recv = cl.comm.alltoall(sendbufs, label="all-to-all", ranks=live)
+        recv = cl.comm.alltoall(sendbufs, label="all-to-all", ranks=live,
+                                groups=self._groups_for(live))
 
         # ---- per owned slot: M'-point FFT + demodulation ----
         y_by_slot: dict[int, np.ndarray] = {}
@@ -564,9 +689,15 @@ class DistributedSoiFFT:
             for i, t in enumerate(slots):
                 y_by_slot[t] = seg[i]
 
+        mttr: dict[int, float] = {}
+        if dom is not None and fail_t:
+            t_done = max(cl.clocks[r] for r in live)
+            mttr = {d: t_done - t0 for d, t0 in sorted(fail_t.items())}
         self.last_recovery = RecoveryReport(
             dead_ranks=tuple(dead), n_live=q, slot_owners=owner,
-            recomputed_rows=recomputed)
+            recomputed_rows=recomputed,
+            domain_kind=dom.kind if dom is not None else None,
+            mttr_by_domain=mttr)
         return [np.concatenate([y_by_slot[t]
                                 for t in range(r * spp, (r + 1) * spp)])
                 for r in range(n_procs)]

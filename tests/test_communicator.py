@@ -127,3 +127,180 @@ class TestAllgatherBcast:
         cluster.charge_seconds(1, "w", 3.0)
         cluster.comm.barrier()
         assert all(c == pytest.approx(3.0) for c in cluster.clocks)
+
+
+class TestTwoLevelAlltoall:
+    """The hierarchical (intra-group, then inter-group) all-to-all."""
+
+    def _send(self, rng, ranks, width=3):
+        return [[random_complex(rng, width) for _ in ranks] for _ in ranks]
+
+    def test_matches_flat_bitwise(self, rng):
+        send = self._send(rng, range(8))
+        flat = SimCluster(8).comm.alltoall(send)
+        hier = SimCluster(8).comm.alltoall(
+            send, groups=[[0, 1], [2, 3], [4, 5], [6, 7]])
+        for dst in range(8):
+            for src in range(8):
+                assert np.array_equal(hier[dst][src], flat[dst][src])
+
+    def test_subset_ranks_with_groups(self, rng):
+        cl = SimCluster(12)
+        live = [0, 1, 2, 4, 5, 6, 8, 9, 10]
+        send = self._send(rng, live)
+        recv = cl.comm.alltoall(send, ranks=live,
+                                groups=[[0, 1, 2], [4, 5, 6], [8, 9, 10]])
+        for i, dst in enumerate(live):
+            for j, src in enumerate(live):
+                assert np.array_equal(recv[i][j], send[j][i])
+
+    def test_preserves_payload_shape(self, rng):
+        send = [[random_complex(rng, 2).reshape(2, 1) for _ in range(4)]
+                for _ in range(4)]
+        recv = SimCluster(4).comm.alltoall(send, groups=[[0, 1], [2, 3]])
+        assert recv[3][0].shape == (2, 1)
+
+    def test_ragged_groups_raise(self, rng):
+        cl = SimCluster(6)
+        send = self._send(rng, range(6))
+        with pytest.raises(ValueError, match="equal-size"):
+            cl.comm.alltoall(send, groups=[[0, 1], [2, 3, 4, 5]])
+
+    def test_groups_must_partition_participants(self, rng):
+        cl = SimCluster(4)
+        send = self._send(rng, range(4))
+        with pytest.raises(ValueError, match="partition"):
+            cl.comm.alltoall(send, groups=[[0, 1], [1, 2]])
+        with pytest.raises(ValueError, match="partition"):
+            cl.comm.alltoall(send, groups=[[0, 1], [2]])
+
+    def test_degenerate_groups_fall_back_to_flat(self, rng):
+        """One group, or singleton groups: the flat path runs instead."""
+        send = self._send(rng, range(4))
+        cl = SimCluster(4)
+        recv = cl.comm.alltoall(send, groups=[[0, 1, 2, 3]])
+        for dst in range(4):
+            for src in range(4):
+                assert np.array_equal(recv[dst][src], send[src][dst])
+        assert not any("[intra]" in e.label for e in cl.trace.events)
+
+    def test_fewer_wire_messages_than_flat(self, rng):
+        q, m = 16, 4
+        send = self._send(rng, range(q), width=1)
+        cl_flat, cl_hier = SimCluster(q), SimCluster(q)
+        cl_flat.comm.alltoall(send)
+        groups = [list(range(lo, lo + m)) for lo in range(0, q, m)]
+        cl_hier.comm.alltoall(send, groups=groups)
+        # q*(q-1) = 240 vs q*((m-1) + (q/m-1)) = 96
+        assert cl_flat.comm.message_count == q * (q - 1)
+        assert cl_hier.comm.message_count == q * (m - 1 + q // m - 1)
+
+    def test_intra_and_inter_phases_traced(self, rng):
+        cl = SimCluster(4)
+        cl.comm.alltoall(self._send(rng, range(4)), groups=[[0, 1], [2, 3]],
+                         label="x")
+        labels = {e.label for e in cl.trace.events}
+        assert "x [intra]" in labels and "x [inter]" in labels
+
+
+class TestCorrelatedLinkFaults:
+    """Degraded, flapping, and partitioned links on the verified path."""
+
+    def test_degraded_bandwidth_inflates_duration(self, rng):
+        from repro.cluster.faults import (FaultPlan, LinkDegradation,
+                                          RetryPolicy)
+
+        send = [[random_complex(rng, 64) for _ in range(4)]
+                for _ in range(4)]
+        clean = SimCluster(4)
+        clean.comm.alltoall(send)
+
+        slow = SimCluster(4)
+        slow.comm.install_faults(
+            FaultPlan(degraded_links={
+                (0, 1): LinkDegradation(bandwidth_factor=0.25)}),
+            RetryPolicy(max_retries=0))
+        recv = slow.comm.alltoall(send)
+        # a synchronized collective runs at its slowest link's pace
+        assert slow.elapsed == pytest.approx(4 * clean.elapsed)
+        assert np.array_equal(recv[1][0], send[0][1])
+
+    def test_lossy_link_heals_through_retries(self, rng):
+        from repro.cluster.faults import (FaultPlan, LinkDegradation,
+                                          RetryPolicy)
+
+        send = [[random_complex(rng, 4) for _ in range(3)]
+                for _ in range(3)]
+        cl = SimCluster(3)
+        plan = FaultPlan(degraded_links={
+            (0, 1): LinkDegradation(loss_rate=0.9)}, seed=3)
+        cl.comm.install_faults(plan, RetryPolicy(max_retries=32))
+        recv = cl.comm.alltoall(send)
+        assert np.array_equal(recv[1][0], send[0][1])
+        assert plan.losses_injected >= 1
+        assert cl.comm.retry_count == plan.losses_injected
+
+    def test_loss_draws_are_seeded(self, rng):
+        from repro.cluster.faults import (FaultPlan, LinkDegradation,
+                                          RetryPolicy)
+
+        def run():
+            cl = SimCluster(3)
+            plan = FaultPlan(degraded_links={
+                (0, 1): LinkDegradation(loss_rate=0.5),
+                (1, 2): LinkDegradation(loss_rate=0.5)}, seed=11)
+            cl.comm.install_faults(plan, RetryPolicy(max_retries=64))
+            cl.comm.alltoall([[random_complex(rng, 2) for _ in range(3)]
+                              for _ in range(3)])
+            return plan.losses_injected, cl.elapsed
+
+        a = run()
+        assert a == run() or a[0] == 0  # same seed, same drop sequence
+
+    def test_flapping_link_heals_when_it_comes_back(self, rng):
+        from repro.cluster.faults import (FaultPlan, FlappingLink,
+                                          RetryPolicy)
+
+        send = [[random_complex(rng, 4) for _ in range(2)]
+                for _ in range(2)]
+        cl = SimCluster(2)
+        # down on odd transfers, up on even: attempt 1 times out, the
+        # retry (transfer 2) goes through
+        plan = FaultPlan(flapping_links={
+            (0, 1): FlappingLink(period=2, duty=0.5, phase=0)})
+        cl.comm.install_faults(plan, RetryPolicy(max_retries=2))
+        recv = cl.comm.alltoall(send)
+        assert np.array_equal(recv[1][0], send[0][1])
+        assert plan.flap_timeouts_injected == 1
+        assert cl.comm.retry_count == 1
+
+    def test_partition_raises_with_census(self, rng):
+        from repro.cluster.faults import (FaultPlan, PartitionDetected,
+                                          PartitionEvent, RetryPolicy)
+
+        send = [[random_complex(rng, 2) for _ in range(4)]
+                for _ in range(4)]
+        cl = SimCluster(4)
+        plan = FaultPlan(partition=PartitionEvent(
+            at_transfer=1, components=((0, 1, 2), (3,))))
+        cl.comm.install_faults(plan, RetryPolicy(max_retries=1))
+        with pytest.raises(PartitionDetected) as exc:
+            cl.comm.alltoall(send)
+        assert exc.value.components == ((0, 1, 2), (3,))
+        assert exc.value.census == {0: 0, 1: 0, 2: 0, 3: 1}
+        # the stall time was charged to the partition trace category
+        assert any(e.category == "partition" for e in cl.trace.events)
+
+    def test_transient_partition_rides_out(self, rng):
+        from repro.cluster.faults import (FaultPlan, PartitionEvent,
+                                          RetryPolicy)
+
+        send = [[random_complex(rng, 2) for _ in range(4)]
+                for _ in range(4)]
+        cl = SimCluster(4)
+        plan = FaultPlan(partition=PartitionEvent(
+            at_transfer=1, components=((0, 1), (2, 3)), heal_at=3))
+        cl.comm.install_faults(plan, RetryPolicy(max_retries=4))
+        recv = cl.comm.alltoall(send)
+        assert np.array_equal(recv[3][0], send[0][3])
+        assert plan.partition_blocks > 0

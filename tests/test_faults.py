@@ -370,3 +370,112 @@ class TestChaos:
         ct = DistributedCooleyTukeyFFT(cl, params.n)
         y = ct.assemble(ct(ct.scatter(x)))
         assert rel_err(y, np.fft.fft(x)) < 1e-8
+
+
+class TestCorrelatedFaultSchedules:
+    """Domain kills, degraded/flapping links, and partition events."""
+
+    def test_fail_domain_kills_every_member_at_once(self):
+        from repro.cluster.topology import FatTree
+
+        dom = FatTree(radix=4).domains(8)  # four leaves of two ranks
+        plan = FaultPlan.fail_domain(dom, 1, at_transfer=3)
+        assert plan.rank_failures == {2: 3, 3: 3}
+        assert not plan.is_clean
+
+    def test_fail_domain_presents_as_rank_failures(self, rng):
+        from repro.cluster.topology import FatTree
+
+        cl = SimCluster(8, topology=FatTree(radix=4))
+        plan = FaultPlan.fail_domain(cl.domains, 2, at_transfer=1)
+        cl.comm.install_faults(plan, RetryPolicy(max_retries=1))
+        send = [[random_complex(rng, 2) for _ in range(8)]
+                for _ in range(8)]
+        with pytest.raises(RankFailed) as exc:
+            cl.comm.alltoall(send)
+        assert exc.value.rank in (4, 5)
+
+    def test_degrade_links_builds_uniform_schedule(self):
+        plan = FaultPlan.degrade_links([(0, 1), (1, 0)],
+                                       bandwidth_factor=0.5, loss_rate=0.1)
+        assert set(plan.degraded_links) == {(0, 1), (1, 0)}
+        assert plan.has_link_faults and not plan.is_clean
+        assert plan.link_slowdown({(0, 1)}) == pytest.approx(2.0)
+        assert plan.link_slowdown({(2, 3)}) == pytest.approx(1.0)
+
+    def test_link_degradation_validation(self):
+        from repro.cluster.faults import LinkDegradation
+
+        with pytest.raises(ValueError):
+            LinkDegradation(bandwidth_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(bandwidth_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkDegradation(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            LinkDegradation(loss_rate=1.1)
+
+    def test_flapping_link_validation_and_cycle(self):
+        from repro.cluster.faults import FlappingLink
+
+        with pytest.raises(ValueError):
+            FlappingLink(period=1)
+        with pytest.raises(ValueError):
+            FlappingLink(period=4, duty=0.0)
+        with pytest.raises(ValueError):
+            FlappingLink(period=4, duty=1.0)
+        flap = FlappingLink(period=4, duty=0.5, phase=0)
+        ups = [flap.up_at(t) for t in range(1, 9)]
+        assert ups[:4] == ups[4:]  # periodic
+        assert any(ups) and not all(ups)  # actually flaps
+
+    def test_partition_event_validation(self):
+        from repro.cluster.faults import PartitionEvent
+
+        with pytest.raises(ValueError, match="two components"):
+            PartitionEvent(at_transfer=1, components=((0, 1),))
+        with pytest.raises(ValueError, match="disjoint"):
+            PartitionEvent(at_transfer=1, components=((0, 1), (1, 2)))
+        with pytest.raises(ValueError, match="empty"):
+            PartitionEvent(at_transfer=1, components=((0,), ()))
+        with pytest.raises(ValueError, match="heal_at"):
+            PartitionEvent(at_transfer=5, components=((0,), (1,)),
+                           heal_at=5)
+
+    def test_partition_census_includes_isolated_singletons(self):
+        from repro.cluster.faults import PartitionEvent
+
+        plan = FaultPlan(partition=PartitionEvent(
+            at_transfer=1, components=((0, 1), (2,))))
+        # rank 5 is named in no component: isolated, a singleton island
+        assert plan.partition_components([0, 1, 2, 5]) == \
+            ((0, 1), (2,), (5,))
+
+    def test_random_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            FaultPlan.random(0, 4, corrupt_rate=1.5)
+        with pytest.raises(ValueError, match="probabilities"):
+            FaultPlan.random(0, 4, timeout_rate=-0.1)
+        with pytest.raises(ValueError, match="probabilities"):
+            FaultPlan.random(0, 4, sdc_rate=2.0)
+
+    def test_random_rejects_bad_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.random(0, 4, n_rank_failures=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.random(0, 4, n_stragglers=-2)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.random(0, 4, min_survivors=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.random(0, 4, horizon_messages=-5)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.random(0, 4, straggler_slowdown=-0.5)
+
+    def test_describe_mentions_link_faults(self):
+        from repro.cluster.faults import LinkDegradation, PartitionEvent
+
+        text = FaultPlan(
+            degraded_links={(0, 1): LinkDegradation(bandwidth_factor=0.5)},
+            partition=PartitionEvent(at_transfer=2,
+                                     components=((0,), (1,)))).describe()
+        assert "degraded" in text and "partition" in text

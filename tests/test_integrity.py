@@ -1,24 +1,32 @@
-"""Tests for checksums and fault injection.
+"""Tests for checksums and detect-only wire verification.
 
-The legacy :mod:`repro.cluster.integrity` API is now a deprecation shim
-over the unified fault layer (:mod:`repro.cluster.faults`); the original
-assertions below double as regression coverage for the shims.
+The deprecated :mod:`repro.cluster.integrity` shims (``FaultInjector``,
+``checksummed_cluster``) are gone; the unified fault layer covers the
+same ground directly: a :class:`~repro.cluster.faults.FaultPlan` plus a
+``RetryPolicy(max_retries=0)`` is the old detect-only mode.
 """
 
 import numpy as np
 import pytest
 
-from repro.cluster.faults import FaultPlan, RetryPolicy
-from repro.cluster.integrity import (
+from repro.cluster.faults import (
     CorruptionDetected,
-    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
     checksum,
-    checksummed_cluster,
 )
 from repro.cluster.simcluster import SimCluster
 from repro.core.params import SoiParams
 from repro.core.soi_dist import DistributedSoiFFT
 from tests.conftest import random_complex
+
+
+def detect_only_cluster(cl: SimCluster, plan: FaultPlan | None = None
+                        ) -> SimCluster:
+    """Arm the verified path in detect-only mode (no retries)."""
+    cl.comm.install_faults(plan if plan is not None else FaultPlan(),
+                           RetryPolicy(max_retries=0))
+    return cl
 
 
 class TestChecksum:
@@ -42,89 +50,51 @@ class TestCleanRuns:
         params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
                            n_mu=8, d_mu=7, b=48)
         x = random_complex(rng, params.n)
-        cl = checksummed_cluster(SimCluster(4))
+        cl = detect_only_cluster(SimCluster(4))
         soi = DistributedSoiFFT(cl, params)
         y = soi.assemble(soi(soi.scatter(x)))
         ref = np.fft.fft(x)
         assert np.linalg.norm(y - ref) / np.linalg.norm(ref) < 1e-4
 
-    def test_injector_counts_messages(self, rng):
-        inj = FaultInjector(corrupt_nth=None)
-        cl = checksummed_cluster(SimCluster(3), inj)
+    def test_plan_counts_messages(self, rng):
+        plan = FaultPlan()
+        cl = detect_only_cluster(SimCluster(3), plan)
         send = [[random_complex(rng, 2) for _ in range(3)] for _ in range(3)]
         cl.comm.alltoall(send)
-        assert inj.seen == 6  # 3*2 non-self payloads
-        assert inj.injected == 0
+        assert plan.messages_seen == 6  # 3*2 non-self payloads
+        assert plan.corruptions_injected == 0
 
 
 class TestFaultDetection:
     def test_corruption_is_detected(self, rng):
-        inj = FaultInjector(corrupt_nth=3)
-        cl = checksummed_cluster(SimCluster(3), inj)
+        plan = FaultPlan(corrupt_messages=(3,))
+        cl = detect_only_cluster(SimCluster(3), plan)
         send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
         with pytest.raises(CorruptionDetected, match="failed its checksum"):
             cl.comm.alltoall(send)
-        assert inj.injected == 1
+        assert plan.corruptions_injected == 1
 
     def test_corruption_in_soi_run_detected(self, rng):
         params = SoiParams(n=8 * 448, n_procs=4, segments_per_process=2,
                            n_mu=8, d_mu=7, b=48)
-        inj = FaultInjector(corrupt_nth=5)
-        cl = checksummed_cluster(SimCluster(4), inj)
+        cl = detect_only_cluster(SimCluster(4),
+                                 FaultPlan(corrupt_messages=(5,)))
         soi = DistributedSoiFFT(cl, params)
         with pytest.raises(CorruptionDetected):
             soi(soi.scatter(random_complex(rng, params.n)))
 
     def test_zero_size_payloads_survive(self):
-        inj = FaultInjector(corrupt_nth=1)
-        cl = checksummed_cluster(SimCluster(2), inj)
+        cl = detect_only_cluster(SimCluster(2),
+                                 FaultPlan(corrupt_messages=(1,)))
         send = [[np.zeros(0, dtype=np.complex128)] * 2 for _ in range(2)]
         cl.comm.alltoall(send)  # nothing to corrupt, nothing to detect
 
-
-class TestDeprecationWarnings:
-    """The shims announce themselves: a real DeprecationWarning pointing
-    callers at the unified fault layer, aimed at the caller's frame."""
-
-    def test_fault_injector_warns(self):
-        with pytest.warns(DeprecationWarning,
-                          match="FaultInjector is deprecated"):
-            FaultInjector()
-
-    def test_checksummed_cluster_warns(self):
-        with pytest.warns(DeprecationWarning,
-                          match="checksummed_cluster is deprecated"):
-            checksummed_cluster(SimCluster(2))
-
-    def test_warning_names_the_replacement(self):
-        with pytest.warns(DeprecationWarning,
-                          match="chaos_cluster") as rec:
-            FaultInjector(corrupt_nth=2)
-        # stacklevel=2: the warning must point at this test file, not at
-        # the shim module itself
-        assert rec[0].filename == __file__
-
-
-class TestShimsOverFaultPlan:
-    """The deprecated API is a thin wrapper over the unified layer."""
-
-    def test_injector_builds_a_plan(self):
-        inj = FaultInjector(corrupt_nth=7)
-        assert isinstance(inj.plan, FaultPlan)
-        assert inj.plan.corrupt_messages == frozenset({7})
-        assert FaultInjector().plan.is_clean
-
-    def test_checksummed_cluster_installs_detect_only_policy(self):
-        cl = checksummed_cluster(SimCluster(2))
-        assert cl.comm.fault_plan is not None
-        assert cl.comm.fault_plan.is_clean
-        assert cl.comm.retry_policy.max_retries == 0
-
     def test_same_fault_heals_under_a_retrying_policy(self, rng):
-        """What the old layer could only detect, the new layer rides out."""
+        """What detect-only mode can only report, retries ride out."""
         send = [[random_complex(rng, 4) for _ in range(3)] for _ in range(3)]
 
-        cl = checksummed_cluster(SimCluster(3), FaultInjector(corrupt_nth=3))
+        cl = detect_only_cluster(SimCluster(3),
+                                 FaultPlan(corrupt_messages=(3,)))
         with pytest.raises(CorruptionDetected):
             cl.comm.alltoall(send)
 
@@ -135,20 +105,33 @@ class TestShimsOverFaultPlan:
         assert np.array_equal(recv[2][0], send[0][2])
         assert cl.comm.retry_count == 1
 
-    def test_bcast_now_verified_too(self, rng):
-        """Regression for the old gap: bcast/barrier bypassed the
-        checksum layer; now every collective runs the verified path."""
-        cl = checksummed_cluster(SimCluster(3), FaultInjector(corrupt_nth=1))
+    def test_bcast_verified_too(self, rng):
+        """Every collective runs the verified path, not just alltoall."""
+        cl = detect_only_cluster(SimCluster(3),
+                                 FaultPlan(corrupt_messages=(1,)))
         with pytest.raises(CorruptionDetected, match="bcast"):
             cl.comm.bcast(random_complex(rng, 4), root=0)
 
     def test_clear_faults_disarms(self, rng):
-        inj = FaultInjector(corrupt_nth=1)
-        cl = checksummed_cluster(SimCluster(2), inj)
+        plan = FaultPlan(corrupt_messages=(1,))
+        cl = detect_only_cluster(SimCluster(2), plan)
         cl.comm.clear_faults()
         send = [[random_complex(rng, 2) for _ in range(2)] for _ in range(2)]
         cl.comm.alltoall(send)  # no verification, no injection
-        assert inj.seen == 0
+        assert plan.messages_seen == 0
+
+
+class TestShimsAreGone:
+    def test_integrity_module_removed(self):
+        with pytest.raises(ImportError):
+            import repro.cluster.integrity  # noqa: F401
+
+    def test_package_no_longer_exports_shims(self):
+        import repro.cluster as pkg
+
+        assert not hasattr(pkg, "FaultInjector")
+        assert not hasattr(pkg, "checksummed_cluster")
+        assert "FaultInjector" not in pkg.__all__
 
 
 class TestBatchApi:

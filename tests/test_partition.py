@@ -1,0 +1,178 @@
+"""Partition tolerance of the distributed SOI transform.
+
+A :class:`~repro.cluster.faults.PartitionEvent` splits the fabric into
+islands mid-collective; the verified path raises
+:class:`~repro.cluster.faults.PartitionDetected` with the component
+census, and :class:`~repro.core.soi_dist.DistributedSoiFFT` adjudicates
+it with quorum semantics: the component holding a strict majority of
+the live ranks shrinks onto itself and completes; every other island
+aborts deterministically with the same census.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import (
+    FaultPlan,
+    PartitionDetected,
+    PartitionEvent,
+    RetryPolicy,
+)
+from repro.cluster.simcluster import SimCluster
+from repro.cluster.topology import FatTree
+from repro.core.params import SoiParams
+from repro.core.soi_dist import DistributedSoiFFT
+from tests.conftest import random_complex
+
+P = 8
+MAJORITY = (0, 1, 2, 3, 4)
+MINORITY = (5, 6, 7)
+
+
+def p8_params() -> SoiParams:
+    return SoiParams(n=2 ** 13, n_procs=P, n_mu=2, d_mu=1, b=4)
+
+
+def make_soi(plan=None, policy=None):
+    cl = SimCluster(P, topology=FatTree(radix=4))
+    if plan is not None:
+        cl.comm.install_faults(plan, policy or RetryPolicy(max_retries=1))
+    return cl, DistributedSoiFFT(cl, p8_params())
+
+
+def run(soi, x):
+    return soi.assemble(soi(soi.scatter(x)))
+
+
+def split_plan(heal_at=None, components=(MAJORITY, MINORITY)):
+    # at_transfer=2: the ghost exchange (transfer 1) completes, the
+    # all-to-all hits the cut
+    return FaultPlan(partition=PartitionEvent(
+        at_transfer=2, components=components, heal_at=heal_at))
+
+
+class TestMajorityCompletes:
+    def test_quorum_side_matches_the_fault_free_spectrum(self, rng):
+        """Shrink-and-redistribute recomputes the lost rows exactly, so
+        the majority's spectrum is bitwise the fault-free one."""
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan())
+        y = run(soi, x)
+        _, soi_clean = make_soi()
+        assert np.array_equal(y, run(soi_clean, x))
+
+    def test_bit_identical_to_equivalent_domain_failure(self, rng):
+        """The partition's majority path is exactly the shrink path: the
+        same ranks dying as rank failures at the same transfer yields a
+        bitwise-identical spectrum."""
+        x = random_complex(rng, p8_params().n)
+        _, soi_a = make_soi(split_plan())
+        y_split = run(soi_a, x)
+        _, soi_b = make_soi(
+            FaultPlan(rank_failures={r: 2 for r in MINORITY}))
+        y_dead = run(soi_b, x)
+        assert np.array_equal(y_split, y_dead)
+
+    def test_partition_report_carries_the_verdict(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan())
+        run(soi, x)
+        rep = soi.last_partition
+        assert rep is not None and rep.quorum
+        assert rep.majority == MAJORITY
+        assert rep.aborted == MINORITY
+        assert isinstance(rep.minority_error, PartitionDetected)
+        assert rep.minority_error.component == MINORITY
+        assert rep.minority_error.components == rep.components
+
+    def test_minority_ranks_are_cut_and_traced(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan())
+        run(soi, x)
+        assert cl.live_ranks == list(MAJORITY)
+        cut = [e for e in cl.trace.events if e.label == "partition cut"]
+        assert sorted(e.rank for e in cut) == list(MINORITY)
+        assert all(e.category == "partition" for e in cut)
+
+    def test_recovery_reports_the_affected_domains(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan())
+        run(soi, x)
+        rec = soi.last_recovery
+        assert rec is not None
+        assert rec.domain_kind == "fat-tree leaf"
+        # minority {5,6,7} spans leaves {4,5} and {6,7}: domains 2 and 3
+        assert sorted(rec.mttr_by_domain) == [2, 3]
+        assert all(t > 0 for t in rec.mttr_by_domain.values())
+
+
+class TestMinorityAborts:
+    def test_even_split_has_no_quorum(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan(
+            components=((0, 1, 2, 3), (4, 5, 6, 7))))
+        with pytest.raises(PartitionDetected):
+            run(soi, x)
+        rep = soi.last_partition
+        assert rep is not None and not rep.quorum
+        assert rep.majority == ()
+        assert rep.aborted == tuple(range(P))
+        assert rep.minority_error is None
+
+    def test_no_quorum_leaves_ranks_alive(self, rng):
+        """Abort is not failure: an adjudicated no-quorum run kills no
+        ranks (on a real fabric every island waits for the operator)."""
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan(
+            components=((0, 1, 2, 3), (4, 5, 6, 7))))
+        with pytest.raises(PartitionDetected):
+            run(soi, x)
+        assert cl.live_ranks == list(range(P))
+
+    def test_every_island_reaches_the_same_verdict(self, rng):
+        """Determinism across islands: the minority's error carries the
+        full census, so both sides adjudicate identically."""
+        x = random_complex(rng, p8_params().n)
+        _, soi = make_soi(split_plan())
+        run(soi, x)
+        err = soi.last_partition.minority_error
+        # re-adjudicating from the minority's own error reproduces the
+        # same majority: same components, same sizes, same tie-breaks
+        ranked = sorted(err.components, key=lambda c: (-len(c), c))
+        assert tuple(ranked[0]) == MAJORITY
+
+
+class TestTransientPartition:
+    def test_short_split_heals_through_retries(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan(heal_at=3),
+                           RetryPolicy(max_retries=4))
+        y = run(soi, x)
+        assert soi.last_partition is None  # never escalated
+        assert soi.last_recovery is None  # nobody died
+        assert cl.live_ranks == list(range(P))
+        _, soi_clean = make_soi()
+        assert np.array_equal(y, run(soi_clean, x))
+
+    def test_transient_stall_charged_to_partition_category(self, rng):
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi(split_plan(heal_at=3),
+                           RetryPolicy(max_retries=4))
+        run(soi, x)
+        assert any(e.category == "partition" for e in cl.trace.events)
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdict_and_spectrum(self):
+        x = random_complex(np.random.default_rng(7), p8_params().n)
+
+        def one_run():
+            _, soi = make_soi(split_plan())
+            y = run(soi, x)
+            rep = soi.last_partition
+            return y, rep.components, rep.majority, rep.aborted
+
+        y1, c1, m1, a1 = one_run()
+        y2, c2, m2, a2 = one_run()
+        assert np.array_equal(y1, y2)
+        assert (c1, m1, a1) == (c2, m2, a2)

@@ -2,6 +2,8 @@
 
 import networkx as nx
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.topology import FatTree, Torus, alltoall_contention
 
@@ -68,3 +70,143 @@ class TestHelper:
     def test_alltoall_contention_dispatch(self):
         assert alltoall_contention(FatTree(), 16) == 1.0
         assert 0 < alltoall_contention(Torus((8, 8)), 64) <= 1.0
+
+
+class TestFaultDomains:
+    def test_fat_tree_domains_are_leaf_blocks(self):
+        dom = FatTree(radix=8).domains(16)
+        assert dom.kind == "fat-tree leaf"
+        assert dom.groups == ((0, 1, 2, 3), (4, 5, 6, 7),
+                              (8, 9, 10, 11), (12, 13, 14, 15))
+        assert dom.members(1) == (4, 5, 6, 7)
+        assert dom.domain_of(9) == 2
+        assert dom.domain_of(99) == -1
+
+    def test_torus_domains_are_axis_slabs(self):
+        t = Torus((2, 4, 2))
+        dom = t.domains()
+        assert dom.kind == "torus axis-1 slab"
+        assert dom.n_domains == 4
+        # C-order rank numbering: slab c holds ranks with middle coord c
+        for c in range(4):
+            assert dom.members(c) == (2 * c, 2 * c + 1,
+                                      8 + 2 * c, 8 + 2 * c + 1)
+
+    def test_domains_reject_overlap_and_empties(self):
+        from repro.cluster.topology import FaultDomains
+
+        with pytest.raises(ValueError):
+            FaultDomains(kind="x", groups=((0, 1), (1, 2)))
+        with pytest.raises(ValueError):
+            FaultDomains(kind="x", groups=((0,), ()))
+
+    def test_spread_order_round_robins_across_domains(self):
+        dom = FatTree(radix=4).domains(8)  # {0,1} {2,3} {4,5} {6,7}
+        assert dom.spread_order([0, 1, 2, 3, 4, 5, 6, 7]) == \
+            [0, 2, 4, 6, 1, 3, 5, 7]
+        # a dead domain just drops out of the rotation
+        assert dom.spread_order([0, 1, 4, 5, 6, 7]) == [0, 4, 6, 1, 5, 7]
+
+    def test_equal_groups_balanced_and_ragged(self):
+        dom = FatTree(radix=4).domains(8)
+        assert dom.equal_groups(list(range(8))) == \
+            [[0, 1], [2, 3], [4, 5], [6, 7]]
+        assert dom.equal_groups([0, 1, 4, 5]) == [[0, 1], [4, 5]]
+        assert dom.equal_groups([0, 1, 2, 4, 5]) is None  # ragged
+        assert dom.equal_groups([0, 1]) is None  # a single group
+
+
+class TestTopologyProperties:
+    """Hypothesis: contention monotonicity, bisection vs graph cuts,
+    and the domain-partition algebra."""
+
+    @given(st.integers(2, 64), st.sampled_from([1.0, 1.5, 2.0, 4.0]),
+           st.integers(1, 2048), st.integers(0, 2048))
+    @settings(max_examples=50, deadline=None)
+    def test_fat_tree_contention_is_monotone(self, radix, over, n1, dn):
+        ft = FatTree(radix=radix, oversubscription=over)
+        assert ft.contention(n1) >= ft.contention(n1 + dn)
+
+    @given(st.lists(st.integers(1, 5), min_size=1, max_size=3),
+           st.integers(1, 512), st.integers(0, 512))
+    @settings(max_examples=50, deadline=None)
+    def test_torus_contention_is_monotone(self, dims, n1, dn):
+        t = Torus(tuple(dims))
+        assert t.contention(n1) >= t.contention(n1 + dn)
+
+    @given(st.sampled_from([4, 6, 8]),
+           st.lists(st.integers(1, 3), min_size=0, max_size=2))
+    @settings(max_examples=30, deadline=None)
+    def test_torus_bisection_matches_graph_cut(self, longest, others):
+        """bisection_links == edges crossing the balanced cut along the
+        longest axis, counted on the explicit networkx torus graph."""
+        dims = tuple([longest] + others)  # unique strict maximum
+        t = Torus(dims)
+        g = t.graph()
+        # 1-D grids use bare ints as nodes; normalize to tuples
+        coord = {n: n if isinstance(n, tuple) else (n,) for n in g.nodes}
+        width = len(next(iter(coord.values())))
+        pos = next(i for i in range(width)
+                   if max(c[i] for c in coord.values()) + 1 == longest)
+        half = {n for n in g.nodes if coord[n][pos] < longest // 2}
+        rest = set(g.nodes) - half
+        assert nx.cut_size(g, half, rest) == t.bisection_links()
+
+    def test_extent_two_wrap_edges_collapse(self):
+        """At extent 2 the wraparound is the same physical link, so the
+        bisection counts it once — matching the simple graph's cut."""
+        t = Torus((2, 2))
+        g = t.graph()
+        half = {n for n in g.nodes if n[0] == 0}
+        assert nx.cut_size(g, half, set(g.nodes) - half) == \
+            t.bisection_links() == 2
+
+    @given(st.integers(2, 32), st.integers(1, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_fat_tree_domains_partition_the_ranks(self, radix, nodes):
+        dom = FatTree(radix=radix).domains(nodes)
+        flat = [r for g in dom.groups for r in g]
+        assert sorted(flat) == list(range(nodes))
+        assert len(flat) == len(set(flat))
+        down = max(1, radix // 2)
+        assert all(len(g) <= down for g in dom.groups)
+        for i, g in enumerate(dom.groups):
+            for r in g:
+                assert dom.domain_of(r) == i
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_torus_domains_partition_the_ranks(self, dims):
+        t = Torus(tuple(dims))
+        dom = t.domains()
+        flat = sorted(r for g in dom.groups for r in g)
+        assert flat == list(range(t.nodes))
+        assert dom.n_domains == max(dims)
+
+    @given(st.integers(2, 16), st.integers(2, 100), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_spread_order_is_a_permutation(self, radix, nodes, data):
+        dom = FatTree(radix=radix).domains(nodes)
+        subset = data.draw(st.lists(st.integers(0, nodes - 1),
+                                    unique=True, min_size=1))
+        out = dom.spread_order(subset)
+        assert sorted(out) == sorted(subset)
+        # the head of the order touches every represented domain once
+        doms_present = {dom.domain_of(r) for r in subset}
+        head = out[:len(doms_present)]
+        assert len({dom.domain_of(r) for r in head}) == len(head)
+
+    @given(st.integers(2, 16), st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_equal_groups_either_balanced_or_none(self, radix, leaves):
+        down = max(1, radix // 2)
+        nodes = down * leaves
+        dom = FatTree(radix=radix).domains(nodes)
+        groups = dom.equal_groups(list(range(nodes)))
+        if groups is not None:
+            assert len({len(g) for g in groups}) == 1
+            assert sorted(r for g in groups for r in g) == \
+                list(range(nodes))
+        else:
+            # only degenerate shapes decline: one group or width-1 leaves
+            assert leaves < 2 or down < 2
