@@ -474,7 +474,7 @@ class Communicator:
         if len(sendbufs) != q or any(len(row) != q for row in sendbufs):
             raise ValueError(f"sendbufs must be {q}x{q}")
         if groups is not None:
-            checked = self._check_groups(groups, parts)
+            checked = self._check_groups(groups, parts, sendbufs)
             if checked is not None:
                 return self._alltoall_two_level(sendbufs, label, parts,
                                                 checked)
@@ -505,15 +505,19 @@ class Communicator:
                              wire_bytes=sum(wire_by_rank.values()))
 
     @staticmethod
-    def _check_groups(groups: list[list[int]],
-                      parts: list[int]) -> list[list[int]] | None:
+    def _check_groups(groups: list[list[int]], parts: list[int],
+                      sendbufs: list[list[np.ndarray]]
+                      ) -> list[list[int]] | None:
         """Validate a two-level grouping; None selects the flat path.
 
         Groups must partition the participants exactly; unequal sizes
         raise (the inter-group phase pairs members at matching local
         indices, so a ragged grouping has no well-defined schedule).
         A single group, or groups of one, degenerate to the flat
-        exchange.
+        exchange.  So do mixed-dtype sendbufs: the two-level phases
+        concatenate blocks, which would promote every block to the
+        common dtype, while the flat exchange preserves each block's
+        dtype — the bitwise-identity contract only holds per dtype.
         """
         flat = [r for g in groups for r in g]
         if len(flat) != len(set(flat)) or set(flat) != set(parts):
@@ -523,6 +527,10 @@ class Communicator:
         if len({len(g) for g in groups}) != 1:
             raise ValueError("two-level all-to-all needs equal-size "
                              "groups; regroup or use the flat exchange")
+        dtypes = iter(np.asarray(b).dtype for row in sendbufs for b in row)
+        first = next(dtypes, None)
+        if any(d != first for d in dtypes):
+            return None
         return [list(g) for g in groups]
 
     def _alltoall_two_level(self, sendbufs: list[list[np.ndarray]],

@@ -221,7 +221,7 @@ class RetryPolicy:
     """Retry-with-exponential-backoff parameters for collectives.
 
     ``max_retries = 0`` is detect-only mode: the first observed fault
-    raises immediately (the legacy :func:`checksummed_cluster` contract).
+    raises immediately instead of being retried.
     ``timeout_seconds`` is the detection stall charged whenever an attempt
     contains a timed-out or unresponsive route; ``backoff(k)`` is the wait
     before re-attempt k (0-based), growing geometrically.

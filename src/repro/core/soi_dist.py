@@ -499,7 +499,19 @@ class DistributedSoiFFT:
         cl = self.cluster
         live = cl.live_ranks
         comps = exc.components
-        ranked = sorted(comps, key=lambda c: (-len(c), c))
+        plan = cl.comm.fault_plan
+        if plan is not None and plan.partition is not None:
+            # The collective that tripped may have covered only a slice
+            # of the fabric — the hierarchical inter-group phase runs
+            # one rank per group — so its census cannot adjudicate
+            # quorum for the whole cluster; rebuild the full-fabric
+            # census from the installed partition event.
+            comps = plan.partition_components(live)
+        # rank components by live membership: a large mostly-dead
+        # component must not outvote a smaller one holding more
+        # survivors
+        ranked = sorted(comps,
+                        key=lambda c: (-sum(cl.alive[r] for r in c), c))
         majority = [r for r in ranked[0] if cl.alive[r]] if ranked else []
         quorum = 2 * len(majority) > len(live)
         minority = [r for r in live if r not in set(majority)] if quorum \
@@ -508,8 +520,9 @@ class DistributedSoiFFT:
             f"minority component ({len(minority)} rank(s)) lost quorum "
             f"({len(majority)}/{len(live)} live ranks on the other side)",
             components=comps, component=tuple(minority)) if quorum else None
+        census = {r: i for i, comp in enumerate(comps) for r in comp}
         self.last_partition = PartitionReport(
-            components=comps, census=exc.census, quorum=quorum,
+            components=comps, census=census, quorum=quorum,
             majority=tuple(majority) if quorum else (),
             aborted=tuple(minority), minority_error=minority_error)
         if not quorum:

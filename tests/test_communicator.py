@@ -184,6 +184,21 @@ class TestTwoLevelAlltoall:
                 assert np.array_equal(recv[dst][src], send[src][dst])
         assert not any("[intra]" in e.label for e in cl.trace.events)
 
+    def test_mixed_dtypes_fall_back_to_flat(self, rng):
+        """Concatenating mixed-dtype blocks would promote them to the
+        common dtype; the flat path preserves each block's dtype, so
+        mixed sendbufs must take it."""
+        send = [[(np.arange(3, dtype=np.float32) if src == 2 else
+                  np.arange(3, dtype=np.float64)) + 10 * src + dst
+                 for dst in range(4)] for src in range(4)]
+        cl = SimCluster(4)
+        recv = cl.comm.alltoall(send, groups=[[0, 1], [2, 3]])
+        for dst in range(4):
+            for src in range(4):
+                assert recv[dst][src].dtype == send[src][dst].dtype
+                assert np.array_equal(recv[dst][src], send[src][dst])
+        assert not any("[intra]" in e.label for e in cl.trace.events)
+
     def test_fewer_wire_messages_than_flat(self, rng):
         q, m = 16, 4
         send = self._send(rng, range(q), width=1)

@@ -142,6 +142,84 @@ class TestMinorityAborts:
         assert tuple(ranked[0]) == MAJORITY
 
 
+class TestHierarchicalPartition:
+    """Quorum adjudication when the hierarchical all-to-all is engaged.
+
+    At >= 64 ranks the inter-group phase runs one rank per leaf, so the
+    collective that trips on the cut sees only sqrt(P) participants and
+    its census covers a handful of ranks (7+1 here).  Adjudication must
+    reconstruct the full-fabric census from the installed partition
+    event — judging quorum from the partial census would abort a 56/64
+    majority.
+    """
+
+    P64 = 64
+    MAJ64 = tuple(range(56))  # leaves 0-6 of FatTree(radix=16)
+    MIN64 = tuple(range(56, 64))  # leaf 7
+
+    def make_soi64(self, plan=None):
+        cl = SimCluster(self.P64, topology=FatTree(radix=16))
+        if plan is not None:
+            cl.comm.install_faults(plan, RetryPolicy(max_retries=1))
+        params = SoiParams(n=2 ** 14, n_procs=self.P64,
+                           n_mu=2, d_mu=1, b=4)
+        return cl, DistributedSoiFFT(cl, params)
+
+    def plan64(self):
+        return FaultPlan(partition=PartitionEvent(
+            at_transfer=2, components=(self.MAJ64, self.MIN64)))
+
+    def test_majority_survives_partial_collective_census(self, rng):
+        x = random_complex(rng, 2 ** 14)
+        cl, soi = self.make_soi64(self.plan64())
+        y = run(soi, x)
+        # the hierarchical path actually ran (the regression needs it)
+        assert any("[inter]" in e.label for e in cl.trace.events)
+        rep = soi.last_partition
+        assert rep is not None and rep.quorum
+        assert rep.majority == self.MAJ64
+        assert rep.aborted == self.MIN64
+        # the report carries the reconstructed full-fabric census, not
+        # the failing sub-collective's slice
+        assert tuple(len(c) for c in rep.components) == (56, 8)
+        assert cl.live_ranks == list(self.MAJ64)
+        _, soi_clean = self.make_soi64()
+        assert np.array_equal(y, run(soi_clean, x))
+
+    def test_domain_boundary_even_split_still_aborts(self, rng):
+        x = random_complex(rng, 2 ** 14)
+        cl, soi = self.make_soi64(FaultPlan(partition=PartitionEvent(
+            at_transfer=2, components=(tuple(range(32)),
+                                       tuple(range(32, 64))))))
+        with pytest.raises(PartitionDetected):
+            run(soi, x)
+        rep = soi.last_partition
+        assert rep is not None and not rep.quorum
+        assert tuple(len(c) for c in rep.components) == (32, 32)
+        assert cl.live_ranks == list(range(self.P64))
+
+
+class TestLiveMajority:
+    def test_mostly_dead_component_does_not_outvote_live_one(self, rng):
+        """Components are ranked by live membership: a 5-rank component
+        with one survivor must not beat a fully-live 3-rank component
+        (census sizes 5+3, but live census 1+3)."""
+        x = random_complex(rng, p8_params().n)
+        cl, soi = make_soi()
+        x_parts = soi.scatter(x)
+        for r in (0, 1, 2, 3):
+            cl.fail_rank(r)
+        exc = PartitionDetected(
+            "cut", components=((0, 1, 2, 3, 4), (5, 6, 7)))
+        y_parts = soi._handle_partition(exc, x_parts, None)
+        rep = soi.last_partition
+        assert rep is not None and rep.quorum
+        assert rep.majority == (5, 6, 7)
+        assert rep.aborted == (4,)
+        _, soi_clean = make_soi()
+        assert np.array_equal(soi.assemble(y_parts), run(soi_clean, x))
+
+
 class TestTransientPartition:
     def test_short_split_heals_through_retries(self, rng):
         x = random_complex(rng, p8_params().n)
