@@ -64,6 +64,7 @@ AUTOTUNE_SPEEDUP_FLOOR = 1.05  # best tuned size must beat default by >= 5%
 QERROR_CEILING = 2.0  # held-out per-stage q-error after calibration
 SCALE_HIER_EFFICIENCY_FLOOR = 0.5  # flat/hier simulated time at 1024 ranks
 SCALE_MTTR_CEILING_S = 1.0  # simulated per-domain repair time, SOI recovery
+SERVE_COALESCE_FLOOR = 1.5  # coalesced gateway vs one-at-a-time SoiService
 
 
 # ---------------------------------------------------------------------------
@@ -572,6 +573,27 @@ def run(quick: bool) -> dict:
           f"{(sc_mttr or 0) * 1e3:9.3f} ms   "
           f"{'ok' if sc_rec['bitwise_equal'] else 'MISMATCH'}")
 
+    # -- 11. serving gateway: coalescing, QoS, latency-vs-load ----------
+    # the differential and the simulated-curve gates are deterministic
+    # (frozen clock / pinned cost model) and bind in quick mode; the
+    # wall-clock coalesce speedup floor is full-mode only.
+    from repro.bench.servebench import serve_bench
+
+    sb = serve_bench(quick)
+    results["serving_gateway"] = sb
+    co = sb["coalesce"]
+    gates = sb["curves"]["gates"]
+    print(f"  {'serving_gateway':24s} coalesce "
+          f"{co['speedup'] if co['speedup'] else 0:5.2f}x "
+          f"(ratio {co['coalesce_ratio']:.1f}, "
+          f"bitwise {'ok' if co['bitwise_equal'] else 'MISMATCH'})   "
+          f"differential {'ok' if sb['differential']['ok'] else 'FAIL'}")
+    print(f"  {'serving_curves':24s} p99 "
+          f"{gates['stated_p99_s'] * 1e3:9.3f} ms at "
+          f"{gates['stated_offered_rps']:.0f} rps   premium shed "
+          f"{gates['stated_premium_shed_rate'] * 100:.1f}%   tput "
+          f"{gates['stated_throughput_rps']:.0f} rps")
+
     # -- allocation audit (planned paths, steady state) ----------------
     print("allocation audit (steady state, threshold 1 MiB):")
     for name, fn in [
@@ -730,6 +752,36 @@ def main(argv=None) -> int:
             is not None
             and results["scale_chaos"]["domain_recovery"]["mttr_sim_s"]
             <= SCALE_MTTR_CEILING_S),
+        # the serving-gateway contract: a coalesced request must be
+        # bit-identical to one served alone (spectrum, outcome, budget),
+        # the simulated curves must hold p99 / premium-shed / throughput
+        # at the stated offered load, shed pressure must land on the
+        # rate-limited class before the premium one, and coalescing must
+        # actually group requests under load.  all deterministic.
+        "serve_differential_ok": bool(
+            results["serving_gateway"]["differential"]["ok"]
+            and results["serving_gateway"]["coalesce"]["bitwise_equal"]),
+        "serve_curve_gates_ok": bool(
+            results["serving_gateway"]["curves"]["gates"]["p99_ok"]
+            and results["serving_gateway"]["curves"]["gates"]["shed_ok"]
+            and results["serving_gateway"]["curves"]["gates"][
+                "throughput_ok"]
+            and results["serving_gateway"]["curves"]["gates"][
+                "qos_ordering_ok"]
+            and results["serving_gateway"]["curves"]["gates"][
+                "coalesce_effective_ok"]
+            and results["serving_gateway"]["curves"]["gates"][
+                "conserved_ok"]),
+        # wall-clock: coalesced serving must beat one-at-a-time
+        # SoiService by the floor (full mode only — quick sizes are too
+        # small for a stable wall-clock ratio)
+        "serve_coalesce_speedup_min": SERVE_COALESCE_FLOOR,
+        "serve_coalesce_speedup": results["serving_gateway"]["coalesce"][
+            "speedup"],
+        "serve_coalesce_ok": bool(
+            results["serving_gateway"]["coalesce"]["speedup"] is not None
+            and results["serving_gateway"]["coalesce"]["speedup"]
+            >= SERVE_COALESCE_FLOOR),
     }
     payload = {
         "schema": 1,
@@ -756,7 +808,9 @@ def main(argv=None) -> int:
                               "autotune_parity_ok",
                               "wisdom_consumed_ok", "qerror_ok",
                               "qerror_improves_ok", "scale_hier_ok",
-                              "scale_recovery_ok")
+                              "scale_recovery_ok",
+                              "serve_differential_ok",
+                              "serve_curve_gates_ok")
                   if not criteria[k]]
     if failed:
         print(f"FAILED criteria: {', '.join(failed)}")

@@ -28,6 +28,12 @@ from repro.bench.parallelbench import (
     render_parallel_table,
 )
 from repro.bench.report import build_report, write_report
+from repro.bench.servebench import (
+    coalesce_speedup,
+    contract_differential,
+    serve_bench,
+    simulated_curves,
+)
 from repro.bench.tables import fmt, render_bars, render_series, render_table
 from repro.bench.workloads import chirp, constant, impulse, multi_tone, random_complex
 
@@ -39,6 +45,8 @@ __all__ = [
     "build_report",
     "write_apidoc",
     "chirp",
+    "coalesce_speedup",
+    "contract_differential",
     "write_report",
     "constant",
     "degrade_sweep_rows",
@@ -65,5 +73,7 @@ __all__ = [
     "render_table",
     "run_chaos_exhibit",
     "segments_for_nodes",
+    "serve_bench",
+    "simulated_curves",
     "table2_rows",
 ]

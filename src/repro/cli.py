@@ -503,6 +503,45 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench.servebench import serve_bench
+
+    quick = bool(args.quick)
+    out = serve_bench(quick)
+    co = out["coalesce"]
+    print(f"coalesce: {co['n_requests']} reqs at n={co['n']} — "
+          f"solo {co['solo_s'] * 1e3:.1f} ms, "
+          f"coalesced {co['coalesced_s'] * 1e3:.1f} ms "
+          f"(x{co['speedup']}, ratio {co['coalesce_ratio']}, "
+          f"bitwise={'yes' if co['bitwise_equal'] else 'NO'})")
+    diff = out["differential"]
+    print(f"differential: bitwise={diff['bitwise_equal']} "
+          f"outcomes={diff['outcomes_equal']} "
+          f"reports={diff['reports_equal']}")
+    print()
+    print(out["curves"]["exhibit"])
+    print()
+    gates = out["curves"]["gates"]
+    for k in sorted(g for g in gates if g.endswith("_ok")):
+        print(f"  {k:<24} {'PASS' if gates[k] else 'FAIL'}")
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(out["curves"]["exhibit"] + "\n")
+        print(f"[curves to {path}]")
+    if args.json:
+        jpath = Path(args.json)
+        jpath.parent.mkdir(parents=True, exist_ok=True)
+        jpath.write_text(json.dumps(out, indent=1, sort_keys=True) + "\n")
+        print(f"[json to {jpath}]")
+    ok = out["ok_quick"] if quick else out["ok_full"]
+    print(f"serve-bench: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.machine.spec import XEON_E5_2680, XEON_PHI_SE10
@@ -673,6 +712,20 @@ def main(argv: list[str] | None = None) -> int:
                     default="benchmarks/results/autotune_speedup.txt",
                     help="save the speedup table here ('' to skip)")
 
+    sb = sub.add_parser(
+        "serve-bench",
+        help="serving gateway: coalesce speedup, contract differential, "
+             "latency-vs-load curves")
+    sb.add_argument("--quick", action="store_true",
+                    help="CI smoke: fewer requests per operating point "
+                         "(wall-clock speedup floor not binding)")
+    sb.add_argument("--output",
+                    default="benchmarks/results/serving_curves.txt",
+                    help="save the latency-vs-load exhibit here "
+                         "('' to skip saving)")
+    sb.add_argument("--json", default="",
+                    help="also dump the full result dict as JSON here")
+
     sub.add_parser("info", help="print presets and parameter rules")
 
     r = sub.add_parser("report", help="write the consolidated REPORT.md")
@@ -695,6 +748,7 @@ def main(argv: list[str] | None = None) -> int:
         "parallel-bench": _cmd_parallel_bench,
         "chaos-parallel": _cmd_chaos_parallel,
         "autotune": _cmd_autotune,
+        "serve-bench": _cmd_serve_bench,
         "info": _cmd_info,
         "report": _cmd_report,
         "apidoc": _cmd_apidoc,

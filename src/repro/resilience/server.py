@@ -26,6 +26,7 @@ flop-budget arithmetic, repurposed as a load shedder.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -45,7 +46,7 @@ from repro.telemetry.metrics import get_registry
 __all__ = ["ClusterSoiService", "ServeResult", "SoiService"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class ServeResult:
     """One served request: the spectrum plus its resilience paper trail."""
 
@@ -55,9 +56,26 @@ class ServeResult:
     latency_seconds: float
     deadline_seconds: float
 
+    def __repr__(self) -> str:
+        # compact on purpose: the default dataclass repr prints the full
+        # spectrum, which turns incidental reprs (asyncio teardown,
+        # debugger echoes) into milliseconds of array formatting
+        return (f"ServeResult({self.outcome!r}, "
+                f"y.shape={self.y.shape}, "
+                f"rung={self.report.rung_index}, "
+                f"latency={self.latency_seconds:.4g}s"
+                f"/{self.deadline_seconds:.4g}s)")
+
 
 class _Admission:
-    """Shared queue/estimate logic (clock-agnostic)."""
+    """Shared queue/estimate logic (clock-agnostic).
+
+    Thread-safe: the async serving gateway admits and completes requests
+    from the event loop and executor threads concurrently, so the EWMA
+    scale, the backlog, and the outcome counters are all guarded by one
+    lock.  (The lock is re-entrant because metric publication happens
+    inside the guarded sections.)
+    """
 
     def __init__(self, ladder: DegradationLadder, queue_limit: int,
                  calibration_gain: float, metrics=None):
@@ -69,6 +87,7 @@ class _Admission:
         self.queue_limit = queue_limit
         self.calibration_gain = calibration_gain
         self.metrics = get_registry() if metrics is None else metrics
+        self._lock = threading.RLock()
         self._scale = 1.0  # EWMA: observed seconds per modeled second
         self._backlog: list[float] = []  # projected finish times
         self.shed_count = 0
@@ -83,13 +102,15 @@ class _Admission:
         ).set(len(self._backlog))
 
     def record_shed(self) -> None:
-        self.shed_count += 1
+        with self._lock:
+            self.shed_count += 1
         self.metrics.counter("repro_serve_shed_total",
                              "requests shed by admission control").inc()
 
     def record_served(self, rung_index: int,
                       latency_seconds: float) -> None:
-        self.served_count += 1
+        with self._lock:
+            self.served_count += 1
         m = self.metrics
         m.counter("repro_serve_served_total",
                   "requests served to completion").inc()
@@ -104,62 +125,78 @@ class _Admission:
             "requests that ran but finished past their deadline").inc()
 
     def scaled(self, raw_seconds: float) -> float:
-        return raw_seconds * self._scale
+        with self._lock:
+            return raw_seconds * self._scale
 
     def calibrate(self, raw_seconds: float, observed_seconds: float) -> None:
-        """EWMA-update the model-to-observed scale from one clean run."""
+        """EWMA-update the model-to-observed scale from one clean run.
+
+        Concurrent completions fold in under the lock, so every
+        observation lands exactly once (no lost read-modify-write) and
+        the scale stays finite and positive.
+        """
         if raw_seconds <= 0 or observed_seconds <= 0:
             return
         g = self.calibration_gain
-        self._scale = (1 - g) * self._scale + g * (observed_seconds
-                                                   / raw_seconds)
+        with self._lock:
+            self._scale = (1 - g) * self._scale + g * (observed_seconds
+                                                       / raw_seconds)
 
     def admit(self, now: float, deadline_seconds: float, min_snr_db: float,
-              estimate):
+              estimate, viable=None):
         """Pick the most accurate viable rung whose projected completion
         fits the deadline; raise :class:`Overloaded` if queue-full or
         none fits.  Returns ``(rung_index, rung, projected_finish)``.
+
+        *viable* optionally restricts the candidate ``(index, rung)``
+        pairs (the QoS layer hands lower-priority classes a window that
+        starts below the most expensive rung); the default is every rung
+        meeting *min_snr_db*.
         """
-        self._backlog = [t for t in self._backlog if t > now]
-        self._gauge_depth()
-        if len(self._backlog) >= self.queue_limit:
+        with self._lock:
+            self._backlog = [t for t in self._backlog if t > now]
+            self._gauge_depth()
+            if len(self._backlog) >= self.queue_limit:
+                self.record_shed()
+                raise Overloaded(
+                    f"request queue full ({len(self._backlog)} queued)",
+                    queued=len(self._backlog))
+            if viable is None:
+                viable = self.ladder.viable(min_snr_db)
+            if not viable:
+                self.record_shed()
+                raise Overloaded(
+                    f"no ladder rung meets min_snr_db={min_snr_db:.1f}",
+                    queued=len(self._backlog))
+            start = max([now] + self._backlog)
+            cheapest_projection = None
+            for idx, rung in viable:
+                projected = start + self._scale * estimate(rung)
+                cheapest_projection = projected
+                if projected <= now + deadline_seconds:
+                    self._backlog.append(projected)
+                    self._gauge_depth()
+                    return idx, rung, projected
             self.record_shed()
             raise Overloaded(
-                f"request queue full ({len(self._backlog)} queued)",
-                queued=len(self._backlog))
-        viable = self.ladder.viable(min_snr_db)
-        if not viable:
-            self.record_shed()
-            raise Overloaded(
-                f"no ladder rung meets min_snr_db={min_snr_db:.1f}",
-                queued=len(self._backlog))
-        start = max([now] + self._backlog)
-        cheapest_projection = None
-        for idx, rung in viable:
-            projected = start + self.scaled(estimate(rung))
-            cheapest_projection = projected
-            if projected <= now + deadline_seconds:
-                self._backlog.append(projected)
-                self._gauge_depth()
-                return idx, rung, projected
-        self.record_shed()
-        raise Overloaded(
-            "no rung meeting the accuracy floor can finish in "
-            f"{deadline_seconds:.4g}s (cheapest projects "
-            f"{cheapest_projection - now:.4g}s)",
-            queued=len(self._backlog),
-            projected_seconds=cheapest_projection - now)
+                "no rung meeting the accuracy floor can finish in "
+                f"{deadline_seconds:.4g}s (cheapest projects "
+                f"{cheapest_projection - now:.4g}s)",
+                queued=len(self._backlog),
+                projected_seconds=cheapest_projection - now)
 
     def release(self, projected_finish: float) -> None:
-        try:
-            self._backlog.remove(projected_finish)
-        except ValueError:
-            pass
-        self._gauge_depth()
+        with self._lock:
+            try:
+                self._backlog.remove(projected_finish)
+            except ValueError:
+                pass
+            self._gauge_depth()
 
     @property
     def queued(self) -> int:
-        return len(self._backlog)
+        with self._lock:
+            return len(self._backlog)
 
 
 class SoiService:

@@ -1,0 +1,60 @@
+"""Async serving gateway: coalescing, per-tenant QoS, load generation.
+
+The paper's plan-once-transform-many economics meet real traffic here:
+:class:`AsyncSoiGateway` accepts concurrent requests on an asyncio
+event loop, admits them through per-tenant QoS
+(:class:`QosClass`/:class:`QosPolicy`) and the cost-model admission
+control, coalesces same-``(n, dtype, rung)`` requests into single
+``SoiFFT.batch()`` executions (:class:`Coalescer`), and resolves each
+request to exactly one of the four serving outcomes — including under
+partial batch failure.  :mod:`repro.serve.loadgen` supplies open-loop
+Poisson/trace arrival schedules, a deterministic virtual-time simulator
+that pushes 10^5+ requests through the same policy objects, and the
+latency-vs-offered-load exhibit.
+"""
+
+from repro.serve.coalesce import (
+    CoalesceKey,
+    Coalescer,
+    PendingRequest,
+    itemize_batch,
+    split_rows,
+    stack_requests,
+)
+from repro.serve.gateway import AsyncSoiGateway, serve_requests
+from repro.serve.loadgen import (
+    Arrival,
+    LoadResult,
+    ServiceModel,
+    drive_gateway,
+    poisson_arrivals,
+    render_curves,
+    simulate_serving,
+    sweep_offered_load,
+    trace_arrivals,
+)
+from repro.serve.qos import DEFAULT_CLASSES, QosClass, QosPolicy, TenantState
+
+__all__ = [
+    "Arrival",
+    "AsyncSoiGateway",
+    "CoalesceKey",
+    "Coalescer",
+    "DEFAULT_CLASSES",
+    "LoadResult",
+    "PendingRequest",
+    "QosClass",
+    "QosPolicy",
+    "ServiceModel",
+    "TenantState",
+    "drive_gateway",
+    "itemize_batch",
+    "poisson_arrivals",
+    "render_curves",
+    "serve_requests",
+    "simulate_serving",
+    "split_rows",
+    "stack_requests",
+    "sweep_offered_load",
+    "trace_arrivals",
+]

@@ -1,0 +1,250 @@
+"""Per-tenant QoS classes riding the degradation ladder.
+
+The gateway serves many tenants from one bounded queue; without policy,
+one noisy tenant's burst sheds everyone.  A :class:`QosClass` is a named
+service tier with three levers, all mapped onto machinery that already
+exists underneath:
+
+* **Queue share** — the fraction of the gateway's admission queue the
+  class may occupy.  Premium's share is 1.0 (it sheds only when the
+  queue is truly full); lower tiers shed earlier, so under pressure a
+  noisy bronze tenant starts failing with
+  :class:`~repro.resilience.deadline.Overloaded` while gold requests
+  still land.  This is strictly *earlier* shedding, never later — the
+  global bound still applies to everyone.
+* **Rate limit** — an optional per-tenant token bucket (tokens/second
+  with a burst allowance).  A tenant that exceeds it sheds immediately,
+  before touching the shared queue at all.
+* **Ladder window** — ``best_rung`` maps the class onto the existing
+  :class:`~repro.resilience.ladder.DegradationLadder`: a class with
+  ``best_rung=1`` never occupies the most expensive rung, so scavenger
+  traffic cannot crowd premium tenants off full quality, and
+  ``min_snr_db`` floors the accuracy any request of the class may ask
+  below (the effective floor is the max of the class's and the
+  request's).
+
+:class:`QosPolicy` maps tenant names onto classes, owns the per-tenant
+token buckets and counters, and is thread-safe (the gateway calls it
+from the event loop while executor threads complete batches).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+
+from repro.resilience.deadline import Overloaded
+from repro.telemetry.metrics import get_registry
+
+__all__ = ["DEFAULT_CLASSES", "QosClass", "QosPolicy", "TenantState"]
+
+_TENANT_RE = re.compile(r"[^a-z0-9]+")
+
+
+def _metric_tenant(tenant: str) -> str:
+    """Sanitize a tenant name into a metric-name segment."""
+    return _TENANT_RE.sub("", tenant.lower()) or "anon"
+
+
+@dataclass(frozen=True)
+class QosClass:
+    """One service tier: shed order, rate limit, and ladder window."""
+
+    name: str
+    #: Shed order: lower sheds later.  0 is premium.
+    priority: int
+    #: Fraction of the gateway queue this class may occupy (0, 1].
+    queue_share: float = 1.0
+    #: Sustained requests/second per tenant (None = unlimited).
+    rate_limit: float | None = None
+    #: Token-bucket burst allowance (requests).
+    burst: float = 8.0
+    #: Accuracy floor requested on behalf of the class (dB).
+    min_snr_db: float = 0.0
+    #: Best (most expensive) ladder rung the class may occupy.
+    best_rung: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.queue_share <= 1.0:
+            raise ValueError("queue_share must be in (0, 1]")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must allow at least one request")
+        if self.best_rung < 0:
+            raise ValueError("best_rung must be >= 0")
+
+    def viable_window(self, ladder, min_snr_db: float):
+        """(index, rung) pairs of *ladder* this class may run, best first.
+
+        The class's ``best_rung`` clips the expensive end; the effective
+        SNR floor (max of class and request) clips the cheap end.
+        """
+        floor = max(min_snr_db, self.min_snr_db)
+        return [(i, r) for i, r in ladder.viable(floor)
+                if i >= self.best_rung]
+
+
+#: Three stock tiers: gold sheds last at full quality; silver sheds at
+#: 3/4 queue; bronze is rate-limited, sheds at half queue, and never
+#: occupies the most expensive rung.
+DEFAULT_CLASSES = (
+    QosClass("gold", priority=0, queue_share=1.0),
+    QosClass("silver", priority=1, queue_share=0.75),
+    QosClass("bronze", priority=2, queue_share=0.5, rate_limit=200.0,
+             burst=16.0, best_rung=1),
+)
+
+
+@dataclass
+class TenantState:
+    """Mutable per-tenant accounting: token bucket + outcome counters."""
+
+    qos: QosClass
+    tokens: float = 0.0
+    last_refill: float | None = None
+    submitted: int = 0
+    served: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    coalesced: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def take_token(self, now: float) -> bool:
+        """Refill-then-take; True if the request is within the rate."""
+        limit = self.qos.rate_limit
+        if limit is None:
+            return True
+        if self.last_refill is None:
+            self.tokens = self.qos.burst
+        else:
+            self.tokens = min(self.qos.burst,
+                              self.tokens + (now - self.last_refill) * limit)
+        self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class QosPolicy:
+    """Tenant -> class mapping with thread-safe admission and counters."""
+
+    def __init__(self, classes=DEFAULT_CLASSES, *,
+                 default_class: str | None = None, metrics=None):
+        if not classes:
+            raise ValueError("at least one QoS class is required")
+        self.classes = {c.name: c for c in classes}
+        if len(self.classes) != len(classes):
+            raise ValueError("class names must be unique")
+        if default_class is None:
+            # least-privileged class by default: unknown tenants shed first
+            default_class = max(classes, key=lambda c: c.priority).name
+        if default_class not in self.classes:
+            raise ValueError(f"unknown default class {default_class!r}")
+        self.default_class = default_class
+        self.metrics = get_registry() if metrics is None else metrics
+        self._assignments: dict[str, str] = {}
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    # -- mapping -----------------------------------------------------------
+
+    def assign(self, tenant: str, class_name: str) -> None:
+        if class_name not in self.classes:
+            raise ValueError(f"unknown QoS class {class_name!r}")
+        with self._lock:
+            self._assignments[tenant] = class_name
+            state = self._tenants.get(tenant)
+            if state is not None:
+                state.qos = self.classes[class_name]
+
+    def class_of(self, tenant: str) -> QosClass:
+        name = self._assignments.get(tenant, self.default_class)
+        return self.classes[name]
+
+    def tenant_state(self, tenant: str) -> TenantState:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = TenantState(qos=self.class_of(tenant))
+                self._tenants[tenant] = state
+            return state
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, tenant: str, now: float, queue_depth: int,
+              queue_limit: int) -> QosClass:
+        """Rate-limit and queue-share check; raises :class:`Overloaded`.
+
+        Returns the tenant's class on success.  Shedding here is *before
+        any work ran* — the same contract as admission control — and a
+        lower tier always sheds at a depth where a higher tier would
+        still be admitted.
+        """
+        state = self.tenant_state(tenant)
+        qos = state.qos
+        with self._lock:
+            state.submitted += 1
+            if not state.take_token(now):
+                state.shed += 1
+                self._count(tenant, "shed")
+                raise Overloaded(
+                    f"tenant {tenant!r} over its {qos.name} rate limit "
+                    f"({qos.rate_limit:.4g} req/s)", queued=queue_depth)
+            allowed = max(1, int(qos.queue_share * queue_limit))
+            if queue_depth >= allowed:
+                state.shed += 1
+                self._count(tenant, "shed")
+                raise Overloaded(
+                    f"{qos.name} queue share exhausted "
+                    f"({queue_depth}/{allowed} of {queue_limit})",
+                    queued=queue_depth)
+        self._count(tenant, "submitted")
+        return qos
+
+    # -- accounting --------------------------------------------------------
+
+    def record_outcome(self, tenant: str, outcome: str,
+                       coalesced_with: int = 0) -> None:
+        """Fold one request's final outcome into the tenant counters.
+
+        *outcome* is one of the contract's four:
+        ``ok``/``degraded``/``overloaded``/``deadline_exceeded``.
+        """
+        state = self.tenant_state(tenant)
+        with self._lock:
+            if outcome in ("ok", "degraded"):
+                state.served += 1
+                if coalesced_with > 0:
+                    state.coalesced += 1
+            elif outcome == "overloaded":
+                state.shed += 1
+            elif outcome == "deadline_exceeded":
+                state.deadline_exceeded += 1
+            else:
+                raise ValueError(f"unknown outcome {outcome!r}")
+        if outcome in ("ok", "degraded"):
+            self._count(tenant, "served")
+        elif outcome == "overloaded":
+            self._count(tenant, "shed")
+        else:
+            self._count(tenant, "deadline")
+
+    def _count(self, tenant: str, event: str) -> None:
+        t = _metric_tenant(tenant)
+        self.metrics.counter(
+            f"repro_serve_tenant_{t}_{event}_total",
+            f"requests {event} for tenant {tenant!r}").inc()
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant counters (JSON-ready; tests and exhibits)."""
+        with self._lock:
+            return {
+                t: {"class": s.qos.name, "submitted": s.submitted,
+                    "served": s.served, "shed": s.shed,
+                    "deadline_exceeded": s.deadline_exceeded,
+                    "coalesced": s.coalesced}
+                for t, s in sorted(self._tenants.items())
+            }

@@ -106,15 +106,16 @@ def chrome_trace_json(source, process_name: str = "repro",
 def chrome_category_totals(events: list[dict]) -> dict[str, float]:
     """category -> summed charged seconds of an exported event list.
 
-    Counts complete (``"X"``) events whose ``args.kind`` is
-    ``"charge"`` — the exact flat projection — so the result matches
+    Counts complete (``"X"``) events whose ``args.kind`` is a charge-like
+    leaf (``"charge"``, or the gateway's ``"coalesce"`` batch spans) —
+    the exact flat projection — so the result matches
     ``Trace.total(category)`` for the trace that produced the export.
     """
     out: dict[str, float] = {}
     for e in events:
         if e.get("ph") != "X":
             continue
-        if e.get("args", {}).get("kind") != "charge":
+        if e.get("args", {}).get("kind") not in ("charge", "coalesce"):
             continue
         cat = e.get("cat", "other")
         out[cat] = out.get(cat, 0.0) + e["dur"] / _US

@@ -99,11 +99,21 @@ class SpanRecorder:
 
     def record(self, rank: int, name: str, category: str, t_start: float,
                t_end: float, nbytes: int = 0,
-               attributes: dict | None = None) -> Span:
-        """Record one closed charge span (leaf accounted time)."""
+               attributes: dict | None = None,
+               kind: str = "charge") -> Span:
+        """Record one closed charge span (leaf accounted time).
+
+        *kind* defaults to ``"charge"``; the serving gateway records its
+        batched executions as ``"coalesce"`` spans — accounted like
+        charges (they appear in ``charges`` and the category totals) but
+        distinguishable in exports, with the member count in
+        ``attributes``.
+        """
+        if kind == "scope":
+            raise ValueError("scope spans are opened with begin()")
         span = Span(self.trace_id, self._next_id, self._parent_id(rank),
                     rank, name, category, t_start, t_end, nbytes,
-                    "charge", attributes)
+                    kind, attributes)
         self._next_id += 1
         self.spans.append(span)
         self.charges.append(span)
